@@ -1,0 +1,59 @@
+//! Ablation micro-benchmarks for the design choices DESIGN.md calls out:
+//! register-level-parallel dequantization vs scalar, and the naive
+//! double-quant scheme vs QoQ's progressive order.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use qserve_core::progressive::{NaiveDoubleQuant, ProgressiveWeight};
+use qserve_kernels::rlp::{dequant_scalar, dequant_sub_after_mul, splat4};
+use qserve_tensor::rng::TensorRng;
+
+/// RLP dequantization (2 register ops / 4 lanes) vs scalar (per element) —
+/// the emulation itself shows the op-count advantage.
+fn bench_rlp_vs_scalar(c: &mut Criterion) {
+    let mut rng = TensorRng::seed(1);
+    let codes: Vec<u8> = (0..4096).map(|_| rng.index(16) as u8).collect();
+    let scale = 13u8;
+    let zero = 6u8;
+    let zs = u32::from(zero) * u32::from(scale);
+    let neg_zs = splat4((zs as u8 as i8).wrapping_neg() as u8);
+
+    c.bench_function("dequant_rlp_4096", |b| {
+        b.iter(|| {
+            let mut acc = 0i32;
+            for quad in codes.chunks_exact(4) {
+                let reg = u32::from(quad[0])
+                    | (u32::from(quad[1]) << 8)
+                    | (u32::from(quad[2]) << 16)
+                    | (u32::from(quad[3]) << 24);
+                let dq = dequant_sub_after_mul(black_box(reg), scale, neg_zs);
+                acc = acc.wrapping_add(dq as i32);
+            }
+            black_box(acc)
+        })
+    });
+    c.bench_function("dequant_scalar_4096", |b| {
+        b.iter(|| {
+            let mut acc = 0i32;
+            for &q in &codes {
+                acc = acc.wrapping_add(dequant_scalar(black_box(q), zero, scale));
+            }
+            black_box(acc)
+        })
+    });
+}
+
+/// Progressive quantization vs the naive VSQuant/DoubleQuant order: similar
+/// offline cost, but only one admits INT8 intermediates.
+fn bench_two_level_schemes(c: &mut Criterion) {
+    let mut rng = TensorRng::seed(2);
+    let w = rng.gaussian(128, 1024, 0.05);
+    c.bench_function("two_level_progressive_128x1024", |b| {
+        b.iter(|| black_box(ProgressiveWeight::quantize(&w, 128)))
+    });
+    c.bench_function("two_level_naive_doublequant_128x1024", |b| {
+        b.iter(|| black_box(NaiveDoubleQuant::quantize(&w, 128)))
+    });
+}
+
+criterion_group!(benches, bench_rlp_vs_scalar, bench_two_level_schemes);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Criterion micro-benchmarks of the emulated KV attention kernels (the
+//! Table 1 subjects) and the fp16 magic-bias dequantization trick.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use qserve_core::kv_quant::KvPrecision;
+use qserve_kernels::attention::{
+    decode_attention_fp16, magic_bias_dequant, naive_dequant, QuantizedKvHead,
+};
+use qserve_tensor::fp16::F16;
+use qserve_tensor::rng::TensorRng;
+
+fn filled_cache(seq: usize, d: usize, p: KvPrecision) -> QuantizedKvHead {
+    let mut rng = TensorRng::seed(1);
+    let mut cache = QuantizedKvHead::new(p);
+    for _ in 0..seq {
+        let k: Vec<f32> = (0..d).map(|_| rng.normal(1.0)).collect();
+        let v: Vec<f32> = (0..d).map(|_| rng.normal(1.0)).collect();
+        cache.append(&k, &v);
+    }
+    cache
+}
+
+fn bench_decode_attention(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decode_attention");
+    let d = 128;
+    let mut rng = TensorRng::seed(2);
+    let q: Vec<f32> = (0..d).map(|_| rng.normal(1.0)).collect();
+    for seq in [128usize, 512, 1536] {
+        for (name, p) in [("kv4", KvPrecision::Int4), ("kv8", KvPrecision::Int8)] {
+            let cache = filled_cache(seq, d, p);
+            group.bench_with_input(BenchmarkId::new(name, seq), &seq, |b, _| {
+                b.iter(|| black_box(decode_attention_fp16(&q, &cache)))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_dequant_tricks(c: &mut Criterion) {
+    let s16 = F16::from_f32(0.0371);
+    c.bench_function("magic_bias_dequant_4096", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f32;
+            for i in 0..4096u32 {
+                let q = (i % 16) as u8;
+                let z = ((i / 16) % 16) as u8;
+                acc += magic_bias_dequant(black_box(q), black_box(z), s16).to_f32();
+            }
+            black_box(acc)
+        })
+    });
+    c.bench_function("naive_dequant_4096", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f32;
+            for i in 0..4096u32 {
+                let q = (i % 16) as u8;
+                let z = ((i / 16) % 16) as u8;
+                acc += naive_dequant(black_box(q), black_box(z), 0.0371);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+criterion_group!(benches, bench_decode_attention, bench_dequant_tricks);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion micro-benchmarks of the emulated W4A8 GEMM kernels — the Rust
+//! analogue of the paper's kernel-level comparison (Figure 18's subjects).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use qserve_core::progressive::{PerChannelW4, ProgressiveWeight};
+use qserve_kernels::{gemm_w4a8_per_channel, gemm_w4a8_per_group, gemm_w8a8, quantize_activations_int8};
+use qserve_quant::rounding::round_clamp;
+use qserve_tensor::rng::TensorRng;
+
+fn bench_gemms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("w4a8_gemm");
+    let (n, k) = (256usize, 512usize);
+    let mut rng = TensorRng::seed(42);
+    let w = rng.gaussian(n, k, 0.05);
+    let pw_group = ProgressiveWeight::quantize(&w, 128);
+    let pw_chan = PerChannelW4::quantize(&w);
+    // W8A8 reference operands.
+    let mut w8_codes = vec![0i8; n * k];
+    let mut w8_scales = vec![0.0f32; n];
+    for j in 0..n {
+        let am = w.row(j).iter().fold(0.0f32, |a, v| a.max(v.abs()));
+        w8_scales[j] = am / 127.0;
+        for (p, &v) in w.row(j).iter().enumerate() {
+            w8_codes[j * k + p] = round_clamp(v / w8_scales[j], -127, 127) as i8;
+        }
+    }
+
+    for m in [8usize, 32, 128] {
+        let x = rng.gaussian(m, k, 1.0);
+        let qx = quantize_activations_int8(&x);
+        group.bench_with_input(BenchmarkId::new("per_group", m), &m, |b, _| {
+            b.iter(|| black_box(gemm_w4a8_per_group(&qx, &pw_group)))
+        });
+        group.bench_with_input(BenchmarkId::new("per_channel", m), &m, |b, _| {
+            b.iter(|| black_box(gemm_w4a8_per_channel(&qx, &pw_chan)))
+        });
+        group.bench_with_input(BenchmarkId::new("w8a8", m), &m, |b, _| {
+            b.iter(|| black_box(gemm_w8a8(&qx, &w8_codes, &w8_scales, n)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_activation_quant(c: &mut Criterion) {
+    let mut rng = TensorRng::seed(7);
+    let x = rng.gaussian(64, 4096, 1.0);
+    c.bench_function("quantize_activations_int8_64x4096", |b| {
+        b.iter(|| black_box(quantize_activations_int8(&x)))
+    });
+}
+
+criterion_group!(benches, bench_gemms, bench_activation_quant);
+criterion_main!(benches);

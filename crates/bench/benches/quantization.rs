@@ -1,0 +1,53 @@
+//! Criterion benchmarks of the QoQ quantization pipeline itself (offline
+//! cost: progressive quantization, rotation, searches).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use qserve_core::pipeline::{quantize_block, QoqConfig, WeightGranularity};
+use qserve_core::progressive::ProgressiveWeight;
+use qserve_core::rotation::hadamard;
+use qserve_kernels::reorder::ReorderedWeight;
+use qserve_model::synth::SyntheticModel;
+use qserve_tensor::rng::TensorRng;
+
+fn bench_progressive(c: &mut Criterion) {
+    let mut rng = TensorRng::seed(3);
+    let w = rng.gaussian(256, 1024, 0.05);
+    c.bench_function("progressive_quantize_256x1024_g128", |b| {
+        b.iter(|| black_box(ProgressiveWeight::quantize(&w, 128)))
+    });
+    let pw = ProgressiveWeight::quantize(&w, 128);
+    c.bench_function("progressive_dequantize_256x1024", |b| {
+        b.iter(|| black_box(pw.dequantize()))
+    });
+}
+
+fn bench_block_pipeline(c: &mut Criterion) {
+    let model = SyntheticModel::small(1);
+    let calib = {
+        let mut rng = TensorRng::seed(4);
+        rng.gaussian(32, model.config.hidden, 1.0)
+    };
+    let cfg = QoqConfig {
+        weight_granularity: WeightGranularity::PerGroup(32),
+        ..QoqConfig::w4a8kv4_g128()
+    };
+    c.bench_function("qoq_quantize_block_full_recipe", |b| {
+        b.iter(|| black_box(quantize_block(&model.blocks[0], &calib, &cfg)))
+    });
+    let rtn = QoqConfig::rtn(WeightGranularity::PerGroup(32));
+    c.bench_function("qoq_quantize_block_rtn", |b| {
+        b.iter(|| black_box(quantize_block(&model.blocks[0], &calib, &rtn)))
+    });
+}
+
+fn bench_transforms(c: &mut Criterion) {
+    c.bench_function("hadamard_256", |b| b.iter(|| black_box(hadamard(256))));
+    let mut rng = TensorRng::seed(5);
+    let codes: Vec<u8> = (0..256 * 1024).map(|_| rng.index(16) as u8).collect();
+    c.bench_function("compute_aware_reorder_256x1024", |b| {
+        b.iter(|| black_box(ReorderedWeight::from_codes(&codes, 256, 1024)))
+    });
+}
+
+criterion_group!(benches, bench_progressive, bench_block_pipeline, bench_transforms);
+criterion_main!(benches);

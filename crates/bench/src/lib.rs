@@ -1,0 +1,12 @@
+//! Benchmark harness regenerating every table and figure in the QServe
+//! paper's evaluation (§6). See DESIGN.md §4 for the experiment index.
+//!
+//! Each experiment is a function returning a [`report::Table`]; the
+//! `reproduce` binary prints them (`cargo run --release -p qserve-bench
+//! --bin reproduce -- all`).
+
+pub mod accuracy;
+pub mod efficiency;
+pub mod report;
+
+pub use report::Table;

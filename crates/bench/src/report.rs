@@ -1,0 +1,117 @@
+//! Plain-text table rendering for experiment outputs.
+
+/// A rendered experiment result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    /// Experiment id ("Table 4", "Figure 3", …).
+    pub id: String,
+    /// What the paper's counterpart shows.
+    pub caption: String,
+    /// Column headers.
+    pub header: Vec<String>,
+    /// Rows of cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(id: &str, caption: &str, header: &[&str]) -> Self {
+        Self {
+            id: id.to_string(),
+            caption: caption.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics if the cell count differs from the header.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders as aligned plain text.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} — {} ==\n", self.id, self.caption));
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{:>width$}", c, width = w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.header));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders as CSV.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.header.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a float with `digits` decimals, or a dash for non-finite values.
+pub fn fnum(v: f64, digits: usize) -> String {
+    if v.is_finite() {
+        format!("{:.*}", digits, v)
+    } else {
+        "—".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_contains_all_cells() {
+        let mut t = Table::new("T", "caption", &["a", "bb"]);
+        t.push_row(vec!["1".into(), "2".into()]);
+        let r = t.render();
+        assert!(r.contains("caption") && r.contains("bb") && r.contains('2'));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn rejects_ragged_rows() {
+        Table::new("T", "c", &["a"]).push_row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn csv_rows_match() {
+        let mut t = Table::new("T", "c", &["x", "y"]);
+        t.push_row(vec!["1".into(), "2".into()]);
+        assert_eq!(t.to_csv(), "x,y\n1,2\n");
+    }
+
+    #[test]
+    fn fnum_handles_nan() {
+        assert_eq!(fnum(f64::NAN, 2), "—");
+        assert_eq!(fnum(1.234, 2), "1.23");
+    }
+}

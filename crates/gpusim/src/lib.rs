@@ -1,0 +1,30 @@
+//! Analytical GPU cost model for the QServe reproduction.
+//!
+//! The paper's performance arguments are roofline and operation-counting
+//! arguments (§3, §5.3): CUDA-core dequantization competes with tensor-core
+//! MMA inside the GEMM main loop; KV4 attention is memory-bound only if its
+//! arithmetic intensity stays under the CUDA-core roofline turning point.
+//! This crate implements those equations for the two evaluation GPUs:
+//!
+//! * [`spec`] — A100-80G-SXM4 and L40S-48G datasheets (tensor-core TOPS per
+//!   precision, CUDA-core throughput, HBM bandwidth, capacity, price).
+//! * [`roofline`] — attainable-performance curves (Figure 3).
+//! * [`gemm_model`] — main-loop latency for every precision configuration in
+//!   the paper's comparison (TRT FP16/W8A8/W4A16, Atom/QuaRot W4A4, QServe
+//!   W4A8 per-channel/per-group), including dequantization overhead
+//!   (Figure 18) and register-pressure occupancy effects (§3.2).
+//! * [`attention_model`] — decode/prefill attention latency for KV8,
+//!   naive KV4, and QServe KV4 (Table 1).
+//!
+//! Absolute times are model outputs, not measurements; the calibrated
+//! quantities are the *ratios* the paper's figures argue about (who wins,
+//! where the crossovers sit). See DESIGN.md §1.
+
+pub mod attention_model;
+pub mod gemm_model;
+pub mod roofline;
+pub mod spec;
+
+pub use attention_model::{attention_decode_latency, AttentionKernel, AttentionShape};
+pub use gemm_model::{gemm_latency, GemmConfig, GemmShape};
+pub use spec::GpuSpec;

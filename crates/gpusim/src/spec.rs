@@ -1,0 +1,130 @@
+//! GPU datasheets for the two evaluation platforms (§6.1, footnote 1).
+
+use serde::{Deserialize, Serialize};
+
+/// Peak throughput and capacity figures for one GPU.
+///
+/// Values follow the vendor datasheets the paper cites: "A100 has a peak
+/// FP16/INT8/INT4 tensor core performance of 312/624/1248 TOPS and a DRAM
+/// bandwidth of 2 TB/s", CUDA-core FP32 19.5 TFLOPS (turning point
+/// 19.5/2 ≈ 9.8 op/byte, §5.3).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GpuSpec {
+    /// Marketing name.
+    pub name: &'static str,
+    /// FP16 tensor-core peak, operations/second.
+    pub fp16_tc_ops: f64,
+    /// INT8 tensor-core peak, operations/second.
+    pub int8_tc_ops: f64,
+    /// INT4 tensor-core peak, operations/second.
+    pub int4_tc_ops: f64,
+    /// FP32 CUDA-core peak, operations/second.
+    pub fp32_cuda_ops: f64,
+    /// FP16 CUDA-core peak (packed half2), operations/second.
+    pub fp16_cuda_ops: f64,
+    /// INT32 ALU peak (pointer arithmetic, logic ops), operations/second.
+    pub int32_alu_ops: f64,
+    /// DRAM bandwidth, bytes/second.
+    pub dram_bytes_per_s: f64,
+    /// Device memory capacity, bytes.
+    pub memory_bytes: u64,
+    /// Street price in USD (Figure 1: $25K vs $8K, the 3× cost argument).
+    pub price_usd: f64,
+    /// Fixed kernel launch + tail latency added to every kernel, seconds.
+    pub kernel_overhead_s: f64,
+}
+
+impl GpuSpec {
+    /// NVIDIA A100-80G-SXM4.
+    pub fn a100() -> Self {
+        Self {
+            name: "A100-80G-SXM4",
+            fp16_tc_ops: 312e12,
+            int8_tc_ops: 624e12,
+            int4_tc_ops: 1248e12,
+            fp32_cuda_ops: 19.5e12,
+            fp16_cuda_ops: 39.0e12,
+            int32_alu_ops: 19.5e12,
+            dram_bytes_per_s: 2.0e12,
+            memory_bytes: 80 * (1u64 << 30),
+            price_usd: 25_000.0,
+            kernel_overhead_s: 4e-6,
+        }
+    }
+
+    /// NVIDIA L40S-48G. "L40S has stronger CUDA cores" relative to its
+    /// bandwidth: FP32 91.6 TFLOPS against 864 GB/s — a roofline turning
+    /// point of ~106 op/byte vs the A100's 9.8, which is why naive KV4 wins
+    /// on L40S but loses on A100 (Table 1 discussion).
+    pub fn l40s() -> Self {
+        Self {
+            name: "L40S-48G",
+            fp16_tc_ops: 362e12,
+            int8_tc_ops: 733e12,
+            int4_tc_ops: 1466e12,
+            fp32_cuda_ops: 91.6e12,
+            fp16_cuda_ops: 91.6e12,
+            int32_alu_ops: 45.8e12,
+            dram_bytes_per_s: 0.864e12,
+            memory_bytes: 48 * (1u64 << 30),
+            price_usd: 8_000.0,
+            kernel_overhead_s: 4e-6,
+        }
+    }
+
+    /// CUDA-core roofline turning point in FP32 ops/byte (§5.3 quotes
+    /// 9.8 for A100).
+    pub fn cuda_turning_point(&self) -> f64 {
+        self.fp32_cuda_ops / self.dram_bytes_per_s
+    }
+
+    /// Tensor-core peak for a given MMA operand width (16/8/4 bits).
+    ///
+    /// # Panics
+    /// Panics on an unsupported width.
+    pub fn tc_ops_for_bits(&self, bits: u32) -> f64 {
+        match bits {
+            16 => self.fp16_tc_ops,
+            8 => self.int8_tc_ops,
+            4 => self.int4_tc_ops,
+            other => panic!("no tensor core for {other}-bit operands"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a100_turning_point_matches_paper() {
+        let tp = GpuSpec::a100().cuda_turning_point();
+        assert!((tp - 9.75).abs() < 0.1, "A100 turning point {} ≠ ~9.8", tp);
+    }
+
+    #[test]
+    fn l40s_cuda_cores_relatively_stronger() {
+        let a = GpuSpec::a100();
+        let l = GpuSpec::l40s();
+        assert!(l.cuda_turning_point() > 10.0 * a.cuda_turning_point());
+    }
+
+    #[test]
+    fn tensor_core_doubling_per_halved_precision() {
+        let a = GpuSpec::a100();
+        assert_eq!(a.tc_ops_for_bits(8), 2.0 * a.tc_ops_for_bits(16));
+        assert_eq!(a.tc_ops_for_bits(4), 2.0 * a.tc_ops_for_bits(8));
+    }
+
+    #[test]
+    fn price_ratio_is_about_3x() {
+        let ratio = GpuSpec::a100().price_usd / GpuSpec::l40s().price_usd;
+        assert!((ratio - 3.125).abs() < 0.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "no tensor core")]
+    fn rejects_unknown_width() {
+        GpuSpec::a100().tc_ops_for_bits(2);
+    }
+}

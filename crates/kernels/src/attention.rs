@@ -1,0 +1,276 @@
+//! The KV4 decoding-attention kernel (§5.3).
+//!
+//! The naive KV4 kernel is *compute-bound* on A100 (5 ALU ops per
+//! dequantized element against a 9.8 op/byte roofline turning point). QServe
+//! recovers the KV4 bandwidth win by:
+//!
+//! 1. replacing FP32 CUDA-core math with FP16 (doubles the compute roof);
+//! 2. a two-op dequantization using the fp16 *magic bias* bit trick of
+//!    Kim et al. 2022 ([`magic_bias_dequant`]);
+//! 3. prefetching per-head scales/zeros at kernel start (modelled in
+//!    `qserve-gpusim`; numerically irrelevant here).
+//!
+//! This module emulates the kernel's *numerics* bit-for-bit in binary16; the
+//! latency model for Table 1 lives in `qserve-gpusim`.
+
+use qserve_core::kv_quant::{KvPrecision, QuantizedHeadToken};
+use qserve_tensor::fp16::{round_f16, F16};
+use qserve_tensor::ops::softmax_inplace;
+
+/// The fp16 magic-bias dequantization (Kim et al. 2022): ORing a 4-bit code
+/// into the mantissa of the fp16 constant `1024.0` (bits `0x6400`) yields
+/// **exactly** `1024 + q` (integers up to 2048 are exact in binary16); one
+/// fp16 subtraction of `1024 + z` then recovers `q − z` exactly, and one
+/// multiply applies the scale — two arithmetic ops per element instead of
+/// five (mask, shift, cvt, mul, sub).
+///
+/// # Example
+/// ```
+/// use qserve_kernels::attention::magic_bias_dequant;
+/// use qserve_tensor::fp16::F16;
+/// let v = magic_bias_dequant(13, 8, F16::from_f32(0.5));
+/// assert_eq!(v.to_f32(), 2.5); // (13 − 8) · 0.5
+/// ```
+pub fn magic_bias_dequant(code: u8, zero: u8, scale: F16) -> F16 {
+    // The 10-bit mantissa of 1024.0 (0x6400) is zero, so any 8-bit code fits
+    // exactly — the same trick covers both KV4 and KV8 codes.
+    let biased = F16::from_bits(0x6400 | u16::from(code)); // = 1024 + code
+    let bias_and_zero = F16::from_bits(0x6400 | u16::from(zero)); // = 1024 + zero
+    biased.sub(bias_and_zero).mul(scale)
+}
+
+/// Scalar 5-op reference dequantization (mask/shift happen upstream here):
+/// integer subtract, int→float convert, float multiply — in fp32 then
+/// rounded, as the naive kernel would produce.
+pub fn naive_dequant(code: u8, zero: u8, scale: f32) -> f32 {
+    round_f16((f32::from(code) - f32::from(zero)) * scale)
+}
+
+/// One head's quantized KV sequence: per-token codes and dynamic params, as
+/// stored in a QServe KV-cache page.
+#[derive(Debug, Clone)]
+pub struct QuantizedKvHead {
+    /// Quantized keys, one entry per cached token.
+    pub keys: Vec<QuantizedHeadToken>,
+    /// Quantized values, one entry per cached token.
+    pub values: Vec<QuantizedHeadToken>,
+    /// Element precision.
+    pub precision: KvPrecision,
+}
+
+impl QuantizedKvHead {
+    /// Creates an empty cache for one head.
+    pub fn new(precision: KvPrecision) -> Self {
+        Self {
+            keys: Vec::new(),
+            values: Vec::new(),
+            precision,
+        }
+    }
+
+    /// Appends one token's K/V features, quantizing on the fly.
+    ///
+    /// # Panics
+    /// Panics if `k.len() != v.len()`.
+    pub fn append(&mut self, k: &[f32], v: &[f32]) {
+        assert_eq!(k.len(), v.len(), "K/V feature length mismatch");
+        self.keys.push(qserve_core::kv_quant::quantize_head(k, self.precision));
+        self.values.push(qserve_core::kv_quant::quantize_head(v, self.precision));
+    }
+
+    /// Cached sequence length.
+    pub fn seq_len(&self) -> usize {
+        self.keys.len()
+    }
+}
+
+/// QServe's fused decode attention for one head, emulating the FP16 compute
+/// path: Q·K products and the softmax·V reduction run in binary16 with FP32
+/// accumulation (the HMMA accumulate width), K/V elements dequantized with
+/// the two-op magic-bias trick.
+///
+/// Returns the attention output (length = head_dim).
+///
+/// # Panics
+/// Panics if the cache is empty or `q.len()` differs from the stored
+/// head_dim.
+pub fn decode_attention_fp16(q: &[f32], cache: &QuantizedKvHead) -> Vec<f32> {
+    assert!(cache.seq_len() > 0, "empty KV cache");
+    let d = q.len();
+    let scale = 1.0 / (d as f32).sqrt();
+    let q16: Vec<F16> = q.iter().map(|&v| F16::from_f32(v * scale)).collect();
+
+    // Stage 1: scores = q·Kᵀ in fp16 multiplies, fp32 accumulation.
+    let mut scores = Vec::with_capacity(cache.seq_len());
+    for tok in &cache.keys {
+        assert_eq!(tok.codes.len(), d, "head_dim mismatch");
+        let s16 = F16::from_f32(tok.params.scale);
+        let z = tok.params.zero as u8;
+        let mut acc = 0.0f32;
+        for (qi, &code) in q16.iter().zip(&tok.codes) {
+            let kv = magic_bias_dequant(code, z, s16);
+            acc += qi.mul(kv).to_f32();
+        }
+        scores.push(acc);
+    }
+
+    // Stage 2: softmax on CUDA cores (fp32, as in the real kernel).
+    softmax_inplace(&mut scores);
+
+    // Stage 3: out = Σ p_t · V_t, fp16 multiplies, fp32 accumulation.
+    let mut out = vec![0.0f32; d];
+    for (tok, &p) in cache.values.iter().zip(&scores) {
+        let s16 = F16::from_f32(tok.params.scale);
+        let z = tok.params.zero as u8;
+        let p16 = F16::from_f32(p);
+        for (o, &code) in out.iter_mut().zip(&tok.codes) {
+            let v = magic_bias_dequant(code, z, s16);
+            *o += p16.mul(v).to_f32();
+        }
+    }
+    out
+}
+
+/// FP32 reference attention over the *dequantized* cache — isolates the
+/// fp16-arithmetic error from the quantization error in tests.
+pub fn decode_attention_fp32_reference(q: &[f32], cache: &QuantizedKvHead) -> Vec<f32> {
+    use qserve_core::kv_quant::dequantize_head;
+    let d = q.len();
+    let keys = qserve_tensor::Matrix::from_vec(
+        cache.seq_len(),
+        d,
+        cache.keys.iter().flat_map(dequantize_head).collect(),
+    );
+    let values = qserve_tensor::Matrix::from_vec(
+        cache.seq_len(),
+        d,
+        cache.values.iter().flat_map(dequantize_head).collect(),
+    );
+    qserve_tensor::ops::attention_single(q, &keys, &values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qserve_tensor::rng::TensorRng;
+    use qserve_tensor::Matrix;
+
+    #[test]
+    fn magic_bias_exact_for_all_codes() {
+        // The bit trick must equal exact integer (q−z) times scale, for every
+        // (q, z) pair and a spread of fp16 scales.
+        for scale_bits in [0x3C00u16, 0x2E66, 0x4500, 0x1400] {
+            let s = F16::from_bits(scale_bits);
+            for q in 0u8..16 {
+                for z in 0u8..16 {
+                    let trick = magic_bias_dequant(q, z, s);
+                    let exact = F16::from_f32(f32::from(q as i16 - z as i16)).mul(s);
+                    assert_eq!(
+                        trick.to_bits(),
+                        exact.to_bits(),
+                        "q={} z={} s={}",
+                        q,
+                        z,
+                        s.to_f32()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn magic_bias_matches_naive_dequant() {
+        let s = 0.0371f32;
+        let s16 = F16::from_f32(s);
+        for q in 0u8..16 {
+            for z in 0u8..16 {
+                let a = magic_bias_dequant(q, z, s16).to_f32();
+                let b = naive_dequant(q, z, s16.to_f32());
+                assert_eq!(a, b, "q={} z={}", q, z);
+            }
+        }
+    }
+
+    fn fill_cache(rng: &mut TensorRng, seq: usize, d: usize, p: KvPrecision) -> (Matrix, Matrix, QuantizedKvHead) {
+        let keys = rng.gaussian(seq, d, 1.0);
+        let values = rng.gaussian(seq, d, 1.0);
+        let mut cache = QuantizedKvHead::new(p);
+        for t in 0..seq {
+            cache.append(keys.row(t), values.row(t));
+        }
+        (keys, values, cache)
+    }
+
+    #[test]
+    fn fp16_kernel_close_to_fp32_reference() {
+        let mut rng = TensorRng::seed(1);
+        let (_, _, cache) = fill_cache(&mut rng, 64, 32, KvPrecision::Int4);
+        let q: Vec<f32> = (0..32).map(|_| rng.normal(1.0)).collect();
+        let fast = decode_attention_fp16(&q, &cache);
+        let slow = decode_attention_fp32_reference(&q, &cache);
+        for (a, b) in fast.iter().zip(&slow) {
+            assert!((a - b).abs() < 0.02, "{} vs {}", a, b);
+        }
+    }
+
+    #[test]
+    fn kv4_attention_close_to_unquantized() {
+        let mut rng = TensorRng::seed(2);
+        let (keys, values, cache) = fill_cache(&mut rng, 128, 32, KvPrecision::Int4);
+        let q: Vec<f32> = (0..32).map(|_| rng.normal(1.0)).collect();
+        let quant_out = decode_attention_fp16(&q, &cache);
+        let exact = qserve_tensor::ops::attention_single(&q, &keys, &values);
+        let err: f32 = quant_out
+            .iter()
+            .zip(&exact)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f32::max);
+        assert!(err < 0.15, "KV4 attention error {} too large", err);
+    }
+
+    #[test]
+    fn kv8_more_accurate_than_kv4() {
+        let mut rng = TensorRng::seed(3);
+        let keys = rng.gaussian(64, 32, 1.0);
+        let values = rng.gaussian(64, 32, 1.0);
+        let q: Vec<f32> = (0..32).map(|_| rng.normal(1.0)).collect();
+        let exact = qserve_tensor::ops::attention_single(&q, &keys, &values);
+        let mut err = [0.0f64; 2];
+        for (slot, p) in [KvPrecision::Int8, KvPrecision::Int4].iter().enumerate() {
+            let mut cache = QuantizedKvHead::new(*p);
+            for t in 0..64 {
+                cache.append(keys.row(t), values.row(t));
+            }
+            let out = decode_attention_fp16(&q, &cache);
+            err[slot] = out
+                .iter()
+                .zip(&exact)
+                .map(|(a, b)| f64::from((a - b) * (a - b)))
+                .sum();
+        }
+        assert!(err[0] < err[1], "KV8 {} should beat KV4 {}", err[0], err[1]);
+    }
+
+    #[test]
+    fn attention_weights_sum_preserved() {
+        // Output must be a convex combination of values: with all-equal
+        // values the output equals that value regardless of quantized keys.
+        let mut cache = QuantizedKvHead::new(KvPrecision::Int4);
+        let mut rng = TensorRng::seed(4);
+        for _ in 0..16 {
+            let k: Vec<f32> = (0..8).map(|_| rng.normal(1.0)).collect();
+            cache.append(&k, &[3.0; 8]);
+        }
+        let q = vec![0.5; 8];
+        let out = decode_attention_fp16(&q, &cache);
+        for v in out {
+            assert!((v - 3.0).abs() < 0.01, "got {}", v);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty KV cache")]
+    fn rejects_empty_cache() {
+        decode_attention_fp16(&[0.0; 8], &QuantizedKvHead::new(KvPrecision::Int4));
+    }
+}

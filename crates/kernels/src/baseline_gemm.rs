@@ -1,0 +1,246 @@
+//! Emulations of the *baseline* quantized GEMM kernels the paper compares
+//! against (Figure 5b/5c): TensorRT-LLM-style W4A16 and Atom-style W4A4.
+//!
+//! These run the same dataflow as their CUDA counterparts:
+//!
+//! * **W4A16** (Figure 5b): UINT4 weights are unpacked and converted to FP16
+//!   *inside the main loop* (the CUDA-core work the paper indicts), then hit
+//!   FP16 tensor cores with FP32 accumulation.
+//! * **Atom W4A4** (Figure 5c): both operands are per-group INT4; each
+//!   group's INT32 partial sum is converted to FP32 and scaled *inside the
+//!   main loop*, accumulating in a second (FP32) register set — the
+//!   register-pressure pathology of §3.2.
+
+use crate::mma::dot_i8;
+use crate::pack::{lane_u8, pack_row, unpack_register};
+use qserve_quant::{Granularity, QuantSpec, QuantizedMatrix};
+use qserve_tensor::fp16::round_f16;
+use qserve_tensor::Matrix;
+
+/// TRT-LLM-style W4A16 GEMM: per-group UINT4 weights (`qw`), FP16
+/// activations. Weights are dequantized to FP16 in the main loop through
+/// the real packed representation; products accumulate in FP32 (HMMA).
+///
+/// `qw` must be UINT4 per-group quantized (`bits == 4`, unsigned).
+///
+/// # Panics
+/// Panics on shape/spec mismatch or a reduction not divisible by 32.
+pub fn gemm_w4a16(x: &Matrix, qw: &QuantizedMatrix) -> Matrix {
+    let spec = qw.spec();
+    assert_eq!(spec.bits, 4, "W4A16 needs 4-bit weights");
+    assert!(!spec.signed, "W4A16 weights are unsigned with zero points");
+    let (n, k) = qw.shape();
+    assert_eq!(x.cols(), k, "reduction dimension mismatch");
+    assert!(k % 32 == 0, "k must be a multiple of 32 for the packed path");
+
+    // FP16-round the activations once (they stream from HBM as halves).
+    let mut x16 = x.clone();
+    for v in x16.as_mut_slice() {
+        *v = round_f16(*v);
+    }
+
+    // Main loop: unpack each weight row via the packed path, dequantize to
+    // FP16, FMA against the activation row.
+    let mut out = Matrix::zeros(x.rows(), n);
+    let mut w_row16 = vec![0.0f32; k];
+    for j in 0..n {
+        let codes: Vec<u8> = (0..k).map(|p| qw.code(j, p) as u8).collect();
+        let packed = pack_row(&codes);
+        for (word_idx, word) in packed.iter().enumerate() {
+            let base = word_idx * 32;
+            for (r, &reg) in word.regs.iter().enumerate() {
+                let (low, high) = unpack_register(reg);
+                for l in 0..4 {
+                    for (lanes, off) in [(low, 4 * r + l), (high, 16 + 4 * r + l)] {
+                        let p = base + off;
+                        let params = qw.params_at(j, p);
+                        let dq = (f32::from(lane_u8(lanes, l)) - params.zero as f32)
+                            * round_f16(params.scale);
+                        w_row16[p] = round_f16(dq);
+                    }
+                }
+            }
+        }
+        for i in 0..x.rows() {
+            let xr = x16.row(i);
+            let mut acc = 0.0f32; // FP32 accumulator (HMMA semantics)
+            for (a, b) in xr.iter().zip(&w_row16) {
+                acc += round_f16(a * b);
+            }
+            out[(i, j)] = acc;
+        }
+    }
+    out
+}
+
+/// Quantizes activations per-group symmetric INT4 (Atom's activation path).
+pub fn quantize_activations_int4_group(x: &Matrix, group_size: usize) -> QuantizedMatrix {
+    QuantizedMatrix::quantize(
+        x,
+        QuantSpec::int4_symmetric(Granularity::PerGroup { group_size }),
+    )
+}
+
+/// Atom-style W4A4 per-group GEMM (Figure 5c): INT4×INT4 MMA per group,
+/// INT32→FP32 partial-sum conversion and scaling in the main loop, FP32
+/// accumulation across groups.
+///
+/// Both operands must be symmetric signed INT4 with the same group size.
+///
+/// # Panics
+/// Panics on shape/granularity mismatch.
+pub fn gemm_w4a4_atom(qx: &QuantizedMatrix, qw: &QuantizedMatrix) -> Matrix {
+    let (m, k) = qx.shape();
+    let (n, kw) = qw.shape();
+    assert_eq!(k, kw, "reduction dimension mismatch");
+    let g = match (qx.spec().granularity, qw.spec().granularity) {
+        (Granularity::PerGroup { group_size: ga }, Granularity::PerGroup { group_size: gb }) => {
+            assert_eq!(ga, gb, "operand group sizes must match");
+            ga
+        }
+        _ => panic!("Atom W4A4 requires per-group operands"),
+    };
+    assert!(qx.spec().signed && qw.spec().signed, "Atom uses symmetric INT4");
+
+    let mut out = Matrix::zeros(m, n);
+    let mut xg = vec![0i8; g];
+    let mut wg = vec![0i8; g];
+    for i in 0..m {
+        for j in 0..n {
+            let mut fp32_acc = 0.0f32; // the second register set of §3.2
+            for g0 in (0..k).step_by(g) {
+                for (off, slot) in xg.iter_mut().enumerate() {
+                    *slot = qx.code(i, g0 + off) as i8;
+                }
+                for (off, slot) in wg.iter_mut().enumerate() {
+                    *slot = qw.code(j, g0 + off) as i8;
+                }
+                // INT4 tensor-core group MMA → INT32 partial sum.
+                let partial = dot_i8(&xg, &wg);
+                // Main-loop dequantization: INT32 → FP32, two scale FMAs.
+                let sx = qx.params_at(i, g0).scale;
+                let sw = qw.params_at(j, g0).scale;
+                fp32_acc += partial as f32 * sx * sw;
+            }
+            out[(i, j)] = fp32_acc;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qserve_tensor::rng::TensorRng;
+    use qserve_tensor::stats::relative_error;
+
+    fn uint4_group(w: &Matrix, g: usize) -> QuantizedMatrix {
+        QuantizedMatrix::quantize(
+            w,
+            QuantSpec::uint4_asymmetric(Granularity::PerGroup { group_size: g }),
+        )
+    }
+
+    #[test]
+    fn w4a16_close_to_fp32_reference() {
+        let mut rng = TensorRng::seed(1);
+        let x = rng.gaussian(6, 128, 1.0);
+        let w = rng.gaussian(8, 128, 0.05);
+        let qw = uint4_group(&w, 32);
+        let y = gemm_w4a16(&x, &qw);
+        let y_ref = x.matmul_nt(&w);
+        let err = relative_error(&y_ref, &y);
+        assert!(err < 0.1, "relative error {}", err);
+    }
+
+    #[test]
+    fn w4a16_matches_dequantized_fp16_reference() {
+        // The kernel must equal an explicit dequantize-to-fp16-then-matmul
+        // within fp16 accumulation noise.
+        let mut rng = TensorRng::seed(2);
+        let x = rng.gaussian(3, 64, 1.0);
+        let w = rng.gaussian(4, 64, 0.05);
+        let qw = uint4_group(&w, 32);
+        let y = gemm_w4a16(&x, &qw);
+        let w_dq = qw.dequantize();
+        let y_ref = x.matmul_nt(&w_dq);
+        let err = relative_error(&y_ref, &y);
+        assert!(err < 0.01, "kernel vs dequant reference error {}", err);
+    }
+
+    #[test]
+    fn atom_w4a4_integer_part_exact() {
+        // The per-group INT32 partial sums must be exact; only the FP32
+        // scaling is approximate. Verify against an i64 reference.
+        let mut rng = TensorRng::seed(3);
+        let x = rng.gaussian(4, 64, 1.0);
+        let w = rng.gaussian(4, 64, 0.05);
+        let qx = quantize_activations_int4_group(&x, 32);
+        let qw = QuantizedMatrix::quantize(
+            &w,
+            QuantSpec::int4_symmetric(Granularity::PerGroup { group_size: 32 }),
+        );
+        let y = gemm_w4a4_atom(&qx, &qw);
+        for i in 0..4 {
+            for j in 0..4 {
+                let mut expect = 0.0f32;
+                for g0 in (0..64).step_by(32) {
+                    let mut acc = 0i64;
+                    for p in g0..g0 + 32 {
+                        acc += i64::from(qx.code(i, p)) * i64::from(qw.code(j, p));
+                    }
+                    expect += acc as f32
+                        * qx.params_at(i, g0).scale
+                        * qw.params_at(j, g0).scale;
+                }
+                assert_eq!(y[(i, j)], expect, "({}, {})", i, j);
+            }
+        }
+    }
+
+    #[test]
+    fn w4a4_less_accurate_than_w4a8() {
+        // The accuracy side of the W4A4 vs W4A8 trade (Table 2's columns).
+        use crate::gemm::{gemm_w4a8_per_group, quantize_activations_int8};
+        use qserve_core::progressive::ProgressiveWeight;
+        let mut rng = TensorRng::seed(4);
+        let x = rng.with_outlier_channels(16, 128, 1.0, &[7, 80], 8.0);
+        let w = rng.gaussian(16, 128, 0.05);
+        let y_ref = x.matmul_nt(&w);
+        let w4a4 = {
+            let qx = quantize_activations_int4_group(&x, 32);
+            let qw = QuantizedMatrix::quantize(
+                &w,
+                QuantSpec::int4_symmetric(Granularity::PerGroup { group_size: 32 }),
+            );
+            relative_error(&y_ref, &gemm_w4a4_atom(&qx, &qw))
+        };
+        let w4a8 = {
+            let qx = quantize_activations_int8(&x);
+            let qw = ProgressiveWeight::quantize(&w, 32);
+            relative_error(&y_ref, &gemm_w4a8_per_group(&qx, &qw))
+        };
+        assert!(w4a8 < w4a4, "W4A8 err {} must beat W4A4 err {}", w4a8, w4a4);
+    }
+
+    #[test]
+    #[should_panic(expected = "per-group operands")]
+    fn atom_rejects_per_tensor_operands() {
+        let x = QuantizedMatrix::quantize(
+            &Matrix::zeros(2, 32),
+            QuantSpec::int4_symmetric(Granularity::PerTensor),
+        );
+        let w = x.clone();
+        gemm_w4a4_atom(&x, &w);
+    }
+
+    #[test]
+    #[should_panic(expected = "4-bit weights")]
+    fn w4a16_rejects_int8_weights() {
+        let qw = QuantizedMatrix::quantize(
+            &Matrix::zeros(2, 32),
+            QuantSpec::int8_symmetric(Granularity::PerRow),
+        );
+        gemm_w4a16(&Matrix::zeros(2, 32), &qw);
+    }
+}

@@ -1,0 +1,368 @@
+//! The QServe W4A8 GEMM kernels (§5.2, Figure 5d).
+//!
+//! Both kernels keep the main loop free of floating point:
+//!
+//! * **per-channel** ([`gemm_w4a8_per_channel`], §5.2.2): UINT4 codes are fed
+//!   to the INT8 MMA *without* zero-point subtraction; Equation 12/13 moves
+//!   the `−z` term into the epilogue as `t_X ⊗ (z ⊙ s_W)` where
+//!   `t_X[i] = Σ_k Q_X[i][k]` is precomputed (fused into the preceding
+//!   memory-bound kernel in the real system).
+//! * **per-group** ([`gemm_w4a8_per_group`], §5.2.3): each group is
+//!   dequantized to signed INT8 intermediates *inside the main loop* with the
+//!   two-op register-level-parallel subtraction-after-multiplication
+//!   sequence, then hits the same INT8 MMA; only the level-0 FP16 channel
+//!   scales appear in the epilogue.
+//!
+//! Both are verified bit-exact against integer references; [`gemm_w8a8`]
+//! provides the TRT-LLM-style W8A8 baseline of Figure 5(a).
+
+use crate::mma::{mma_i8_accumulate, mma_i8_nt};
+use crate::pack::{lane_i8, unpack_register};
+use crate::rlp::{dequant_sub_after_mul, splat4};
+use qserve_core::progressive::{PerChannelW4, ProgressiveWeight};
+use qserve_quant::rounding::round_clamp;
+use qserve_tensor::fp16::round_f16;
+use qserve_tensor::Matrix;
+
+/// Per-token symmetric INT8 activations plus the precomputed token sums
+/// `t_X` the per-channel epilogue needs (Equation 13).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedActivations {
+    /// `m×k` signed codes, row-major.
+    pub codes: Vec<i8>,
+    /// Per-token FP16 scales, length `m`.
+    pub scales: Vec<f32>,
+    /// Token sums `t_X[i] = Σ_k codes[i][k]`, length `m` — "each W4A8 kernel
+    /// is always preceded by a memory-bound kernel, allowing us to fuse the
+    /// precomputation into it" (§5.2.2).
+    pub token_sums: Vec<i32>,
+    /// Tokens.
+    pub m: usize,
+    /// Input channels.
+    pub k: usize,
+}
+
+/// Quantizes activations per-token (symmetric INT8, FP16 scales) and
+/// precomputes `t_X`, as QServe's fused normalization/activation kernels do
+/// (§5.1).
+pub fn quantize_activations_int8(x: &Matrix) -> QuantizedActivations {
+    let (m, k) = x.shape();
+    let mut codes = vec![0i8; m * k];
+    let mut scales = Vec::with_capacity(m);
+    let mut token_sums = Vec::with_capacity(m);
+    for i in 0..m {
+        let row = x.row(i);
+        let am = row.iter().fold(0.0f32, |a, v| a.max(v.abs()));
+        let scale = if am == 0.0 { 1.0 } else { round_f16(am / 127.0) };
+        scales.push(scale);
+        let mut sum = 0i32;
+        for (j, &v) in row.iter().enumerate() {
+            let q = round_clamp(v / scale, -127, 127) as i8;
+            codes[i * k + j] = q;
+            sum += i32::from(q);
+        }
+        token_sums.push(sum);
+    }
+    QuantizedActivations {
+        codes,
+        scales,
+        token_sums,
+        m,
+        k,
+    }
+}
+
+/// W8A8 GEMM baseline (Figure 5a): INT8 MMA main loop, FP16 `s_W × s_X`
+/// outer-product scaling in the epilogue.
+///
+/// `w_codes` is `n×k` row-major, `w_scales` per output channel.
+///
+/// # Panics
+/// Panics on dimension mismatch.
+pub fn gemm_w8a8(x: &QuantizedActivations, w_codes: &[i8], w_scales: &[f32], n: usize) -> Matrix {
+    assert_eq!(w_codes.len(), n * x.k, "weight size mismatch");
+    assert_eq!(w_scales.len(), n, "weight scale count mismatch");
+    let acc = mma_i8_nt(&x.codes, w_codes, x.m, n, x.k);
+    let mut out = Matrix::zeros(x.m, n);
+    for i in 0..x.m {
+        for j in 0..n {
+            out[(i, j)] = acc[i * n + j] as f32 * x.scales[i] * w_scales[j];
+        }
+    }
+    out
+}
+
+/// Per-channel W4A8 GEMM (§5.2.2).
+///
+/// Main loop: UINT4 codes unpacked with the three-op RLP sequence and fed
+/// *as unsigned values* (all ≤ 15, so they fit in `i8`) straight into the
+/// INT8 MMA — no subtraction, no multiplication. Epilogue (Equation 12):
+///
+/// ```text
+/// O[i][j] = (acc[i][j] − t_X[i]·z[j]) · s_X[i] · s_W[j]
+/// ```
+///
+/// # Panics
+/// Panics if `x.k != w.k()`.
+pub fn gemm_w4a8_per_channel(x: &QuantizedActivations, w: &PerChannelW4) -> Matrix {
+    assert_eq!(x.k, w.k(), "reduction dimension mismatch");
+    let (n, k) = (w.n(), w.k());
+    // Main loop: unpack each weight row through the real packed
+    // representation (pack → 3-op unpack), collect i8 codes. Rows whose
+    // length is not a multiple of 32 are zero-padded into the final word
+    // (real deployments pad channel counts; padded lanes multiply against
+    // zero activations and contribute nothing).
+    let mut w_i8 = vec![0i8; n * k];
+    for j in 0..n {
+        let row_codes = &w.codes()[j * k..(j + 1) * k];
+        let base = j * k;
+        for (idx, chunk) in row_codes.chunks(32).enumerate() {
+            let mut padded = [0u8; 32];
+            padded[..chunk.len()].copy_from_slice(chunk);
+            let word = crate::pack::pack_interleaved(&padded);
+            let word_base = base + idx * 32;
+            for (r, &reg) in word.regs.iter().enumerate() {
+                let (low, high) = unpack_register(reg);
+                for l in 0..4 {
+                    for (lanes, off) in [(low, 4 * r + l), (high, 16 + 4 * r + l)] {
+                        if word_base + off < base + k {
+                            w_i8[word_base + off] = lane_i8(lanes, l);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let acc = mma_i8_nt(&x.codes, &w_i8, x.m, n, k);
+    // Epilogue: subtraction after multiplication, fused zero-point term.
+    let mut out = Matrix::zeros(x.m, n);
+    for i in 0..x.m {
+        for j in 0..n {
+            let corrected = acc[i * n + j] - x.token_sums[i] * i32::from(w.zeros()[j]);
+            out[(i, j)] = corrected as f32 * x.scales[i] * w.scales()[j];
+        }
+    }
+    out
+}
+
+/// Per-group W4A8 GEMM (§5.2.3).
+///
+/// Main loop, per 4-lane register: `vmul` by the u8 group scale, `vadd4`
+/// with the packed `−z·s` constant (subtraction **after** multiplication —
+/// safe because progressive quantization keeps every lane in `[-128, 127]`),
+/// yielding signed INT8 intermediates for the MMA. Epilogue: level-0 FP16
+/// channel scales × per-token scales.
+///
+/// # Panics
+/// Panics if dimensions mismatch or the group size is not a multiple of 4
+/// (one dequant register spans 4 consecutive input channels). Reductions
+/// that are not multiples of 32 are zero-padded into the final slice.
+pub fn gemm_w4a8_per_group(x: &QuantizedActivations, w: &ProgressiveWeight) -> Matrix {
+    assert_eq!(x.k, w.k(), "reduction dimension mismatch");
+    let (n, k, g) = (w.n(), w.k(), w.group_size());
+    assert!(g % 4 == 0 || g == k, "group size must be a multiple of 4 for RLP");
+    let groups_per_row = k / g;
+
+    let mut acc = vec![0i32; x.m * n];
+    // Process the reduction in 32-channel slices, mirroring the main loop.
+    let mut w_slice = vec![0i8; n * 32];
+    let mut x_slice = vec![0i8; x.m * 32];
+    for k0 in (0..k).step_by(32) {
+        let valid = (k - k0).min(32);
+        // Dequantize this slice of every weight row with real RLP registers.
+        for j in 0..n {
+            let mut padded = [0u8; 32];
+            padded[..valid].copy_from_slice(&w.codes()[j * k + k0..j * k + k0 + valid]);
+            let word = crate::pack::pack_interleaved(&padded);
+            for (r, &reg) in word.regs.iter().enumerate() {
+                let (low, high) = unpack_register(reg);
+                for (reg_lanes, base_off) in [(low, 4 * r), (high, 16 + 4 * r)] {
+                    // Padded lanes pair with zero activations; clamp their
+                    // group lookup to the row's last group.
+                    let k_abs = (k0 + base_off).min(k - 1);
+                    let p = w.group_params()[j * groups_per_row + k_abs / g];
+                    let zs = u32::from(p.zero) * u32::from(p.scale);
+                    debug_assert!(zs <= 255);
+                    let neg_zs = splat4((zs as u8 as i8).wrapping_neg() as u8);
+                    let dq = dequant_sub_after_mul(reg_lanes, p.scale, neg_zs);
+                    for l in 0..4 {
+                        w_slice[j * 32 + base_off + l] = lane_i8(dq, l);
+                    }
+                }
+            }
+        }
+        for i in 0..x.m {
+            let dst = &mut x_slice[i * 32..(i + 1) * 32];
+            dst.fill(0);
+            dst[..valid].copy_from_slice(&x.codes[i * k + k0..i * k + k0 + valid]);
+        }
+        mma_i8_accumulate(&mut acc, &x_slice, &w_slice, x.m, n, 32);
+    }
+
+    let mut out = Matrix::zeros(x.m, n);
+    for i in 0..x.m {
+        for j in 0..n {
+            out[(i, j)] = acc[i * n + j] as f32 * x.scales[i] * w.channel_scales()[j];
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qserve_tensor::rng::TensorRng;
+    use qserve_tensor::stats::relative_error;
+
+    fn acts(rng: &mut TensorRng, m: usize, k: usize) -> (Matrix, QuantizedActivations) {
+        let x = rng.gaussian(m, k, 1.0);
+        let q = quantize_activations_int8(&x);
+        (x, q)
+    }
+
+    #[test]
+    fn activation_quant_round_trip() {
+        let mut rng = TensorRng::seed(1);
+        let (x, q) = acts(&mut rng, 4, 64);
+        for i in 0..4 {
+            for j in 0..64 {
+                let back = f32::from(q.codes[i * 64 + j]) * q.scales[i];
+                assert!((back - x[(i, j)]).abs() <= q.scales[i], "within one step");
+            }
+        }
+    }
+
+    #[test]
+    fn token_sums_match_codes() {
+        let mut rng = TensorRng::seed(2);
+        let (_, q) = acts(&mut rng, 3, 32);
+        for i in 0..3 {
+            let s: i32 = q.codes[i * 32..(i + 1) * 32].iter().map(|&c| i32::from(c)).sum();
+            assert_eq!(q.token_sums[i], s);
+        }
+    }
+
+    #[test]
+    fn w8a8_close_to_fp32_reference() {
+        let mut rng = TensorRng::seed(3);
+        let (x, q) = acts(&mut rng, 8, 64);
+        let w = rng.gaussian(16, 64, 0.1);
+        // Quantize weights per-channel INT8.
+        let mut codes = vec![0i8; 16 * 64];
+        let mut scales = vec![0.0f32; 16];
+        for j in 0..16 {
+            let am = w.row(j).iter().fold(0.0f32, |a, v| a.max(v.abs()));
+            scales[j] = am / 127.0;
+            for (p, &v) in w.row(j).iter().enumerate() {
+                codes[j * 64 + p] = round_clamp(v / scales[j], -127, 127) as i8;
+            }
+        }
+        let y = gemm_w8a8(&q, &codes, &scales, 16);
+        let y_ref = x.matmul_nt(&w);
+        assert!(relative_error(&y_ref, &y) < 0.02);
+    }
+
+    /// The per-channel epilogue zero-point fusion must be *exactly* the
+    /// dequantize-then-matmul result (integer identity, Equation 12).
+    #[test]
+    fn per_channel_epilogue_fusion_exact() {
+        let mut rng = TensorRng::seed(4);
+        let (_, q) = acts(&mut rng, 4, 64);
+        let w = rng.gaussian(8, 64, 0.1);
+        let pw = PerChannelW4::quantize(&w);
+        let y_kernel = gemm_w4a8_per_channel(&q, &pw);
+        // Reference: explicit integer dequant (q_w − z) then integer GEMM.
+        for i in 0..4 {
+            for j in 0..8 {
+                let mut acc = 0i64;
+                for p in 0..64 {
+                    let qw = i64::from(pw.codes()[j * 64 + p]) - i64::from(pw.zeros()[j]);
+                    acc += i64::from(q.codes[i * 64 + p]) * qw;
+                }
+                let expect = acc as f32 * q.scales[i] * pw.scales()[j];
+                assert_eq!(y_kernel[(i, j)], expect, "({}, {})", i, j);
+            }
+        }
+    }
+
+    /// The per-group RLP main loop must be exactly the level-2 scalar
+    /// dequantization followed by integer GEMM.
+    #[test]
+    fn per_group_rlp_main_loop_exact() {
+        let mut rng = TensorRng::seed(5);
+        let (_, q) = acts(&mut rng, 4, 128);
+        let w = rng.heavy_tailed(8, 128, 0.1, 0.05, 6.0);
+        let pw = ProgressiveWeight::quantize(&w, 32);
+        let y_kernel = gemm_w4a8_per_group(&q, &pw);
+        let inter = pw.intermediate_int8();
+        for i in 0..4 {
+            for j in 0..8 {
+                let mut acc = 0i64;
+                for p in 0..128 {
+                    acc += i64::from(q.codes[i * 128 + p]) * i64::from(inter[j * 128 + p]);
+                }
+                let expect = acc as f32 * q.scales[i] * pw.channel_scales()[j];
+                assert_eq!(y_kernel[(i, j)], expect, "({}, {})", i, j);
+            }
+        }
+    }
+
+    #[test]
+    fn per_group_close_to_fp32_reference() {
+        let mut rng = TensorRng::seed(6);
+        let (x, q) = acts(&mut rng, 8, 256);
+        let w = rng.gaussian(16, 256, 0.05);
+        let pw = ProgressiveWeight::quantize(&w, 64);
+        let y = gemm_w4a8_per_group(&q, &pw);
+        let y_ref = x.matmul_nt(&w);
+        assert!(
+            relative_error(&y_ref, &y) < 0.15,
+            "got {}",
+            relative_error(&y_ref, &y)
+        );
+    }
+
+    #[test]
+    fn per_channel_close_to_fp32_reference() {
+        let mut rng = TensorRng::seed(7);
+        let (x, q) = acts(&mut rng, 8, 256);
+        let w = rng.gaussian(16, 256, 0.05);
+        let pw = PerChannelW4::quantize(&w);
+        let y = gemm_w4a8_per_channel(&q, &pw);
+        let y_ref = x.matmul_nt(&w);
+        assert!(
+            relative_error(&y_ref, &y) < 0.3,
+            "got {}",
+            relative_error(&y_ref, &y)
+        );
+    }
+
+    #[test]
+    fn per_group_beats_per_channel_accuracy() {
+        let mut rng = TensorRng::seed(8);
+        let (x, q) = acts(&mut rng, 8, 256);
+        let w = rng.heavy_tailed(16, 256, 0.05, 0.03, 8.0);
+        let y_ref = x.matmul_nt(&w);
+        let e_group = relative_error(&y_ref, &gemm_w4a8_per_group(&q, &ProgressiveWeight::quantize(&w, 64)));
+        let e_chan = relative_error(&y_ref, &gemm_w4a8_per_channel(&q, &PerChannelW4::quantize(&w)));
+        assert!(e_group < e_chan, "group {} should beat channel {}", e_group, e_chan);
+    }
+
+    #[test]
+    fn zero_activation_rows_give_zero_output() {
+        let x = Matrix::zeros(2, 64);
+        let q = quantize_activations_int8(&x);
+        let mut rng = TensorRng::seed(9);
+        let w = rng.gaussian(4, 64, 0.1);
+        let y = gemm_w4a8_per_group(&q, &ProgressiveWeight::quantize(&w, 32));
+        assert!(y.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "reduction dimension mismatch")]
+    fn rejects_k_mismatch() {
+        let q = quantize_activations_int8(&Matrix::zeros(1, 32));
+        let w = ProgressiveWeight::quantize(&Matrix::zeros(4, 64), 32);
+        gemm_w4a8_per_group(&q, &w);
+    }
+}

@@ -1,0 +1,127 @@
+//! INT8 tensor-core matrix-multiply-accumulate emulation.
+//!
+//! Ampere's `mma.sync.aligned.m16n8k32.s32.s8.s8.s32` consumes signed 8-bit
+//! fragments and accumulates exactly into signed 32-bit integers. Integer MMA
+//! is associative and exact, so a faithful emulation only needs the same
+//! dtypes: `i8 × i8 → i32` with wrapping-free accumulation (overflow is
+//! impossible for LLM-sized reductions: `k ≤ 2²⁴` elements × max product
+//! `2¹⁴` < `2³¹`).
+
+/// Exact dot product of two signed 8-bit vectors into i32, the unit of work
+/// one tensor-core MMA performs per output element.
+///
+/// # Panics
+/// Debug-panics on accumulator overflow, which cannot happen for
+/// `len < 2^16` (the paper's k dimensions are ≤ 2^15).
+#[inline]
+pub fn dot_i8(a: &[i8], b: &[i8]) -> i32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = 0i32;
+    for (&x, &y) in a.iter().zip(b) {
+        acc = acc
+            .checked_add(i32::from(x) * i32::from(y))
+            .expect("i32 MMA accumulator overflow");
+    }
+    acc
+}
+
+/// An `m×n×k` INT8 GEMM producing INT32 partial sums — the main loop of
+/// Figure 5(a)/(d) with all iterations unrolled. `a` is `m×k` row-major,
+/// `b` is `n×k` row-major (output-channel rows, as in `Y = X Wᵀ`).
+///
+/// # Panics
+/// Panics if slice lengths disagree with the dimensions.
+pub fn mma_i8_nt(a: &[i8], b: &[i8], m: usize, n: usize, k: usize) -> Vec<i32> {
+    assert_eq!(a.len(), m * k, "A size mismatch");
+    assert_eq!(b.len(), n * k, "B size mismatch");
+    let mut out = vec![0i32; m * n];
+    for i in 0..m {
+        let ar = &a[i * k..(i + 1) * k];
+        for j in 0..n {
+            let br = &b[j * k..(j + 1) * k];
+            out[i * n + j] = dot_i8(ar, br);
+        }
+    }
+    out
+}
+
+/// Tile-level MMA: accumulates `c += a·bᵀ` for one `k`-slice, mirroring how
+/// the GPU main loop accumulates one tile per iteration. Used by the W4A8
+/// kernels which dequantize one group at a time.
+pub fn mma_i8_accumulate(c: &mut [i32], a: &[i8], b: &[i8], m: usize, n: usize, k: usize) {
+    assert_eq!(c.len(), m * n, "C size mismatch");
+    assert_eq!(a.len(), m * k, "A size mismatch");
+    assert_eq!(b.len(), n * k, "B size mismatch");
+    for i in 0..m {
+        let ar = &a[i * k..(i + 1) * k];
+        for j in 0..n {
+            let br = &b[j * k..(j + 1) * k];
+            c[i * n + j] += dot_i8(ar, br);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn dot_known_values() {
+        assert_eq!(dot_i8(&[1, 2, 3], &[4, 5, 6]), 32);
+        assert_eq!(dot_i8(&[-128; 4], &[-128; 4]), 4 * 16384);
+        assert_eq!(dot_i8(&[], &[]), 0);
+    }
+
+    #[test]
+    fn gemm_matches_naive() {
+        let a: Vec<i8> = (0..6).map(|v| v as i8).collect(); // 2x3
+        let b: Vec<i8> = (0..12).map(|v| (v as i8) - 6).collect(); // 4x3
+        let c = mma_i8_nt(&a, &b, 2, 4, 3);
+        for i in 0..2 {
+            for j in 0..4 {
+                let mut expect = 0i32;
+                for p in 0..3 {
+                    expect += i32::from(a[i * 3 + p]) * i32::from(b[j * 3 + p]);
+                }
+                assert_eq!(c[i * 4 + j], expect);
+            }
+        }
+    }
+
+    #[test]
+    fn accumulate_equals_single_shot() {
+        // Splitting the reduction into two k-slices must give identical
+        // results (integer MMA is exact).
+        let a: Vec<i8> = (0..32).map(|v| ((v * 7) % 256) as u8 as i8).collect(); // 2x16
+        let b: Vec<i8> = (0..48).map(|v| ((v * 13) % 256) as u8 as i8).collect(); // 3x16
+        let full = mma_i8_nt(&a, &b, 2, 3, 16);
+        let mut c = vec![0i32; 6];
+        // Slice k into [0,8) and [8,16).
+        let a0: Vec<i8> = (0..2).flat_map(|i| a[i * 16..i * 16 + 8].to_vec()).collect();
+        let a1: Vec<i8> = (0..2).flat_map(|i| a[i * 16 + 8..(i + 1) * 16].to_vec()).collect();
+        let b0: Vec<i8> = (0..3).flat_map(|j| b[j * 16..j * 16 + 8].to_vec()).collect();
+        let b1: Vec<i8> = (0..3).flat_map(|j| b[j * 16 + 8..(j + 1) * 16].to_vec()).collect();
+        mma_i8_accumulate(&mut c, &a0, &b0, 2, 3, 8);
+        mma_i8_accumulate(&mut c, &a1, &b1, 2, 3, 8);
+        assert_eq!(c, full);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_gemm_matches_i64_reference(
+            a in proptest::collection::vec(-128i8..=127, 3 * 8),
+            b in proptest::collection::vec(-128i8..=127, 2 * 8),
+        ) {
+            let c = mma_i8_nt(&a, &b, 3, 2, 8);
+            for i in 0..3 {
+                for j in 0..2 {
+                    let expect: i64 = (0..8)
+                        .map(|p| i64::from(a[i * 8 + p]) * i64::from(b[j * 8 + p]))
+                        .sum();
+                    prop_assert_eq!(i64::from(c[i * 2 + j]), expect);
+                }
+            }
+        }
+    }
+}

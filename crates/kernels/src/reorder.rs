@@ -1,0 +1,199 @@
+//! Compute-aware weight reordering (§5.2.1, Figure 12).
+//!
+//! `ldmatrix` distributes *bytes*, not *elements*, so it cannot feed INT8
+//! tensor cores from INT4 storage: each thread would receive its neighbour's
+//! weights (Figure 12b). QServe sidesteps the shuffle entirely by storing
+//! weights **in the exact order threads consume them**.
+//!
+//! The GEMM is tiled into 32×32 blocks (32 output channels × 32 input
+//! channels). Within a tile, warp thread `t` (0..32) computes with:
+//!
+//! * output channels `{t/4 + 8·j : j ∈ 0..4}` — e.g. thread 0 owns output
+//!   channels 0, 8, 16, 24 (the `m16n8k32` fragment layout);
+//! * input channels `{4·(t%4) .. 4·(t%4)+4} ∪ {16 + 4·(t%4) .. 16+4·(t%4)+4}`
+//!   — e.g. thread 0 owns input channels 0-3 and 16-19.
+//!
+//! That is 4 × 8 = 32 UINT4 weights = one 128-bit word per thread per tile,
+//! stored contiguously (thread 0's word, then thread 1's, …) and further
+//! interleaved `w0,w16,w1,w17,…` within the word for the three-op unpack
+//! ([`crate::pack`]). Reordering happens offline; the kernel's inner loop
+//! does a single pointer increment per 128-bit load.
+
+use crate::pack::{pack_interleaved, unpack_interleaved, PackedInt4};
+
+/// Tile edge: 32 output channels × 32 input channels.
+pub const TILE: usize = 32;
+
+/// A weight tensor stored in compute order: for each 32×32 tile (row-major
+/// over tiles), 32 threads × one [`PackedInt4`] word each.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReorderedWeight {
+    n: usize,
+    k: usize,
+    words: Vec<PackedInt4>,
+}
+
+/// The `(output_channel, input_channel)` pairs thread `t` consumes within a
+/// tile, in the order they appear in its packed word **before** the
+/// `w0,w16,…` interleave: index `a·8 + b` is `(oc[a], ic[b])` with
+/// `oc[a] = t/4 + 8a` and `ic[b]` walking 0-3 then 16-19 (shifted by lane).
+pub fn thread_tile_elements(t: usize) -> [(usize, usize); 32] {
+    assert!(t < TILE, "warp has 32 threads");
+    let oc_base = t / 4;
+    let ic_lane = t % 4;
+    let mut out = [(0usize, 0usize); 32];
+    for a in 0..4 {
+        let oc = oc_base + 8 * a;
+        for b in 0..8 {
+            // First four: ic 4·lane .. 4·lane+4; next four: +16.
+            let ic = if b < 4 {
+                4 * ic_lane + b
+            } else {
+                16 + 4 * ic_lane + (b - 4)
+            };
+            out[a * 8 + b] = (oc, ic);
+        }
+    }
+    out
+}
+
+impl ReorderedWeight {
+    /// Reorders an `n×k` UINT4 weight (codes `0..=15`, row-major) into
+    /// compute order.
+    ///
+    /// # Panics
+    /// Panics unless `n` and `k` are multiples of 32 (pad upstream — real
+    /// LLM channel counts always are).
+    pub fn from_codes(codes: &[u8], n: usize, k: usize) -> Self {
+        assert_eq!(codes.len(), n * k, "code length mismatch");
+        assert!(n % TILE == 0 && k % TILE == 0, "n and k must be multiples of 32");
+        let tiles_n = n / TILE;
+        let tiles_k = k / TILE;
+        let mut words = Vec::with_capacity(tiles_n * tiles_k * TILE);
+        for tn in 0..tiles_n {
+            for tk in 0..tiles_k {
+                for t in 0..TILE {
+                    let mut w = [0u8; 32];
+                    for (slot, (oc, ic)) in thread_tile_elements(t).iter().enumerate() {
+                        let row = tn * TILE + oc;
+                        let col = tk * TILE + ic;
+                        w[slot] = codes[row * k + col];
+                    }
+                    words.push(pack_interleaved(&w));
+                }
+            }
+        }
+        Self { n, k, words }
+    }
+
+    /// Output channels.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Input channels.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The packed words in storage (compute) order.
+    pub fn words(&self) -> &[PackedInt4] {
+        &self.words
+    }
+
+    /// The word index for `(tile_n, tile_k, thread)` — the "pointer
+    /// arithmetic" left in the kernel is exactly one linear index.
+    pub fn word_index(&self, tile_n: usize, tile_k: usize, thread: usize) -> usize {
+        let tiles_k = self.k / TILE;
+        (tile_n * tiles_k + tile_k) * TILE + thread
+    }
+
+    /// Inverts the reorder, recovering the row-major `n×k` codes.
+    pub fn to_codes(&self) -> Vec<u8> {
+        let mut codes = vec![0u8; self.n * self.k];
+        let tiles_k = self.k / TILE;
+        for tn in 0..self.n / TILE {
+            for tk in 0..tiles_k {
+                for t in 0..TILE {
+                    let word = &self.words[self.word_index(tn, tk, t)];
+                    let unpacked = unpack_interleaved(word);
+                    for (slot, (oc, ic)) in thread_tile_elements(t).iter().enumerate() {
+                        codes[(tn * TILE + oc) * self.k + (tk * TILE + ic)] = unpacked[slot];
+                    }
+                }
+            }
+        }
+        codes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn thread_zero_layout_matches_paper() {
+        let elems = thread_tile_elements(0);
+        // "thread 0 utilizes input channels 0-3 and 16-19 for output
+        // channels 0, 8, 16, and 24"
+        assert_eq!(elems[0], (0, 0));
+        assert_eq!(elems[3], (0, 3));
+        assert_eq!(elems[4], (0, 16));
+        assert_eq!(elems[7], (0, 19));
+        assert_eq!(elems[8], (8, 0));
+        assert_eq!(elems[24], (24, 0));
+        assert_eq!(elems[31], (24, 19));
+    }
+
+    #[test]
+    fn threads_cover_tile_exactly_once() {
+        let mut seen = vec![false; TILE * TILE];
+        for t in 0..TILE {
+            for (oc, ic) in thread_tile_elements(t) {
+                assert!(oc < TILE && ic < TILE);
+                assert!(!seen[oc * TILE + ic], "duplicate ({}, {})", oc, ic);
+                seen[oc * TILE + ic] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "every tile element covered");
+    }
+
+    #[test]
+    fn reorder_round_trips() {
+        let n = 64;
+        let k = 96;
+        let codes: Vec<u8> = (0..n * k).map(|i| ((i * 31) % 16) as u8).collect();
+        let r = ReorderedWeight::from_codes(&codes, n, k);
+        assert_eq!(r.to_codes(), codes);
+    }
+
+    #[test]
+    fn word_count_matches_tiles() {
+        let r = ReorderedWeight::from_codes(&vec![0u8; 64 * 64], 64, 64);
+        assert_eq!(r.words().len(), 2 * 2 * 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiples of 32")]
+    fn rejects_unaligned_dims() {
+        ReorderedWeight::from_codes(&vec![0u8; 40 * 32], 40, 32);
+    }
+
+    #[test]
+    fn word_index_is_sequential_per_tile() {
+        let r = ReorderedWeight::from_codes(&vec![0u8; 64 * 64], 64, 64);
+        // Threads within one tile occupy consecutive words — the kernel's
+        // pointer arithmetic degenerates to `++`.
+        assert_eq!(r.word_index(0, 0, 0) + 1, r.word_index(0, 0, 1));
+        assert_eq!(r.word_index(0, 0, 31) + 1, r.word_index(0, 1, 0));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_reorder_bijective(codes in proptest::collection::vec(0u8..16, 32 * 64)) {
+            let r = ReorderedWeight::from_codes(&codes, 32, 64);
+            prop_assert_eq!(r.to_codes(), codes);
+        }
+    }
+}

@@ -1,0 +1,278 @@
+//! Reference forward pass (§2.1's block structure: RMSNorm → GQA attention
+//! with RoPE → residual → RMSNorm → SwiGLU FFN → residual).
+
+use crate::synth::SyntheticModel;
+use qserve_core::kv_quant::{dequantize_token_row, quantize_token_row, KvPrecision};
+use qserve_core::pipeline::BlockWeights;
+use qserve_tensor::ops::{attention_causal, rmsnorm, rope_matrix, swiglu};
+use qserve_tensor::Matrix;
+
+/// Fake-quantizes a K or V activation per token and per head, as the KV
+/// cache write path would (§5.1's dynamic per-head quantization).
+pub fn fake_quant_kv(x: &Matrix, head_dim: usize, precision: KvPrecision) -> Matrix {
+    if precision == KvPrecision::Fp16 {
+        return x.clone();
+    }
+    let mut out = Matrix::zeros(x.rows(), x.cols());
+    for t in 0..x.rows() {
+        let q = quantize_token_row(x.row(t), head_dim, precision);
+        out.row_mut(t).copy_from_slice(&dequantize_token_row(&q));
+    }
+    out
+}
+
+/// Runs one transformer block on a `tokens × hidden` input (prefill-style,
+/// causal). Returns the block output (with residuals applied).
+pub fn block_forward(
+    x: &Matrix,
+    block: &BlockWeights,
+    attn_norm: &[f32],
+    ffn_norm: &[f32],
+    rope_base: f32,
+) -> Matrix {
+    block_forward_kv(x, block, attn_norm, ffn_norm, rope_base, KvPrecision::Fp16)
+}
+
+/// How GEMM-input activations are treated during a forward pass.
+#[derive(Debug, Clone)]
+pub enum ActQuant {
+    /// Full precision (the FP16 reference, and W4A16 deployments).
+    None,
+    /// Per-token symmetric integer quantization at every GEMM input —
+    /// QServe's A8 deployment at `bits = 8` ("activation quantization
+    /// happens in normalization and activation layers … a separate
+    /// quantization node is inserted before output projection", §5.1),
+    /// Atom/QuaRot's A4 at `bits = 4`. Block inputs are quantized in the
+    /// deployed frame: rotated first when rotation is enabled.
+    PerToken {
+        /// Activation bit width (8 for W4A8, 4 for W4A4).
+        bits: u8,
+        /// The block-input rotation (from `QuantizedBlock::input_rotation`).
+        rotation: Option<Matrix>,
+    },
+}
+
+impl ActQuant {
+    /// QServe's INT8 activation path.
+    pub fn int8(rotation: Option<Matrix>) -> Self {
+        ActQuant::PerToken { bits: 8, rotation }
+    }
+
+    fn spec(bits: u8) -> qserve_quant::QuantSpec {
+        use qserve_quant::{Granularity, QuantSpec};
+        QuantSpec {
+            bits,
+            symmetric: true,
+            signed: true,
+            granularity: Granularity::PerRow,
+            range_clamp: None,
+        }
+    }
+
+    /// Fake-quantizes a *block-input* activation (rotation-aware).
+    fn block_input(&self, x: &Matrix) -> Matrix {
+        use qserve_quant::matrixq::rtn_fake_quant;
+        match self {
+            ActQuant::None => x.clone(),
+            ActQuant::PerToken { bits, rotation } => {
+                let spec = Self::spec(*bits);
+                match rotation {
+                    Some(q) => rtn_fake_quant(&x.matmul_nn(q), spec).matmul_nt(q),
+                    None => rtn_fake_quant(x, spec),
+                }
+            }
+        }
+    }
+
+    /// Fake-quantizes an intermediate (output-module input) activation.
+    fn intermediate(&self, x: &Matrix) -> Matrix {
+        use qserve_quant::matrixq::rtn_fake_quant;
+        match self {
+            ActQuant::None => x.clone(),
+            ActQuant::PerToken { bits, .. } => rtn_fake_quant(x, Self::spec(*bits)),
+        }
+    }
+}
+
+/// [`block_forward`] with the KV activations squeezed through a quantized
+/// KV cache at the given precision (the accuracy cost KV4 incurs).
+pub fn block_forward_kv(
+    x: &Matrix,
+    block: &BlockWeights,
+    attn_norm: &[f32],
+    ffn_norm: &[f32],
+    rope_base: f32,
+    kv_precision: KvPrecision,
+) -> Matrix {
+    block_forward_full(
+        x,
+        block,
+        attn_norm,
+        ffn_norm,
+        rope_base,
+        kv_precision,
+        &ActQuant::None,
+    )
+}
+
+/// The fully-featured block forward: KV-cache precision plus deployment-
+/// faithful activation quantization.
+pub fn block_forward_full(
+    x: &Matrix,
+    block: &BlockWeights,
+    attn_norm: &[f32],
+    ffn_norm: &[f32],
+    rope_base: f32,
+    kv_precision: KvPrecision,
+    act_quant: &ActQuant,
+) -> Matrix {
+    let d = block.head_dim;
+    let hidden = block.wq.cols();
+    let heads = block.wq.rows() / d;
+    let kv_heads = block.wk.rows() / d;
+    let group = heads / kv_heads;
+
+    // ---- Attention ----
+    let normed = act_quant.block_input(&rmsnorm(x, attn_norm, 1e-5));
+    let mut q = normed.matmul_nt(&block.wq);
+    let mut k = normed.matmul_nt(&block.wk);
+    let v = normed.matmul_nt(&block.wv);
+    rope_matrix(&mut q, d, 0, rope_base);
+    rope_matrix(&mut k, d, 0, rope_base);
+    let k = fake_quant_kv(&k, d, kv_precision);
+    let v = fake_quant_kv(&v, d, kv_precision);
+
+    let tokens = x.rows();
+    let mut attn_out = Matrix::zeros(tokens, heads * d);
+    for h in 0..heads {
+        let kv_h = h / group;
+        let qh = q.slice_cols(h * d, (h + 1) * d);
+        let kh = k.slice_cols(kv_h * d, (kv_h + 1) * d);
+        let vh = v.slice_cols(kv_h * d, (kv_h + 1) * d);
+        let oh = attention_causal(&qh, &kh, &vh);
+        for t in 0..tokens {
+            attn_out.row_mut(t)[h * d..(h + 1) * d].copy_from_slice(oh.row(t));
+        }
+    }
+    let attn_out = act_quant.intermediate(&attn_out);
+    let x = x.add(&attn_out.matmul_nt(&block.wo));
+
+    // ---- FFN ----
+    let normed = act_quant.block_input(&rmsnorm(&x, ffn_norm, 1e-5));
+    let gate = normed.matmul_nt(&block.w_gate);
+    let up = normed.matmul_nt(&block.w_up);
+    let inter = act_quant.intermediate(&swiglu(&gate, &up));
+    debug_assert_eq!(inter.cols(), block.w_down.cols());
+    debug_assert_eq!(x.cols(), hidden);
+    x.add(&inter.matmul_nt(&block.w_down))
+}
+
+/// Full-model forward: token ids → logits (`tokens × vocab`). The LM head is
+/// tied to the embedding table.
+pub fn forward_logits(model: &SyntheticModel, tokens: &[u32]) -> Matrix {
+    forward_logits_kv(model, tokens, KvPrecision::Fp16)
+}
+
+/// [`forward_logits`] with KV-cache fake quantization at every layer.
+pub fn forward_logits_kv(
+    model: &SyntheticModel,
+    tokens: &[u32],
+    kv_precision: KvPrecision,
+) -> Matrix {
+    let h = model.config.hidden;
+    let mut x = Matrix::zeros(tokens.len(), h);
+    for (t, &id) in tokens.iter().enumerate() {
+        x.row_mut(t)
+            .copy_from_slice(model.embedding.row(id as usize % model.config.vocab));
+    }
+    for (block, (attn_norm, ffn_norm)) in model.blocks.iter().zip(&model.norms) {
+        x = block_forward_kv(&x, block, attn_norm, ffn_norm, model.rope_base, kv_precision);
+    }
+    let x = rmsnorm(&x, &model.final_norm, 1e-5);
+    // Temperature 1/√hidden keeps the random model's logit range sane so
+    // pseudo-perplexity differences are numerically meaningful.
+    x.matmul_nt(&model.embedding)
+        .scale(1.0 / (h as f32).sqrt())
+}
+
+/// Collects the *block inputs* at every layer for calibration — what
+/// `qserve_core::pipeline::quantize_block` consumes.
+pub fn collect_calibration(model: &SyntheticModel, tokens: &[u32]) -> Vec<Matrix> {
+    let h = model.config.hidden;
+    let mut x = Matrix::zeros(tokens.len(), h);
+    for (t, &id) in tokens.iter().enumerate() {
+        x.row_mut(t)
+            .copy_from_slice(model.embedding.row(id as usize % model.config.vocab));
+    }
+    let mut calib = Vec::with_capacity(model.blocks.len());
+    for (block, (attn_norm, ffn_norm)) in model.blocks.iter().zip(&model.norms) {
+        calib.push(x.clone());
+        x = block_forward(&x, block, attn_norm, ffn_norm, model.rope_base);
+    }
+    calib
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::SyntheticModel;
+    use qserve_tensor::rng::TensorRng;
+
+    #[test]
+    fn forward_produces_finite_logits() {
+        let m = SyntheticModel::small(2);
+        let mut rng = TensorRng::seed(1);
+        let tokens = rng.token_sequence(16, m.config.vocab);
+        let logits = forward_logits(&m, &tokens);
+        assert_eq!(logits.shape(), (16, m.config.vocab));
+        assert!(logits.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn forward_is_deterministic() {
+        let m = SyntheticModel::small(2);
+        let tokens = vec![1, 2, 3, 4];
+        assert_eq!(forward_logits(&m, &tokens), forward_logits(&m, &tokens));
+    }
+
+    #[test]
+    fn causality_prefix_invariance() {
+        // Logits at position t must not depend on tokens after t.
+        let m = SyntheticModel::small(2);
+        let t1 = vec![5, 6, 7, 8, 9];
+        let t2 = vec![5, 6, 7, 1, 2];
+        let l1 = forward_logits(&m, &t1);
+        let l2 = forward_logits(&m, &t2);
+        for (a, b) in l1.row(2).iter().zip(l2.row(2)) {
+            assert!((a - b).abs() < 1e-4, "position 2 must be prefix-determined");
+        }
+    }
+
+    #[test]
+    fn calibration_layers_match_block_count() {
+        let m = SyntheticModel::small(3);
+        let calib = collect_calibration(&m, &[1, 2, 3]);
+        assert_eq!(calib.len(), 3);
+        assert_eq!(calib[0].shape(), (3, m.config.hidden));
+    }
+
+    #[test]
+    fn gqa_forward_runs() {
+        // Llama-3-style 4:1 GQA at reduced scale.
+        let full = crate::config::ModelConfig::llama3_8b();
+        let cfg = SyntheticModel::reduced_config(&full, 128, 2);
+        let m = SyntheticModel::generate(cfg, crate::synth::SynthesisOptions::default());
+        let logits = forward_logits(&m, &[1, 2, 3]);
+        assert!(logits.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn residual_stream_grows_bounded() {
+        // Residual additions shouldn't explode for the default weight std.
+        let m = SyntheticModel::small(4);
+        let calib = collect_calibration(&m, &[1, 2, 3, 4, 5, 6, 7, 8]);
+        let first = calib[0].frobenius_norm();
+        let last = calib.last().unwrap().frobenius_norm();
+        assert!(last / first < 100.0, "residual stream exploded: {} → {}", first, last);
+    }
+}

@@ -1,0 +1,227 @@
+//! Integer quantization primitives (paper §2.2).
+//!
+//! Implements the textbook machinery Equation 2/3 of the paper builds on:
+//!
+//! * [`rounding`] — round-to-nearest-even, the `⌈·⌋` operator in the paper.
+//! * [`params`] — scale/zero-point computation for symmetric and asymmetric
+//!   quantization over arbitrary integer ranges.
+//! * [`matrixq`] — applying a [`QuantSpec`] (bits × symmetry × granularity)
+//!   to a whole matrix: per-tensor, per-row (= per-channel for weights,
+//!   per-token for activations), and per-group.
+//!
+//! The QoQ-specific *progressive* two-level scheme lives in `qserve-core`;
+//! this crate supplies the reusable single-level pieces plus the
+//! round-to-nearest plumbing every level shares.
+//!
+//! # Example
+//!
+//! ```
+//! use qserve_quant::{QuantSpec, Granularity, matrixq::QuantizedMatrix};
+//! use qserve_tensor::Matrix;
+//!
+//! let w = Matrix::from_rows(&[vec![0.1, -0.5, 0.4, 0.2]]);
+//! let spec = QuantSpec::int8_symmetric(Granularity::PerRow);
+//! let qw = QuantizedMatrix::quantize(&w, spec);
+//! let back = qw.dequantize();
+//! assert!(qserve_tensor::stats::relative_error(&w, &back) < 0.01);
+//! ```
+
+pub mod matrixq;
+pub mod params;
+pub mod rounding;
+
+pub use matrixq::QuantizedMatrix;
+pub use params::QParams;
+
+use serde::{Deserialize, Serialize};
+
+/// How scale/zero parameters are shared across a tensor (§2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Granularity {
+    /// One `(s, z)` for the whole tensor.
+    PerTensor,
+    /// One `(s, z)` per row — per-channel for `n×k` weights, per-token for
+    /// `m×k` activations.
+    PerRow,
+    /// One `(s, z)` for every `group_size` columns within each row.
+    PerGroup {
+        /// Number of columns sharing one scale (the paper uses g = 128).
+        group_size: usize,
+    },
+}
+
+impl Granularity {
+    /// Number of parameter sets needed for a `rows × cols` tensor.
+    ///
+    /// # Panics
+    /// Panics if `PerGroup` does not divide `cols`.
+    pub fn param_count(self, rows: usize, cols: usize) -> usize {
+        match self {
+            Granularity::PerTensor => 1,
+            Granularity::PerRow => rows,
+            Granularity::PerGroup { group_size } => {
+                assert!(
+                    group_size > 0 && cols % group_size == 0,
+                    "group size {} must divide cols {}",
+                    group_size,
+                    cols
+                );
+                rows * (cols / group_size)
+            }
+        }
+    }
+
+    /// Index of the parameter set governing element `(i, j)`.
+    pub fn param_index(self, i: usize, j: usize, cols: usize) -> usize {
+        match self {
+            Granularity::PerTensor => 0,
+            Granularity::PerRow => i,
+            Granularity::PerGroup { group_size } => i * (cols / group_size) + j / group_size,
+        }
+    }
+}
+
+/// A complete single-level quantization recipe: bit width, symmetry,
+/// signedness and granularity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct QuantSpec {
+    /// Bit width (4 or 8 in the paper; any 2..=16 supported).
+    pub bits: u8,
+    /// Symmetric (`z = 0`) vs asymmetric quantization.
+    pub symmetric: bool,
+    /// Signed (`[-2^(b-1)+1, 2^(b-1)-1]` symmetric / `[-2^(b-1), 2^(b-1)-1]`
+    /// asymmetric) vs unsigned (`[0, 2^b - 1]`) integer range.
+    pub signed: bool,
+    /// Parameter sharing granularity.
+    pub granularity: Granularity,
+    /// Optional clamp on the representable integer magnitude, used by QoQ's
+    /// protective range: INT8 symmetric with `range_clamp = 119` quantizes
+    /// into `[-119, 119]` instead of `[-127, 127]` (§4.1).
+    pub range_clamp: Option<i32>,
+}
+
+impl QuantSpec {
+    /// Symmetric signed INT8 (`[-127, 127]`).
+    pub fn int8_symmetric(granularity: Granularity) -> Self {
+        Self {
+            bits: 8,
+            symmetric: true,
+            signed: true,
+            granularity,
+            range_clamp: None,
+        }
+    }
+
+    /// Symmetric signed INT8 with QoQ's protective range `[-119, 119]` (§4.1).
+    pub fn int8_protective(granularity: Granularity) -> Self {
+        Self {
+            bits: 8,
+            symmetric: true,
+            signed: true,
+            granularity,
+            range_clamp: Some(119),
+        }
+    }
+
+    /// Asymmetric unsigned INT4 (`[0, 15]`), the paper's weight/KV 4-bit format.
+    pub fn uint4_asymmetric(granularity: Granularity) -> Self {
+        Self {
+            bits: 4,
+            symmetric: false,
+            signed: false,
+            granularity,
+            range_clamp: None,
+        }
+    }
+
+    /// Symmetric signed INT4 (`[-7, 7]`), used by W4A4 baselines.
+    pub fn int4_symmetric(granularity: Granularity) -> Self {
+        Self {
+            bits: 4,
+            symmetric: true,
+            signed: true,
+            granularity,
+            range_clamp: None,
+        }
+    }
+
+    /// Inclusive integer range `(qmin, qmax)` of this spec.
+    pub fn q_range(&self) -> (i32, i32) {
+        let (mut qmin, mut qmax) = if self.signed {
+            let half = 1i32 << (self.bits - 1);
+            if self.symmetric {
+                (-(half - 1), half - 1)
+            } else {
+                (-half, half - 1)
+            }
+        } else {
+            (0, (1i32 << self.bits) - 1)
+        };
+        if let Some(clamp) = self.range_clamp {
+            qmax = qmax.min(clamp);
+            if self.signed {
+                qmin = qmin.max(-clamp);
+            }
+        }
+        (qmin, qmax)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn q_range_int8_symmetric() {
+        assert_eq!(
+            QuantSpec::int8_symmetric(Granularity::PerTensor).q_range(),
+            (-127, 127)
+        );
+    }
+
+    #[test]
+    fn q_range_protective() {
+        assert_eq!(
+            QuantSpec::int8_protective(Granularity::PerTensor).q_range(),
+            (-119, 119)
+        );
+    }
+
+    #[test]
+    fn q_range_uint4() {
+        assert_eq!(
+            QuantSpec::uint4_asymmetric(Granularity::PerTensor).q_range(),
+            (0, 15)
+        );
+    }
+
+    #[test]
+    fn q_range_int4_symmetric() {
+        assert_eq!(
+            QuantSpec::int4_symmetric(Granularity::PerTensor).q_range(),
+            (-7, 7)
+        );
+    }
+
+    #[test]
+    fn param_count_per_group() {
+        let g = Granularity::PerGroup { group_size: 128 };
+        assert_eq!(g.param_count(4, 512), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn param_count_rejects_non_divisible_group() {
+        Granularity::PerGroup { group_size: 128 }.param_count(4, 100);
+    }
+
+    #[test]
+    fn param_index_layout() {
+        let g = Granularity::PerGroup { group_size: 4 };
+        assert_eq!(g.param_index(0, 0, 8), 0);
+        assert_eq!(g.param_index(0, 5, 8), 1);
+        assert_eq!(g.param_index(2, 3, 8), 4);
+        assert_eq!(Granularity::PerRow.param_index(3, 7, 8), 3);
+        assert_eq!(Granularity::PerTensor.param_index(3, 7, 8), 0);
+    }
+}

@@ -1,0 +1,244 @@
+//! Scale/zero-point computation (paper Equation 2).
+//!
+//! `Q_X = ⌈X/s⌋ + z` with `s = (X_max − X_min)/(q_max − q_min)` and
+//! `z = ⌈q_min − X_min/s⌋` for asymmetric quantization; symmetric
+//! quantization sets `z = 0` and `s = max|X| / q_max`.
+
+use crate::rounding::{round_clamp, round_half_even};
+use serde::{Deserialize, Serialize};
+
+/// A scale/zero-point pair. Dequantization is `(q − z) · s` (Equation 3).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QParams {
+    /// Quantization step size (always positive; 1.0 for an all-zero tensor).
+    pub scale: f32,
+    /// Integer zero point (0 for symmetric quantization).
+    pub zero: i32,
+}
+
+impl Default for QParams {
+    fn default() -> Self {
+        Self { scale: 1.0, zero: 0 }
+    }
+}
+
+impl QParams {
+    /// Symmetric parameters: `s = absmax / qmax`, `z = 0`.
+    ///
+    /// A zero `absmax` yields scale 1.0 so that dequantization stays finite.
+    ///
+    /// # Panics
+    /// Panics if `qmax <= 0` or `absmax` is negative/NaN.
+    pub fn symmetric(absmax: f32, qmax: i32) -> Self {
+        assert!(qmax > 0, "symmetric qmax must be positive");
+        assert!(absmax >= 0.0, "absmax must be non-negative, got {absmax}");
+        let scale = if absmax == 0.0 { 1.0 } else { absmax / qmax as f32 };
+        Self { scale, zero: 0 }
+    }
+
+    /// Asymmetric parameters from a `[min, max]` range onto `[qmin, qmax]`.
+    ///
+    /// The range is first widened to include zero (standard practice so that
+    /// zero is exactly representable).
+    ///
+    /// # Panics
+    /// Panics if `qmin >= qmax` or `min > max`.
+    pub fn asymmetric(min: f32, max: f32, qmin: i32, qmax: i32) -> Self {
+        assert!(qmin < qmax, "invalid integer range");
+        assert!(min <= max, "invalid float range {min}..{max}");
+        let lo = min.min(0.0);
+        let hi = max.max(0.0);
+        let scale = if hi == lo {
+            1.0
+        } else {
+            (hi - lo) / (qmax - qmin) as f32
+        };
+        let zero = round_half_even(qmin as f32 - lo / scale).clamp(qmin, qmax);
+        Self { scale, zero }
+    }
+
+    /// Quantizes one value: `clamp(⌈x/s⌋ + z, qmin, qmax)`.
+    pub fn quantize(&self, x: f32, qmin: i32, qmax: i32) -> i32 {
+        round_clamp(x / self.scale + self.zero as f32, qmin, qmax)
+    }
+
+    /// Dequantizes one value: `(q − z)·s`.
+    pub fn dequantize(&self, q: i32) -> f32 {
+        (q - self.zero) as f32 * self.scale
+    }
+}
+
+/// Asymmetric integer-to-integer re-quantization parameters, the second level
+/// of QoQ's progressive scheme (§4.1, Equation 5): maps signed 8-bit values
+/// onto `[0, 15]` with an *integer* scale `s ∈ [1, 17]` (stored as u8 on GPU)
+/// and *integer* zero point `z ∈ [0, 15]` (stored as u4).
+///
+/// The worked example in Figure 6: a group spanning `[-16, 15]` gets
+/// `s = ⌈(15−(−16))/15⌋ = 2` and `z = ⌈−(−16)/2⌋ = 8`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IntQParams {
+    /// Unsigned 8-bit group scale `s⁽¹⁾` (≥ 1).
+    pub scale: u8,
+    /// Unsigned 4-bit zero point.
+    pub zero: u8,
+}
+
+impl Default for IntQParams {
+    fn default() -> Self {
+        Self { scale: 1, zero: 0 }
+    }
+}
+
+impl IntQParams {
+    /// Derives the level-2 parameters for a group of signed 8-bit values,
+    /// following the paper's formulas:
+    /// `s⁽¹⁾ = ⌈(q⁽⁰⁾max − q⁽⁰⁾min)/(qmax − qmin)⌋`, `z = ⌈−q⁽⁰⁾min/s⁽¹⁾⌋`.
+    pub fn from_group(group: &[i8]) -> Self {
+        let (mut lo, mut hi) = (0i32, 0i32);
+        for &v in group {
+            lo = lo.min(i32::from(v));
+            hi = hi.max(i32::from(v));
+        }
+        let scale = round_half_even((hi - lo) as f32 / 15.0).max(1);
+        let zero = round_half_even(-(lo as f32) / scale as f32).clamp(0, 15);
+        Self {
+            scale: scale as u8,
+            zero: zero as u8,
+        }
+    }
+
+    /// Quantizes a signed 8-bit value to unsigned 4-bit:
+    /// `clamp(⌈q⁽⁰⁾/s⌋ + z, 0, 15)`.
+    pub fn quantize(&self, q0: i8) -> u8 {
+        round_half_even(f32::from(q0) / f32::from(self.scale) + f32::from(self.zero)).clamp(0, 15)
+            as u8
+    }
+
+    /// Dequantizes unsigned 4-bit back to signed 8-bit *without saturation*:
+    /// `(q − z)·s`. The caller (progressive quantization) must have
+    /// guaranteed this stays within `[-128, 127]` via the protective range.
+    ///
+    /// # Panics
+    /// Debug-panics if the result overflows i8 — that is exactly the
+    /// condition the protective range rules out.
+    pub fn dequantize(&self, q: u8) -> i8 {
+        let v = (i32::from(q) - i32::from(self.zero)) * i32::from(self.scale);
+        debug_assert!(
+            (-128..=127).contains(&v),
+            "level-2 dequantization overflowed i8: ({} - {}) * {} = {}",
+            q,
+            self.zero,
+            self.scale,
+            v
+        );
+        v as i8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symmetric_scale() {
+        let p = QParams::symmetric(12.7, 127);
+        assert!((p.scale - 0.1).abs() < 1e-6);
+        assert_eq!(p.zero, 0);
+    }
+
+    #[test]
+    fn symmetric_zero_absmax_is_safe() {
+        let p = QParams::symmetric(0.0, 127);
+        assert_eq!(p.quantize(0.0, -127, 127), 0);
+        assert_eq!(p.dequantize(0), 0.0);
+    }
+
+    #[test]
+    fn asymmetric_round_trip_endpoints() {
+        let p = QParams::asymmetric(-1.0, 3.0, 0, 15);
+        let qlo = p.quantize(-1.0, 0, 15);
+        let qhi = p.quantize(3.0, 0, 15);
+        assert_eq!(qlo, 0);
+        assert_eq!(qhi, 15);
+        assert!((p.dequantize(qlo) - -1.0).abs() < p.scale);
+        assert!((p.dequantize(qhi) - 3.0).abs() < p.scale);
+    }
+
+    #[test]
+    fn asymmetric_zero_exactly_representable() {
+        let p = QParams::asymmetric(0.5, 3.0, 0, 15);
+        // Range widened to [0, 3]; zero must map to an integer exactly.
+        let q0 = p.quantize(0.0, 0, 15);
+        assert_eq!(p.dequantize(q0), 0.0);
+    }
+
+    #[test]
+    fn quantize_clamps() {
+        let p = QParams::symmetric(1.0, 127);
+        assert_eq!(p.quantize(10.0, -127, 127), 127);
+        assert_eq!(p.quantize(-10.0, -127, 127), -127);
+    }
+
+    #[test]
+    fn int_qparams_paper_example() {
+        // Figure 6: group min/max after INT8 quant = [-16, 15]
+        // (values -16 and 15 present in the group).
+        let group: Vec<i8> = vec![-16, 15, 0, -9];
+        let p = IntQParams::from_group(&group);
+        assert_eq!(p.scale, 2);
+        assert_eq!(p.zero, 8);
+        // q(-3) = ⌈-3/2 + 8⌋ = ⌈6.5⌋ = 6 (ties to even) — paper shows 7 with
+        // round-half-up; both are within half an ulp. Check dequant bound:
+        let q = p.quantize(-3);
+        let back = p.dequantize(q);
+        assert!((i32::from(back) - (-3i32)).abs() <= i32::from(p.scale));
+    }
+
+    #[test]
+    fn int_qparams_protective_range_never_overflows() {
+        // For any group of values in [-119, 119] (the protective range),
+        // dequantization must stay within [-128, 127].
+        for lo in -119i32..=-100 {
+            for hi in 100i32..=119 {
+                let group: Vec<i8> = vec![lo as i8, hi as i8, 0, 57, -33];
+                let p = IntQParams::from_group(&group);
+                for &g in &group {
+                    let q = p.quantize(g);
+                    let v = (i32::from(q) - i32::from(p.zero)) * i32::from(p.scale);
+                    assert!(
+                        (-128..=127).contains(&v),
+                        "overflow for group [{}, {}]: {}",
+                        lo,
+                        hi,
+                        v
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn int_qparams_overflow_without_protection() {
+        // The paper's counterexample (§4.1): range [-113, 120] yields s=16,
+        // z=7, and 120 → 15 → (15-7)*16 = 128 which overflows INT8. Verify
+        // our primitives reproduce the phenomenon the protective range fixes.
+        let group: Vec<i8> = vec![-113, 120];
+        let p = IntQParams::from_group(&group);
+        assert_eq!(p.scale, 16);
+        assert_eq!(p.zero, 7);
+        // The representable top of the 4-bit code space dequantizes past the
+        // INT8 maximum: (15 − 7)·16 = 128 > 127. (The paper's worked example
+        // reaches code 15 via round-half-up; with ties-to-even 120 lands on
+        // 14, but the representable-range overflow is identical.)
+        let raw = (15 - i32::from(p.zero)) * i32::from(p.scale);
+        assert_eq!(raw, 128, "this is the overflow the protective range prevents");
+    }
+
+    #[test]
+    fn int_qparams_all_zero_group() {
+        let p = IntQParams::from_group(&[0, 0, 0]);
+        assert_eq!(p.scale, 1);
+        assert_eq!(p.zero, 0);
+        assert_eq!(p.dequantize(p.quantize(0)), 0);
+    }
+}

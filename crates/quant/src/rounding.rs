@@ -1,0 +1,84 @@
+//! Round-to-nearest, the `⌈·⌋` operator in the paper's equations.
+//!
+//! NVIDIA's float→int conversions (`__float2int_rn`, `cvt.rni`) round to the
+//! nearest integer with ties to even; quantization code paths in this
+//! repository all go through [`round_half_even`] so the emulated kernels and
+//! the reference algorithm agree bit-for-bit.
+
+/// Rounds to the nearest integer, ties to even (banker's rounding).
+///
+/// # Example
+/// ```
+/// use qserve_quant::rounding::round_half_even;
+/// assert_eq!(round_half_even(2.5), 2);
+/// assert_eq!(round_half_even(3.5), 4);
+/// assert_eq!(round_half_even(-2.5), -2);
+/// assert_eq!(round_half_even(2.4), 2);
+/// ```
+pub fn round_half_even(x: f32) -> i32 {
+    // `f32::round_ties_even` exists but we spell it out so the semantics are
+    // locked down independent of std changes.
+    let floor = x.floor();
+    let diff = x - floor;
+    let f = floor as i64;
+    let r = if diff > 0.5 {
+        f + 1
+    } else if diff < 0.5 {
+        f
+    } else if f % 2 == 0 {
+        f
+    } else {
+        f + 1
+    };
+    r.clamp(i64::from(i32::MIN), i64::from(i32::MAX)) as i32
+}
+
+/// Rounds and clamps to an inclusive integer range, the full quantization
+/// step `clamp(⌈x/s⌋ + z, qmin, qmax)`.
+pub fn round_clamp(x: f32, qmin: i32, qmax: i32) -> i32 {
+    round_half_even(x).clamp(qmin, qmax)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rounds_to_nearest() {
+        assert_eq!(round_half_even(1.4), 1);
+        assert_eq!(round_half_even(1.6), 2);
+        assert_eq!(round_half_even(-1.4), -1);
+        assert_eq!(round_half_even(-1.6), -2);
+    }
+
+    #[test]
+    fn ties_to_even() {
+        assert_eq!(round_half_even(0.5), 0);
+        assert_eq!(round_half_even(1.5), 2);
+        assert_eq!(round_half_even(-0.5), 0);
+        assert_eq!(round_half_even(-1.5), -2);
+        assert_eq!(round_half_even(-3.5), -4);
+    }
+
+    #[test]
+    fn integers_unchanged() {
+        for i in -100..=100 {
+            assert_eq!(round_half_even(i as f32), i);
+        }
+    }
+
+    #[test]
+    fn clamping() {
+        assert_eq!(round_clamp(200.0, -127, 127), 127);
+        assert_eq!(round_clamp(-200.0, -127, 127), -127);
+        assert_eq!(round_clamp(7.4, 0, 15), 7);
+    }
+
+    #[test]
+    fn matches_std_ties_even() {
+        for i in 0..10_000 {
+            let x = (i as f32 - 5000.0) * 0.137;
+            assert_eq!(round_half_even(x), x.round_ties_even() as i32, "x = {}", x);
+        }
+    }
+}

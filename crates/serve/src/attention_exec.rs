@@ -1,0 +1,131 @@
+//! Functional attention execution over the paged cache: wires the §5.1 page
+//! layout to the §5.3 fused kernel so the serving stack can produce *real*
+//! attention outputs, not just simulated latencies.
+
+use crate::kv_cache::{KvCacheError, PagedKvCache, SequenceId};
+use qserve_kernels::attention::{decode_attention_fp16, QuantizedKvHead};
+
+/// Runs QServe's fused decode attention for one sequence and one layer
+/// directly over the paged cache.
+///
+/// `query` is the full-width query row (`query_heads × head_dim`); GQA maps
+/// query head `h` onto KV head `h / (query_heads / kv_heads)`. Returns the
+/// concatenated per-head outputs (`query_heads × head_dim`).
+///
+/// # Errors
+/// Propagates [`KvCacheError`] for unknown sequences.
+///
+/// # Panics
+/// Panics if `query.len()` is not a multiple of the cache head_dim, or the
+/// cache is empty for this sequence.
+pub fn paged_decode_attention(
+    cache: &PagedKvCache,
+    seq: SequenceId,
+    layer: usize,
+    query: &[f32],
+) -> Result<Vec<f32>, KvCacheError> {
+    let cfg = cache.config();
+    assert!(
+        query.len() % cfg.head_dim == 0,
+        "query width {} not a multiple of head_dim {}",
+        query.len(),
+        cfg.head_dim
+    );
+    let query_heads = query.len() / cfg.head_dim;
+    assert!(
+        query_heads % cfg.kv_heads == 0,
+        "query heads {} not a multiple of kv heads {}",
+        query_heads,
+        cfg.kv_heads
+    );
+    let group = query_heads / cfg.kv_heads;
+
+    let mut out = Vec::with_capacity(query.len());
+    // Fetch each KV head once; reuse it for the whole query-head group.
+    for kv_head in 0..cfg.kv_heads {
+        let (keys, values) = cache.read_head(seq, layer, kv_head)?;
+        let mut head_cache = QuantizedKvHead::new(cfg.precision);
+        head_cache.keys = keys;
+        head_cache.values = values;
+        for g in 0..group {
+            let h = kv_head * group + g;
+            let qh = &query[h * cfg.head_dim..(h + 1) * cfg.head_dim];
+            out.extend(decode_attention_fp16(qh, &head_cache));
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kv_cache::KvCacheConfig;
+    use qserve_core::kv_quant::KvPrecision;
+    use qserve_tensor::ops::attention_single;
+    use qserve_tensor::rng::TensorRng;
+    use qserve_tensor::Matrix;
+
+    fn setup(kv_heads: usize, head_dim: usize) -> (PagedKvCache, Matrix, Matrix) {
+        let cfg = KvCacheConfig {
+            page_tokens: 8,
+            kv_heads,
+            head_dim,
+            layers: 1,
+            precision: KvPrecision::Int4,
+        };
+        let mut cache = PagedKvCache::new(cfg, 128);
+        cache.register(SequenceId(0)).unwrap();
+        let mut rng = TensorRng::seed(9);
+        let width = kv_heads * head_dim;
+        let keys = rng.gaussian(40, width, 1.0);
+        let values = rng.gaussian(40, width, 1.0);
+        for t in 0..40 {
+            cache.append_token(SequenceId(0), 0, keys.row(t), values.row(t)).unwrap();
+        }
+        (cache, keys, values)
+    }
+
+    #[test]
+    fn matches_reference_per_head() {
+        let (cache, keys, values) = setup(2, 16);
+        let mut rng = TensorRng::seed(10);
+        let q: Vec<f32> = (0..32).map(|_| rng.normal(1.0)).collect();
+        let out = paged_decode_attention(&cache, SequenceId(0), 0, &q).unwrap();
+        assert_eq!(out.len(), 32);
+        for h in 0..2 {
+            let lo = h * 16;
+            let k_ref = keys.slice_cols(lo, lo + 16);
+            let v_ref = values.slice_cols(lo, lo + 16);
+            let expect = attention_single(&q[lo..lo + 16], &k_ref, &v_ref);
+            for (a, b) in out[lo..lo + 16].iter().zip(&expect) {
+                assert!((a - b).abs() < 0.25, "head {}: {} vs {}", h, a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn gqa_replays_kv_heads() {
+        let (cache, keys, values) = setup(2, 16);
+        let mut rng = TensorRng::seed(11);
+        // 4 query heads over 2 kv heads (group = 2).
+        let q: Vec<f32> = (0..64).map(|_| rng.normal(1.0)).collect();
+        let out = paged_decode_attention(&cache, SequenceId(0), 0, &q).unwrap();
+        assert_eq!(out.len(), 64);
+        // Query heads 0 and 1 both attend over kv head 0.
+        let k0 = keys.slice_cols(0, 16);
+        let v0 = values.slice_cols(0, 16);
+        for h in 0..2 {
+            let expect = attention_single(&q[h * 16..(h + 1) * 16], &k0, &v0);
+            for (a, b) in out[h * 16..(h + 1) * 16].iter().zip(&expect) {
+                assert!((a - b).abs() < 0.25);
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_sequence_errors() {
+        let (cache, _, _) = setup(1, 8);
+        let r = paged_decode_attention(&cache, SequenceId(99), 0, &[0.0; 8]);
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,268 @@
+//! Functional execution of one transformer block through the deployed
+//! QServe precision mapping (Figure 11): FP16 block inputs/outputs, W4A8
+//! GEMMs on (emulated) INT8 tensor cores, activation quantization fused at
+//! the normalization/activation boundaries, per-head KV4 paged cache, and
+//! the FP16 fused decode-attention kernel.
+//!
+//! This is the data plane the latency-simulating [`crate::engine`] models;
+//! integration tests check it against the reference fake-quant forward pass.
+
+use crate::attention_exec::paged_decode_attention;
+use crate::kv_cache::{KvCacheError, PagedKvCache, SequenceId};
+use qserve_core::pipeline::{DeployedWeight, QuantizedBlock};
+use qserve_kernels::gemm::{gemm_w4a8_per_channel, gemm_w4a8_per_group, quantize_activations_int8};
+use qserve_tensor::ops::{rmsnorm, swiglu};
+use qserve_tensor::Matrix;
+
+/// One block's deployed weights plus the transforms deployment folds into
+/// the surrounding graph.
+#[derive(Debug, Clone)]
+pub struct BlockRuntime {
+    weights: Vec<DeployedWeight>,
+    input_rotation: Option<Matrix>,
+    head_dim: usize,
+    query_heads: usize,
+}
+
+impl BlockRuntime {
+    /// Builds a runtime from a [`QuantizedBlock`] (pipeline output).
+    ///
+    /// # Panics
+    /// Panics if the block does not carry the seven expected layers.
+    pub fn new(qb: &QuantizedBlock) -> Self {
+        assert_eq!(qb.deployed.len(), 7, "expected 7 deployed layers");
+        Self {
+            weights: qb.deployed.iter().map(|(_, w)| w.clone()).collect(),
+            input_rotation: qb.input_rotation.clone(),
+            head_dim: qb.fake.head_dim,
+            query_heads: qb.fake.wq.rows() / qb.fake.head_dim,
+        }
+    }
+
+    /// Query heads of this block.
+    pub fn query_heads(&self) -> usize {
+        self.query_heads
+    }
+
+    fn w4a8(&self, idx: usize, x_q: &qserve_kernels::gemm::QuantizedActivations) -> Matrix {
+        match &self.weights[idx] {
+            DeployedWeight::Progressive(w) => gemm_w4a8_per_group(x_q, w),
+            DeployedWeight::PerChannel(w) => gemm_w4a8_per_channel(x_q, w),
+        }
+    }
+
+    /// Quantizes a block-input activation in the deployed frame: rotate
+    /// (the fold the previous block's output projection would carry), then
+    /// per-token INT8 — QServe's fused LayerNorm-quantization (§5.1).
+    fn quantize_block_input(&self, x: &Matrix) -> (qserve_kernels::gemm::QuantizedActivations, Option<Matrix>) {
+        match &self.input_rotation {
+            Some(q) => {
+                let rotated = x.matmul_nn(q);
+                (quantize_activations_int8(&rotated), Some(rotated))
+            }
+            None => (quantize_activations_int8(x), None),
+        }
+    }
+
+    /// One decode step for a batch of sequences: each row of `x` is one
+    /// sequence's current hidden state; KV states live in (and grow into)
+    /// the paged cache. Returns the block output (FP16-domain `f32`).
+    ///
+    /// `positions[i]` is sequence `i`'s current token index (for RoPE).
+    ///
+    /// # Errors
+    /// Propagates cache errors (unknown sequence / out of pages).
+    ///
+    /// # Panics
+    /// Panics on shape mismatches with the cache geometry.
+    pub fn decode_step(
+        &self,
+        x: &Matrix,
+        seqs: &[SequenceId],
+        positions: &[usize],
+        layer: usize,
+        cache: &mut PagedKvCache,
+        attn_norm: &[f32],
+        ffn_norm: &[f32],
+        rope_base: f32,
+    ) -> Result<Matrix, KvCacheError> {
+        assert_eq!(x.rows(), seqs.len(), "one row per sequence");
+        assert_eq!(seqs.len(), positions.len(), "positions per sequence");
+        let d = self.head_dim;
+
+        // ---- Attention: norm → (rotate+quantize) → QKV GEMMs ----
+        let normed = rmsnorm(x, attn_norm, 1e-5);
+        let (xq, _) = self.quantize_block_input(&normed);
+        let mut q = self.w4a8(0, &xq);
+        let mut k = self.w4a8(1, &xq);
+        let v = self.w4a8(2, &xq);
+        for (i, &pos) in positions.iter().enumerate() {
+            let qrow = q.row_mut(i);
+            for h in 0..qrow.len() / d {
+                qserve_tensor::ops::rope_inplace(&mut qrow[h * d..(h + 1) * d], pos, rope_base);
+            }
+            let krow = k.row_mut(i);
+            for h in 0..krow.len() / d {
+                qserve_tensor::ops::rope_inplace(&mut krow[h * d..(h + 1) * d], pos, rope_base);
+            }
+        }
+
+        // ---- KV cache append (dynamic per-head quantization) + attention.
+        let mut attn_out = Matrix::zeros(x.rows(), self.query_heads * d);
+        for (i, &seq) in seqs.iter().enumerate() {
+            cache.append_token(seq, layer, k.row(i), v.row(i))?;
+            let out = paged_decode_attention(cache, seq, layer, q.row(i))?;
+            attn_out.row_mut(i).copy_from_slice(&out);
+        }
+
+        // ---- Output projection (its own quantization node, §5.1).
+        let attn_q = quantize_activations_int8(&attn_out);
+        let x = x.add(&self.w4a8(3, &attn_q));
+
+        // ---- FFN: norm → (rotate+quantize) → gate/up → SwiGLU → down.
+        let normed = rmsnorm(&x, ffn_norm, 1e-5);
+        let (xq, _) = self.quantize_block_input(&normed);
+        let gate = self.w4a8(4, &xq);
+        let up = self.w4a8(5, &xq);
+        let inter = swiglu(&gate, &up);
+        let inter_q = quantize_activations_int8(&inter);
+        Ok(x.add(&self.w4a8(6, &inter_q)))
+    }
+
+    /// Prefill: runs the prompt token-by-token through [`Self::decode_step`]
+    /// (numerically equivalent to batched prefill for this reference
+    /// runtime), returning the final hidden state of the last token.
+    ///
+    /// # Errors
+    /// Propagates cache errors.
+    #[allow(clippy::too_many_arguments)]
+    pub fn prefill(
+        &self,
+        prompt_hidden: &Matrix,
+        seq: SequenceId,
+        layer: usize,
+        cache: &mut PagedKvCache,
+        attn_norm: &[f32],
+        ffn_norm: &[f32],
+        rope_base: f32,
+    ) -> Result<Matrix, KvCacheError> {
+        let mut last = Matrix::zeros(1, prompt_hidden.cols());
+        for t in 0..prompt_hidden.rows() {
+            let x = prompt_hidden.slice_rows(t, t + 1);
+            last = self.decode_step(&x, &[seq], &[t], layer, cache, attn_norm, ffn_norm, rope_base)?;
+        }
+        Ok(last)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kv_cache::KvCacheConfig;
+    use qserve_core::kv_quant::KvPrecision;
+    use qserve_core::pipeline::{quantize_block, QoqConfig, WeightGranularity};
+    use qserve_model::synth::SyntheticModel;
+    use qserve_tensor::rng::TensorRng;
+
+    fn setup() -> (SyntheticModel, BlockRuntime, PagedKvCache) {
+        let model = SyntheticModel::small(1);
+        let mut rng = TensorRng::seed(4);
+        let calib = rng.gaussian(32, model.config.hidden, 1.0);
+        let cfg = QoqConfig {
+            weight_granularity: WeightGranularity::PerGroup(32),
+            ..QoqConfig::w4a8kv4_g128()
+        };
+        let qb = quantize_block(&model.blocks[0], &calib, &cfg);
+        let runtime = BlockRuntime::new(&qb);
+        let cache_cfg = KvCacheConfig {
+            page_tokens: 8,
+            kv_heads: model.blocks[0].wk.rows() / model.blocks[0].head_dim,
+            head_dim: model.blocks[0].head_dim,
+            layers: 1,
+            precision: KvPrecision::Int4,
+        };
+        (model, runtime, PagedKvCache::new(cache_cfg, 512))
+    }
+
+    #[test]
+    fn decode_step_close_to_reference_block() {
+        // The fully-quantized runtime (W4A8 kernels + KV4 pages + fused
+        // attention) must track the reference forward pass of the same
+        // block within quantization noise, token by token.
+        let (model, runtime, mut cache) = setup();
+        let block = &model.blocks[0];
+        let h = model.config.hidden;
+        let norms = vec![1.0f32; h];
+        let seq = SequenceId(0);
+        cache.register(seq).unwrap();
+
+        let mut rng = TensorRng::seed(5);
+        let tokens = 12;
+        let hidden_states = rng.gaussian(tokens, h, 1.0);
+
+        // Reference: full-precision prefix forward with causal attention.
+        let reference =
+            qserve_model::forward::block_forward(&hidden_states, block, &norms, &norms, 10000.0);
+
+        // Runtime: feed tokens one at a time through the quantized path.
+        let mut last_out = Matrix::zeros(1, h);
+        for t in 0..tokens {
+            let x = hidden_states.slice_rows(t, t + 1);
+            last_out = runtime
+                .decode_step(&x, &[seq], &[t], 0, &mut cache, &norms, &norms, 10000.0)
+                .unwrap();
+        }
+        let err = qserve_tensor::stats::relative_error(
+            &reference.slice_rows(tokens - 1, tokens),
+            &last_out,
+        );
+        assert!(err < 0.25, "quantized runtime drifted: relative error {}", err);
+        assert!(err > 0.0, "quantization must not be a no-op");
+    }
+
+    #[test]
+    fn batch_decode_matches_sequential() {
+        // Two sequences decoded together must equal each decoded alone.
+        let (model, runtime, mut cache) = setup();
+        let h = model.config.hidden;
+        let norms = vec![1.0f32; h];
+        let mut rng = TensorRng::seed(6);
+        let x = rng.gaussian(2, h, 1.0);
+
+        let (a, b) = (SequenceId(0), SequenceId(1));
+        cache.register(a).unwrap();
+        cache.register(b).unwrap();
+        let batched = runtime
+            .decode_step(&x, &[a, b], &[0, 0], 0, &mut cache, &norms, &norms, 10000.0)
+            .unwrap();
+
+        let mut cache2 = {
+            let cfg = *cache.config();
+            PagedKvCache::new(cfg, 64)
+        };
+        cache2.register(a).unwrap();
+        let solo = runtime
+            .decode_step(&x.slice_rows(0, 1), &[a], &[0], 0, &mut cache2, &norms, &norms, 10000.0)
+            .unwrap();
+        for (u, v) in batched.row(0).iter().zip(solo.row(0)) {
+            assert!((u - v).abs() < 1e-4, "batching changed numerics: {} vs {}", u, v);
+        }
+    }
+
+    #[test]
+    fn cache_grows_one_token_per_step() {
+        let (model, runtime, mut cache) = setup();
+        let h = model.config.hidden;
+        let norms = vec![1.0f32; h];
+        let seq = SequenceId(7);
+        cache.register(seq).unwrap();
+        let mut rng = TensorRng::seed(8);
+        for t in 0..5 {
+            let x = rng.gaussian(1, h, 1.0);
+            runtime
+                .decode_step(&x, &[seq], &[t], 0, &mut cache, &norms, &norms, 10000.0)
+                .unwrap();
+            assert_eq!(cache.seq_len(seq), t + 1);
+        }
+    }
+}

@@ -1,0 +1,637 @@
+//! The serving engine: continuous batching over the GPU cost model (§6.3).
+//!
+//! The benchmark protocol mirrors the paper: every request carries 1024
+//! input tokens and 512 output tokens; the engine admits requests with
+//! in-flight batching up to the memory-derived batch limit, charges prefill
+//! on admission, then advances decode steps for the whole active batch;
+//! throughput is generated tokens over wall-clock.
+
+use crate::baselines::SystemConfig;
+use crate::memory::MemoryPlan;
+use qserve_gpusim::attention_model::{attention_decode_latency, attention_prefill_latency, AttentionShape};
+use qserve_gpusim::gemm_model::{gemm_latency, GemmShape};
+use qserve_gpusim::GpuSpec;
+use qserve_model::ModelConfig;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Per-decode-step CPU/scheduler overhead (batching, sampling, detokenize).
+const STEP_OVERHEAD_S: f64 = 2.5e-4;
+/// Auxiliary kernels per layer (norms, activation quant, RoPE, residual).
+const MISC_KERNELS_PER_LAYER: f64 = 4.0;
+
+/// The benchmark workload (§6.3: "input sequence length of 1024 and output
+/// sequence length of 512").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Workload {
+    /// Prompt tokens per request.
+    pub input_len: usize,
+    /// Generated tokens per request.
+    pub output_len: usize,
+    /// Total requests to serve.
+    pub num_requests: usize,
+}
+
+impl Workload {
+    /// The paper's benchmark shape with `num_requests` requests.
+    pub fn paper(num_requests: usize) -> Self {
+        Self {
+            input_len: 1024,
+            output_len: 512,
+            num_requests,
+        }
+    }
+
+    /// Peak sequence length a finished request occupies.
+    pub fn peak_len(&self) -> usize {
+        self.input_len + self.output_len
+    }
+}
+
+/// Result of one serving simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServingReport {
+    /// Output tokens per second — the headline number of Table 4.
+    pub throughput_tps: f64,
+    /// Wall-clock seconds for the whole workload.
+    pub total_time_s: f64,
+    /// Seconds spent in prefill.
+    pub prefill_time_s: f64,
+    /// Seconds spent in decode.
+    pub decode_time_s: f64,
+    /// The batch limit used.
+    pub max_batch: usize,
+    /// Requests completed (always == submitted on success).
+    pub completed: usize,
+    /// Mean end-to-end request latency (admission wait + prefill + decode),
+    /// seconds.
+    pub mean_request_latency_s: f64,
+    /// Worst-case request latency, seconds — bounds scheduler fairness.
+    pub max_request_latency_s: f64,
+}
+
+/// A serving engine instance for (GPU, model, system).
+#[derive(Debug, Clone)]
+pub struct ServingEngine {
+    gpu: GpuSpec,
+    model: ModelConfig,
+    system: SystemConfig,
+    plan: MemoryPlan,
+}
+
+/// Why an engine could not be constructed (the `OOM` / `N.S.` cells of
+/// Figure 15).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EngineUnavailable {
+    /// Weights don't fit device memory.
+    OutOfMemory,
+    /// The system does not support this model architecture.
+    NotSupported,
+}
+
+impl std::fmt::Display for EngineUnavailable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineUnavailable::OutOfMemory => write!(f, "OOM"),
+            EngineUnavailable::NotSupported => write!(f, "N.S."),
+        }
+    }
+}
+
+impl ServingEngine {
+    /// Builds an engine, checking model support and device memory.
+    ///
+    /// # Errors
+    /// [`EngineUnavailable::NotSupported`] or [`EngineUnavailable::OutOfMemory`].
+    pub fn new(
+        gpu: GpuSpec,
+        model: ModelConfig,
+        system: SystemConfig,
+    ) -> Result<Self, EngineUnavailable> {
+        if !system.supports(&model) {
+            return Err(EngineUnavailable::NotSupported);
+        }
+        let plan = MemoryPlan::plan(&model, &gpu, system.weight_bits(), system.kv_bits())
+            .ok_or(EngineUnavailable::OutOfMemory)?;
+        Ok(Self {
+            gpu,
+            model,
+            system,
+            plan,
+        })
+    }
+
+    /// The memory plan in force.
+    pub fn plan(&self) -> &MemoryPlan {
+        &self.plan
+    }
+
+    /// Memory-derived batch limit for a workload (0 ⇒ cannot serve).
+    pub fn memory_max_batch(&self, workload: &Workload) -> usize {
+        self.plan.max_batch(workload.peak_len())
+    }
+
+    /// GEMM latency of one decoder layer at token batch `batch`.
+    ///
+    /// Dense models run the four fused GEMMs of
+    /// [`ModelConfig::decode_gemm_shapes`]. MoE models route each token to
+    /// `active_experts` of `experts` FFNs: every touched expert's weights
+    /// stream from HBM while each processes only its share of tokens — the
+    /// memory-bound regime that makes Mixtral expensive to serve.
+    fn layer_gemm_latency(&self, batch: usize) -> f64 {
+        let cfg = self.system.gemm_config();
+        let h = self.model.hidden;
+        let kv = self.model.kv_heads * self.model.head_dim();
+        let mut t = 0.0;
+        // Attention projections (shared by dense and MoE).
+        for (n, k) in [(h + 2 * kv, h), (h, h)] {
+            t += gemm_latency(&self.gpu, cfg, GemmShape { m: batch, n, k }).total_s;
+        }
+        let e = self.model.experts;
+        if e == 1 {
+            for (n, k) in [(2 * self.model.ffn, h), (h, self.model.ffn)] {
+                t += gemm_latency(&self.gpu, cfg, GemmShape { m: batch, n, k }).total_s;
+            }
+        } else {
+            let routed = batch * self.model.active_experts;
+            let touched = e.min(routed.max(1));
+            let tokens_per_expert = (routed / touched).max(1);
+            for (n, k) in [(2 * self.model.ffn, h), (h, self.model.ffn)] {
+                t += touched as f64
+                    * gemm_latency(&self.gpu, cfg, GemmShape { m: tokens_per_expert, n, k })
+                        .total_s;
+            }
+        }
+        t
+    }
+
+    /// Latency of one decode step with `batch` sequences at mean KV length
+    /// `seq_len`.
+    pub fn decode_step_latency(&self, batch: usize, seq_len: usize) -> f64 {
+        let mut t = self.layer_gemm_latency(batch);
+        let attn = attention_decode_latency(
+            &self.gpu,
+            self.system.attention_kernel(),
+            AttentionShape {
+                batch,
+                seq_len,
+                query_heads: self.model.heads,
+                kv_heads: self.model.kv_heads,
+                head_dim: self.model.head_dim(),
+            },
+        );
+        t += attn.total_s;
+        // Auxiliary elementwise kernels: activation reads+writes + launches.
+        let act_bytes = 2.0 * 2.0 * batch as f64 * self.model.hidden as f64;
+        t += MISC_KERNELS_PER_LAYER
+            * (act_bytes / self.gpu.dram_bytes_per_s + self.gpu.kernel_overhead_s);
+        let per_layer = t;
+        per_layer * self.model.layers as f64 / self.system.runtime_efficiency() + STEP_OVERHEAD_S
+    }
+
+    /// Latency to prefill `batch` fresh requests of `input_len` tokens.
+    pub fn prefill_latency(&self, batch: usize, input_len: usize) -> f64 {
+        if batch == 0 {
+            return 0.0;
+        }
+        let tokens = batch * input_len;
+        let mut t = self.layer_gemm_latency(tokens);
+        t += attention_prefill_latency(
+            &self.gpu,
+            self.system.attention_kernel(),
+            batch,
+            input_len,
+            self.model.heads,
+            self.model.kv_heads,
+            self.model.head_dim(),
+        );
+        let act_bytes = 2.0 * 2.0 * tokens as f64 * self.model.hidden as f64;
+        t += MISC_KERNELS_PER_LAYER
+            * (act_bytes / self.gpu.dram_bytes_per_s + self.gpu.kernel_overhead_s);
+        t * self.model.layers as f64 / self.system.runtime_efficiency() + STEP_OVERHEAD_S
+    }
+
+    /// Runs the continuous-batching simulation at an explicit batch limit
+    /// (the Figure 17 same-batch protocol).
+    pub fn run_with_batch(&self, workload: &Workload, batch_limit: usize) -> ServingReport {
+        assert!(batch_limit > 0, "batch limit must be positive");
+        assert!(workload.num_requests > 0 && workload.output_len > 0);
+
+        #[derive(Clone, Copy)]
+        struct Active {
+            seq_len: usize,
+            remaining: usize,
+            submitted_at: f64,
+        }
+
+        let mut queue: VecDeque<()> = (0..workload.num_requests).map(|_| ()).collect();
+        let mut active: Vec<Active> = Vec::new();
+        let mut clock = 0.0f64;
+        let mut prefill_time = 0.0f64;
+        let mut decode_time = 0.0f64;
+        let mut completed = 0usize;
+        let mut latency_sum = 0.0f64;
+        let mut latency_max = 0.0f64;
+
+        while completed < workload.num_requests {
+            // Admission: fill free slots, charge prefill for the admitted wave.
+            let mut admitted = 0usize;
+            while active.len() < batch_limit && queue.pop_front().is_some() {
+                active.push(Active {
+                    seq_len: workload.input_len,
+                    remaining: workload.output_len,
+                    // All requests arrive at t=0 (offline benchmark), so the
+                    // request latency includes its queueing delay.
+                    submitted_at: 0.0,
+                });
+                admitted += 1;
+            }
+            if admitted > 0 {
+                let t = self.prefill_latency(admitted, workload.input_len);
+                clock += t;
+                prefill_time += t;
+            }
+            // One decode step for the whole active batch.
+            let mean_seq =
+                active.iter().map(|a| a.seq_len).sum::<usize>() / active.len().max(1);
+            let t = self.decode_step_latency(active.len(), mean_seq.max(1));
+            clock += t;
+            decode_time += t;
+            for a in &mut active {
+                a.seq_len += 1;
+                a.remaining -= 1;
+            }
+            let before = active.len();
+            active.retain(|a| {
+                if a.remaining == 0 {
+                    let lat = clock - a.submitted_at;
+                    latency_sum += lat;
+                    latency_max = latency_max.max(lat);
+                    false
+                } else {
+                    true
+                }
+            });
+            completed += before - active.len();
+        }
+
+        ServingReport {
+            throughput_tps: (workload.num_requests * workload.output_len) as f64 / clock,
+            total_time_s: clock,
+            prefill_time_s: prefill_time,
+            decode_time_s: decode_time,
+            max_batch: batch_limit,
+            completed,
+            mean_request_latency_s: latency_sum / workload.num_requests as f64,
+            max_request_latency_s: latency_max,
+        }
+    }
+
+    /// Online serving with staggered arrivals: request `i` becomes available
+    /// at `i / arrival_rate` seconds. Exercises the scheduler's in-flight
+    /// batching under partial load (as opposed to the offline all-at-once
+    /// benchmark) and reports latency statistics.
+    ///
+    /// # Panics
+    /// Panics if `arrival_rate` is not positive.
+    pub fn run_with_arrivals(
+        &self,
+        workload: &Workload,
+        batch_limit: usize,
+        arrival_rate: f64,
+    ) -> ServingReport {
+        assert!(arrival_rate > 0.0, "arrival rate must be positive");
+        assert!(batch_limit > 0, "batch limit must be positive");
+
+        #[derive(Clone, Copy)]
+        struct Active {
+            seq_len: usize,
+            remaining: usize,
+            submitted_at: f64,
+        }
+        let arrivals: Vec<f64> = (0..workload.num_requests)
+            .map(|i| i as f64 / arrival_rate)
+            .collect();
+        let mut next_arrival = 0usize;
+        let mut active: Vec<Active> = Vec::new();
+        let mut clock = 0.0f64;
+        let mut prefill_time = 0.0f64;
+        let mut decode_time = 0.0f64;
+        let mut completed = 0usize;
+        let mut latency_sum = 0.0f64;
+        let mut latency_max = 0.0f64;
+
+        while completed < workload.num_requests {
+            // Admit every request that has arrived and fits.
+            let mut admitted = 0usize;
+            while active.len() < batch_limit
+                && next_arrival < arrivals.len()
+                && arrivals[next_arrival] <= clock
+            {
+                active.push(Active {
+                    seq_len: workload.input_len,
+                    remaining: workload.output_len,
+                    submitted_at: arrivals[next_arrival],
+                });
+                next_arrival += 1;
+                admitted += 1;
+            }
+            if admitted > 0 {
+                let t = self.prefill_latency(admitted, workload.input_len);
+                clock += t;
+                prefill_time += t;
+            }
+            if active.is_empty() {
+                // Idle until the next arrival.
+                clock = arrivals[next_arrival].max(clock);
+                continue;
+            }
+            let mean_seq = active.iter().map(|a| a.seq_len).sum::<usize>() / active.len();
+            let t = self.decode_step_latency(active.len(), mean_seq.max(1));
+            clock += t;
+            decode_time += t;
+            for a in &mut active {
+                a.seq_len += 1;
+                a.remaining -= 1;
+            }
+            let before = active.len();
+            active.retain(|a| {
+                if a.remaining == 0 {
+                    let lat = clock - a.submitted_at;
+                    latency_sum += lat;
+                    latency_max = latency_max.max(lat);
+                    false
+                } else {
+                    true
+                }
+            });
+            completed += before - active.len();
+        }
+
+        ServingReport {
+            throughput_tps: (workload.num_requests * workload.output_len) as f64 / clock,
+            total_time_s: clock,
+            prefill_time_s: prefill_time,
+            decode_time_s: decode_time,
+            max_batch: batch_limit,
+            completed,
+            mean_request_latency_s: latency_sum / workload.num_requests as f64,
+            max_request_latency_s: latency_max,
+        }
+    }
+
+    /// The paper's headline measurement: maximum achievable throughput under
+    /// the device memory constraint.
+    ///
+    /// # Errors
+    /// [`EngineUnavailable::OutOfMemory`] when not even one sequence fits.
+    pub fn max_throughput(&self, workload: &Workload) -> Result<ServingReport, EngineUnavailable> {
+        let batch = self.memory_max_batch(workload);
+        if batch == 0 {
+            return Err(EngineUnavailable::OutOfMemory);
+        }
+        // Serve enough requests for steady state (≥2 full waves).
+        let wl = Workload {
+            num_requests: workload.num_requests.max(batch * 2),
+            ..*workload
+        };
+        Ok(self.run_with_batch(&wl, batch))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine(gpu: GpuSpec, model: ModelConfig, sys: SystemConfig) -> ServingEngine {
+        ServingEngine::new(gpu, model, sys).expect("engine must build")
+    }
+
+    fn tput(gpu: GpuSpec, model: ModelConfig, sys: SystemConfig) -> f64 {
+        engine(gpu, model, sys)
+            .max_throughput(&Workload::paper(64))
+            .expect("serves")
+            .throughput_tps
+    }
+
+    fn best_trt(gpu: GpuSpec, model: ModelConfig) -> f64 {
+        [SystemConfig::TrtFp16, SystemConfig::TrtW8A8, SystemConfig::TrtW4A16]
+            .into_iter()
+            .filter_map(|s| {
+                ServingEngine::new(gpu.clone(), model.clone(), s)
+                    .ok()?
+                    .max_throughput(&Workload::paper(64))
+                    .ok()
+            })
+            .map(|r| r.throughput_tps)
+            .fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn qserve_beats_best_trt_on_a100_llama2_7b() {
+        // Table 4: 1.25× on A100 for Llama-2-7B.
+        let m = ModelConfig::llama2_7b();
+        let q = tput(GpuSpec::a100(), m.clone(), SystemConfig::QServePerChannel);
+        let t = best_trt(GpuSpec::a100(), m);
+        let speedup = q / t;
+        assert!(
+            (1.05..2.2).contains(&speedup),
+            "A100 Llama-2-7B speedup {} out of band",
+            speedup
+        );
+    }
+
+    #[test]
+    fn qserve_l40s_speedup_larger_than_a100() {
+        // Figure 15: the L40S gains (1.47-3.47×) exceed the A100 gains
+        // (1.17-2.4×) for the same models.
+        let m = ModelConfig::llama2_13b();
+        let a100 = tput(GpuSpec::a100(), m.clone(), SystemConfig::QServePerChannel)
+            / best_trt(GpuSpec::a100(), m.clone());
+        let l40s = tput(GpuSpec::l40s(), m.clone(), SystemConfig::QServePerGroup)
+            / best_trt(GpuSpec::l40s(), m);
+        assert!(l40s > a100, "L40S speedup {} should exceed A100 {}", l40s, a100);
+    }
+
+    #[test]
+    fn atom_and_quarot_slower_than_trt_w8a8() {
+        // Figure 2b on A100, Llama-2-7B.
+        let m = ModelConfig::llama2_7b();
+        let w8a8 = tput(GpuSpec::a100(), m.clone(), SystemConfig::TrtW8A8);
+        let atom = tput(GpuSpec::a100(), m.clone(), SystemConfig::AtomW4A4);
+        let quarot = tput(GpuSpec::a100(), m, SystemConfig::QuarotW4A4);
+        assert!(atom < w8a8, "Atom {} must lose to W8A8 {}", atom, w8a8);
+        assert!(quarot < w8a8, "QuaRot {} must lose to W8A8 {}", quarot, w8a8);
+    }
+
+    #[test]
+    fn l40s_qserve_competitive_with_a100_trt() {
+        // Figure 1 / §6.3: QServe on the $8K L40S rivals TRT-LLM on the
+        // $25K A100. In our cost model the crossover lands slightly lower
+        // for Llama-2-7B (≈0.8×, attention-bandwidth-bound at max batch; see
+        // EXPERIMENTS.md) but holds outright for GQA models, and the
+        // per-dollar advantage is ≈2.5× everywhere.
+        let m7 = ModelConfig::llama2_7b();
+        let l40s_7b = tput(GpuSpec::l40s(), m7.clone(), SystemConfig::QServePerGroup);
+        let a100_7b = best_trt(GpuSpec::a100(), m7);
+        assert!(
+            l40s_7b > a100_7b * 0.75,
+            "L40S QServe {} should approach A100 TRT {}",
+            l40s_7b,
+            a100_7b
+        );
+        let per_dollar = (l40s_7b / GpuSpec::l40s().price_usd) / (a100_7b / GpuSpec::a100().price_usd);
+        assert!(per_dollar > 2.0, "per-dollar advantage {} should be ≈2.5×", per_dollar);
+        // GQA models: outright win (Table 4's Llama-3/Mistral/Yi rows).
+        let m3 = ModelConfig::llama3_8b();
+        let l40s_8b = tput(GpuSpec::l40s(), m3.clone(), SystemConfig::QServePerGroup);
+        let a100_8b = best_trt(GpuSpec::a100(), m3);
+        assert!(
+            l40s_8b > a100_8b,
+            "L40S QServe {} should beat A100 TRT {} for Llama-3-8B",
+            l40s_8b,
+            a100_8b
+        );
+    }
+
+    #[test]
+    fn fp16_70b_oom_everywhere() {
+        assert_eq!(
+            ServingEngine::new(GpuSpec::a100(), ModelConfig::llama2_70b(), SystemConfig::TrtFp16)
+                .err(),
+            Some(EngineUnavailable::OutOfMemory)
+        );
+    }
+
+    #[test]
+    fn unsupported_models_rejected() {
+        assert_eq!(
+            ServingEngine::new(GpuSpec::a100(), ModelConfig::llama3_8b(), SystemConfig::QuarotW4A4)
+                .err(),
+            Some(EngineUnavailable::NotSupported)
+        );
+    }
+
+    #[test]
+    fn larger_batch_higher_throughput_until_saturation() {
+        let e = engine(GpuSpec::a100(), ModelConfig::llama2_7b(), SystemConfig::QServePerChannel);
+        let wl = Workload::paper(256);
+        let t8 = e.run_with_batch(&wl, 8).throughput_tps;
+        let t64 = e.run_with_batch(&wl, 64).throughput_tps;
+        assert!(t64 > t8 * 2.0, "batching should pay: {} vs {}", t64, t8);
+    }
+
+    #[test]
+    fn all_requests_complete_and_tokens_conserved() {
+        let e = engine(GpuSpec::a100(), ModelConfig::llama2_7b(), SystemConfig::QServePerChannel);
+        let wl = Workload {
+            input_len: 128,
+            output_len: 32,
+            num_requests: 100,
+        };
+        let r = e.run_with_batch(&wl, 16);
+        assert_eq!(r.completed, 100);
+        assert!((r.throughput_tps * r.total_time_s - 3200.0).abs() < 1.0);
+        assert!(r.prefill_time_s + r.decode_time_s <= r.total_time_s + 1e-9);
+    }
+
+    #[test]
+    fn same_batch_qserve_beats_w8a8() {
+        // Figure 17: ~1.45× same-batch speedup for Llama-2-7B on L40S.
+        let m = ModelConfig::llama2_7b();
+        let q = engine(GpuSpec::l40s(), m.clone(), SystemConfig::QServePerGroup);
+        let t = engine(GpuSpec::l40s(), m, SystemConfig::TrtW8A8);
+        let wl = Workload::paper(128);
+        for batch in [16usize, 32, 64] {
+            let sq = q.run_with_batch(&wl, batch).throughput_tps;
+            let st = t.run_with_batch(&wl, batch).throughput_tps;
+            assert!(
+                sq > st,
+                "batch {}: QServe {} should beat W8A8 {} at the same batch",
+                batch,
+                sq,
+                st
+            );
+        }
+    }
+
+    #[test]
+    fn decode_latency_increases_with_seq_len() {
+        let e = engine(GpuSpec::a100(), ModelConfig::llama2_7b(), SystemConfig::QServePerChannel);
+        assert!(e.decode_step_latency(64, 2048) > e.decode_step_latency(64, 256));
+    }
+
+    #[test]
+    fn mixtral_moe_served_and_slower_than_dense_twin() {
+        // Mixtral routes 2 of 8 experts per token; at serving batches every
+        // expert's weights stream each step, so a Mixtral decode step must
+        // cost more than a dense model of the same *active* compute.
+        let moe = engine(GpuSpec::a100(), ModelConfig::mixtral_8x7b(), SystemConfig::QServePerChannel);
+        let dense = engine(GpuSpec::a100(), ModelConfig::mistral_7b(), SystemConfig::QServePerChannel);
+        let t_moe = moe.decode_step_latency(64, 1024);
+        let t_dense = dense.decode_step_latency(64, 1024);
+        assert!(
+            t_moe > t_dense * 1.5,
+            "MoE step {} should clearly exceed dense step {}",
+            t_moe,
+            t_dense
+        );
+        // And it still serves end to end.
+        let r = moe.max_throughput(&Workload::paper(16)).expect("serves");
+        assert!(r.throughput_tps > 0.0);
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let e = engine(GpuSpec::a100(), ModelConfig::llama2_7b(), SystemConfig::QServePerChannel);
+        let wl = Workload::paper(32);
+        let a = e.run_with_batch(&wl, 16);
+        let b = e.run_with_batch(&wl, 16);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn online_arrivals_latency_grows_with_load() {
+        // Under light load each request sails through; near saturation,
+        // queueing delay dominates. Throughput under light load tracks the
+        // offered rate, not the system's peak.
+        let e = engine(GpuSpec::a100(), ModelConfig::llama2_7b(), SystemConfig::QServePerChannel);
+        let wl = Workload {
+            input_len: 256,
+            output_len: 64,
+            num_requests: 48,
+        };
+        let offline = e.run_with_batch(&wl, 16);
+        let peak_rps = offline.throughput_tps / wl.output_len as f64;
+        let light = e.run_with_arrivals(&wl, 16, peak_rps * 0.3);
+        let heavy = e.run_with_arrivals(&wl, 16, peak_rps * 3.0);
+        assert!(
+            light.mean_request_latency_s < heavy.mean_request_latency_s,
+            "light-load latency {} should beat heavy-load {}",
+            light.mean_request_latency_s,
+            heavy.mean_request_latency_s
+        );
+        // Light load: throughput ≈ offered load, well below peak.
+        assert!(light.throughput_tps < offline.throughput_tps * 0.75);
+        assert_eq!(light.completed, 48);
+        assert_eq!(heavy.completed, 48);
+    }
+
+    #[test]
+    fn latency_stats_sane_and_fifo_bounded() {
+        let e = engine(GpuSpec::a100(), ModelConfig::llama2_7b(), SystemConfig::QServePerChannel);
+        let wl = Workload {
+            input_len: 128,
+            output_len: 32,
+            num_requests: 64,
+        };
+        let r = e.run_with_batch(&wl, 8);
+        assert!(r.mean_request_latency_s > 0.0);
+        assert!(r.max_request_latency_s >= r.mean_request_latency_s);
+        // FIFO admission: the worst request waits at most the full run.
+        assert!(r.max_request_latency_s <= r.total_time_s + 1e-9);
+        // With 8 waves of 8, the mean must be well below the max (no
+        // starvation pile-up at the end).
+        assert!(r.mean_request_latency_s < r.max_request_latency_s);
+    }
+}

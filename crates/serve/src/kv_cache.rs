@@ -1,0 +1,573 @@
+//! Paged KV cache with inline per-head dynamic quantization parameters
+//! (§5.1).
+//!
+//! Layout of one page (per layer, per sequence): `page_tokens` slots, each
+//! holding the quantized K and V features of every KV head followed by that
+//! token's per-head FP16 scale/zero pairs — "we store FP16 scaling factors
+//! and zero points for each head immediately following the quantized KV
+//! features in each KV cache page, allowing these values to be updated
+//! on-the-fly."
+//!
+//! The allocator is a free-list over fixed-size pages (the vLLM idea); a
+//! sequence owns one page table per layer.
+
+use bytes::{Bytes, BytesMut};
+use qserve_core::kv_quant::{quantize_head, KvPrecision, QuantizedHeadToken};
+use qserve_quant::params::QParams;
+use qserve_tensor::fp16::{f16_bits_to_f32, f32_to_f16_bits};
+use std::collections::HashMap;
+
+/// Identifies a serving sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SequenceId(pub u64);
+
+/// Static geometry of the cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KvCacheConfig {
+    /// Tokens per page (vLLM-style block size).
+    pub page_tokens: usize,
+    /// KV heads per layer.
+    pub kv_heads: usize,
+    /// Features per head.
+    pub head_dim: usize,
+    /// Transformer layers (each gets its own page table).
+    pub layers: usize,
+    /// Element precision.
+    pub precision: KvPrecision,
+}
+
+impl KvCacheConfig {
+    /// Bytes for one token's K+V features of one head (codes only).
+    fn head_code_bytes(&self) -> usize {
+        // Ceil for 4-bit: two codes per byte.
+        2 * (self.head_dim * self.precision.bits() as usize).div_ceil(8)
+    }
+
+    /// Bytes for one token slot in a page: codes for all heads + per-head
+    /// FP16 scale/zero for K and V (when quantized).
+    pub fn token_slot_bytes(&self) -> usize {
+        let codes = self.kv_heads * self.head_code_bytes();
+        let params = if self.precision == KvPrecision::Fp16 {
+            0
+        } else {
+            self.kv_heads * 2 * 4 // (scale f16 + zero f16) × (K, V)
+        };
+        codes + params
+    }
+
+    /// Total bytes of one page.
+    pub fn page_bytes(&self) -> usize {
+        self.page_tokens * self.token_slot_bytes()
+    }
+}
+
+/// One page: raw storage plus the count of filled token slots.
+#[derive(Debug, Clone)]
+struct KvPage {
+    data: BytesMut,
+    filled: usize,
+}
+
+/// A paged, quantized KV cache for many sequences.
+///
+/// # Example
+/// ```
+/// use qserve_serve::kv_cache::{KvCacheConfig, PagedKvCache, SequenceId};
+/// use qserve_core::kv_quant::KvPrecision;
+///
+/// let cfg = KvCacheConfig {
+///     page_tokens: 16, kv_heads: 2, head_dim: 8, layers: 1,
+///     precision: KvPrecision::Int4,
+/// };
+/// let mut cache = PagedKvCache::new(cfg, 64);
+/// let seq = SequenceId(0);
+/// cache.register(seq).unwrap();
+/// let k = vec![0.5; 16];
+/// let v = vec![-0.25; 16];
+/// cache.append_token(seq, 0, &k, &v).unwrap();
+/// assert_eq!(cache.seq_len(seq), 1);
+/// ```
+#[derive(Debug)]
+pub struct PagedKvCache {
+    config: KvCacheConfig,
+    pages: Vec<KvPage>,
+    free_list: Vec<usize>,
+    /// Page table: per sequence, per layer, ordered page indices.
+    tables: HashMap<SequenceId, Vec<Vec<usize>>>,
+    /// Cached token count per sequence.
+    lens: HashMap<SequenceId, usize>,
+}
+
+/// Errors from cache operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KvCacheError {
+    /// No free pages left.
+    OutOfPages,
+    /// The sequence id is not registered.
+    UnknownSequence(SequenceId),
+    /// The sequence id is already registered.
+    DuplicateSequence(SequenceId),
+}
+
+impl std::fmt::Display for KvCacheError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KvCacheError::OutOfPages => write!(f, "KV cache out of pages"),
+            KvCacheError::UnknownSequence(s) => write!(f, "unknown sequence {:?}", s),
+            KvCacheError::DuplicateSequence(s) => write!(f, "duplicate sequence {:?}", s),
+        }
+    }
+}
+
+impl std::error::Error for KvCacheError {}
+
+impl PagedKvCache {
+    /// Creates a cache with a fixed page pool.
+    pub fn new(config: KvCacheConfig, total_pages: usize) -> Self {
+        let pages = (0..total_pages)
+            .map(|_| KvPage {
+                data: BytesMut::zeroed(config.page_bytes()),
+                filled: 0,
+            })
+            .collect();
+        Self {
+            config,
+            pages,
+            free_list: (0..total_pages).rev().collect(),
+            tables: HashMap::new(),
+            lens: HashMap::new(),
+        }
+    }
+
+    /// The cache geometry.
+    pub fn config(&self) -> &KvCacheConfig {
+        &self.config
+    }
+
+    /// Free pages remaining.
+    pub fn free_pages(&self) -> usize {
+        self.free_list.len()
+    }
+
+    /// Pages currently allocated to sequences.
+    pub fn used_pages(&self) -> usize {
+        self.pages.len() - self.free_list.len()
+    }
+
+    /// Registers a new sequence.
+    ///
+    /// # Errors
+    /// [`KvCacheError::DuplicateSequence`] if already present.
+    pub fn register(&mut self, seq: SequenceId) -> Result<(), KvCacheError> {
+        if self.tables.contains_key(&seq) {
+            return Err(KvCacheError::DuplicateSequence(seq));
+        }
+        self.tables.insert(seq, vec![Vec::new(); self.config.layers]);
+        self.lens.insert(seq, 0);
+        Ok(())
+    }
+
+    /// Releases every page of a sequence back to the free list.
+    ///
+    /// # Errors
+    /// [`KvCacheError::UnknownSequence`] if not registered.
+    pub fn release(&mut self, seq: SequenceId) -> Result<(), KvCacheError> {
+        let table = self
+            .tables
+            .remove(&seq)
+            .ok_or(KvCacheError::UnknownSequence(seq))?;
+        self.lens.remove(&seq);
+        for layer in table {
+            for page in layer {
+                self.pages[page].filled = 0;
+                self.free_list.push(page);
+            }
+        }
+        Ok(())
+    }
+
+    /// Cached token count of a sequence (0 if unknown).
+    pub fn seq_len(&self, seq: SequenceId) -> usize {
+        self.lens.get(&seq).copied().unwrap_or(0)
+    }
+
+    /// Pages a sequence of `tokens` cached tokens needs per layer.
+    pub fn pages_for_tokens(&self, tokens: usize) -> usize {
+        tokens.div_ceil(self.config.page_tokens)
+    }
+
+    /// Whether `extra_tokens` more tokens can be appended to `seq` without
+    /// exhausting the pool (across all layers).
+    pub fn can_grow(&self, seq: SequenceId, extra_tokens: usize) -> bool {
+        let cur = self.seq_len(seq);
+        let need_per_layer =
+            self.pages_for_tokens(cur + extra_tokens) - self.pages_for_tokens(cur);
+        need_per_layer * self.config.layers <= self.free_list.len()
+    }
+
+    /// Appends one token's K/V features for one layer, quantizing on the
+    /// fly and writing codes + per-head params into the page.
+    ///
+    /// `k`/`v` are the full-width rows (`kv_heads × head_dim`). The sequence
+    /// length counter advances only on layer 0 (callers append the same
+    /// token to every layer).
+    ///
+    /// # Errors
+    /// [`KvCacheError::UnknownSequence`] or [`KvCacheError::OutOfPages`].
+    ///
+    /// # Panics
+    /// Panics if feature lengths disagree with the geometry.
+    pub fn append_token(
+        &mut self,
+        seq: SequenceId,
+        layer: usize,
+        k: &[f32],
+        v: &[f32],
+    ) -> Result<(), KvCacheError> {
+        let width = self.config.kv_heads * self.config.head_dim;
+        assert_eq!(k.len(), width, "K width mismatch");
+        assert_eq!(v.len(), width, "V width mismatch");
+        assert!(layer < self.config.layers, "layer out of range");
+        if !self.tables.contains_key(&seq) {
+            return Err(KvCacheError::UnknownSequence(seq));
+        }
+        // Find or allocate the tail page for this layer.
+        let needs_new_page = {
+            let table = &self.tables[&seq][layer];
+            match table.last() {
+                Some(&p) => self.pages[p].filled == self.config.page_tokens,
+                None => true,
+            }
+        };
+        if needs_new_page {
+            let page = self.free_list.pop().ok_or(KvCacheError::OutOfPages)?;
+            self.pages[page].filled = 0;
+            self.tables.get_mut(&seq).unwrap()[layer].push(page);
+        }
+        let page_idx = *self.tables[&seq][layer].last().unwrap();
+        let slot = self.pages[page_idx].filled;
+        let slot_bytes = self.config.token_slot_bytes();
+        let precision = self.config.precision;
+        let head_dim = self.config.head_dim;
+
+        let mut cursor = slot * slot_bytes;
+        {
+            let page = &mut self.pages[page_idx];
+            for half in [k, v] {
+                for head in half.chunks(head_dim) {
+                    if precision == KvPrecision::Fp16 {
+                        for &x in head {
+                            let bits = f32_to_f16_bits(x);
+                            page.data[cursor..cursor + 2].copy_from_slice(&bits.to_le_bytes());
+                            cursor += 2;
+                        }
+                    } else {
+                        let q = quantize_head(head, precision);
+                        cursor = write_codes(&mut page.data, cursor, &q, precision);
+                    }
+                }
+            }
+            // Parameter block: per-head (scale, zero) for K then V.
+            if precision != KvPrecision::Fp16 {
+                for half in [k, v] {
+                    for head in half.chunks(head_dim) {
+                        let q = quantize_head(head, precision);
+                        let s = f32_to_f16_bits(q.params.scale);
+                        let z = f32_to_f16_bits(q.params.zero as f32);
+                        page.data[cursor..cursor + 2].copy_from_slice(&s.to_le_bytes());
+                        page.data[cursor + 2..cursor + 4].copy_from_slice(&z.to_le_bytes());
+                        cursor += 4;
+                    }
+                }
+            }
+            page.filled += 1;
+        }
+        if layer == 0 {
+            *self.lens.get_mut(&seq).unwrap() += 1;
+        }
+        Ok(())
+    }
+
+    /// Reads back one head's quantized K and V streams for attention
+    /// (`layer`, `head`), decoding pages in order.
+    ///
+    /// # Errors
+    /// [`KvCacheError::UnknownSequence`].
+    pub fn read_head(
+        &self,
+        seq: SequenceId,
+        layer: usize,
+        head: usize,
+    ) -> Result<(Vec<QuantizedHeadToken>, Vec<QuantizedHeadToken>), KvCacheError> {
+        let table = self
+            .tables
+            .get(&seq)
+            .ok_or(KvCacheError::UnknownSequence(seq))?;
+        assert!(head < self.config.kv_heads, "head out of range");
+        let mut keys = Vec::new();
+        let mut values = Vec::new();
+        for &page_idx in &table[layer] {
+            let page = &self.pages[page_idx];
+            for slot in 0..page.filled {
+                let (kq, vq) = self.read_slot_head(page, slot, head);
+                keys.push(kq);
+                values.push(vq);
+            }
+        }
+        Ok((keys, values))
+    }
+
+    fn read_slot_head(&self, page: &KvPage, slot: usize, head: usize) -> (QuantizedHeadToken, QuantizedHeadToken) {
+        let cfg = &self.config;
+        let slot_base = slot * cfg.token_slot_bytes();
+        let head_bytes = cfg.head_code_bytes() / 2; // per K or V
+        let read_half = |half: usize| -> QuantizedHeadToken {
+            let code_base = slot_base + (half * cfg.kv_heads + head) * head_bytes;
+            let codes = read_codes(&page.data, code_base, cfg.head_dim, cfg.precision);
+            let params = if cfg.precision == KvPrecision::Fp16 {
+                QParams { scale: 1.0, zero: 0 }
+            } else {
+                let params_base = slot_base
+                    + 2 * cfg.kv_heads * head_bytes
+                    + (half * cfg.kv_heads + head) * 4;
+                let s = f16_bits_to_f32(u16::from_le_bytes(
+                    page.data[params_base..params_base + 2].try_into().unwrap(),
+                ));
+                let z = f16_bits_to_f32(u16::from_le_bytes(
+                    page.data[params_base + 2..params_base + 4].try_into().unwrap(),
+                ));
+                QParams { scale: s, zero: z as i32 }
+            };
+            QuantizedHeadToken { codes, params }
+        };
+        (read_half(0), read_half(1))
+    }
+
+    /// Immutable snapshot of a page's raw bytes (for tests/debug).
+    pub fn page_bytes_snapshot(&self, page: usize) -> Bytes {
+        Bytes::copy_from_slice(&self.pages[page].data)
+    }
+}
+
+fn write_codes(
+    data: &mut BytesMut,
+    mut cursor: usize,
+    q: &QuantizedHeadToken,
+    precision: KvPrecision,
+) -> usize {
+    match precision {
+        KvPrecision::Int8 => {
+            for &c in &q.codes {
+                data[cursor] = c;
+                cursor += 1;
+            }
+        }
+        KvPrecision::Int4 => {
+            for pair in q.codes.chunks(2) {
+                let lo = pair[0] & 0x0F;
+                let hi = pair.get(1).copied().unwrap_or(0) & 0x0F;
+                data[cursor] = lo | (hi << 4);
+                cursor += 1;
+            }
+        }
+        KvPrecision::Fp16 => unreachable!("fp16 handled inline"),
+    }
+    cursor
+}
+
+fn read_codes(data: &[u8], base: usize, head_dim: usize, precision: KvPrecision) -> Vec<u8> {
+    match precision {
+        KvPrecision::Int8 => data[base..base + head_dim].to_vec(),
+        KvPrecision::Int4 => {
+            let mut out = Vec::with_capacity(head_dim);
+            for i in 0..head_dim.div_ceil(2) {
+                let byte = data[base + i];
+                out.push(byte & 0x0F);
+                if out.len() < head_dim {
+                    out.push(byte >> 4);
+                }
+            }
+            out
+        }
+        KvPrecision::Fp16 => {
+            // FP16 codes are not used through this path; represented as
+            // empty (read_head returns params scale=1 and empty codes).
+            Vec::new()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qserve_core::kv_quant::dequantize_head;
+    use qserve_tensor::rng::TensorRng;
+
+    fn cfg(precision: KvPrecision) -> KvCacheConfig {
+        KvCacheConfig {
+            page_tokens: 4,
+            kv_heads: 2,
+            head_dim: 8,
+            layers: 2,
+            precision,
+        }
+    }
+
+    #[test]
+    fn register_release_round_trip() {
+        let mut c = PagedKvCache::new(cfg(KvPrecision::Int4), 16);
+        let s = SequenceId(1);
+        c.register(s).unwrap();
+        assert_eq!(c.register(s), Err(KvCacheError::DuplicateSequence(s)));
+        c.release(s).unwrap();
+        assert_eq!(c.release(s), Err(KvCacheError::UnknownSequence(s)));
+        assert_eq!(c.free_pages(), 16);
+    }
+
+    #[test]
+    fn append_and_read_back_within_quant_error() {
+        let mut rng = TensorRng::seed(1);
+        let mut c = PagedKvCache::new(cfg(KvPrecision::Int4), 32);
+        let s = SequenceId(7);
+        c.register(s).unwrap();
+        let mut originals = Vec::new();
+        for _ in 0..10 {
+            let k: Vec<f32> = (0..16).map(|_| rng.normal(1.0)).collect();
+            let v: Vec<f32> = (0..16).map(|_| rng.normal(1.0)).collect();
+            for layer in 0..2 {
+                c.append_token(s, layer, &k, &v).unwrap();
+            }
+            originals.push((k, v));
+        }
+        assert_eq!(c.seq_len(s), 10);
+        let (keys, values) = c.read_head(s, 0, 1).unwrap();
+        assert_eq!(keys.len(), 10);
+        for (t, (k_orig, v_orig)) in originals.iter().enumerate() {
+            let k_back = dequantize_head(&keys[t]);
+            let v_back = dequantize_head(&values[t]);
+            for (a, b) in k_orig[8..16].iter().zip(&k_back) {
+                // One quantization step + fp16 param rounding.
+                assert!((a - b).abs() <= keys[t].params.scale * 1.5, "{} vs {}", a, b);
+            }
+            for (a, b) in v_orig[8..16].iter().zip(&v_back) {
+                assert!((a - b).abs() <= values[t].params.scale * 1.5);
+            }
+        }
+    }
+
+    #[test]
+    fn kv8_read_back_tighter_than_kv4() {
+        let mut rng = TensorRng::seed(2);
+        let feats: Vec<f32> = (0..16).map(|_| rng.normal(1.0)).collect();
+        let mut err = [0.0f32; 2];
+        for (i, p) in [KvPrecision::Int8, KvPrecision::Int4].iter().enumerate() {
+            let mut c = PagedKvCache::new(cfg(*p), 8);
+            let s = SequenceId(0);
+            c.register(s).unwrap();
+            c.append_token(s, 0, &feats, &feats).unwrap();
+            let (keys, _) = c.read_head(s, 0, 0).unwrap();
+            let back = dequantize_head(&keys[0]);
+            err[i] = feats[..8]
+                .iter()
+                .zip(&back)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0, f32::max);
+        }
+        assert!(err[0] < err[1]);
+    }
+
+    #[test]
+    fn pages_allocated_lazily_per_layer() {
+        let mut c = PagedKvCache::new(cfg(KvPrecision::Int4), 32);
+        let s = SequenceId(3);
+        c.register(s).unwrap();
+        assert_eq!(c.used_pages(), 0);
+        let k = vec![0.0f32; 16];
+        for layer in 0..2 {
+            c.append_token(s, layer, &k, &k).unwrap();
+        }
+        assert_eq!(c.used_pages(), 2); // one page per layer
+        // 4 tokens per page: three more appends stay in the same pages.
+        for _ in 0..3 {
+            for layer in 0..2 {
+                c.append_token(s, layer, &k, &k).unwrap();
+            }
+        }
+        assert_eq!(c.used_pages(), 2);
+        for layer in 0..2 {
+            c.append_token(s, layer, &k, &k).unwrap();
+        }
+        assert_eq!(c.used_pages(), 4);
+    }
+
+    #[test]
+    fn out_of_pages_reported() {
+        let mut c = PagedKvCache::new(cfg(KvPrecision::Int4), 2);
+        let s = SequenceId(4);
+        c.register(s).unwrap();
+        let k = vec![0.0f32; 16];
+        // 2 pages = 2 layers × 1 page; the 5th token needs page 3.
+        for _ in 0..4 {
+            for layer in 0..2 {
+                c.append_token(s, layer, &k, &k).unwrap();
+            }
+        }
+        let r = c.append_token(s, 0, &k, &k);
+        assert_eq!(r, Err(KvCacheError::OutOfPages));
+    }
+
+    #[test]
+    fn release_returns_pages_for_reuse() {
+        let mut c = PagedKvCache::new(cfg(KvPrecision::Int4), 4);
+        let k = vec![0.0f32; 16];
+        for round in 0..5 {
+            let s = SequenceId(round);
+            c.register(s).unwrap();
+            for _ in 0..8 {
+                for layer in 0..2 {
+                    c.append_token(s, layer, &k, &k).unwrap();
+                }
+            }
+            assert_eq!(c.free_pages(), 0);
+            c.release(s).unwrap();
+            assert_eq!(c.free_pages(), 4);
+        }
+    }
+
+    #[test]
+    fn can_grow_accounting() {
+        let mut c = PagedKvCache::new(cfg(KvPrecision::Int4), 4);
+        let s = SequenceId(0);
+        c.register(s).unwrap();
+        assert!(c.can_grow(s, 4)); // 1 page × 2 layers
+        assert!(c.can_grow(s, 8)); // 2 pages × 2 layers = all 4
+        assert!(!c.can_grow(s, 9)); // needs 3 pages per layer = 6 > 4
+    }
+
+    #[test]
+    fn per_head_params_stored_independently() {
+        // Head 0 huge, head 1 small: stored scales must differ.
+        let mut c = PagedKvCache::new(cfg(KvPrecision::Int4), 8);
+        let s = SequenceId(0);
+        c.register(s).unwrap();
+        let mut k = vec![0.1f32; 16];
+        for item in k.iter_mut().take(8) {
+            *item = 50.0;
+        }
+        c.append_token(s, 0, &k, &k).unwrap();
+        let (k0, _) = c.read_head(s, 0, 0).unwrap();
+        let (k1, _) = c.read_head(s, 0, 1).unwrap();
+        assert!(k0[0].params.scale > k1[0].params.scale * 10.0);
+    }
+
+    #[test]
+    fn page_bytes_layout_sizes() {
+        let c4 = cfg(KvPrecision::Int4);
+        // codes: 2 heads × 2×(8×4/8) = 2×8 = 16; params: 2 heads × 8 = 16.
+        assert_eq!(c4.token_slot_bytes(), 16 + 16);
+        let c8 = cfg(KvPrecision::Int8);
+        assert_eq!(c8.token_slot_bytes(), 32 + 16);
+        let cf = cfg(KvPrecision::Fp16);
+        assert_eq!(cf.token_slot_bytes(), 64);
+    }
+}

@@ -1,0 +1,34 @@
+//! The QServe serving system (§5.1, §6.3).
+//!
+//! * [`kv_cache`] — paged KV cache with *inline per-head dynamic scales*:
+//!   FP16 scale/zero pairs stored immediately after the quantized features in
+//!   each page, updatable on the fly (unlike vLLM/TRT-LLM's offline
+//!   per-tensor scales).
+//! * [`memory`] — device memory budgeting: weights + workspace + KV pages,
+//!   and the max-batch search the throughput benchmark relies on ("maximum
+//!   achievable throughput within the same memory constraints").
+//! * [`baselines`] — system models for every baseline in Figures 2b/15/17:
+//!   TensorRT-LLM (FP16 / W8A8 / W4A16), Atom and QuaRot (W4A4), alongside
+//!   QServe per-channel and per-group.
+//! * [`engine`] — a continuous-batching serving engine running against the
+//!   `qserve-gpusim` cost model: step-level simulation with prefill
+//!   admission, decode batching, KV growth and retirement.
+//!
+//! The engine's scheduler/cache logic is real (allocation, batching,
+//! accounting all execute); only kernel *wall-clock* comes from the cost
+//! model (DESIGN.md §1).
+
+pub mod attention_exec;
+pub mod baselines;
+pub mod block_exec;
+pub mod engine;
+pub mod kv_cache;
+pub mod memory;
+pub mod model_exec;
+
+pub use attention_exec::paged_decode_attention;
+pub use block_exec::BlockRuntime;
+pub use model_exec::ModelRuntime;
+pub use baselines::SystemConfig;
+pub use engine::{ServingEngine, ServingReport, Workload};
+pub use kv_cache::{PagedKvCache, SequenceId};

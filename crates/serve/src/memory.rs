@@ -1,0 +1,116 @@
+//! Device memory budgeting and max-batch search (§6.3: "the maximum
+//! achievable throughput within the same memory constraints").
+
+use qserve_gpusim::GpuSpec;
+use qserve_model::ModelConfig;
+use serde::{Deserialize, Serialize};
+
+/// Workspace reserved for activations, cublas scratch, CUDA context etc.,
+/// as a fraction of device memory.
+pub const WORKSPACE_FRACTION: f64 = 0.08;
+
+/// A memory plan for serving one model on one GPU.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemoryPlan {
+    /// Weight bytes at the system's weight precision.
+    pub weight_bytes: u64,
+    /// Bytes reserved for workspace.
+    pub workspace_bytes: u64,
+    /// Bytes left for KV pages.
+    pub kv_budget_bytes: u64,
+    /// KV bytes per cached token (all layers).
+    pub kv_bytes_per_token: u64,
+    /// Maximum cached tokens.
+    pub max_tokens: u64,
+}
+
+impl MemoryPlan {
+    /// Builds the plan; returns `None` when the weights alone exceed the
+    /// device (the "OOM" entries of Table 4).
+    pub fn plan(
+        model: &ModelConfig,
+        gpu: &GpuSpec,
+        weight_bits: u32,
+        kv_bits: u32,
+    ) -> Option<Self> {
+        let weight_bytes = model.weight_bytes(weight_bits);
+        let workspace_bytes = (gpu.memory_bytes as f64 * WORKSPACE_FRACTION) as u64;
+        let used = weight_bytes + workspace_bytes;
+        if used >= gpu.memory_bytes {
+            return None;
+        }
+        let kv_budget_bytes = gpu.memory_bytes - used;
+        let kv_bytes_per_token = model.kv_bytes_per_token(kv_bits).max(1);
+        Some(Self {
+            weight_bytes,
+            workspace_bytes,
+            kv_budget_bytes,
+            kv_bytes_per_token,
+            max_tokens: kv_budget_bytes / kv_bytes_per_token,
+        })
+    }
+
+    /// Max concurrent sequences when each holds `max_seq_len` tokens at peak
+    /// (the conservative sizing real schedulers use for admission).
+    pub fn max_batch(&self, max_seq_len: usize) -> usize {
+        (self.max_tokens / max_seq_len.max(1) as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fp16_70b_oom_on_both_gpus() {
+        let m = ModelConfig::llama2_70b();
+        assert!(MemoryPlan::plan(&m, &GpuSpec::a100(), 16, 16).is_none());
+        assert!(MemoryPlan::plan(&m, &GpuSpec::l40s(), 16, 16).is_none());
+    }
+
+    #[test]
+    fn w4_70b_fits_both_gpus() {
+        let m = ModelConfig::llama2_70b();
+        assert!(MemoryPlan::plan(&m, &GpuSpec::a100(), 4, 4).is_some());
+        let l40s = MemoryPlan::plan(&m, &GpuSpec::l40s(), 4, 4).expect("fits");
+        assert!(l40s.max_batch(1536) >= 1, "must admit at least one sequence");
+    }
+
+    #[test]
+    fn qserve_batches_larger_than_w8a8() {
+        // "QServe effectively maintains the same batch size as TensorRT-LLM
+        // on the A100" despite L40S's smaller memory — driven by W4 + KV4.
+        let m = ModelConfig::llama2_7b();
+        let a100_w8 = MemoryPlan::plan(&m, &GpuSpec::a100(), 8, 8).unwrap();
+        let l40s_qserve = MemoryPlan::plan(&m, &GpuSpec::l40s(), 4, 4).unwrap();
+        let b_w8 = a100_w8.max_batch(1536);
+        let b_qs = l40s_qserve.max_batch(1536);
+        assert!(
+            b_qs as f64 >= b_w8 as f64 * 0.5,
+            "L40S QServe batch {} should approach A100 W8A8 batch {}",
+            b_qs,
+            b_w8
+        );
+    }
+
+    #[test]
+    fn kv4_doubles_max_tokens_vs_kv8() {
+        let m = ModelConfig::llama2_7b();
+        let gpu = GpuSpec::a100();
+        let kv8 = MemoryPlan::plan(&m, &gpu, 4, 8).unwrap();
+        let kv4 = MemoryPlan::plan(&m, &gpu, 4, 4).unwrap();
+        let ratio = kv4.max_tokens as f64 / kv8.max_tokens as f64;
+        assert!((1.7..2.1).contains(&ratio), "ratio {}", ratio);
+    }
+
+    #[test]
+    fn plan_accounts_sum_to_capacity() {
+        let m = ModelConfig::llama2_7b();
+        let gpu = GpuSpec::a100();
+        let p = MemoryPlan::plan(&m, &gpu, 4, 4).unwrap();
+        assert_eq!(
+            p.weight_bytes + p.workspace_bytes + p.kv_budget_bytes,
+            gpu.memory_bytes
+        );
+    }
+}

@@ -1,0 +1,224 @@
+//! End-to-end functional inference: a whole synthetic model deployed through
+//! the QServe stack — QoQ-quantized weights in every block, W4A8 GEMM
+//! kernels, paged KV4 caches per layer, fused FP16 attention — generating
+//! tokens autoregressively.
+
+use crate::block_exec::BlockRuntime;
+use crate::kv_cache::{KvCacheConfig, KvCacheError, PagedKvCache, SequenceId};
+use qserve_core::pipeline::{quantize_block, QoqConfig};
+use qserve_model::forward::collect_calibration;
+use qserve_model::synth::SyntheticModel;
+use qserve_tensor::ops::rmsnorm;
+use qserve_tensor::Matrix;
+
+/// A fully-deployed synthetic model: per-block runtimes plus one paged KV
+/// cache per layer.
+#[derive(Debug)]
+pub struct ModelRuntime {
+    model: SyntheticModel,
+    blocks: Vec<BlockRuntime>,
+    cache: PagedKvCache,
+    next_seq: u64,
+}
+
+impl ModelRuntime {
+    /// Quantizes every block of `model` with `cfg` (calibrating on
+    /// `calib_tokens`) and allocates a KV cache with `pages` pages.
+    pub fn deploy(model: &SyntheticModel, cfg: &QoqConfig, calib_tokens: &[u32], pages: usize) -> Self {
+        let calib = collect_calibration(model, calib_tokens);
+        let blocks = model
+            .blocks
+            .iter()
+            .zip(&calib)
+            .map(|(b, x)| BlockRuntime::new(&quantize_block(b, x, cfg)))
+            .collect();
+        let cache = PagedKvCache::new(
+            KvCacheConfig {
+                page_tokens: 16,
+                kv_heads: model.config.kv_heads,
+                head_dim: model.config.head_dim(),
+                layers: model.config.layers,
+                precision: cfg.kv_precision,
+            },
+            pages,
+        );
+        Self {
+            model: model.clone(),
+            blocks,
+            cache,
+            next_seq: 0,
+        }
+    }
+
+    /// The underlying KV cache (for inspection).
+    pub fn cache(&self) -> &PagedKvCache {
+        &self.cache
+    }
+
+    /// Starts a new sequence, returning its id.
+    ///
+    /// # Errors
+    /// Propagates cache registration errors.
+    pub fn start_sequence(&mut self) -> Result<SequenceId, KvCacheError> {
+        let id = SequenceId(self.next_seq);
+        self.next_seq += 1;
+        self.cache.register(id)?;
+        Ok(id)
+    }
+
+    /// Releases a finished sequence's pages.
+    ///
+    /// # Errors
+    /// Propagates cache errors.
+    pub fn finish_sequence(&mut self, seq: SequenceId) -> Result<(), KvCacheError> {
+        self.cache.release(seq)
+    }
+
+    /// Runs one token through every layer (prefill and decode share this
+    /// path), returning the logits row.
+    ///
+    /// # Errors
+    /// Propagates cache errors (e.g. out of pages).
+    pub fn step(&mut self, seq: SequenceId, token: u32) -> Result<Vec<f32>, KvCacheError> {
+        let pos = self.cache.seq_len(seq);
+        let h = self.model.config.hidden;
+        let mut x = Matrix::zeros(1, h);
+        x.row_mut(0).copy_from_slice(
+            self.model
+                .embedding
+                .row(token as usize % self.model.config.vocab),
+        );
+        for (layer, (runtime, (attn_norm, ffn_norm))) in
+            self.blocks.iter().zip(&self.model.norms).enumerate()
+        {
+            x = runtime.decode_step(
+                &x,
+                &[seq],
+                &[pos],
+                layer,
+                &mut self.cache,
+                attn_norm,
+                ffn_norm,
+                self.model.rope_base,
+            )?;
+        }
+        let x = rmsnorm(&x, &self.model.final_norm, 1e-5);
+        let logits = x.matmul_nt(&self.model.embedding).scale(1.0 / (h as f32).sqrt());
+        Ok(logits.row(0).to_vec())
+    }
+
+    /// Greedy generation: prefills `prompt`, then emits `max_new` tokens by
+    /// argmax. Returns the generated token ids.
+    ///
+    /// # Errors
+    /// Propagates cache errors.
+    pub fn generate_greedy(
+        &mut self,
+        seq: SequenceId,
+        prompt: &[u32],
+        max_new: usize,
+    ) -> Result<Vec<u32>, KvCacheError> {
+        assert!(!prompt.is_empty(), "prompt must be non-empty");
+        let mut logits = Vec::new();
+        for &t in prompt {
+            logits = self.step(seq, t)?;
+        }
+        let mut out = Vec::with_capacity(max_new);
+        for _ in 0..max_new {
+            let next = argmax(&logits) as u32;
+            out.push(next);
+            logits = self.step(seq, next)?;
+        }
+        Ok(out)
+    }
+}
+
+fn argmax(v: &[f32]) -> usize {
+    v.iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qserve_core::pipeline::WeightGranularity;
+    use qserve_model::eval::top1_agreement;
+    use qserve_model::forward::forward_logits;
+    use qserve_tensor::rng::TensorRng;
+
+    fn deploy_small() -> (SyntheticModel, ModelRuntime) {
+        let model = SyntheticModel::small(2);
+        let calib = TensorRng::seed(1).token_sequence(32, model.config.vocab);
+        let cfg = QoqConfig {
+            weight_granularity: WeightGranularity::PerGroup(32),
+            ..QoqConfig::w4a8kv4_g128()
+        };
+        let rt = ModelRuntime::deploy(&model, &cfg, &calib, 1024);
+        (model, rt)
+    }
+
+    #[test]
+    fn deployed_logits_track_reference() {
+        // The quantized deployment's next-token prediction should mostly
+        // agree with the FP16 reference model.
+        let (model, mut rt) = deploy_small();
+        let seq = rt.start_sequence().unwrap();
+        let tokens = TensorRng::seed(2).token_sequence(12, model.config.vocab);
+        let ref_logits = forward_logits(&model, &tokens);
+        let mut deployed_rows = Vec::new();
+        for &t in &tokens {
+            deployed_rows.push(rt.step(seq, t).unwrap());
+        }
+        let deployed = Matrix::from_vec(
+            tokens.len(),
+            model.config.vocab,
+            deployed_rows.into_iter().flatten().collect(),
+        );
+        let agree = top1_agreement(&ref_logits, &deployed);
+        assert!(agree >= 0.5, "deployment diverged from reference: {}", agree);
+    }
+
+    #[test]
+    fn greedy_generation_is_deterministic() {
+        let (_, mut rt1) = deploy_small();
+        let (_, mut rt2) = deploy_small();
+        let s1 = rt1.start_sequence().unwrap();
+        let s2 = rt2.start_sequence().unwrap();
+        let g1 = rt1.generate_greedy(s1, &[3, 5, 7], 8).unwrap();
+        let g2 = rt2.generate_greedy(s2, &[3, 5, 7], 8).unwrap();
+        assert_eq!(g1, g2);
+        assert_eq!(g1.len(), 8);
+    }
+
+    #[test]
+    fn sequences_are_isolated() {
+        // Interleaving a second sequence must not change the first's output.
+        let (_, mut rt) = deploy_small();
+        let a = rt.start_sequence().unwrap();
+        let b = rt.start_sequence().unwrap();
+        let la1 = rt.step(a, 11).unwrap();
+        let _ = rt.step(b, 42).unwrap();
+        let la2 = rt.step(a, 12).unwrap();
+
+        let (_, mut rt_solo) = deploy_small();
+        let a2 = rt_solo.start_sequence().unwrap();
+        let solo1 = rt_solo.step(a2, 11).unwrap();
+        let solo2 = rt_solo.step(a2, 12).unwrap();
+        assert_eq!(la1, solo1);
+        assert_eq!(la2, solo2);
+    }
+
+    #[test]
+    fn finish_releases_pages() {
+        let (_, mut rt) = deploy_small();
+        let free0 = rt.cache().free_pages();
+        let s = rt.start_sequence().unwrap();
+        rt.generate_greedy(s, &[1, 2], 4).unwrap();
+        assert!(rt.cache().free_pages() < free0);
+        rt.finish_sequence(s).unwrap();
+        assert_eq!(rt.cache().free_pages(), free0);
+    }
+}

@@ -1,0 +1,300 @@
+//! IEEE-754 binary16 ("half") emulation.
+//!
+//! QServe's KV4 attention kernel replaces all FP32 CUDA-core arithmetic with
+//! FP16 to double the compute roof (§5.3). To emulate that kernel faithfully
+//! we need arithmetic that *rounds like FP16*: every intermediate is squeezed
+//! through a binary16 round-trip. [`F16`] stores the raw 16 bits and performs
+//! each operation in `f32` followed by a correctly-rounded conversion back to
+//! binary16 (round-to-nearest-even), which matches how half-precision FMA-free
+//! arithmetic behaves on NVIDIA hardware for individual `+`/`*` ops.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A 16-bit IEEE-754 binary16 float stored as raw bits.
+///
+/// # Example
+///
+/// ```
+/// use qserve_tensor::F16;
+/// let a = F16::from_f32(1.0009765625); // representable exactly: 1 + 2^-10
+/// assert_eq!(a.to_f32(), 1.0009765625);
+/// let b = F16::from_f32(1.00048828125); // 1 + 2^-11 rounds to even → 1.0
+/// assert_eq!(b.to_f32(), 1.0);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct F16(u16);
+
+impl F16 {
+    /// Positive zero.
+    pub const ZERO: F16 = F16(0);
+    /// One.
+    pub const ONE: F16 = F16(0x3C00);
+    /// Largest finite binary16 value (65504).
+    pub const MAX: F16 = F16(0x7BFF);
+    /// Smallest positive normal value (2⁻¹⁴).
+    pub const MIN_POSITIVE: F16 = F16(0x0400);
+    /// Positive infinity.
+    pub const INFINITY: F16 = F16(0x7C00);
+
+    /// Constructs from raw binary16 bits.
+    pub const fn from_bits(bits: u16) -> Self {
+        F16(bits)
+    }
+
+    /// Returns the raw binary16 bits.
+    pub const fn to_bits(self) -> u16 {
+        self.0
+    }
+
+    /// Converts from `f32` with round-to-nearest-even semantics.
+    pub fn from_f32(value: f32) -> Self {
+        F16(f32_to_f16_bits(value))
+    }
+
+    /// Converts to `f32` (exact — every binary16 value is representable).
+    pub fn to_f32(self) -> f32 {
+        f16_bits_to_f32(self.0)
+    }
+
+    /// FP16 addition: `round16(a + b)`.
+    pub fn add(self, other: F16) -> F16 {
+        F16::from_f32(self.to_f32() + other.to_f32())
+    }
+
+    /// FP16 subtraction: `round16(a - b)`.
+    pub fn sub(self, other: F16) -> F16 {
+        F16::from_f32(self.to_f32() - other.to_f32())
+    }
+
+    /// FP16 multiplication: `round16(a * b)`.
+    pub fn mul(self, other: F16) -> F16 {
+        F16::from_f32(self.to_f32() * other.to_f32())
+    }
+
+    /// Fused multiply-add rounding once, like the HFMA2 instruction family:
+    /// `round16(a * b + c)`.
+    pub fn mul_add(self, b: F16, c: F16) -> F16 {
+        F16::from_f32(f32::mul_add(self.to_f32(), b.to_f32(), c.to_f32()))
+    }
+
+    /// Whether the value is NaN.
+    pub fn is_nan(self) -> bool {
+        (self.0 & 0x7C00) == 0x7C00 && (self.0 & 0x03FF) != 0
+    }
+
+    /// Whether the value is ±∞.
+    pub fn is_infinite(self) -> bool {
+        (self.0 & 0x7FFF) == 0x7C00
+    }
+}
+
+impl fmt::Debug for F16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "F16({})", self.to_f32())
+    }
+}
+
+impl fmt::Display for F16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_f32())
+    }
+}
+
+impl From<F16> for f32 {
+    fn from(h: F16) -> f32 {
+        h.to_f32()
+    }
+}
+
+/// Rounds an `f32` to the nearest representable binary16 value
+/// (round-to-nearest, ties-to-even), returning an `f32`.
+///
+/// This is the workhorse for "FP16 math" in kernel emulation:
+/// `round_f16(a * b)` behaves like a half-precision multiply.
+pub fn round_f16(value: f32) -> f32 {
+    f16_bits_to_f32(f32_to_f16_bits(value))
+}
+
+/// Converts `f32` bits to binary16 bits with round-to-nearest-even,
+/// handling subnormals, overflow to ±∞, and NaN payload preservation (quieted).
+pub fn f32_to_f16_bits(value: f32) -> u16 {
+    let bits = value.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xFF) as i32;
+    let mant = bits & 0x007F_FFFF;
+
+    if exp == 0xFF {
+        // Inf or NaN.
+        return if mant == 0 {
+            sign | 0x7C00
+        } else {
+            sign | 0x7E00 // quiet NaN
+        };
+    }
+
+    // Unbiased exponent in binary16 terms.
+    let unbiased = exp - 127;
+    let half_exp = unbiased + 15;
+
+    if half_exp >= 0x1F {
+        // Overflow → infinity.
+        return sign | 0x7C00;
+    }
+
+    if half_exp <= 0 {
+        // Subnormal or zero in binary16.
+        if half_exp < -10 {
+            return sign; // underflows to zero
+        }
+        // Add the implicit leading 1 and shift right; round to nearest even.
+        let m = mant | 0x0080_0000;
+        let shift = (14 - half_exp) as u32; // 14..24
+        let half_mant = m >> shift;
+        let rem = m & ((1u32 << shift) - 1);
+        let halfway = 1u32 << (shift - 1);
+        let rounded = match rem.cmp(&halfway) {
+            std::cmp::Ordering::Greater => half_mant + 1,
+            std::cmp::Ordering::Equal => half_mant + (half_mant & 1),
+            std::cmp::Ordering::Less => half_mant,
+        };
+        return sign | rounded as u16;
+    }
+
+    // Normal number: keep 10 mantissa bits, round-to-nearest-even on bit 12.
+    let half_mant = mant >> 13;
+    let rem = mant & 0x1FFF;
+    let mut out = sign | ((half_exp as u16) << 10) | (half_mant as u16);
+    match rem.cmp(&0x1000) {
+        std::cmp::Ordering::Greater => out = out.wrapping_add(1),
+        std::cmp::Ordering::Equal => out = out.wrapping_add(out & 1),
+        std::cmp::Ordering::Less => {}
+    }
+    // Mantissa carry may roll into the exponent; that is the correct
+    // behaviour (e.g. 2047.5 → 2048). Overflow into infinity is also correct.
+    out
+}
+
+/// Converts binary16 bits to an exactly-equal `f32`.
+pub fn f16_bits_to_f32(bits: u16) -> f32 {
+    let sign = u32::from(bits & 0x8000) << 16;
+    let exp = (bits >> 10) & 0x1F;
+    let mant = u32::from(bits & 0x03FF);
+
+    if exp == 0 {
+        if mant == 0 {
+            return f32::from_bits(sign);
+        }
+        // Subnormal: value = mant * 2^-24.
+        let v = (mant as f32) * (-24f32).exp2();
+        return if sign != 0 { -v } else { v };
+    }
+    if exp == 0x1F {
+        return if mant == 0 {
+            f32::from_bits(sign | 0x7F80_0000)
+        } else {
+            f32::from_bits(sign | 0x7FC0_0000 | (mant << 13))
+        };
+    }
+    let f32_exp = (u32::from(exp) + 112) << 23;
+    f32::from_bits(sign | f32_exp | (mant << 13))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_small_integers_round_trip() {
+        for i in -2048i32..=2048 {
+            let v = i as f32;
+            assert_eq!(round_f16(v), v, "integer {} should be exact in fp16", i);
+        }
+    }
+
+    #[test]
+    fn large_integers_round() {
+        // 2049 is not representable: mantissa has 11 bits of precision at
+        // this scale. Ties-to-even sends it to 2048.
+        assert_eq!(round_f16(2049.0), 2048.0);
+        assert_eq!(round_f16(2051.0), 2052.0);
+    }
+
+    #[test]
+    fn overflow_to_infinity() {
+        assert!(F16::from_f32(70000.0).is_infinite());
+        assert_eq!(round_f16(65504.0), 65504.0);
+        // 65520 is exactly halfway between 65504 and "65536" (infinity):
+        // rounds to infinity per IEEE.
+        assert!(F16::from_f32(65520.0).is_infinite());
+        assert_eq!(round_f16(65519.0), 65504.0);
+    }
+
+    #[test]
+    fn subnormals() {
+        let tiny = (-24f32).exp2(); // smallest positive subnormal
+        assert_eq!(round_f16(tiny), tiny);
+        assert_eq!(round_f16(tiny * 0.49), 0.0);
+        let below_normal = (-15f32).exp2();
+        assert_eq!(round_f16(below_normal), below_normal);
+    }
+
+    #[test]
+    fn nan_propagates() {
+        assert!(F16::from_f32(f32::NAN).is_nan());
+        assert!(F16::from_f32(f32::NAN).to_f32().is_nan());
+    }
+
+    #[test]
+    fn negative_values() {
+        assert_eq!(round_f16(-1.5), -1.5);
+        assert_eq!(F16::from_f32(-0.0).to_bits(), 0x8000);
+    }
+
+    #[test]
+    fn ties_to_even() {
+        // 1 + 2^-11 is exactly between 1.0 and 1+2^-10 → rounds to 1.0 (even)
+        assert_eq!(round_f16(1.0 + (-11f32).exp2()), 1.0);
+        // 1 + 3*2^-11 is between 1+2^-10 and 1+2^-9 → rounds to 1+2^-9? No:
+        // it is exactly halfway between 1+2^-10 (odd mantissa) and 1+2^-9
+        // (even mantissa) → ties to even → 1+2^-9.
+        let v = 1.0 + 3.0 * (-11f32).exp2();
+        assert_eq!(round_f16(v), 1.0 + (-9f32).exp2());
+    }
+
+    #[test]
+    fn arithmetic_rounds() {
+        let a = F16::from_f32(0.1); // ≈0.0999756
+        let b = F16::from_f32(0.2); // ≈0.199951
+        let c = a.add(b);
+        // Result must itself be a binary16 value.
+        assert_eq!(round_f16(c.to_f32()), c.to_f32());
+    }
+
+    #[test]
+    fn all_f16_bit_patterns_round_trip() {
+        // Every finite binary16 is exactly representable in f32, so
+        // f32→f16 of the f16→f32 conversion must be the identity.
+        for bits in 0..=u16::MAX {
+            let h = F16::from_bits(bits);
+            if h.is_nan() {
+                continue;
+            }
+            let back = F16::from_f32(h.to_f32());
+            assert_eq!(back.to_bits(), bits, "bits {:#06x} failed round trip", bits);
+        }
+    }
+
+    #[test]
+    fn mul_add_rounds_once() {
+        // Pick values where (a*b) rounding differs from fused rounding.
+        let a = F16::from_f32(3.0 + (-10f32).exp2() * 3.0);
+        let b = F16::from_f32(3.0);
+        let c = F16::from_f32(-9.0);
+        let fused = a.mul_add(b, c);
+        let split = a.mul(b).add(c);
+        // They may differ by at most one ULP; both must be valid f16.
+        assert_eq!(round_f16(fused.to_f32()), fused.to_f32());
+        assert_eq!(round_f16(split.to_f32()), split.to_f32());
+    }
+}

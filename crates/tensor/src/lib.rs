@@ -1,0 +1,34 @@
+//! Dense tensor substrate for the QServe reproduction.
+//!
+//! This crate provides the numeric foundation that every other crate in the
+//! workspace builds on:
+//!
+//! * [`Matrix`] — a row-major dense `f32` matrix with the transformer-shaped
+//!   matmul variants the paper's GEMM discussion needs (`Y = X Wᵀ`, §2.1).
+//! * [`fp16`] — IEEE-754 binary16 emulation so that "FP16 math" in kernel
+//!   emulation actually rounds like FP16 tensor-core / CUDA-core math.
+//! * [`ops`] — transformer primitives: softmax, RMSNorm, RoPE, SiLU/SwiGLU.
+//! * [`rng`] — synthetic weight/activation generators, including the fixed
+//!   per-channel outlier injection that SmoothAttention (§4.2) and block
+//!   rotation (§4.3.1) are designed to counteract.
+//! * [`stats`] — absmax/MSE/SQNR helpers shared by the quantization crates.
+//!
+//! # Example
+//!
+//! ```
+//! use qserve_tensor::Matrix;
+//!
+//! let x = Matrix::from_fn(2, 3, |i, j| (i * 3 + j) as f32);
+//! let w = Matrix::eye(3);
+//! let y = x.matmul_nt(&w); // Y = X Wᵀ, W is identity
+//! assert_eq!(y.as_slice(), x.as_slice());
+//! ```
+
+pub mod fp16;
+pub mod matrix;
+pub mod ops;
+pub mod rng;
+pub mod stats;
+
+pub use fp16::F16;
+pub use matrix::Matrix;

@@ -1,0 +1,212 @@
+//! Synthetic weight and activation generators.
+//!
+//! The accuracy techniques in QoQ each target a specific distributional
+//! pathology observed in real LLMs:
+//!
+//! * **Fixed per-channel outliers in Keys** — "Key matrices tend to have fixed
+//!   outlier channels in each head … ∼10× larger than most activation values"
+//!   (§4.2, Figure 7). SmoothAttention exists to flatten these.
+//! * **Activation outlier channels at block inputs** — motivates block input
+//!   rotation (§4.3.1) and activation-aware channel reordering (§4.3.3).
+//! * **Heavy-tailed weights** — motivates weight clipping (§4.3.4).
+//!
+//! Since the real checkpoints are unavailable in this environment, these
+//! generators synthesize tensors exhibiting exactly those pathologies so each
+//! QoQ technique is exercised against the phenomenon it was designed for
+//! (see DESIGN.md §1 for the substitution rationale).
+
+use crate::matrix::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic generator for synthetic model tensors.
+///
+/// # Example
+/// ```
+/// use qserve_tensor::rng::TensorRng;
+/// let mut rng = TensorRng::seed(42);
+/// let w = rng.gaussian(8, 16, 0.02);
+/// assert_eq!(w.shape(), (8, 16));
+/// ```
+#[derive(Debug)]
+pub struct TensorRng {
+    rng: StdRng,
+}
+
+impl TensorRng {
+    /// Creates a generator from a fixed seed (reproducible).
+    pub fn seed(seed: u64) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Standard normal sample scaled by `std`.
+    pub fn normal(&mut self, std: f32) -> f32 {
+        // Box-Muller transform; rejects zero to avoid ln(0).
+        let u1: f32 = self.rng.gen_range(f32::EPSILON..1.0);
+        let u2: f32 = self.rng.gen_range(0.0..1.0);
+        (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos() * std
+    }
+
+    /// Uniform sample in `[lo, hi)`.
+    pub fn uniform(&mut self, lo: f32, hi: f32) -> f32 {
+        self.rng.gen_range(lo..hi)
+    }
+
+    /// Uniform integer in `[0, n)`.
+    pub fn index(&mut self, n: usize) -> usize {
+        self.rng.gen_range(0..n)
+    }
+
+    /// Gaussian matrix with standard deviation `std`.
+    pub fn gaussian(&mut self, rows: usize, cols: usize, std: f32) -> Matrix {
+        Matrix::from_fn(rows, cols, |_, _| self.normal(std))
+    }
+
+    /// Heavy-tailed weight matrix: Gaussian body with a fraction of entries
+    /// drawn from a wider Gaussian, mimicking LLM weight kurtosis.
+    ///
+    /// `tail_fraction` of the entries get `tail_mult ×` the base std.
+    pub fn heavy_tailed(
+        &mut self,
+        rows: usize,
+        cols: usize,
+        std: f32,
+        tail_fraction: f32,
+        tail_mult: f32,
+    ) -> Matrix {
+        Matrix::from_fn(rows, cols, |_, _| {
+            if self.rng.gen::<f32>() < tail_fraction {
+                self.normal(std * tail_mult)
+            } else {
+                self.normal(std)
+            }
+        })
+    }
+
+    /// Activation-like matrix with *fixed* outlier channels: all entries are
+    /// Gaussian, but the columns listed in `outlier_channels` are scaled by
+    /// `outlier_mult` for every row (token). This is the Key-cache pathology
+    /// of Figure 7.
+    pub fn with_outlier_channels(
+        &mut self,
+        rows: usize,
+        cols: usize,
+        std: f32,
+        outlier_channels: &[usize],
+        outlier_mult: f32,
+    ) -> Matrix {
+        let mut is_outlier = vec![false; cols];
+        for &c in outlier_channels {
+            assert!(c < cols, "outlier channel {} out of range {}", c, cols);
+            is_outlier[c] = true;
+        }
+        Matrix::from_fn(rows, cols, |_, j| {
+            let base = self.normal(std);
+            if is_outlier[j] {
+                base * outlier_mult
+            } else {
+                base
+            }
+        })
+    }
+
+    /// Picks `count` distinct channel indices in `[0, cols)`, deterministic
+    /// given the RNG state — used to fix the outlier channels of a synthetic
+    /// layer once at generation time.
+    pub fn pick_outlier_channels(&mut self, cols: usize, count: usize) -> Vec<usize> {
+        assert!(count <= cols, "cannot pick {} of {} channels", count, cols);
+        let mut chosen = Vec::with_capacity(count);
+        while chosen.len() < count {
+            let c = self.index(cols);
+            if !chosen.contains(&c) {
+                chosen.push(c);
+            }
+        }
+        chosen.sort_unstable();
+        chosen
+    }
+
+    /// Synthetic token-id sequence for pseudo-perplexity evaluation.
+    pub fn token_sequence(&mut self, len: usize, vocab: usize) -> Vec<u32> {
+        (0..len).map(|_| self.rng.gen_range(0..vocab as u32)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_with_same_seed() {
+        let a = TensorRng::seed(7).gaussian(4, 4, 1.0);
+        let b = TensorRng::seed(7).gaussian(4, 4, 1.0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = TensorRng::seed(1).gaussian(4, 4, 1.0);
+        let b = TensorRng::seed(2).gaussian(4, 4, 1.0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn gaussian_statistics_roughly_correct() {
+        let mut rng = TensorRng::seed(3);
+        let m = rng.gaussian(100, 100, 2.0);
+        let mean: f32 = m.as_slice().iter().sum::<f32>() / m.len() as f32;
+        let var: f32 =
+            m.as_slice().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / m.len() as f32;
+        assert!(mean.abs() < 0.1, "mean {} too far from 0", mean);
+        assert!((var.sqrt() - 2.0).abs() < 0.1, "std {} too far from 2", var.sqrt());
+    }
+
+    #[test]
+    fn outlier_channels_are_larger() {
+        let mut rng = TensorRng::seed(11);
+        let outliers = vec![3, 17];
+        let m = rng.with_outlier_channels(256, 32, 1.0, &outliers, 10.0);
+        let col_absmax: Vec<f32> = (0..32)
+            .map(|j| m.col(j).iter().fold(0.0f32, |a, v| a.max(v.abs())))
+            .collect();
+        let outlier_min = outliers.iter().map(|&c| col_absmax[c]).fold(f32::MAX, f32::min);
+        let normal_max = (0..32)
+            .filter(|j| !outliers.contains(j))
+            .map(|j| col_absmax[j])
+            .fold(0.0f32, f32::max);
+        assert!(
+            outlier_min > normal_max * 1.5,
+            "outlier channels should dominate: {} vs {}",
+            outlier_min,
+            normal_max
+        );
+    }
+
+    #[test]
+    fn pick_outlier_channels_distinct_and_sorted() {
+        let mut rng = TensorRng::seed(5);
+        let picks = rng.pick_outlier_channels(64, 8);
+        assert_eq!(picks.len(), 8);
+        for w in picks.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn heavy_tailed_has_higher_kurtosis() {
+        let mut rng = TensorRng::seed(9);
+        let normal = rng.gaussian(64, 64, 1.0);
+        let heavy = rng.heavy_tailed(64, 64, 1.0, 0.01, 10.0);
+        assert!(heavy.abs_max() > normal.abs_max());
+    }
+
+    #[test]
+    fn token_sequence_in_range() {
+        let mut rng = TensorRng::seed(13);
+        let seq = rng.token_sequence(100, 1000);
+        assert_eq!(seq.len(), 100);
+        assert!(seq.iter().all(|&t| t < 1000));
+    }
+}

@@ -1,0 +1,99 @@
+//! The Figure 16 ablation: add QoQ's techniques one at a time and watch the
+//! accuracy recover while the serving footprint shrinks.
+//!
+//! ```text
+//! cargo run --release --example ablation
+//! ```
+
+use qserve::core::kv_quant::KvPrecision;
+use qserve::core::pipeline::{QoqConfig, WeightGranularity};
+use qserve::model::eval::{custom_forward_logits, quantize_model};
+use qserve::model::forward::forward_logits;
+use qserve::model::synth::SyntheticModel;
+use qserve::model::ModelConfig;
+use qserve::tensor::rng::TensorRng;
+use qserve::tensor::stats::mse;
+
+fn main() {
+    let full = ModelConfig::llama2_7b();
+    let cfg = SyntheticModel::reduced_config(&full, 128, 2);
+    let model = SyntheticModel::generate(cfg, Default::default());
+    let calib = TensorRng::seed(1).token_sequence(64, model.config.vocab);
+    let eval = TensorRng::seed(2).token_sequence(96, model.config.vocab);
+    let ref_logits = forward_logits(&model, &eval);
+
+    let g = WeightGranularity::PerGroup(32);
+    let rtn = QoqConfig::rtn(g);
+    let steps: Vec<(&str, QoqConfig, KvPrecision)> = vec![
+        (
+            "W4A8KV8 (4-bit weights, RTN)",
+            QoqConfig { kv_precision: KvPrecision::Int8, ..rtn.clone() },
+            KvPrecision::Int8,
+        ),
+        (
+            "+ block rotation & smoothing",
+            QoqConfig {
+                kv_precision: KvPrecision::Int8,
+                rotation: true,
+                output_smoothing: true,
+                ..rtn.clone()
+            },
+            KvPrecision::Int8,
+        ),
+        (
+            "+ weight clipping",
+            QoqConfig {
+                kv_precision: KvPrecision::Int8,
+                rotation: true,
+                output_smoothing: true,
+                weight_clipping: true,
+                ..rtn.clone()
+            },
+            KvPrecision::Int8,
+        ),
+        (
+            "+ 4-bit KV cache (W4A8KV4)",
+            QoqConfig {
+                rotation: true,
+                output_smoothing: true,
+                weight_clipping: true,
+                ..rtn.clone()
+            },
+            KvPrecision::Int4,
+        ),
+        (
+            "+ SmoothAttention",
+            QoqConfig {
+                rotation: true,
+                output_smoothing: true,
+                weight_clipping: true,
+                smooth_attention: true,
+                ..rtn.clone()
+            },
+            KvPrecision::Int4,
+        ),
+        (
+            "+ channel reorder (full QoQ)",
+            QoqConfig { weight_granularity: g, ..QoqConfig::w4a8kv4_g128() },
+            KvPrecision::Int4,
+        ),
+    ];
+
+    println!("{:38} {:>16} {:>14}", "step", "logit distortion", "KV bits");
+    println!("{}", "-".repeat(70));
+    for (label, cfg, kv) in steps {
+        let q = quantize_model(&model, &cfg, &calib);
+        let logits = custom_forward_logits(&q.model, &q.rotations, Some(8), kv, &eval);
+        println!(
+            "{:38} {:>16.6} {:>14}",
+            label,
+            mse(&ref_logits, &logits),
+            kv.bits()
+        );
+    }
+    println!(
+        "\nLower distortion = closer to the FP16 model. The staircase mirrors \
+         Figure 16: 4-bit KV initially hurts; SmoothAttention and the rest of \
+         the recipe claw the accuracy back while keeping the 4-bit footprint."
+    );
+}

@@ -1,0 +1,56 @@
+//! End-to-end serving benchmark: maximum achievable throughput of QServe vs
+//! the TensorRT-LLM configurations on both GPUs — the Figure 15 / Table 4
+//! protocol (1024 input tokens, 512 output tokens, memory-limited batch).
+//!
+//! ```text
+//! cargo run --release --example serving_throughput
+//! ```
+
+use qserve::gpusim::GpuSpec;
+use qserve::model::ModelConfig;
+use qserve::serve::engine::Workload;
+use qserve::serve::{ServingEngine, SystemConfig};
+
+fn main() {
+    let workload = Workload::paper(64);
+    for gpu in [GpuSpec::a100(), GpuSpec::l40s()] {
+        println!("=== {} (memory {} GiB) ===", gpu.name, gpu.memory_bytes >> 30);
+        for model in [
+            ModelConfig::llama3_8b(),
+            ModelConfig::llama2_7b(),
+            ModelConfig::llama2_13b(),
+            ModelConfig::llama2_70b(),
+        ] {
+            print!("{:12}", model.name);
+            let qserve = SystemConfig::qserve_for(gpu.name);
+            let mut best_trt = 0.0f64;
+            for sys in [
+                SystemConfig::TrtFp16,
+                SystemConfig::TrtW4A16,
+                SystemConfig::TrtW8A8,
+                qserve,
+            ] {
+                match ServingEngine::new(gpu.clone(), model.clone(), sys) {
+                    Ok(engine) => match engine.max_throughput(&workload) {
+                        Ok(r) => {
+                            print!("  {}: {:6.0} tok/s (batch {})", sys.name(), r.throughput_tps, r.max_batch);
+                            if !sys.is_qserve() {
+                                best_trt = best_trt.max(r.throughput_tps);
+                            } else if best_trt > 0.0 {
+                                print!("  → {:.2}× best TRT", r.throughput_tps / best_trt);
+                            }
+                        }
+                        Err(e) => print!("  {}: {}", sys.name(), e),
+                    },
+                    Err(e) => print!("  {}: {}", sys.name(), e),
+                }
+            }
+            println!();
+        }
+        println!();
+    }
+    println!(
+        "Note: latencies come from the analytical A100/L40S cost model \
+         (see DESIGN.md §1); ratios, not absolutes, are the reproduced quantity."
+    );
+}

@@ -1,0 +1,40 @@
+//! # QServe (Rust reproduction)
+//!
+//! A from-scratch Rust reproduction of *QServe: W4A8KV4 Quantization and
+//! System Co-design for Efficient LLM Serving* (MLSys 2025): the QoQ
+//! quantization algorithm, bit-exact emulations of the QServe GPU kernels,
+//! an analytical A100/L40S cost model, a transformer substrate, and a
+//! continuous-batching serving engine.
+//!
+//! This facade re-exports every workspace crate:
+//!
+//! * [`tensor`] — dense matrices, binary16 emulation, transformer ops.
+//! * [`quant`] — single-level integer quantization primitives.
+//! * [`core`] — the QoQ algorithm (progressive group quantization,
+//!   SmoothAttention, rotation, smoothing, reordering, clipping).
+//! * [`kernels`] — register-level kernel emulation (packing, RLP, W4A8
+//!   GEMM, KV4 attention).
+//! * [`gpusim`] — roofline and main-loop latency models for A100/L40S.
+//! * [`model`] — model configs, synthetic checkpoints, forward pass, eval.
+//! * [`serve`] — paged KV4 cache, memory budgeting, serving engine.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use qserve::core::{pipeline::quantize_block, QoqConfig};
+//! use qserve::model::synth::SyntheticModel;
+//! use qserve::model::forward::collect_calibration;
+//!
+//! let model = SyntheticModel::small(2);
+//! let calib = collect_calibration(&model, &[1, 2, 3, 4, 5, 6, 7, 8]);
+//! let qb = quantize_block(&model.blocks[0], &calib[0], &QoqConfig::default());
+//! assert_eq!(qb.reports.len(), 7); // seven linear layers quantized
+//! ```
+
+pub use qserve_core as core;
+pub use qserve_gpusim as gpusim;
+pub use qserve_kernels as kernels;
+pub use qserve_model as model;
+pub use qserve_quant as quant;
+pub use qserve_serve as serve;
+pub use qserve_tensor as tensor;

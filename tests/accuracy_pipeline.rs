@@ -1,0 +1,120 @@
+//! End-to-end accuracy pipeline: synthetic model → QoQ quantization →
+//! deployment-faithful evaluation, reproducing Table 2/3's orderings.
+
+use qserve::core::kv_quant::KvPrecision;
+use qserve::core::pipeline::{QoqConfig, WeightGranularity};
+use qserve::model::eval::{
+    custom_forward_logits, pseudo_perplexity_from_logits, quantize_model, top1_agreement,
+};
+use qserve::model::forward::forward_logits;
+use qserve::model::synth::{SynthesisOptions, SyntheticModel};
+use qserve::model::ModelConfig;
+use qserve::tensor::rng::TensorRng;
+use qserve::tensor::stats::mse;
+
+fn setup() -> (SyntheticModel, Vec<u32>, Vec<u32>) {
+    let cfg = SyntheticModel::reduced_config(&ModelConfig::llama2_7b(), 128, 2);
+    let model = SyntheticModel::generate(cfg, SynthesisOptions::default());
+    let calib = TensorRng::seed(11).token_sequence(64, model.config.vocab);
+    let eval = TensorRng::seed(22).token_sequence(96, model.config.vocab);
+    (model, calib, eval)
+}
+
+#[test]
+fn qoq_ladder_beats_rtn_and_w4a4() {
+    let (model, calib, eval) = setup();
+    let ref_logits = forward_logits(&model, &eval);
+    let g = WeightGranularity::PerGroup(32);
+
+    let run = |cfg: &QoqConfig, act_bits: Option<u8>, kv: KvPrecision| -> f64 {
+        let q = quantize_model(&model, cfg, &calib);
+        let logits = custom_forward_logits(&q.model, &q.rotations, act_bits, kv, &eval);
+        mse(&ref_logits, &logits)
+    };
+
+    let qoq = run(
+        &QoqConfig {
+            weight_granularity: g,
+            ..QoqConfig::w4a8kv4_g128()
+        },
+        Some(8),
+        KvPrecision::Int4,
+    );
+    let rtn = run(&QoqConfig::rtn(g), Some(8), KvPrecision::Int4);
+    // QuaRot-style W4A4: rotation + clip, INT4 activations.
+    let w4a4 = run(
+        &QoqConfig {
+            rotation: true,
+            weight_clipping: true,
+            ..QoqConfig::rtn(g)
+        },
+        Some(4),
+        KvPrecision::Int4,
+    );
+    assert!(qoq < rtn, "QoQ {} must beat RTN {}", qoq, rtn);
+    assert!(qoq < w4a4, "QoQ(W4A8) {} must beat W4A4 {}", qoq, w4a4);
+}
+
+#[test]
+fn gqa_model_quantizes_cleanly() {
+    // Llama-3 style 4:1 GQA through the whole pipeline.
+    let cfg = SyntheticModel::reduced_config(&ModelConfig::llama3_8b(), 128, 2);
+    let model = SyntheticModel::generate(cfg, SynthesisOptions::default());
+    let calib = TensorRng::seed(1).token_sequence(48, model.config.vocab);
+    let eval = TensorRng::seed(2).token_sequence(64, model.config.vocab);
+    let q = quantize_model(
+        &model,
+        &QoqConfig {
+            weight_granularity: WeightGranularity::PerGroup(32),
+            ..QoqConfig::w4a8kv4_g128()
+        },
+        &calib,
+    );
+    let ref_logits = forward_logits(&model, &eval);
+    let logits = custom_forward_logits(&q.model, &q.rotations, Some(8), KvPrecision::Int4, &eval);
+    assert!(logits.as_slice().iter().all(|v| v.is_finite()));
+    let agree = top1_agreement(&ref_logits, &logits);
+    assert!(agree > 0.5, "GQA agreement collapsed: {}", agree);
+}
+
+#[test]
+fn perplexity_finite_and_ordered_by_kv_bits() {
+    let (model, _, eval) = setup();
+    let no_rot = vec![None; model.blocks.len()];
+    let mut ppl = Vec::new();
+    for kv in [KvPrecision::Fp16, KvPrecision::Int8, KvPrecision::Int4] {
+        let logits = custom_forward_logits(&model, &no_rot, None, kv, &eval);
+        ppl.push(pseudo_perplexity_from_logits(&logits, &eval));
+    }
+    assert!(ppl.iter().all(|p| p.is_finite()));
+    // FP16 ≤ KV8 ≤ KV4 in damage (allow tiny noise at KV8).
+    assert!(ppl[1] <= ppl[2] * 1.05, "KV8 {} vs KV4 {}", ppl[1], ppl[2]);
+}
+
+#[test]
+fn longer_contexts_do_not_explode_quantized_model() {
+    // Table 5's qualitative claim: QoQ holds up at long context.
+    let (model, calib, _) = setup();
+    let q = quantize_model(
+        &model,
+        &QoqConfig {
+            weight_granularity: WeightGranularity::PerGroup(32),
+            ..QoqConfig::w4a8kv4_g128()
+        },
+        &calib,
+    );
+    let mut agreements = Vec::new();
+    for len in [32usize, 128, 320] {
+        let eval = TensorRng::seed(len as u64).token_sequence(len, model.config.vocab);
+        let ref_logits = forward_logits(&model, &eval);
+        let logits =
+            custom_forward_logits(&q.model, &q.rotations, Some(8), KvPrecision::Int4, &eval);
+        agreements.push(top1_agreement(&ref_logits, &logits));
+    }
+    // No catastrophic degradation with length: final ≥ 70% of first.
+    assert!(
+        agreements[2] >= agreements[0] * 0.7,
+        "long-context collapse: {:?}",
+        agreements
+    );
+}

@@ -1,0 +1,148 @@
+//! Serving-system integration: scheduler conservation, memory bounds, cache
+//! lifecycle under randomized workloads.
+
+use proptest::prelude::*;
+use qserve::core::kv_quant::KvPrecision;
+use qserve::gpusim::GpuSpec;
+use qserve::model::ModelConfig;
+use qserve::serve::engine::Workload;
+use qserve::serve::kv_cache::{KvCacheConfig, PagedKvCache, SequenceId};
+use qserve::serve::{ServingEngine, SystemConfig};
+
+#[test]
+fn engine_completes_any_feasible_workload() {
+    let e = ServingEngine::new(
+        GpuSpec::a100(),
+        ModelConfig::llama2_7b(),
+        SystemConfig::QServePerChannel,
+    )
+    .unwrap();
+    for (requests, batch) in [(1usize, 1usize), (7, 3), (64, 64), (100, 13)] {
+        let wl = Workload {
+            input_len: 64,
+            output_len: 16,
+            num_requests: requests,
+        };
+        let r = e.run_with_batch(&wl, batch);
+        assert_eq!(r.completed, requests);
+        let tokens = (requests * 16) as f64;
+        assert!((r.throughput_tps * r.total_time_s - tokens).abs() < 1e-6 * tokens.max(1.0));
+    }
+}
+
+#[test]
+fn throughput_ordering_stable_across_workloads() {
+    // QServe > best TRT must hold for short and long generations alike.
+    let m = ModelConfig::llama2_7b();
+    for (input, output) in [(256usize, 128usize), (1024, 512), (2048, 256)] {
+        let wl = Workload {
+            input_len: input,
+            output_len: output,
+            num_requests: 32,
+        };
+        let q = ServingEngine::new(GpuSpec::a100(), m.clone(), SystemConfig::QServePerChannel)
+            .unwrap()
+            .max_throughput(&wl)
+            .unwrap()
+            .throughput_tps;
+        let t = ServingEngine::new(GpuSpec::a100(), m.clone(), SystemConfig::TrtW8A8)
+            .unwrap()
+            .max_throughput(&wl)
+            .unwrap()
+            .throughput_tps;
+        assert!(q > t, "{}+{}: QServe {} ≤ TRT {}", input, output, q, t);
+    }
+}
+
+#[test]
+fn memory_constrained_batch_respected() {
+    let e = ServingEngine::new(
+        GpuSpec::l40s(),
+        ModelConfig::llama2_70b(),
+        SystemConfig::QServePerGroup,
+    )
+    .unwrap();
+    let wl = Workload::paper(16);
+    let batch = e.memory_max_batch(&wl);
+    assert!(batch >= 1, "70B W4KV4 must fit L40S");
+    // The plan's token capacity must cover the batch at peak length.
+    assert!(e.plan().max_tokens >= (batch * wl.peak_len()) as u64);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The paged cache never loses or duplicates pages across random
+    /// register/append/release interleavings.
+    #[test]
+    fn prop_cache_page_conservation(ops in proptest::collection::vec(0u8..3, 1..60)) {
+        let cfg = KvCacheConfig {
+            page_tokens: 4,
+            kv_heads: 2,
+            head_dim: 8,
+            layers: 2,
+            precision: KvPrecision::Int4,
+        };
+        let total = 24;
+        let mut cache = PagedKvCache::new(cfg, total);
+        let width = cfg.kv_heads * cfg.head_dim;
+        let feats = vec![0.5f32; width];
+        let mut live: Vec<SequenceId> = Vec::new();
+        let mut next_id = 0u64;
+        for op in ops {
+            match op {
+                0 => {
+                    let id = SequenceId(next_id);
+                    next_id += 1;
+                    cache.register(id).unwrap();
+                    live.push(id);
+                }
+                1 => {
+                    if let Some(&id) = live.first() {
+                        for layer in 0..cfg.layers {
+                            // Appends may legitimately hit OutOfPages.
+                            let _ = cache.append_token(id, layer, &feats, &feats);
+                        }
+                    }
+                }
+                _ => {
+                    if let Some(id) = live.pop() {
+                        cache.release(id).unwrap();
+                    }
+                }
+            }
+            prop_assert_eq!(cache.free_pages() + cache.used_pages(), total);
+        }
+        for id in live {
+            cache.release(id).unwrap();
+        }
+        prop_assert_eq!(cache.free_pages(), total);
+    }
+
+    /// Round trip through the page bytes is within one quantization step for
+    /// arbitrary feature values.
+    #[test]
+    fn prop_cache_round_trip_error_bounded(
+        feats in proptest::collection::vec(-8.0f32..8.0, 16)
+    ) {
+        let cfg = KvCacheConfig {
+            page_tokens: 4,
+            kv_heads: 2,
+            head_dim: 8,
+            layers: 1,
+            precision: KvPrecision::Int4,
+        };
+        let mut cache = PagedKvCache::new(cfg, 8);
+        let s = SequenceId(0);
+        cache.register(s).unwrap();
+        cache.append_token(s, 0, &feats, &feats).unwrap();
+        for head in 0..2 {
+            let (keys, _) = cache.read_head(s, 0, head).unwrap();
+            let back = qserve::core::kv_quant::dequantize_head(&keys[0]);
+            for (a, b) in feats[head * 8..(head + 1) * 8].iter().zip(&back) {
+                // One step + fp16 rounding of the stored scale.
+                prop_assert!((a - b).abs() <= keys[0].params.scale * 1.5 + 1e-3);
+            }
+        }
+    }
+}
