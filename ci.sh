@@ -1,0 +1,22 @@
+#!/usr/bin/env sh
+# Tier-1 verification, fully offline. Any attempt to pull a crates.io
+# dependency fails the build immediately — the workspace must stay
+# dependency-free (internal path dependencies only).
+set -eu
+
+cd "$(dirname "$0")"
+
+cargo build --release --offline --locked --workspace --all-targets
+# Tier-1 shape (root package, debug), then the whole workspace in release —
+# release reuses the artifacts built above and keeps the heavy bench/model
+# suites fast.
+cargo test -q --offline --locked
+cargo test -q --offline --locked --workspace --release
+
+# The reproduce binary is the user-facing entry point; prove it writes CSV.
+# Clear the artifact first so a stale file cannot mask a broken write path.
+rm -f results/table1.csv
+cargo run --release --offline --locked -p qserve-bench --bin reproduce -- table1 >/dev/null
+test -s results/table1.csv
+
+echo "ci.sh: all green"

@@ -2,7 +2,8 @@
 //! register-level-parallel dequantization vs scalar, and the naive
 //! double-quant scheme vs QoQ's progressive order.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use qserve_bench::timing::{black_box, Criterion};
+use qserve_bench::{bench_group, bench_main};
 use qserve_core::progressive::{NaiveDoubleQuant, ProgressiveWeight};
 use qserve_kernels::rlp::{dequant_scalar, dequant_sub_after_mul, splat4};
 use qserve_tensor::rng::TensorRng;
@@ -55,5 +56,5 @@ fn bench_two_level_schemes(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_rlp_vs_scalar, bench_two_level_schemes);
-criterion_main!(benches);
+bench_group!(benches, bench_rlp_vs_scalar, bench_two_level_schemes);
+bench_main!(benches);

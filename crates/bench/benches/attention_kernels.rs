@@ -1,7 +1,8 @@
-//! Criterion micro-benchmarks of the emulated KV attention kernels (the
-//! Table 1 subjects) and the fp16 magic-bias dequantization trick.
+//! Micro-benchmarks of the emulated KV attention kernels (the Table 1
+//! subjects) and the fp16 magic-bias dequantization trick.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use qserve_bench::timing::{black_box, BenchmarkId, Criterion};
+use qserve_bench::{bench_group, bench_main};
 use qserve_core::kv_quant::KvPrecision;
 use qserve_kernels::attention::{
     decode_attention_fp16, magic_bias_dequant, naive_dequant, QuantizedKvHead,
@@ -62,5 +63,5 @@ fn bench_dequant_tricks(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_decode_attention, bench_dequant_tricks);
-criterion_main!(benches);
+bench_group!(benches, bench_decode_attention, bench_dequant_tricks);
+bench_main!(benches);

@@ -1,7 +1,8 @@
-//! Criterion micro-benchmarks of the emulated W4A8 GEMM kernels — the Rust
-//! analogue of the paper's kernel-level comparison (Figure 18's subjects).
+//! Micro-benchmarks of the emulated W4A8 GEMM kernels — the Rust analogue
+//! of the paper's kernel-level comparison (Figure 18's subjects).
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use qserve_bench::timing::{black_box, BenchmarkId, Criterion};
+use qserve_bench::{bench_group, bench_main};
 use qserve_core::progressive::{PerChannelW4, ProgressiveWeight};
 use qserve_kernels::{gemm_w4a8_per_channel, gemm_w4a8_per_group, gemm_w8a8, quantize_activations_int8};
 use qserve_quant::rounding::round_clamp;
@@ -49,5 +50,5 @@ fn bench_activation_quant(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_gemms, bench_activation_quant);
-criterion_main!(benches);
+bench_group!(benches, bench_gemms, bench_activation_quant);
+bench_main!(benches);

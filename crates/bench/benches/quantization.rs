@@ -1,7 +1,8 @@
-//! Criterion benchmarks of the QoQ quantization pipeline itself (offline
-//! cost: progressive quantization, rotation, searches).
+//! Benchmarks of the QoQ quantization pipeline itself (offline cost:
+//! progressive quantization, rotation, searches).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use qserve_bench::timing::{black_box, Criterion};
+use qserve_bench::{bench_group, bench_main};
 use qserve_core::pipeline::{quantize_block, QoqConfig, WeightGranularity};
 use qserve_core::progressive::ProgressiveWeight;
 use qserve_core::rotation::hadamard;
@@ -49,5 +50,5 @@ fn bench_transforms(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_progressive, bench_block_pipeline, bench_transforms);
-criterion_main!(benches);
+bench_group!(benches, bench_progressive, bench_block_pipeline, bench_transforms);
+bench_main!(benches);

@@ -1,7 +1,8 @@
-//! Criterion benchmarks of the serving-side data structures: the paged KV4
-//! cache and the end-to-end simulation step.
+//! Benchmarks of the serving-side data structures: the paged KV4 cache and
+//! the end-to-end simulation step.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use qserve_bench::timing::{black_box, Criterion};
+use qserve_bench::{bench_group, bench_main};
 use qserve_core::kv_quant::KvPrecision;
 use qserve_gpusim::GpuSpec;
 use qserve_model::ModelConfig;
@@ -71,5 +72,5 @@ fn bench_engine(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_kv_cache, bench_engine);
-criterion_main!(benches);
+bench_group!(benches, bench_kv_cache, bench_engine);
+bench_main!(benches);

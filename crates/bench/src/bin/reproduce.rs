@@ -7,71 +7,38 @@
 //!
 //! Outputs are printed and also written as CSV under `results/`.
 
-use qserve_bench::{accuracy, efficiency, Table};
-use qserve_gpusim::GpuSpec;
-use qserve_model::ModelConfig;
+use qserve_bench::{experiment_ids, run_experiment};
 use std::fs;
-
-fn all_ids() -> Vec<&'static str> {
-    vec![
-        "fig1", "fig2a", "fig2b", "fig3", "table1", "table2", "table3", "table5", "table4",
-        "fig16", "fig17", "fig18", "table6", "attn_breakdown", "microbench",
-    ]
-}
-
-fn run(id: &str) -> Vec<Table> {
-    match id {
-        "fig1" => vec![efficiency::fig1()],
-        "fig2a" => vec![efficiency::fig2a()],
-        "attn_breakdown" => vec![efficiency::attn_breakdown()],
-        "microbench" => vec![efficiency::microbench()],
-        "fig2b" => vec![efficiency::fig2b()],
-        "fig3" => vec![efficiency::fig3()],
-        "table1" => vec![efficiency::table1()],
-        "table2" => vec![accuracy::table2(&ModelConfig::accuracy_suite())],
-        "table2quick" => vec![accuracy::table2(&[
-            ModelConfig::llama3_8b(),
-            ModelConfig::llama2_7b(),
-        ])],
-        "table3" => vec![accuracy::table3()],
-        "table5" => vec![accuracy::table5()],
-        "table4" => vec![
-            efficiency::table4(&GpuSpec::a100()),
-            efficiency::table4(&GpuSpec::l40s()),
-        ],
-        "fig16" => vec![accuracy::fig16_accuracy(), efficiency::fig16_efficiency()],
-        "fig17" => vec![
-            efficiency::fig17(&ModelConfig::llama2_7b(), &[4, 8, 16, 32, 64]),
-            efficiency::fig17(&ModelConfig::llama2_13b(), &[2, 4, 8, 16, 32]),
-        ],
-        "fig18" => vec![efficiency::fig18()],
-        "table6" => vec![efficiency::table6()],
-        other => {
-            eprintln!("unknown experiment '{}'; known: {:?} (or 'all')", other, all_ids());
-            std::process::exit(2);
-        }
-    }
-}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let ids: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
-        all_ids()
+        experiment_ids()
     } else {
         args.iter().map(|s| s.as_str()).collect()
     };
     fs::create_dir_all("results").ok();
     for id in ids {
-        for (i, table) in run(id).into_iter().enumerate() {
-            println!("{}", table.render());
+        let tables = run_experiment(id).unwrap_or_else(|| {
+            eprintln!(
+                "unknown experiment '{}'; known: {:?} (or 'all')",
+                id,
+                experiment_ids()
+            );
+            std::process::exit(2);
+        });
+        for (i, table) in tables.into_iter().enumerate() {
             let path = if i == 0 {
                 format!("results/{}.csv", id)
             } else {
                 format!("results/{}_{}.csv", id, i)
             };
+            // Write the CSV before printing: stdout may be a pipe that
+            // closes early (e.g. `| head`), and the artifact must survive.
             if let Err(e) = fs::write(&path, table.to_csv()) {
                 eprintln!("warning: could not write {}: {}", path, e);
             }
+            println!("{}", table.render());
         }
     }
 }

@@ -8,5 +8,52 @@
 pub mod accuracy;
 pub mod efficiency;
 pub mod report;
+pub mod timing;
 
 pub use report::Table;
+
+use qserve_gpusim::GpuSpec;
+use qserve_model::ModelConfig;
+
+/// Every experiment id `reproduce all` regenerates, in evaluation order.
+pub fn experiment_ids() -> Vec<&'static str> {
+    vec![
+        "fig1", "fig2a", "fig2b", "fig3", "table1", "table2", "table3", "table5", "table4",
+        "fig16", "fig17", "fig18", "table6", "attn_breakdown", "microbench",
+    ]
+}
+
+/// Runs one experiment by id, returning its tables — `None` for an unknown
+/// id. `table2quick` is an additional alias running the accuracy suite on
+/// two models only.
+pub fn run_experiment(id: &str) -> Option<Vec<Table>> {
+    let tables = match id {
+        "fig1" => vec![efficiency::fig1()],
+        "fig2a" => vec![efficiency::fig2a()],
+        "attn_breakdown" => vec![efficiency::attn_breakdown()],
+        "microbench" => vec![efficiency::microbench()],
+        "fig2b" => vec![efficiency::fig2b()],
+        "fig3" => vec![efficiency::fig3()],
+        "table1" => vec![efficiency::table1()],
+        "table2" => vec![accuracy::table2(&ModelConfig::accuracy_suite())],
+        "table2quick" => vec![accuracy::table2(&[
+            ModelConfig::llama3_8b(),
+            ModelConfig::llama2_7b(),
+        ])],
+        "table3" => vec![accuracy::table3()],
+        "table5" => vec![accuracy::table5()],
+        "table4" => vec![
+            efficiency::table4(&GpuSpec::a100()),
+            efficiency::table4(&GpuSpec::l40s()),
+        ],
+        "fig16" => vec![accuracy::fig16_accuracy(), efficiency::fig16_efficiency()],
+        "fig17" => vec![
+            efficiency::fig17(&ModelConfig::llama2_7b(), &[4, 8, 16, 32, 64]),
+            efficiency::fig17(&ModelConfig::llama2_13b(), &[2, 4, 8, 16, 32]),
+        ],
+        "fig18" => vec![efficiency::fig18()],
+        "table6" => vec![efficiency::table6()],
+        _ => return None,
+    };
+    Some(tables)
+}

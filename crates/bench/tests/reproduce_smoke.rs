@@ -1,0 +1,32 @@
+//! Smoke test: every experiment id the `reproduce` binary accepts must
+//! produce at least one non-empty table, and its CSV must round out with
+//! the same number of data rows.
+
+use qserve_bench::{experiment_ids, run_experiment};
+
+#[test]
+fn every_experiment_id_yields_nonempty_tables() {
+    for id in experiment_ids() {
+        let tables = run_experiment(id).unwrap_or_else(|| panic!("id '{}' not runnable", id));
+        assert!(!tables.is_empty(), "experiment '{}' returned no tables", id);
+        for t in &tables {
+            assert!(!t.header.is_empty(), "'{}' table '{}' has no columns", id, t.id);
+            assert!(!t.rows.is_empty(), "'{}' table '{}' has no rows", id, t.id);
+            let csv = t.to_csv();
+            assert_eq!(
+                csv.lines().count(),
+                1 + t.rows.len(),
+                "'{}' CSV row count mismatch",
+                id
+            );
+        }
+    }
+}
+
+#[test]
+fn quick_alias_and_unknown_ids_behave() {
+    assert!(run_experiment("table2quick").is_some_and(|t| !t.is_empty()));
+    assert!(run_experiment("no_such_experiment").is_none());
+    // The alias is intentionally not part of the `all` sweep.
+    assert!(!experiment_ids().contains(&"table2quick"));
+}

@@ -13,10 +13,9 @@
 use qserve_quant::params::QParams;
 use qserve_quant::rounding::round_clamp;
 use qserve_tensor::fp16::round_f16;
-use serde::{Deserialize, Serialize};
 
 /// KV cache precision (the paper compares KV8 and KV4).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum KvPrecision {
     /// 16-bit (no quantization) — TRT-LLM FP16 baseline.
     Fp16,
@@ -48,7 +47,7 @@ impl KvPrecision {
 
 /// One token's worth of quantized K or V features for a single head,
 /// with its dynamic per-head parameters.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct QuantizedHeadToken {
     /// Unsigned codes, one per feature channel.
     pub codes: Vec<u8>,

@@ -28,10 +28,9 @@ use crate::smoothing::SmoothingScales;
 use qserve_quant::{Granularity, QuantSpec};
 use qserve_tensor::ops::swiglu;
 use qserve_tensor::Matrix;
-use serde::{Deserialize, Serialize};
 
 /// Weight quantization granularity (the paper's two deployment configs).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum WeightGranularity {
     /// "W4A8KV4": per-channel asymmetric INT4, zero-points fused into the
     /// GEMM epilogue (§5.2.2). Used on A100 in the paper.
@@ -41,7 +40,7 @@ pub enum WeightGranularity {
 }
 
 /// Full QoQ configuration. Default = the paper's complete recipe with g128.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct QoqConfig {
     /// Weight quantization granularity.
     pub weight_granularity: WeightGranularity,
@@ -121,7 +120,7 @@ impl QoqConfig {
 /// Weights of one transformer block (GQA attention + SwiGLU FFN), the unit
 /// QoQ operates on. All projections are `n×k` (output × input channels) and
 /// compute `y = x Wᵀ`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BlockWeights {
     /// Query projection, `(heads·head_dim) × hidden`.
     pub wq: Matrix,
@@ -167,7 +166,7 @@ impl BlockWeights {
 }
 
 /// The deployed (integer) form of one quantized linear layer.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum DeployedWeight {
     /// Progressive per-group form (W4A8KV4 g128).
     Progressive(ProgressiveWeight),
@@ -187,7 +186,7 @@ impl DeployedWeight {
 }
 
 /// Per-layer diagnostics from the quantization run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LayerReport {
     /// Layer name (`q_proj`, …).
     pub name: String,
@@ -199,7 +198,7 @@ pub struct LayerReport {
 }
 
 /// Output of [`quantize_block`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct QuantizedBlock {
     /// Fake-quantized weights mapped back to the original frame — drop-in
     /// replacements for accuracy evaluation.

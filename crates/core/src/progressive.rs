@@ -19,7 +19,6 @@ use qserve_quant::rounding::round_clamp;
 use qserve_tensor::fp16::round_f16;
 use qserve_tensor::stats::row_abs_max;
 use qserve_tensor::Matrix;
-use serde::{Deserialize, Serialize};
 
 /// The protective symmetric INT8 bound of §4.1.
 pub const PROTECTIVE_QMAX: i32 = 119;
@@ -41,7 +40,7 @@ pub const PROTECTIVE_QMAX: i32 = 119;
 /// let err = qserve_tensor::stats::relative_error(&w, &pw.dequantize());
 /// assert!(err < 0.15, "4-bit group quantization stays within ~15%");
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ProgressiveWeight {
     n: usize,
     k: usize,
@@ -187,7 +186,7 @@ impl ProgressiveWeight {
 /// one level of *asymmetric* UINT4 per output channel with an FP16 scale and
 /// a UINT4 zero point. §5.2.2 describes its GEMM: the zero-point subtraction
 /// is moved entirely into the epilogue.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PerChannelW4 {
     n: usize,
     k: usize,
@@ -271,7 +270,7 @@ impl PerChannelW4 {
 /// through floating point and the GEMM cannot stay on INT8 tensor cores.
 /// [`NaiveDoubleQuant::int8_intermediate_exists`] makes that failure mode
 /// checkable.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NaiveDoubleQuant {
     n: usize,
     k: usize,

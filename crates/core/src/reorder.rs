@@ -10,10 +10,9 @@
 
 use qserve_tensor::stats::{argsort_desc, col_abs_max};
 use qserve_tensor::Matrix;
-use serde::{Deserialize, Serialize};
 
 /// A salience-derived input-channel permutation.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ChannelReorder {
     perm: Vec<usize>,
 }

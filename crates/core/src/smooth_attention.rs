@@ -11,10 +11,9 @@
 //! `W_Q ← ΛW_Q`, `W_K ← Λ⁻¹W_K`.
 
 use qserve_tensor::Matrix;
-use serde::{Deserialize, Serialize};
 
 /// Per-channel SmoothAttention scales for one attention block.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SmoothAttentionScales {
     lambda: Vec<f32>,
     head_dim: usize,

@@ -9,10 +9,9 @@
 
 use qserve_tensor::stats::col_abs_max;
 use qserve_tensor::Matrix;
-use serde::{Deserialize, Serialize};
 
 /// Per-channel smoothing factors for one output module.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SmoothingScales {
     lambda: Vec<f32>,
 }

@@ -10,7 +10,6 @@
 //! and prefetched scales/zeros.
 
 use crate::spec::GpuSpec;
-use serde::{Deserialize, Serialize};
 
 /// Achieved fraction of peak bandwidth for paged-KV gather traffic.
 pub const ATTN_BW_EFFICIENCY: f64 = 0.6;
@@ -18,7 +17,7 @@ pub const ATTN_BW_EFFICIENCY: f64 = 0.6;
 pub const ATTN_CUDA_EFFICIENCY: f64 = 0.6;
 
 /// The attention kernel designs compared in Table 1.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AttentionKernel {
     /// FP16 KV cache (TRT-LLM FP16 baseline).
     Fp16Kv,
@@ -83,7 +82,7 @@ impl AttentionKernel {
 
 /// One decode-attention launch: `batch` sequences each attending over
 /// `seq_len` cached tokens.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct AttentionShape {
     /// Decoding sequences in the batch.
     pub batch: usize,
@@ -105,7 +104,7 @@ impl AttentionShape {
 }
 
 /// Breakdown of one modelled decode-attention launch.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AttentionLatency {
     /// Memory pipeline time, seconds.
     pub memory_s: f64,
@@ -121,7 +120,7 @@ pub struct AttentionLatency {
 /// KV4 kernel. The paper's "Improvement breakdown for KV4 attention"
 /// (§6.4) enables them cumulatively: 0.48 ms → 0.44 (bit tricks) → 0.39
 /// (control flow) → 0.36 (fp16 QK) → 0.33 (fp16 SV) → 0.28 ms (prefetch).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct AttentionOptimizations {
     /// Kim et al. 2022 magic-bias dequantization: 5 ALU ops → 2 per element.
     pub bit_tricks: bool,

@@ -18,7 +18,6 @@
 //! pipelined against compute via `cp.async` multi-stage buffering (§5.2.4).
 
 use crate::spec::GpuSpec;
-use serde::{Deserialize, Serialize};
 
 /// Fraction of peak HBM bandwidth a well-tuned GEMM achieves.
 pub const GEMM_BW_EFFICIENCY: f64 = 0.8;
@@ -26,7 +25,7 @@ pub const GEMM_BW_EFFICIENCY: f64 = 0.8;
 pub const CUDA_EFFICIENCY: f64 = 0.6;
 
 /// The GEMM kernel designs compared in the paper (Figures 2b, 15, 17, 18).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum GemmConfig {
     /// TensorRT-LLM FP16 (Figure 5a's dataflow at 16-bit).
     TrtFp16,
@@ -152,7 +151,7 @@ impl GemmConfig {
 }
 
 /// `m×n×k` problem: `m` tokens, `n` output channels, `k` input channels.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct GemmShape {
     /// Tokens (the computation-intensity axis of Figure 3).
     pub m: usize,
@@ -170,7 +169,7 @@ const K_TILE: f64 = 64.0;
 const TILE_M: f64 = 128.0;
 
 /// Breakdown of one modelled GEMM execution.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GemmLatency {
     /// Memory pipeline time (occupancy-adjusted), seconds.
     pub memory_s: f64,

@@ -3,10 +3,9 @@
 //! attention-side KV-precision rooflines.
 
 use crate::spec::GpuSpec;
-use serde::{Deserialize, Serialize};
 
 /// One of the precision pairs plotted in Figure 3.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum GemmPrecision {
     /// FP16 weights × FP16 activations.
     Fp16Fp16,

@@ -1,6 +1,5 @@
 //! GPU datasheets for the two evaluation platforms (§6.1, footnote 1).
 
-use serde::{Deserialize, Serialize};
 
 /// Peak throughput and capacity figures for one GPU.
 ///
@@ -8,7 +7,7 @@ use serde::{Deserialize, Serialize};
 /// FP16/INT8/INT4 tensor core performance of 312/624/1248 TOPS and a DRAM
 /// bandwidth of 2 TB/s", CUDA-core FP32 19.5 TFLOPS (turning point
 /// 19.5/2 ≈ 9.8 op/byte, §5.3).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GpuSpec {
     /// Marketing name.
     pub name: &'static str,

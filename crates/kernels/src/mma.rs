@@ -64,7 +64,7 @@ pub fn mma_i8_accumulate(c: &mut [i32], a: &[i8], b: &[i8], m: usize, n: usize, 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use qserve_tensor::{prop, props};
 
     #[test]
     fn dot_known_values() {
@@ -107,19 +107,17 @@ mod tests {
         assert_eq!(c, full);
     }
 
-    proptest! {
-        #[test]
-        fn prop_gemm_matches_i64_reference(
-            a in proptest::collection::vec(-128i8..=127, 3 * 8),
-            b in proptest::collection::vec(-128i8..=127, 2 * 8),
-        ) {
+    props! {
+        fn prop_gemm_matches_i64_reference(rng) {
+            let a = prop::vec_i8(rng, -128, 127, 3 * 8);
+            let b = prop::vec_i8(rng, -128, 127, 2 * 8);
             let c = mma_i8_nt(&a, &b, 3, 2, 8);
             for i in 0..3 {
                 for j in 0..2 {
                     let expect: i64 = (0..8)
                         .map(|p| i64::from(a[i * 8 + p]) * i64::from(b[j * 8 + p]))
                         .sum();
-                    prop_assert_eq!(i64::from(c[i * 2 + j]), expect);
+                    assert_eq!(i64::from(c[i * 2 + j]), expect);
                 }
             }
         }

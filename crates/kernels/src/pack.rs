@@ -124,7 +124,7 @@ pub fn unpack_row(packed: &[PackedInt4]) -> Vec<u8> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use qserve_tensor::{prop, props};
 
     #[test]
     fn round_trip_identity() {
@@ -209,16 +209,16 @@ mod tests {
         assert_eq!(lane_i8(reg, 3), 0);
     }
 
-    proptest! {
-        #[test]
-        fn prop_round_trip(w in proptest::collection::vec(0u8..16, 32)) {
+    props! {
+        fn prop_round_trip(rng) {
+            let w = prop::vec_u8(rng, 0, 15, 32);
             let p = pack_interleaved(&w);
-            prop_assert_eq!(unpack_interleaved(&p).to_vec(), w);
+            assert_eq!(unpack_interleaved(&p).to_vec(), w);
         }
 
-        #[test]
-        fn prop_pack_row_round_trip(w in proptest::collection::vec(0u8..16, 32*4)) {
-            prop_assert_eq!(unpack_row(&pack_row(&w)), w);
+        fn prop_pack_row_round_trip(rng) {
+            let w = prop::vec_u8(rng, 0, 15, 32 * 4);
+            assert_eq!(unpack_row(&pack_row(&w)), w);
         }
     }
 }

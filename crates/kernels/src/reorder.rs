@@ -130,7 +130,7 @@ impl ReorderedWeight {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use qserve_tensor::{prop, props};
 
     #[test]
     fn thread_zero_layout_matches_paper() {
@@ -189,11 +189,11 @@ mod tests {
         assert_eq!(r.word_index(0, 0, 31) + 1, r.word_index(0, 1, 0));
     }
 
-    proptest! {
-        #[test]
-        fn prop_reorder_bijective(codes in proptest::collection::vec(0u8..16, 32 * 64)) {
+    props! {
+        fn prop_reorder_bijective(rng) {
+            let codes = prop::vec_u8(rng, 0, 15, 32 * 64);
             let r = ReorderedWeight::from_codes(&codes, 32, 64);
-            prop_assert_eq!(r.to_codes(), codes);
+            assert_eq!(r.to_codes(), codes);
         }
     }
 }

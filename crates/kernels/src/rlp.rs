@@ -99,7 +99,7 @@ pub fn dequant_sub_before_mul_broken(codes: ByteLanes, zero: u8, scale: u8) -> B
 mod tests {
     use super::*;
     use crate::pack::{lane_i8, lane_u8, pack_lanes_i8};
-    use proptest::prelude::*;
+    use qserve_tensor::{prop, props, props_assume};
 
     #[test]
     fn vadd4_no_cross_lane_carry() {
@@ -186,53 +186,53 @@ mod tests {
         assert_eq!(dequant_scalar(0, 15, 16), -240);
     }
 
-    proptest! {
+    props! {
         /// The paper's core RLP safety claim: for any UINT4 codes and any
         /// level-1 params QoQ can produce (s ∈ [1,16], z ∈ [0,15]) **such
         /// that the true dequantized value fits in i8** (guaranteed by the
         /// protective range for real quantized data), the two-op RLP path
         /// equals the scalar reference in every lane.
-        #[test]
-        fn prop_rlp_equals_scalar_when_in_range(
-            q in proptest::collection::vec(0u8..16, 4),
-            scale in 1u8..=16,
-            zero in 0u8..16,
-        ) {
+        fn prop_rlp_equals_scalar_when_in_range(rng, cases = 256) {
+            let q = prop::vec_u8(rng, 0, 15, 4);
+            let scale = rng.int_in(1, 16) as u8;
+            let zero = rng.int_in(0, 15) as u8;
             let scalar: Vec<i32> = q.iter().map(|&c| dequant_scalar(c, zero, scale)).collect();
-            prop_assume!(scalar.iter().all(|v| (-128..=127).contains(v)));
+            props_assume!(scalar.iter().all(|v| (-128..=127).contains(v)));
             // Products q·s must be lane-contained: q ≤ 15, s ≤ 16 ⇒ ≤ 240 ✓.
             let codes = (u32::from(q[3]) << 24) | (u32::from(q[2]) << 16)
                 | (u32::from(q[1]) << 8) | u32::from(q[0]);
             let zs = u32::from(zero) * u32::from(scale);
-            prop_assume!(zs <= 255); // the packed constant is one byte per lane
+            props_assume!(zs <= 255); // the packed constant is one byte per lane
             let neg_zs = splat4((zs as u8 as i8).wrapping_neg() as u8);
             let r = dequant_sub_after_mul(codes, scale, neg_zs);
             for l in 0..4 {
-                prop_assert_eq!(i32::from(lane_i8(r, l)), scalar[l], "lane {}", l);
+                assert_eq!(i32::from(lane_i8(r, l)), scalar[l], "lane {}", l);
             }
         }
 
-        #[test]
-        fn prop_vadd4_lane_isolation(a: u32, b: u32) {
+        fn prop_vadd4_lane_isolation(rng) {
+            let a = rng.next_u32();
+            let b = rng.next_u32();
             let r = vadd4(a, b);
             for l in 0..4 {
-                prop_assert_eq!(lane_u8(r, l), lane_u8(a, l).wrapping_add(lane_u8(b, l)));
+                assert_eq!(lane_u8(r, l), lane_u8(a, l).wrapping_add(lane_u8(b, l)));
             }
         }
 
-        #[test]
-        fn prop_vsub4_lane_isolation(a: u32, b: u32) {
+        fn prop_vsub4_lane_isolation(rng) {
+            let a = rng.next_u32();
+            let b = rng.next_u32();
             let r = vsub4(a, b);
             for l in 0..4 {
-                prop_assert_eq!(lane_u8(r, l), lane_u8(a, l).wrapping_sub(lane_u8(b, l)));
+                assert_eq!(lane_u8(r, l), lane_u8(a, l).wrapping_sub(lane_u8(b, l)));
             }
         }
 
-        #[test]
-        fn prop_pack_lanes_round_trip(v in proptest::collection::vec(-128i8..=127, 4)) {
+        fn prop_pack_lanes_round_trip(rng) {
+            let v = prop::vec_i8(rng, -128, 127, 4);
             let reg = pack_lanes_i8([v[0], v[1], v[2], v[3]]);
             for l in 0..4 {
-                prop_assert_eq!(lane_i8(reg, l), v[l]);
+                assert_eq!(lane_i8(reg, l), v[l]);
             }
         }
     }

@@ -1,9 +1,8 @@
 //! Architectural metadata for the evaluated models (§6.1-6.3).
 
-use serde::{Deserialize, Serialize};
 
 /// Full-size architecture of one evaluated LLM.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ModelConfig {
     /// Model name as the paper's tables print it.
     pub name: String,

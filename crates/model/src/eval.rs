@@ -17,7 +17,6 @@ use crate::synth::SyntheticModel;
 use qserve_core::kv_quant::KvPrecision;
 use qserve_core::pipeline::{quantize_block, QoqConfig};
 use qserve_tensor::Matrix;
-use serde::{Deserialize, Serialize};
 
 /// Exp of the mean next-token cross-entropy of `logits` against the shifted
 /// token stream.
@@ -178,7 +177,7 @@ pub fn custom_forward_logits(
 }
 
 /// One row of a Table 2-style comparison.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SchemeEval {
     /// Scheme label as printed.
     pub scheme: String,
@@ -316,11 +315,27 @@ mod tests {
 
     #[test]
     fn kv8_hurts_less_than_kv4() {
+        // Single-sequence perplexity deltas are extremely noisy on the
+        // synthetic model (quantization can even "improve" one sequence),
+        // so compare the mean relative perturbation across several evals.
         let model = SyntheticModel::small(2);
-        let eval = tokens(5, 64, model.config.vocab);
-        let base = pseudo_perplexity(&model, &eval, KvPrecision::Fp16);
-        let kv8 = pseudo_perplexity(&model, &eval, KvPrecision::Int8);
-        let kv4 = pseudo_perplexity(&model, &eval, KvPrecision::Int4);
-        assert!(kv8 - base <= kv4 - base + 1e-9, "kv8 Δ {} vs kv4 Δ {}", kv8 - base, kv4 - base);
+        let mut drift = [0.0f64; 2]; // [kv8, kv4]
+        let seeds = 6;
+        for seed in 0..seeds {
+            let eval = tokens(5 + seed, 64, model.config.vocab);
+            let base = pseudo_perplexity(&model, &eval, KvPrecision::Fp16);
+            let kv8 = pseudo_perplexity(&model, &eval, KvPrecision::Int8);
+            let kv4 = pseudo_perplexity(&model, &eval, KvPrecision::Int4);
+            drift[0] += ((kv8 - base) / base).abs();
+            drift[1] += ((kv4 - base) / base).abs();
+        }
+        let kv8_mean = drift[0] / seeds as f64;
+        let kv4_mean = drift[1] / seeds as f64;
+        assert!(
+            kv8_mean < kv4_mean,
+            "mean |Δppl|/ppl: kv8 {} should be below kv4 {}",
+            kv8_mean,
+            kv4_mean
+        );
     }
 }

@@ -33,10 +33,9 @@ pub mod rounding;
 pub use matrixq::QuantizedMatrix;
 pub use params::QParams;
 
-use serde::{Deserialize, Serialize};
 
 /// How scale/zero parameters are shared across a tensor (§2.2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Granularity {
     /// One `(s, z)` for the whole tensor.
     PerTensor,
@@ -83,7 +82,7 @@ impl Granularity {
 
 /// A complete single-level quantization recipe: bit width, symmetry,
 /// signedness and granularity.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct QuantSpec {
     /// Bit width (4 or 8 in the paper; any 2..=16 supported).
     pub bits: u8,

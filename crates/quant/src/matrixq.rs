@@ -4,14 +4,13 @@ use crate::params::QParams;
 use crate::{Granularity, QuantSpec};
 use qserve_tensor::stats::{row_abs_max, row_min_max};
 use qserve_tensor::Matrix;
-use serde::{Deserialize, Serialize};
 
 /// A quantized matrix: integer codes plus one [`QParams`] per sharing unit.
 ///
 /// Codes are stored as `i32` for generality (this type backs every precision
 /// in the paper's comparison tables); the bit-packed formats used by the
 /// emulated GPU kernels live in `qserve-kernels`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct QuantizedMatrix {
     spec: QuantSpec,
     rows: usize,

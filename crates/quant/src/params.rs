@@ -5,10 +5,9 @@
 //! quantization sets `z = 0` and `s = max|X| / q_max`.
 
 use crate::rounding::{round_clamp, round_half_even};
-use serde::{Deserialize, Serialize};
 
 /// A scale/zero-point pair. Dequantization is `(q − z) · s` (Equation 3).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct QParams {
     /// Quantization step size (always positive; 1.0 for an all-zero tensor).
     pub scale: f32,
@@ -75,7 +74,7 @@ impl QParams {
 ///
 /// The worked example in Figure 6: a group spanning `[-16, 15]` gets
 /// `s = ⌈(15−(−16))/15⌋ = 2` and `z = ⌈−(−16)/2⌋ = 8`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct IntQParams {
     /// Unsigned 8-bit group scale `s⁽¹⁾` (≥ 1).
     pub scale: u8,

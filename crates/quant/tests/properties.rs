@@ -1,56 +1,53 @@
 //! Property tests of the quantization primitives.
 
-use proptest::prelude::*;
 use qserve_quant::matrixq::QuantizedMatrix;
 use qserve_quant::params::{IntQParams, QParams};
 use qserve_quant::rounding::round_half_even;
 use qserve_quant::{Granularity, QuantSpec};
-use qserve_tensor::Matrix;
+use qserve_tensor::{prop, props, props_assume, Matrix};
 
-proptest! {
+props! {
     /// Quantize→dequantize error is within half a step for unclipped values.
-    #[test]
-    fn round_trip_within_half_step(x in -100.0f32..100.0, absmax in 100.0f32..200.0) {
+    fn round_trip_within_half_step(rng) {
+        let x = rng.uniform(-100.0, 100.0);
+        let absmax = rng.uniform(100.0, 200.0);
         let p = QParams::symmetric(absmax, 127);
         let q = p.quantize(x, -127, 127);
         let back = p.dequantize(q);
-        prop_assert!((x - back).abs() <= p.scale * 0.5 + 1e-4);
+        assert!((x - back).abs() <= p.scale * 0.5 + 1e-4);
     }
 
     /// Asymmetric params always map zero to an exactly-representable code.
-    #[test]
-    fn zero_exactly_representable(lo in -50.0f32..0.0, hi in 0.0f32..50.0) {
-        prop_assume!(hi > lo);
+    fn zero_exactly_representable(rng) {
+        let lo = rng.uniform(-50.0, 0.0);
+        let hi = rng.uniform(0.0, 50.0);
+        props_assume!(hi > lo);
         let p = QParams::asymmetric(lo, hi, 0, 15);
         let q0 = p.quantize(0.0, 0, 15);
-        prop_assert_eq!(p.dequantize(q0), 0.0);
+        assert_eq!(p.dequantize(q0), 0.0);
     }
 
     /// Quantization is monotone: x ≤ y ⇒ q(x) ≤ q(y).
-    #[test]
-    fn quantization_monotone(
-        x in -10.0f32..10.0,
-        y in -10.0f32..10.0,
-        absmax in 5.0f32..20.0,
-    ) {
+    fn quantization_monotone(rng) {
+        let x = rng.uniform(-10.0, 10.0);
+        let y = rng.uniform(-10.0, 10.0);
+        let absmax = rng.uniform(5.0, 20.0);
         let p = QParams::symmetric(absmax, 127);
         let (lo, hi) = if x <= y { (x, y) } else { (y, x) };
-        prop_assert!(p.quantize(lo, -127, 127) <= p.quantize(hi, -127, 127));
+        assert!(p.quantize(lo, -127, 127) <= p.quantize(hi, -127, 127));
     }
 
     /// Rounding is antisymmetric for non-tie inputs and matches std.
-    #[test]
-    fn rounding_matches_std(x in -1e6f32..1e6) {
-        prop_assert_eq!(round_half_even(x), x.round_ties_even() as i32);
+    fn rounding_matches_std(rng) {
+        let x = rng.uniform(-1e6, 1e6);
+        assert_eq!(round_half_even(x), x.round_ties_even() as i32);
     }
 
     /// Matrix quantization codes never leave the spec's range, under every
     /// granularity.
-    #[test]
-    fn codes_always_in_range(
-        vals in proptest::collection::vec(-20.0f32..20.0, 4 * 16),
-        which in 0usize..4,
-    ) {
+    fn codes_always_in_range(rng) {
+        let vals = prop::vec_f32(rng, -20.0, 20.0, 4 * 16);
+        let which = rng.index(4);
         let m = Matrix::from_vec(4, 16, vals);
         let spec = match which {
             0 => QuantSpec::int8_symmetric(Granularity::PerTensor),
@@ -60,18 +57,17 @@ proptest! {
         };
         let (qmin, qmax) = spec.q_range();
         let q = QuantizedMatrix::quantize(&m, spec);
-        prop_assert!(q.codes().iter().all(|&c| (qmin..=qmax).contains(&c)));
+        assert!(q.codes().iter().all(|&c| (qmin..=qmax).contains(&c)));
     }
 
     /// Finer granularity does not dominate pointwise (a value can round
-    /// worse under a smaller scale — proptest found such a case), but every
-    /// per-group error is bounded by the *coarse* (per-row) step: the group
-    /// range never exceeds the row range, so `scale_fine ≤ scale_coarse`,
-    /// and asymmetric round-trip error ≤ one scale (value + zero rounding).
-    #[test]
-    fn finer_granularity_error_bounded_by_coarse_step(
-        vals in proptest::collection::vec(-20.0f32..20.0, 2 * 16),
-    ) {
+    /// worse under a smaller scale — property testing found such a case),
+    /// but every per-group error is bounded by the *coarse* (per-row) step:
+    /// the group range never exceeds the row range, so
+    /// `scale_fine ≤ scale_coarse`, and asymmetric round-trip error ≤ one
+    /// scale (value + zero rounding).
+    fn finer_granularity_error_bounded_by_coarse_step(rng) {
+        let vals = prop::vec_f32(rng, -20.0, 20.0, 2 * 16);
         let m = Matrix::from_vec(2, 16, vals);
         let coarse = QuantizedMatrix::quantize(
             &m,
@@ -86,7 +82,7 @@ proptest! {
             let row_scale = coarse.params_at(i, 0).scale;
             for j in 0..16 {
                 let err = (m[(i, j)] - fine[(i, j)]).abs();
-                prop_assert!(
+                assert!(
                     err <= row_scale + 1e-4,
                     "err {} > coarse scale {} at ({}, {})",
                     err,
@@ -101,29 +97,27 @@ proptest! {
     /// Level-2 integer params: for inputs already in the protective range,
     /// dequantization of any produced code stays within INT8 (the §4.1
     /// guarantee, at the primitive level).
-    #[test]
-    fn level2_never_overflows_protective_inputs(
-        vals in proptest::collection::vec(-119i32..=119, 16),
-    ) {
+    fn level2_never_overflows_protective_inputs(rng) {
+        let vals = prop::vec_i32(rng, -119, 119, 16);
         let group: Vec<i8> = vals.iter().map(|&v| v as i8).collect();
         let p = IntQParams::from_group(&group);
         for &g in &group {
             let q = p.quantize(g);
             let v = (i32::from(q) - i32::from(p.zero)) * i32::from(p.scale);
-            prop_assert!((-128..=127).contains(&v), "{} → {} → {}", g, q, v);
+            assert!((-128..=127).contains(&v), "{} → {} → {}", g, q, v);
         }
     }
 
     /// Level-2 round trip error is within one level-1 step of the input,
     /// plus the scale-round-down slack.
-    #[test]
-    fn level2_round_trip_bounded(vals in proptest::collection::vec(-119i32..=119, 8)) {
+    fn level2_round_trip_bounded(rng) {
+        let vals = prop::vec_i32(rng, -119, 119, 8);
         let group: Vec<i8> = vals.iter().map(|&v| v as i8).collect();
         let p = IntQParams::from_group(&group);
         for &g in &group {
             let back = i32::from(p.dequantize(p.quantize(g)));
             let err = (i32::from(g) - back).abs();
-            prop_assert!(
+            assert!(
                 err <= i32::from(p.scale) + 8,
                 "err {} for scale {}",
                 err,

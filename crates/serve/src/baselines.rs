@@ -4,10 +4,9 @@
 use qserve_gpusim::attention_model::AttentionKernel;
 use qserve_gpusim::gemm_model::GemmConfig;
 use qserve_model::ModelConfig;
-use serde::{Deserialize, Serialize};
 
 /// One serving system configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SystemConfig {
     /// TensorRT-LLM, FP16 weights/activations/KV.
     TrtFp16,

@@ -12,7 +12,6 @@ use qserve_gpusim::attention_model::{attention_decode_latency, attention_prefill
 use qserve_gpusim::gemm_model::{gemm_latency, GemmShape};
 use qserve_gpusim::GpuSpec;
 use qserve_model::ModelConfig;
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// Per-decode-step CPU/scheduler overhead (batching, sampling, detokenize).
@@ -22,7 +21,7 @@ const MISC_KERNELS_PER_LAYER: f64 = 4.0;
 
 /// The benchmark workload (§6.3: "input sequence length of 1024 and output
 /// sequence length of 512").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Workload {
     /// Prompt tokens per request.
     pub input_len: usize,
@@ -49,7 +48,7 @@ impl Workload {
 }
 
 /// Result of one serving simulation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ServingReport {
     /// Output tokens per second — the headline number of Table 4.
     pub throughput_tps: f64,
@@ -81,7 +80,7 @@ pub struct ServingEngine {
 
 /// Why an engine could not be constructed (the `OOM` / `N.S.` cells of
 /// Figure 15).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EngineUnavailable {
     /// Weights don't fit device memory.
     OutOfMemory,

@@ -11,7 +11,6 @@
 //! The allocator is a free-list over fixed-size pages (the vLLM idea); a
 //! sequence owns one page table per layer.
 
-use bytes::{Bytes, BytesMut};
 use qserve_core::kv_quant::{quantize_head, KvPrecision, QuantizedHeadToken};
 use qserve_quant::params::QParams;
 use qserve_tensor::fp16::{f16_bits_to_f32, f32_to_f16_bits};
@@ -64,7 +63,7 @@ impl KvCacheConfig {
 /// One page: raw storage plus the count of filled token slots.
 #[derive(Debug, Clone)]
 struct KvPage {
-    data: BytesMut,
+    data: Vec<u8>,
     filled: usize,
 }
 
@@ -126,7 +125,7 @@ impl PagedKvCache {
     pub fn new(config: KvCacheConfig, total_pages: usize) -> Self {
         let pages = (0..total_pages)
             .map(|_| KvPage {
-                data: BytesMut::zeroed(config.page_bytes()),
+                data: vec![0u8; config.page_bytes()],
                 filled: 0,
             })
             .collect();
@@ -344,13 +343,13 @@ impl PagedKvCache {
     }
 
     /// Immutable snapshot of a page's raw bytes (for tests/debug).
-    pub fn page_bytes_snapshot(&self, page: usize) -> Bytes {
-        Bytes::copy_from_slice(&self.pages[page].data)
+    pub fn page_bytes_snapshot(&self, page: usize) -> Vec<u8> {
+        self.pages[page].data.clone()
     }
 }
 
 fn write_codes(
-    data: &mut BytesMut,
+    data: &mut [u8],
     mut cursor: usize,
     q: &QuantizedHeadToken,
     precision: KvPrecision,

@@ -3,14 +3,13 @@
 
 use qserve_gpusim::GpuSpec;
 use qserve_model::ModelConfig;
-use serde::{Deserialize, Serialize};
 
 /// Workspace reserved for activations, cublas scratch, CUDA context etc.,
 /// as a fraction of device memory.
 pub const WORKSPACE_FRACTION: f64 = 0.08;
 
 /// A memory plan for serving one model on one GPU.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MemoryPlan {
     /// Weight bytes at the system's weight precision.
     pub weight_bytes: u64,

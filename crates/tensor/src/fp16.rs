@@ -8,7 +8,6 @@
 //! binary16 (round-to-nearest-even), which matches how half-precision FMA-free
 //! arithmetic behaves on NVIDIA hardware for individual `+`/`*` ops.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A 16-bit IEEE-754 binary16 float stored as raw bits.
@@ -22,7 +21,7 @@ use std::fmt;
 /// let b = F16::from_f32(1.00048828125); // 1 + 2^-11 rounds to even → 1.0
 /// assert_eq!(b.to_f32(), 1.0);
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct F16(u16);
 
 impl F16 {

@@ -12,6 +12,8 @@
 //!   per-channel outlier injection that SmoothAttention (§4.2) and block
 //!   rotation (§4.3.1) are designed to counteract.
 //! * [`stats`] — absmax/MSE/SQNR helpers shared by the quantization crates.
+//! * [`prop`] — the in-repo property-testing harness ([`props!`] /
+//!   [`props_assume!`]) that replaces the `proptest` dependency.
 //!
 //! # Example
 //!
@@ -27,6 +29,7 @@
 pub mod fp16;
 pub mod matrix;
 pub mod ops;
+pub mod prop;
 pub mod rng;
 pub mod stats;
 

@@ -6,7 +6,6 @@
 //! implements exactly that contraction; [`Matrix::matmul_nn`] is the plain
 //! row×column product used for attention scores.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A dense row-major `f32` matrix.
@@ -22,7 +21,7 @@ use std::fmt;
 /// assert_eq!(m[(1, 0)], 3.0);
 /// assert_eq!(m.rows(), 2);
 /// ```
-#[derive(Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, PartialEq)]
 pub struct Matrix {
     rows: usize,
     cols: usize,

@@ -14,10 +14,12 @@
 //! generators synthesize tensors exhibiting exactly those pathologies so each
 //! QoQ technique is exercised against the phenomenon it was designed for
 //! (see DESIGN.md §1 for the substitution rationale).
+//!
+//! The generator is built on an in-repo xoshiro256++ PRNG (seeded via
+//! SplitMix64) so the workspace needs no external crates: same-seed streams
+//! are bit-identical across platforms and releases.
 
 use crate::matrix::Matrix;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Deterministic generator for synthetic model tensors.
 ///
@@ -28,35 +30,107 @@ use rand::{Rng, SeedableRng};
 /// let w = rng.gaussian(8, 16, 0.02);
 /// assert_eq!(w.shape(), (8, 16));
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct TensorRng {
-    rng: StdRng,
+    state: [u64; 4],
+}
+
+/// One step of SplitMix64 — used to expand a 64-bit seed into the
+/// xoshiro256++ state so that nearby seeds yield uncorrelated streams.
+fn splitmix64(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl TensorRng {
     /// Creates a generator from a fixed seed (reproducible).
     pub fn seed(seed: u64) -> Self {
-        Self {
-            rng: StdRng::seed_from_u64(seed),
-        }
+        let mut sm = seed;
+        let state = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Self { state }
+    }
+
+    /// Next raw 64-bit output (xoshiro256++).
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Next raw 32-bit output (upper half of the 64-bit stream).
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform `f32` in `[0, 1)` with 24 bits of mantissa entropy.
+    pub fn next_f32(&mut self) -> f32 {
+        ((self.next_u64() >> 40) as f32) * (1.0 / (1u32 << 24) as f32)
     }
 
     /// Standard normal sample scaled by `std`.
     pub fn normal(&mut self, std: f32) -> f32 {
         // Box-Muller transform; rejects zero to avoid ln(0).
-        let u1: f32 = self.rng.gen_range(f32::EPSILON..1.0);
-        let u2: f32 = self.rng.gen_range(0.0..1.0);
+        let u1: f32 = self.next_f32().max(f32::EPSILON);
+        let u2: f32 = self.next_f32();
         (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos() * std
     }
 
     /// Uniform sample in `[lo, hi)`.
     pub fn uniform(&mut self, lo: f32, hi: f32) -> f32 {
-        self.rng.gen_range(lo..hi)
+        lo + self.next_f32() * (hi - lo)
     }
 
     /// Uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
     pub fn index(&mut self, n: usize) -> usize {
-        self.rng.gen_range(0..n)
+        assert!(n > 0, "index() needs a non-empty range");
+        // Multiply-shift bounded sampling (Lemire): no modulo bias worth
+        // caring about at test-suite sample counts, no division.
+        (((self.next_u64() >> 32) * n as u64) >> 32) as usize
+    }
+
+    /// Uniform integer in the inclusive range `[lo, hi]`.
+    ///
+    /// # Panics
+    /// Panics if `lo > hi`.
+    pub fn int_in(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo <= hi, "int_in range {}..={} is empty", lo, hi);
+        // Span arithmetic in u64 so extreme ranges (e.g. i64::MIN..=i64::MAX)
+        // cannot overflow; a wrapped span of 0 means the full 2^64 range.
+        let span = (hi.wrapping_sub(lo) as u64).wrapping_add(1);
+        let offset = if span == 0 { self.next_u64() } else { self.next_u64() % span };
+        lo.wrapping_add(offset as i64)
+    }
+
+    /// Uniformly picks one element of a non-empty slice.
+    pub fn choose<T: Copy>(&mut self, options: &[T]) -> T {
+        options[self.index(options.len())]
+    }
+
+    /// Fisher–Yates shuffle of a slice in place (the `SliceRandom::shuffle`
+    /// replacement).
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.index(i + 1);
+            xs.swap(i, j);
+        }
     }
 
     /// Gaussian matrix with standard deviation `std`.
@@ -77,7 +151,7 @@ impl TensorRng {
         tail_mult: f32,
     ) -> Matrix {
         Matrix::from_fn(rows, cols, |_, _| {
-            if self.rng.gen::<f32>() < tail_fraction {
+            if self.next_f32() < tail_fraction {
                 self.normal(std * tail_mult)
             } else {
                 self.normal(std)
@@ -130,7 +204,7 @@ impl TensorRng {
 
     /// Synthetic token-id sequence for pseudo-perplexity evaluation.
     pub fn token_sequence(&mut self, len: usize, vocab: usize) -> Vec<u32> {
-        (0..len).map(|_| self.rng.gen_range(0..vocab as u32)).collect()
+        (0..len).map(|_| self.index(vocab) as u32).collect()
     }
 }
 
@@ -161,6 +235,62 @@ mod tests {
             m.as_slice().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / m.len() as f32;
         assert!(mean.abs() < 0.1, "mean {} too far from 0", mean);
         assert!((var.sqrt() - 2.0).abs() < 0.1, "std {} too far from 2", var.sqrt());
+    }
+
+    #[test]
+    fn uniform_stays_in_range() {
+        let mut rng = TensorRng::seed(21);
+        for _ in 0..10_000 {
+            let v = rng.uniform(-3.0, 5.0);
+            assert!((-3.0..5.0).contains(&v), "{} out of range", v);
+        }
+    }
+
+    #[test]
+    fn index_covers_all_buckets() {
+        let mut rng = TensorRng::seed(22);
+        let mut hits = [0usize; 7];
+        for _ in 0..7_000 {
+            hits[rng.index(7)] += 1;
+        }
+        assert!(hits.iter().all(|&h| h > 500), "skewed buckets: {:?}", hits);
+    }
+
+    #[test]
+    fn int_in_inclusive_endpoints_reachable() {
+        let mut rng = TensorRng::seed(23);
+        let mut saw_lo = false;
+        let mut saw_hi = false;
+        for _ in 0..1_000 {
+            let v = rng.int_in(-2, 2);
+            assert!((-2..=2).contains(&v));
+            saw_lo |= v == -2;
+            saw_hi |= v == 2;
+        }
+        assert!(saw_lo && saw_hi);
+    }
+
+    #[test]
+    fn int_in_extreme_ranges_do_not_overflow() {
+        let mut rng = TensorRng::seed(25);
+        for _ in 0..1_000 {
+            // Any i64 is valid output; this must simply not panic or wrap
+            // outside the requested bounds.
+            let _ = rng.int_in(i64::MIN, i64::MAX);
+            assert!(rng.int_in(i64::MIN, 0) <= 0);
+            assert!(rng.int_in(0, i64::MAX) >= 0);
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = TensorRng::seed(24);
+        let mut xs: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(xs, (0..50).collect::<Vec<_>>(), "50 elements should not shuffle to identity");
     }
 
     #[test]

@@ -1,112 +1,111 @@
 //! Property tests of the tensor substrate's algebraic invariants.
 
-use proptest::prelude::*;
 use qserve_tensor::fp16::{f16_bits_to_f32, f32_to_f16_bits, round_f16};
 use qserve_tensor::ops::{rope_inplace, softmax_inplace};
-use qserve_tensor::Matrix;
+use qserve_tensor::rng::TensorRng;
+use qserve_tensor::{prop, props, Matrix};
 
-fn small_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
-    proptest::collection::vec(-100.0f32..100.0, rows * cols)
-        .prop_map(move |v| Matrix::from_vec(rows, cols, v))
+fn small_matrix(rng: &mut TensorRng, rows: usize, cols: usize) -> Matrix {
+    Matrix::from_vec(rows, cols, prop::vec_f32(rng, -100.0, 100.0, rows * cols))
 }
 
-proptest! {
+props! {
     /// (A + B) + C == A + (B + C) exactly is false in floats, but the
     /// element-wise ops must commute: A + B == B + A bitwise.
-    #[test]
-    fn add_commutes(a in small_matrix(3, 4), b in small_matrix(3, 4)) {
-        prop_assert_eq!(a.add(&b), b.add(&a));
+    fn add_commutes(rng) {
+        let a = small_matrix(rng, 3, 4);
+        let b = small_matrix(rng, 3, 4);
+        assert_eq!(a.add(&b), b.add(&a));
     }
 
     /// Transpose is an involution.
-    #[test]
-    fn transpose_involution(a in small_matrix(4, 6)) {
-        prop_assert_eq!(a.transpose().transpose(), a);
+    fn transpose_involution(rng) {
+        let a = small_matrix(rng, 4, 6);
+        assert_eq!(a.transpose().transpose(), a);
     }
 
     /// matmul distributes over the identity: (X·I) == X bitwise.
-    #[test]
-    fn identity_neutral(a in small_matrix(3, 5)) {
-        prop_assert_eq!(a.matmul_nn(&Matrix::eye(5)), a);
+    fn identity_neutral(rng) {
+        let a = small_matrix(rng, 3, 5);
+        assert_eq!(a.matmul_nn(&Matrix::eye(5)), a);
     }
 
     /// Y = X·Wᵀ must equal X·(Wᵀ) computed via explicit transpose, closely.
-    #[test]
-    fn matmul_nt_consistent(x in small_matrix(3, 4), w in small_matrix(2, 4)) {
+    fn matmul_nt_consistent(rng) {
+        let x = small_matrix(rng, 3, 4);
+        let w = small_matrix(rng, 2, 4);
         let a = x.matmul_nt(&w);
         let b = x.matmul_nn(&w.transpose());
         for (u, v) in a.as_slice().iter().zip(b.as_slice()) {
-            prop_assert!((u - v).abs() <= 1e-3 * u.abs().max(1.0));
+            assert!((u - v).abs() <= 1e-3 * u.abs().max(1.0));
         }
     }
 
     /// Scaling rows by f then 1/f round-trips within an ulp or two.
-    #[test]
-    fn row_scaling_inverts(a in small_matrix(3, 4), f in 0.25f32..4.0) {
+    fn row_scaling_inverts(rng) {
+        let a = small_matrix(rng, 3, 4);
+        let f = rng.uniform(0.25, 4.0);
         let back = a.scale_rows(&[f; 3]).scale_rows(&[1.0 / f; 3]);
         for (u, v) in a.as_slice().iter().zip(back.as_slice()) {
-            prop_assert!((u - v).abs() <= 1e-4 * u.abs().max(1e-3));
+            assert!((u - v).abs() <= 1e-4 * u.abs().max(1e-3));
         }
     }
 
     /// fp16 round-trip is idempotent: round(round(x)) == round(x).
-    #[test]
-    fn fp16_idempotent(x in -70000.0f32..70000.0) {
+    fn fp16_idempotent(rng) {
+        let x = rng.uniform(-70000.0, 70000.0);
         let once = round_f16(x);
-        prop_assert_eq!(round_f16(once).to_bits(), once.to_bits());
+        assert_eq!(round_f16(once).to_bits(), once.to_bits());
     }
 
     /// fp16 rounding is monotone: x ≤ y ⇒ round(x) ≤ round(y).
-    #[test]
-    fn fp16_monotone(x in -60000.0f32..60000.0, y in -60000.0f32..60000.0) {
+    fn fp16_monotone(rng) {
+        let x = rng.uniform(-60000.0, 60000.0);
+        let y = rng.uniform(-60000.0, 60000.0);
         let (lo, hi) = if x <= y { (x, y) } else { (y, x) };
-        prop_assert!(round_f16(lo) <= round_f16(hi));
+        assert!(round_f16(lo) <= round_f16(hi));
     }
 
     /// fp16 conversion round-trips bits for every representable value.
-    #[test]
-    fn fp16_bits_round_trip(bits in 0u16..0x7C00) {
+    fn fp16_bits_round_trip(rng) {
         // All positive finite halves.
-        prop_assert_eq!(f32_to_f16_bits(f16_bits_to_f32(bits)), bits);
+        let bits = rng.int_in(0, 0x7BFF) as u16;
+        assert_eq!(f32_to_f16_bits(f16_bits_to_f32(bits)), bits);
     }
 
     /// Softmax output is a probability simplex for any finite input.
-    #[test]
-    fn softmax_simplex(v in proptest::collection::vec(-50.0f32..50.0, 1..20)) {
-        let mut s = v.clone();
+    fn softmax_simplex(rng) {
+        let len = rng.int_in(1, 19) as usize;
+        let mut s = prop::vec_f32(rng, -50.0, 50.0, len);
         softmax_inplace(&mut s);
         let sum: f32 = s.iter().sum();
-        prop_assert!((sum - 1.0).abs() < 1e-4);
-        prop_assert!(s.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        assert!((sum - 1.0).abs() < 1e-4);
+        assert!(s.iter().all(|&p| (0.0..=1.0).contains(&p)));
     }
 
     /// RoPE preserves the norm of every pair (it is a rotation).
-    #[test]
-    fn rope_isometry(
-        v in proptest::collection::vec(-10.0f32..10.0, 8),
-        pos in 0usize..4096,
-    ) {
+    fn rope_isometry(rng) {
+        let v = prop::vec_f32(rng, -10.0, 10.0, 8);
+        let pos = rng.index(4096);
         let mut h = v.clone();
         rope_inplace(&mut h, pos, 10000.0);
         let n0: f32 = v.iter().map(|x| x * x).sum();
         let n1: f32 = h.iter().map(|x| x * x).sum();
-        prop_assert!((n0 - n1).abs() <= 1e-3 * n0.max(1.0));
+        assert!((n0 - n1).abs() <= 1e-3 * n0.max(1.0));
     }
 
     /// Column permutation preserves multiset of entries per row.
-    #[test]
-    fn permute_preserves_rows(a in small_matrix(2, 6), seed in 0u64..100) {
-        use rand::{seq::SliceRandom, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    fn permute_preserves_rows(rng) {
+        let a = small_matrix(rng, 2, 6);
         let mut perm: Vec<usize> = (0..6).collect();
-        perm.shuffle(&mut rng);
+        rng.shuffle(&mut perm);
         let p = a.permute_cols(&perm);
         for i in 0..2 {
             let mut orig: Vec<_> = a.row(i).iter().map(|v| v.to_bits()).collect();
             let mut permuted: Vec<_> = p.row(i).iter().map(|v| v.to_bits()).collect();
             orig.sort_unstable();
             permuted.sort_unstable();
-            prop_assert_eq!(orig, permuted);
+            assert_eq!(orig, permuted);
         }
     }
 }

@@ -1,6 +1,5 @@
 //! The paper's headline claims, checked end to end across crates.
 
-use proptest::prelude::*;
 use qserve::core::progressive::ProgressiveWeight;
 use qserve::gpusim::attention_model::{attention_decode_latency, AttentionKernel, AttentionShape};
 use qserve::gpusim::gemm_model::{gemm_latency, GemmConfig, GemmShape};
@@ -9,8 +8,7 @@ use qserve::gpusim::GpuSpec;
 use qserve::model::ModelConfig;
 use qserve::serve::engine::Workload;
 use qserve::serve::{ServingEngine, SystemConfig};
-use qserve::tensor::rng::TensorRng;
-use qserve::tensor::Matrix;
+use qserve::tensor::{prop, props, Matrix};
 
 /// §3.1: the W4A16/W8A8 roofline crossover sits near m = 78 on A100.
 #[test]
@@ -134,20 +132,16 @@ fn claim_72b_dramatic_win() {
     assert!(q / w8 > 2.0, "72B speedup over W8A8 is {}", q / w8);
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
+props! {
     /// §4.1 protective range, end to end: for arbitrary weight tensors the
     /// progressive intermediates never leave the INT8 range — the invariant
     /// that licenses register-level parallelism in the kernel.
-    #[test]
-    fn prop_protective_range_invariant(
-        vals in proptest::collection::vec(-4.0f32..4.0, 128),
-        group in prop_oneof![Just(16usize), Just(32), Just(64)],
-    ) {
+    fn prop_protective_range_invariant(rng, cases = 32) {
+        let vals = prop::vec_f32(rng, -4.0, 4.0, 128);
+        let group = rng.choose(&[16usize, 32, 64]);
         let w = Matrix::from_vec(2, 64, vals);
         let pw = ProgressiveWeight::quantize(&w, group.min(64));
-        prop_assert!(pw.max_intermediate_abs() <= 127);
+        assert!(pw.max_intermediate_abs() <= 127);
     }
 
     /// Reconstruction error of progressive quantization is bounded by the
@@ -156,9 +150,7 @@ proptest! {
     /// rounded down — a group range of up to 15·s⁽¹⁾ + 7.5 is squeezed into
     /// 15 codes, and with zero-point rounding the whole ≤ 7.5 + s⁽¹⁾/2
     /// shortfall can land on one endpoint.
-    #[test]
-    fn prop_progressive_error_bound(seed in 0u64..1000) {
-        let mut rng = TensorRng::seed(seed);
+    fn prop_progressive_error_bound(rng, cases = 32) {
         let w = rng.heavy_tailed(4, 64, 0.1, 0.05, 6.0);
         let pw = ProgressiveWeight::quantize(&w, 16);
         let back = pw.dequantize();
@@ -169,7 +161,7 @@ proptest! {
                 let s1 = pw.group_params()[i * groups_per_row + j / 16].scale;
                 let bound = s0 * (f32::from(s1) + 8.0) + 1e-5;
                 let err = (w[(i, j)] - back[(i, j)]).abs();
-                prop_assert!(err <= bound, "err {} > bound {} at ({}, {})", err, bound, i, j);
+                assert!(err <= bound, "err {} > bound {} at ({}, {})", err, bound, i, j);
             }
         }
     }

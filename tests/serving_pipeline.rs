@@ -1,13 +1,13 @@
 //! Serving-system integration: scheduler conservation, memory bounds, cache
 //! lifecycle under randomized workloads.
 
-use proptest::prelude::*;
 use qserve::core::kv_quant::KvPrecision;
 use qserve::gpusim::GpuSpec;
 use qserve::model::ModelConfig;
 use qserve::serve::engine::Workload;
 use qserve::serve::kv_cache::{KvCacheConfig, PagedKvCache, SequenceId};
 use qserve::serve::{ServingEngine, SystemConfig};
+use qserve::tensor::{prop, props};
 
 #[test]
 fn engine_completes_any_feasible_workload() {
@@ -69,13 +69,12 @@ fn memory_constrained_batch_respected() {
     assert!(e.plan().max_tokens >= (batch * wl.peak_len()) as u64);
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
+props! {
     /// The paged cache never loses or duplicates pages across random
     /// register/append/release interleavings.
-    #[test]
-    fn prop_cache_page_conservation(ops in proptest::collection::vec(0u8..3, 1..60)) {
+    fn prop_cache_page_conservation(rng, cases = 16) {
+        let len = rng.int_in(1, 59) as usize;
+        let ops = prop::vec_u8(rng, 0, 2, len);
         let cfg = KvCacheConfig {
             page_tokens: 4,
             kv_heads: 2,
@@ -111,20 +110,18 @@ proptest! {
                     }
                 }
             }
-            prop_assert_eq!(cache.free_pages() + cache.used_pages(), total);
+            assert_eq!(cache.free_pages() + cache.used_pages(), total);
         }
         for id in live {
             cache.release(id).unwrap();
         }
-        prop_assert_eq!(cache.free_pages(), total);
+        assert_eq!(cache.free_pages(), total);
     }
 
     /// Round trip through the page bytes is within one quantization step for
     /// arbitrary feature values.
-    #[test]
-    fn prop_cache_round_trip_error_bounded(
-        feats in proptest::collection::vec(-8.0f32..8.0, 16)
-    ) {
+    fn prop_cache_round_trip_error_bounded(rng, cases = 16) {
+        let feats = prop::vec_f32(rng, -8.0, 8.0, 16);
         let cfg = KvCacheConfig {
             page_tokens: 4,
             kv_heads: 2,
@@ -141,7 +138,7 @@ proptest! {
             let back = qserve::core::kv_quant::dequantize_head(&keys[0]);
             for (a, b) in feats[head * 8..(head + 1) * 8].iter().zip(&back) {
                 // One step + fp16 rounding of the stored scale.
-                prop_assert!((a - b).abs() <= keys[0].params.scale * 1.5 + 1e-3);
+                assert!((a - b).abs() <= keys[0].params.scale * 1.5 + 1e-3);
             }
         }
     }
