@@ -19,4 +19,10 @@ rm -f results/table1.csv
 cargo run --release --offline --locked -p qserve-bench --bin reproduce -- table1 >/dev/null
 test -s results/table1.csv
 
+# Every example must run end to end, offline (smoke: exit status only).
+for ex in quickstart generate kv4_attention paged_serving roofline \
+          serving_throughput ablation; do
+    cargo run --release --offline --locked --example "$ex" >/dev/null
+done
+
 echo "ci.sh: all green"

@@ -8,6 +8,8 @@ use qserve_gpusim::GpuSpec;
 use qserve_model::ModelConfig;
 use qserve_serve::engine::Workload;
 use qserve_serve::kv_cache::{KvCacheConfig, PagedKvCache, SequenceId};
+use qserve_serve::request::WorkloadSpec;
+use qserve_serve::scheduler::ShortestJobFirst;
 use qserve_serve::{ServingEngine, SystemConfig};
 use qserve_tensor::rng::TensorRng;
 
@@ -69,6 +71,27 @@ fn bench_engine(c: &mut Criterion) {
     };
     c.bench_function("engine_full_simulation_128_requests", |b| {
         b.iter(|| black_box(engine.run_with_batch(&wl, 64)))
+    });
+    // The staggered-arrival path: admission interleaves with decode, so the
+    // scheduler's arrival bookkeeping (idle jumps, partial batches) is on
+    // the timed path — not just the offline all-at-once wave.
+    let online = Workload {
+        input_len: 256,
+        output_len: 64,
+        num_requests: 64,
+    };
+    c.bench_function("engine_online_arrivals_64_requests", |b| {
+        b.iter(|| black_box(engine.run_with_arrivals(&online, 32, 8.0)))
+    });
+    let spec = WorkloadSpec::mixed(64, 7);
+    c.bench_function("engine_heterogeneous_sjf_64_requests", |b| {
+        b.iter(|| {
+            black_box(
+                engine
+                    .run_workload(black_box(&spec), Box::new(ShortestJobFirst))
+                    .expect("serves"),
+            )
+        })
     });
 }
 

@@ -8,6 +8,7 @@
 pub mod accuracy;
 pub mod efficiency;
 pub mod report;
+pub mod scheduling;
 pub mod timing;
 
 pub use report::Table;
@@ -19,7 +20,7 @@ use qserve_model::ModelConfig;
 pub fn experiment_ids() -> Vec<&'static str> {
     vec![
         "fig1", "fig2a", "fig2b", "fig3", "table1", "table2", "table3", "table5", "table4",
-        "fig16", "fig17", "fig18", "table6", "attn_breakdown", "microbench",
+        "fig16", "fig17", "fig18", "table6", "attn_breakdown", "microbench", "sched_sweep",
     ]
 }
 
@@ -53,6 +54,7 @@ pub fn run_experiment(id: &str) -> Option<Vec<Table>> {
         ],
         "fig18" => vec![efficiency::fig18()],
         "table6" => vec![efficiency::table6()],
+        "sched_sweep" => vec![scheduling::sched_sweep()],
         _ => return None,
     };
     Some(tables)

@@ -213,26 +213,33 @@ pub fn attention_decode_latency_with(
     }
 }
 
-/// Models one decode-attention launch.
-pub fn attention_decode_latency(
+/// Decode-attention latency from batch-level totals: `batch` sequences with
+/// `total_tokens` cached KV tokens between them. One kernel launch serves the
+/// whole batch, so the per-launch overhead is charged once regardless of how
+/// the tokens are distributed across sequences.
+fn decode_latency_from_totals(
     gpu: &GpuSpec,
     kernel: AttentionKernel,
-    shape: AttentionShape,
+    batch: f64,
+    total_tokens: f64,
+    query_heads: usize,
+    kv_heads: usize,
+    head_dim: usize,
 ) -> AttentionLatency {
-    let elems = shape.kv_elements();
-    let tokens_heads = shape.batch as f64 * shape.seq_len as f64 * shape.kv_heads as f64;
+    let elems = 2.0 * total_tokens * kv_heads as f64 * head_dim as f64;
+    let tokens_heads = total_tokens * kv_heads as f64;
 
     // Memory: quantized KV + dynamic params + queries/outputs/scores.
     let kv_bytes = elems * f64::from(kernel.kv_bits()) / 8.0;
     let param_bytes = tokens_heads * kernel.param_bytes_per_token_head();
-    let qo_bytes = 2.0 * 2.0 * shape.batch as f64 * shape.query_heads as f64 * shape.head_dim as f64;
-    let score_bytes = 4.0 * shape.batch as f64 * shape.query_heads as f64 * shape.seq_len as f64;
+    let qo_bytes = 2.0 * 2.0 * batch * query_heads as f64 * head_dim as f64;
+    let score_bytes = 4.0 * total_tokens * query_heads as f64;
     let memory_s =
         (kv_bytes + param_bytes + qo_bytes + score_bytes) / (gpu.dram_bytes_per_s * ATTN_BW_EFFICIENCY);
 
     // Compute: per-element fused-kernel work. GQA replays each KV element
     // for every query head in its group.
-    let group = (shape.query_heads / shape.kv_heads).max(1) as f64;
+    let group = (query_heads / kv_heads).max(1) as f64;
     let compute_s =
         kernel.ops_per_element() * elems * group / (kernel.cuda_ops_rate(gpu) * ATTN_CUDA_EFFICIENCY);
 
@@ -243,6 +250,69 @@ pub fn attention_decode_latency(
         total_s,
         compute_bound: compute_s > memory_s,
     }
+}
+
+/// Models one decode-attention launch.
+pub fn attention_decode_latency(
+    gpu: &GpuSpec,
+    kernel: AttentionKernel,
+    shape: AttentionShape,
+) -> AttentionLatency {
+    decode_latency_from_totals(
+        gpu,
+        kernel,
+        shape.batch as f64,
+        shape.batch as f64 * shape.seq_len as f64,
+        shape.query_heads,
+        shape.kv_heads,
+        shape.head_dim,
+    )
+}
+
+/// Models one decode-attention launch over a *heterogeneous* batch: each
+/// sequence is charged at its true cached length, so mixed-length batches are
+/// costed honestly instead of at the batch-mean length. For a homogeneous
+/// batch this is exactly [`attention_decode_latency`].
+pub fn attention_decode_latency_hetero(
+    gpu: &GpuSpec,
+    kernel: AttentionKernel,
+    seq_lens: &[usize],
+    query_heads: usize,
+    kv_heads: usize,
+    head_dim: usize,
+) -> AttentionLatency {
+    let total: usize = seq_lens.iter().sum();
+    decode_latency_from_totals(
+        gpu,
+        kernel,
+        seq_lens.len() as f64,
+        total as f64,
+        query_heads,
+        kv_heads,
+        head_dim,
+    )
+}
+
+/// Prefill attention latency from totals: `total_tokens` = Σ sᵢ and
+/// `total_sq_tokens` = Σ sᵢ² over the prompts in the wave (causal attention
+/// work is quadratic per sequence, KV writes are linear).
+fn prefill_latency_from_totals(
+    gpu: &GpuSpec,
+    kernel: AttentionKernel,
+    total_tokens: f64,
+    total_sq_tokens: f64,
+    query_heads: usize,
+    kv_heads: usize,
+    head_dim: usize,
+) -> f64 {
+    let (h, d) = (query_heads as f64, head_dim as f64);
+    // Causal QKᵀ and PV: 2 GEMMs × 2·S²/2·H·D ops each.
+    let ops = 2.0 * total_sq_tokens * h * d;
+    let compute_s = ops / (gpu.fp16_tc_ops * 0.7);
+    // Write the new KV entries (quantized) once.
+    let kv_write_bytes = 2.0 * total_tokens * kv_heads as f64 * d * f64::from(kernel.kv_bits()) / 8.0;
+    let memory_s = kv_write_bytes / (gpu.dram_bytes_per_s * ATTN_BW_EFFICIENCY);
+    compute_s.max(memory_s) + gpu.kernel_overhead_s
 }
 
 /// Prefill (context) attention: causal `S×S` attention on FP16 tensor cores
@@ -256,15 +326,24 @@ pub fn attention_prefill_latency(
     kv_heads: usize,
     head_dim: usize,
 ) -> f64 {
-    let (b, s, h, d) = (batch as f64, seq_len as f64, query_heads as f64, head_dim as f64);
-    // Causal QKᵀ and PV: 2 GEMMs × 2·S²/2·H·D ops each.
-    let ops = 2.0 * b * s * s * h * d;
-    let compute_s = ops / (gpu.fp16_tc_ops * 0.7);
-    // Write the new KV entries (quantized) once.
-    let kv_write_bytes =
-        2.0 * b * s * kv_heads as f64 * d * f64::from(kernel.kv_bits()) / 8.0;
-    let memory_s = kv_write_bytes / (gpu.dram_bytes_per_s * ATTN_BW_EFFICIENCY);
-    compute_s.max(memory_s) + gpu.kernel_overhead_s
+    let (b, s) = (batch as f64, seq_len as f64);
+    prefill_latency_from_totals(gpu, kernel, b * s, b * s * s, query_heads, kv_heads, head_dim)
+}
+
+/// Prefill attention for a wave of prompts with *per-sequence* lengths; the
+/// quadratic causal work is charged at each prompt's true length. For a
+/// homogeneous wave this is exactly [`attention_prefill_latency`].
+pub fn attention_prefill_latency_hetero(
+    gpu: &GpuSpec,
+    kernel: AttentionKernel,
+    input_lens: &[usize],
+    query_heads: usize,
+    kv_heads: usize,
+    head_dim: usize,
+) -> f64 {
+    let total: usize = input_lens.iter().sum();
+    let total_sq: f64 = input_lens.iter().map(|&s| (s * s) as f64).sum();
+    prefill_latency_from_totals(gpu, kernel, total as f64, total_sq, query_heads, kv_heads, head_dim)
 }
 
 #[cfg(test)]

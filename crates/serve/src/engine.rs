@@ -5,19 +5,39 @@
 //! in-flight batching up to the memory-derived batch limit, charges prefill
 //! on admission, then advances decode steps for the whole active batch;
 //! throughput is generated tokens over wall-clock.
+//!
+//! The engine itself owns only the *cost model* — what a prefill wave or a
+//! decode step costs on this (GPU, model, system) triple, charged
+//! per-sequence at each sequence's true KV length. The request lifecycle
+//! (admission order, memory gating, preemption, latency accounting) lives in
+//! the shared [`crate::scheduler`] core, which [`ServingEngine::run_with_batch`]
+//! and [`ServingEngine::run_with_arrivals`] merely drive with fixed-shape
+//! workloads. Heterogeneous workloads go through
+//! [`ServingEngine::run_workload`] / [`ServingEngine::run_workload_paged`]
+//! with any [`SchedulingPolicy`].
 
 use crate::baselines::SystemConfig;
 use crate::memory::MemoryPlan;
-use qserve_gpusim::attention_model::{attention_decode_latency, attention_prefill_latency, AttentionShape};
+use crate::request::{Request, WorkloadSpec};
+use crate::scheduler::{
+    Fcfs, KvBudget, PageBudget, Reservation, Scheduler, SchedulerStats, SchedulingPolicy,
+    UnboundedBudget,
+};
+use qserve_gpusim::attention_model::{
+    attention_decode_latency, attention_decode_latency_hetero, attention_prefill_latency,
+    attention_prefill_latency_hetero, AttentionLatency, AttentionShape,
+};
 use qserve_gpusim::gemm_model::{gemm_latency, GemmShape};
 use qserve_gpusim::GpuSpec;
 use qserve_model::ModelConfig;
-use std::collections::VecDeque;
 
 /// Per-decode-step CPU/scheduler overhead (batching, sampling, detokenize).
 const STEP_OVERHEAD_S: f64 = 2.5e-4;
 /// Auxiliary kernels per layer (norms, activation quant, RoPE, residual).
 const MISC_KERNELS_PER_LAYER: f64 = 4.0;
+/// Page size (tokens) of the simulated KV page ledger — matches the
+/// functional cache's default geometry ([`crate::ModelRuntime`]).
+const SIM_PAGE_TOKENS: usize = 16;
 
 /// The benchmark workload (§6.3: "input sequence length of 1024 and output
 /// sequence length of 512").
@@ -45,6 +65,11 @@ impl Workload {
     pub fn peak_len(&self) -> usize {
         self.input_len + self.output_len
     }
+
+    /// The equivalent fixed-shape [`WorkloadSpec`].
+    pub fn spec(&self) -> WorkloadSpec {
+        WorkloadSpec::fixed(self.input_len, self.output_len, self.num_requests)
+    }
 }
 
 /// Result of one serving simulation.
@@ -67,6 +92,37 @@ pub struct ServingReport {
     pub mean_request_latency_s: f64,
     /// Worst-case request latency, seconds — bounds scheduler fairness.
     pub max_request_latency_s: f64,
+    /// Mean time-to-first-token (arrival → first output token), seconds.
+    pub mean_ttft_s: f64,
+    /// Median end-to-end latency, seconds.
+    pub p50_latency_s: f64,
+    /// 95th-percentile end-to-end latency, seconds.
+    pub p95_latency_s: f64,
+    /// 99th-percentile end-to-end latency, seconds — the SLO number.
+    pub p99_latency_s: f64,
+    /// Preemption events during the run (0 under peak-reserving admission).
+    pub preemptions: usize,
+}
+
+impl ServingReport {
+    /// Builds the report from the scheduler's timing statistics.
+    fn from_stats(stats: SchedulerStats, max_batch: usize) -> Self {
+        Self {
+            throughput_tps: stats.generated_tokens as f64 / stats.clock_s,
+            total_time_s: stats.clock_s,
+            prefill_time_s: stats.prefill_time_s,
+            decode_time_s: stats.decode_time_s,
+            max_batch,
+            completed: stats.completed,
+            mean_request_latency_s: stats.mean_latency_s,
+            max_request_latency_s: stats.max_latency_s,
+            mean_ttft_s: stats.mean_ttft_s,
+            p50_latency_s: stats.p50_latency_s,
+            p95_latency_s: stats.p95_latency_s,
+            p99_latency_s: stats.p99_latency_s,
+            preemptions: stats.preemptions,
+        }
+    }
 }
 
 /// A serving engine instance for (GPU, model, system).
@@ -96,6 +152,8 @@ impl std::fmt::Display for EngineUnavailable {
         }
     }
 }
+
+impl std::error::Error for EngineUnavailable {}
 
 impl ServingEngine {
     /// Builds an engine, checking model support and device memory.
@@ -164,10 +222,24 @@ impl ServingEngine {
         t
     }
 
-    /// Latency of one decode step with `batch` sequences at mean KV length
-    /// `seq_len`.
-    pub fn decode_step_latency(&self, batch: usize, seq_len: usize) -> f64 {
+    /// One decode step: layer GEMMs at the batch size, a given attention
+    /// launch, auxiliary kernels — the single decode accounting everything
+    /// funnels through.
+    fn decode_cost(&self, batch: usize, attn: AttentionLatency) -> f64 {
         let mut t = self.layer_gemm_latency(batch);
+        t += attn.total_s;
+        // Auxiliary elementwise kernels: activation reads+writes + launches.
+        let act_bytes = 2.0 * 2.0 * batch as f64 * self.model.hidden as f64;
+        t += MISC_KERNELS_PER_LAYER
+            * (act_bytes / self.gpu.dram_bytes_per_s + self.gpu.kernel_overhead_s);
+        let per_layer = t;
+        per_layer * self.model.layers as f64 / self.system.runtime_efficiency() + STEP_OVERHEAD_S
+    }
+
+    /// Latency of one decode step with `batch` sequences all at KV length
+    /// `seq_len` (the homogeneous special case of
+    /// [`ServingEngine::decode_step_latency_hetero`]).
+    pub fn decode_step_latency(&self, batch: usize, seq_len: usize) -> f64 {
         let attn = attention_decode_latency(
             &self.gpu,
             self.system.attention_kernel(),
@@ -179,13 +251,33 @@ impl ServingEngine {
                 head_dim: self.model.head_dim(),
             },
         );
-        t += attn.total_s;
-        // Auxiliary elementwise kernels: activation reads+writes + launches.
-        let act_bytes = 2.0 * 2.0 * batch as f64 * self.model.hidden as f64;
+        self.decode_cost(batch, attn)
+    }
+
+    /// Latency of one decode step over a heterogeneous batch: attention is
+    /// charged per-sequence at each sequence's true KV length (summed), not
+    /// at the batch-mean length, so mixed-length batches are costed honestly.
+    pub fn decode_step_latency_hetero(&self, seq_lens: &[usize]) -> f64 {
+        let attn = attention_decode_latency_hetero(
+            &self.gpu,
+            self.system.attention_kernel(),
+            seq_lens,
+            self.model.heads,
+            self.model.kv_heads,
+            self.model.head_dim(),
+        );
+        self.decode_cost(seq_lens.len(), attn)
+    }
+
+    /// Shared prefill accounting over a wave totalling `tokens` prompt
+    /// tokens with the given attention latency.
+    fn prefill_cost(&self, tokens: usize, attn_s: f64) -> f64 {
+        let mut t = self.layer_gemm_latency(tokens);
+        t += attn_s;
+        let act_bytes = 2.0 * 2.0 * tokens as f64 * self.model.hidden as f64;
         t += MISC_KERNELS_PER_LAYER
             * (act_bytes / self.gpu.dram_bytes_per_s + self.gpu.kernel_overhead_s);
-        let per_layer = t;
-        per_layer * self.model.layers as f64 / self.system.runtime_efficiency() + STEP_OVERHEAD_S
+        t * self.model.layers as f64 / self.system.runtime_efficiency() + STEP_OVERHEAD_S
     }
 
     /// Latency to prefill `batch` fresh requests of `input_len` tokens.
@@ -193,9 +285,7 @@ impl ServingEngine {
         if batch == 0 {
             return 0.0;
         }
-        let tokens = batch * input_len;
-        let mut t = self.layer_gemm_latency(tokens);
-        t += attention_prefill_latency(
+        let attn_s = attention_prefill_latency(
             &self.gpu,
             self.system.attention_kernel(),
             batch,
@@ -204,86 +294,67 @@ impl ServingEngine {
             self.model.kv_heads,
             self.model.head_dim(),
         );
-        let act_bytes = 2.0 * 2.0 * tokens as f64 * self.model.hidden as f64;
-        t += MISC_KERNELS_PER_LAYER
-            * (act_bytes / self.gpu.dram_bytes_per_s + self.gpu.kernel_overhead_s);
-        t * self.model.layers as f64 / self.system.runtime_efficiency() + STEP_OVERHEAD_S
+        self.prefill_cost(batch * input_len, attn_s)
+    }
+
+    /// Latency to prefill a wave of prompts with per-request lengths —
+    /// causal attention is quadratic per prompt, so each is charged at its
+    /// true length.
+    pub fn prefill_latency_hetero(&self, input_lens: &[usize]) -> f64 {
+        if input_lens.is_empty() {
+            return 0.0;
+        }
+        let attn_s = attention_prefill_latency_hetero(
+            &self.gpu,
+            self.system.attention_kernel(),
+            input_lens,
+            self.model.heads,
+            self.model.kv_heads,
+            self.model.head_dim(),
+        );
+        self.prefill_cost(input_lens.iter().sum(), attn_s)
+    }
+
+    /// Drives the shared scheduler core over this engine's cost model: the
+    /// one continuous-batching simulation loop every entry point funnels
+    /// through.
+    pub fn run_scheduled(
+        &self,
+        requests: Vec<Request>,
+        batch_limit: usize,
+        policy: Box<dyn SchedulingPolicy>,
+        budget: &mut dyn KvBudget,
+    ) -> ServingReport {
+        let mut sched = Scheduler::new(requests, batch_limit, policy);
+        while !sched.is_done() {
+            let wave = sched.admit(budget);
+            if !wave.ids.is_empty() {
+                sched.charge_prefill(self.prefill_latency_hetero(&wave.prefill_lens));
+            }
+            if sched.running().is_empty() {
+                sched.idle_until_arrival();
+                continue;
+            }
+            sched.make_room(budget);
+            let lens = sched.running_seq_lens();
+            sched.decode_step(self.decode_step_latency_hetero(&lens), budget);
+        }
+        ServingReport::from_stats(sched.stats(), batch_limit)
     }
 
     /// Runs the continuous-batching simulation at an explicit batch limit
-    /// (the Figure 17 same-batch protocol).
+    /// (the Figure 17 same-batch protocol): FCFS admission, memory encoded
+    /// in the batch limit.
     pub fn run_with_batch(&self, workload: &Workload, batch_limit: usize) -> ServingReport {
-        assert!(batch_limit > 0, "batch limit must be positive");
         assert!(workload.num_requests > 0 && workload.output_len > 0);
-
-        #[derive(Clone, Copy)]
-        struct Active {
-            seq_len: usize,
-            remaining: usize,
-            submitted_at: f64,
-        }
-
-        let mut queue: VecDeque<()> = (0..workload.num_requests).map(|_| ()).collect();
-        let mut active: Vec<Active> = Vec::new();
-        let mut clock = 0.0f64;
-        let mut prefill_time = 0.0f64;
-        let mut decode_time = 0.0f64;
-        let mut completed = 0usize;
-        let mut latency_sum = 0.0f64;
-        let mut latency_max = 0.0f64;
-
-        while completed < workload.num_requests {
-            // Admission: fill free slots, charge prefill for the admitted wave.
-            let mut admitted = 0usize;
-            while active.len() < batch_limit && queue.pop_front().is_some() {
-                active.push(Active {
-                    seq_len: workload.input_len,
-                    remaining: workload.output_len,
-                    // All requests arrive at t=0 (offline benchmark), so the
-                    // request latency includes its queueing delay.
-                    submitted_at: 0.0,
-                });
-                admitted += 1;
-            }
-            if admitted > 0 {
-                let t = self.prefill_latency(admitted, workload.input_len);
-                clock += t;
-                prefill_time += t;
-            }
-            // One decode step for the whole active batch.
-            let mean_seq =
-                active.iter().map(|a| a.seq_len).sum::<usize>() / active.len().max(1);
-            let t = self.decode_step_latency(active.len(), mean_seq.max(1));
-            clock += t;
-            decode_time += t;
-            for a in &mut active {
-                a.seq_len += 1;
-                a.remaining -= 1;
-            }
-            let before = active.len();
-            active.retain(|a| {
-                if a.remaining == 0 {
-                    let lat = clock - a.submitted_at;
-                    latency_sum += lat;
-                    latency_max = latency_max.max(lat);
-                    false
-                } else {
-                    true
-                }
-            });
-            completed += before - active.len();
-        }
-
-        ServingReport {
-            throughput_tps: (workload.num_requests * workload.output_len) as f64 / clock,
-            total_time_s: clock,
-            prefill_time_s: prefill_time,
-            decode_time_s: decode_time,
-            max_batch: batch_limit,
-            completed,
-            mean_request_latency_s: latency_sum / workload.num_requests as f64,
-            max_request_latency_s: latency_max,
-        }
+        // All requests arrive at t=0 (offline benchmark), so each request's
+        // latency includes its queueing delay.
+        self.run_scheduled(
+            workload.spec().sample(),
+            batch_limit,
+            Box::new(Fcfs),
+            &mut UnboundedBudget,
+        )
     }
 
     /// Online serving with staggered arrivals: request `i` becomes available
@@ -300,83 +371,62 @@ impl ServingEngine {
         arrival_rate: f64,
     ) -> ServingReport {
         assert!(arrival_rate > 0.0, "arrival rate must be positive");
-        assert!(batch_limit > 0, "batch limit must be positive");
+        let spec = workload
+            .spec()
+            .with_arrivals(crate::request::ArrivalPattern::Uniform { rate_rps: arrival_rate });
+        self.run_scheduled(spec.sample(), batch_limit, Box::new(Fcfs), &mut UnboundedBudget)
+    }
 
-        #[derive(Clone, Copy)]
-        struct Active {
-            seq_len: usize,
-            remaining: usize,
-            submitted_at: f64,
+    /// Serves a heterogeneous workload under the device memory constraint
+    /// with conservative peak-sized admission: the batch limit is what the
+    /// memory plan guarantees for the *largest possible* request, so no
+    /// preemption can occur.
+    ///
+    /// # Errors
+    /// [`EngineUnavailable::OutOfMemory`] when not even one worst-case
+    /// request fits.
+    pub fn run_workload(
+        &self,
+        spec: &WorkloadSpec,
+        policy: Box<dyn SchedulingPolicy>,
+    ) -> Result<ServingReport, EngineUnavailable> {
+        let batch = self.plan.max_batch(spec.max_peak_len());
+        if batch == 0 {
+            return Err(EngineUnavailable::OutOfMemory);
         }
-        let arrivals: Vec<f64> = (0..workload.num_requests)
-            .map(|i| i as f64 / arrival_rate)
-            .collect();
-        let mut next_arrival = 0usize;
-        let mut active: Vec<Active> = Vec::new();
-        let mut clock = 0.0f64;
-        let mut prefill_time = 0.0f64;
-        let mut decode_time = 0.0f64;
-        let mut completed = 0usize;
-        let mut latency_sum = 0.0f64;
-        let mut latency_max = 0.0f64;
+        Ok(self.run_scheduled(spec.sample(), batch, policy, &mut UnboundedBudget))
+    }
 
-        while completed < workload.num_requests {
-            // Admit every request that has arrived and fits.
-            let mut admitted = 0usize;
-            while active.len() < batch_limit
-                && next_arrival < arrivals.len()
-                && arrivals[next_arrival] <= clock
-            {
-                active.push(Active {
-                    seq_len: workload.input_len,
-                    remaining: workload.output_len,
-                    submitted_at: arrivals[next_arrival],
-                });
-                next_arrival += 1;
-                admitted += 1;
-            }
-            if admitted > 0 {
-                let t = self.prefill_latency(admitted, workload.input_len);
-                clock += t;
-                prefill_time += t;
-            }
-            if active.is_empty() {
-                // Idle until the next arrival.
-                clock = arrivals[next_arrival].max(clock);
-                continue;
-            }
-            let mean_seq = active.iter().map(|a| a.seq_len).sum::<usize>() / active.len();
-            let t = self.decode_step_latency(active.len(), mean_seq.max(1));
-            clock += t;
-            decode_time += t;
-            for a in &mut active {
-                a.seq_len += 1;
-                a.remaining -= 1;
-            }
-            let before = active.len();
-            active.retain(|a| {
-                if a.remaining == 0 {
-                    let lat = clock - a.submitted_at;
-                    latency_sum += lat;
-                    latency_max = latency_max.max(lat);
-                    false
-                } else {
-                    true
-                }
-            });
-            completed += before - active.len();
+    /// Serves a heterogeneous workload against a page-granular KV ledger
+    /// (mirroring [`crate::PagedKvCache`] geometry). With
+    /// [`Reservation::OnDemand`] the scheduler admits beyond the worst-case
+    /// batch and preempts under pressure — the aggressive mode that pays off
+    /// on mixed workloads; with [`Reservation::Peak`] it reproduces
+    /// conservative sizing at page granularity.
+    ///
+    /// # Errors
+    /// [`EngineUnavailable::OutOfMemory`] when a worst-case request exceeds
+    /// the whole page pool.
+    pub fn run_workload_paged(
+        &self,
+        spec: &WorkloadSpec,
+        policy: Box<dyn SchedulingPolicy>,
+        reservation: Reservation,
+    ) -> Result<ServingReport, EngineUnavailable> {
+        let layers = self.model.layers;
+        // `max_tokens` counts whole-model tokens; each occupies a slot in
+        // every layer's page table.
+        let total_pages = (self.plan.max_tokens as usize * layers) / SIM_PAGE_TOKENS;
+        let mut budget = PageBudget::new(SIM_PAGE_TOKENS, layers, total_pages, reservation);
+        let worst = spec.max_peak_len().div_ceil(SIM_PAGE_TOKENS) * layers;
+        if worst > total_pages {
+            return Err(EngineUnavailable::OutOfMemory);
         }
-
-        ServingReport {
-            throughput_tps: (workload.num_requests * workload.output_len) as f64 / clock,
-            total_time_s: clock,
-            prefill_time_s: prefill_time,
-            decode_time_s: decode_time,
-            max_batch: batch_limit,
-            completed,
-            mean_request_latency_s: latency_sum / workload.num_requests as f64,
-            max_request_latency_s: latency_max,
-        }
+        // The batch limit caps concurrency at what the pool could hold if
+        // every request were as small as possible; the page budget is the
+        // real gate.
+        let optimistic = self.plan.max_batch(spec.min_peak_len()).max(1);
+        Ok(self.run_scheduled(spec.sample(), optimistic, policy, &mut budget))
     }
 
     /// The paper's headline measurement: maximum achievable throughput under
@@ -401,6 +451,8 @@ impl ServingEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::request::ArrivalPattern;
+    use crate::scheduler::{MemoryAware, ShortestJobFirst};
 
     fn engine(gpu: GpuSpec, model: ModelConfig, sys: SystemConfig) -> ServingEngine {
         ServingEngine::new(gpu, model, sys).expect("engine must build")
@@ -512,6 +564,20 @@ mod tests {
     }
 
     #[test]
+    fn engine_unavailable_is_a_std_error() {
+        // Callers can `?` engine construction into boxed-error contexts.
+        fn build() -> Result<ServingEngine, Box<dyn std::error::Error>> {
+            Ok(ServingEngine::new(
+                GpuSpec::a100(),
+                ModelConfig::llama2_70b(),
+                SystemConfig::TrtFp16,
+            )?)
+        }
+        let err = build().expect_err("70B FP16 cannot fit");
+        assert_eq!(err.to_string(), "OOM");
+    }
+
+    #[test]
     fn larger_batch_higher_throughput_until_saturation() {
         let e = engine(GpuSpec::a100(), ModelConfig::llama2_7b(), SystemConfig::QServePerChannel);
         let wl = Workload::paper(256);
@@ -558,6 +624,30 @@ mod tests {
     fn decode_latency_increases_with_seq_len() {
         let e = engine(GpuSpec::a100(), ModelConfig::llama2_7b(), SystemConfig::QServePerChannel);
         assert!(e.decode_step_latency(64, 2048) > e.decode_step_latency(64, 256));
+    }
+
+    #[test]
+    fn hetero_accounting_matches_homogeneous_exactly() {
+        // The per-sequence path must be *bit-identical* on homogeneous
+        // batches — this is what keeps the Table 4 / Figure 15 protocol
+        // outputs unchanged by the scheduler refactor.
+        let e = engine(GpuSpec::a100(), ModelConfig::llama2_7b(), SystemConfig::QServePerChannel);
+        for (batch, len) in [(1usize, 1024usize), (16, 1024), (64, 1536), (7, 129)] {
+            let lens = vec![len; batch];
+            assert_eq!(e.decode_step_latency_hetero(&lens), e.decode_step_latency(batch, len));
+            let inputs = vec![len; batch];
+            assert_eq!(e.prefill_latency_hetero(&inputs), e.prefill_latency(batch, len));
+        }
+    }
+
+    #[test]
+    fn hetero_decode_charges_true_lengths() {
+        let e = engine(GpuSpec::a100(), ModelConfig::llama2_7b(), SystemConfig::QServePerChannel);
+        // A mixed batch must cost more than its shortest-uniform batch and
+        // less than its longest-uniform batch.
+        let mixed = e.decode_step_latency_hetero(&[256, 512, 1024, 2048]);
+        assert!(mixed > e.decode_step_latency(4, 256));
+        assert!(mixed < e.decode_step_latency(4, 2048));
     }
 
     #[test]
@@ -632,5 +722,58 @@ mod tests {
         // With 8 waves of 8, the mean must be well below the max (no
         // starvation pile-up at the end).
         assert!(r.mean_request_latency_s < r.max_request_latency_s);
+        // Percentiles are ordered and TTFT precedes completion.
+        assert!(r.p50_latency_s <= r.p95_latency_s);
+        assert!(r.p95_latency_s <= r.p99_latency_s);
+        assert!(r.p99_latency_s <= r.max_request_latency_s + 1e-12);
+        assert!(r.mean_ttft_s > 0.0 && r.mean_ttft_s < r.mean_request_latency_s);
+    }
+
+    #[test]
+    fn sjf_beats_fcfs_mean_latency_on_mixed_workload() {
+        // A tight batch limit creates real queueing, where admission order
+        // matters: shortest-job-first clears the chat turns instead of
+        // parking them behind long-document requests.
+        let e = engine(GpuSpec::a100(), ModelConfig::llama2_7b(), SystemConfig::QServePerChannel);
+        let spec = WorkloadSpec::mixed(48, 17);
+        let fcfs =
+            e.run_scheduled(spec.sample(), 4, Box::new(Fcfs), &mut UnboundedBudget);
+        let sjf =
+            e.run_scheduled(spec.sample(), 4, Box::new(ShortestJobFirst), &mut UnboundedBudget);
+        assert_eq!(fcfs.completed, 48);
+        assert_eq!(sjf.completed, 48);
+        assert!(
+            sjf.mean_request_latency_s < fcfs.mean_request_latency_s,
+            "SJF {} should beat FCFS {} on a bimodal mix",
+            sjf.mean_request_latency_s,
+            fcfs.mean_request_latency_s
+        );
+        // Same work either way: identical token totals, similar makespan.
+        assert!((sjf.throughput_tps * sjf.total_time_s
+            - fcfs.throughput_tps * fcfs.total_time_s)
+            .abs()
+            < 1.0);
+    }
+
+    #[test]
+    fn memory_aware_paged_serving_completes_heterogeneous_mix() {
+        let e = engine(GpuSpec::a100(), ModelConfig::llama2_7b(), SystemConfig::QServePerChannel);
+        let spec = WorkloadSpec::mixed(32, 23);
+        let r = e
+            .run_workload_paged(&spec, Box::new(MemoryAware::default()), Reservation::OnDemand)
+            .expect("serves");
+        assert_eq!(r.completed, 32);
+        assert!(r.throughput_tps > 0.0);
+        assert!(r.p99_latency_s >= r.p50_latency_s);
+    }
+
+    #[test]
+    fn poisson_arrivals_served_to_completion() {
+        let e = engine(GpuSpec::a100(), ModelConfig::llama2_7b(), SystemConfig::QServePerChannel);
+        let spec = WorkloadSpec::chat(24, 3)
+            .with_arrivals(ArrivalPattern::Poisson { rate_rps: 2.0 });
+        let r = e.run_workload(&spec, Box::new(Fcfs)).expect("serves");
+        assert_eq!(r.completed, 24);
+        assert!(r.total_time_s > 0.0);
     }
 }

@@ -534,6 +534,50 @@ mod tests {
     }
 
     #[test]
+    fn released_pages_recycled_with_conservation_invariant() {
+        // Regression: after `release`, pages must return to the free list
+        // and be reusable by a brand-new sequence, with
+        // `used + free == total` holding at every step of the lifecycle.
+        let total = 4;
+        let mut c = PagedKvCache::new(cfg(KvPrecision::Int4), total);
+        let conserve = |c: &PagedKvCache| {
+            assert_eq!(c.used_pages() + c.free_pages(), total, "page conservation broken");
+        };
+        let k = vec![0.25f32; 16];
+        let a = SequenceId(100);
+        c.register(a).unwrap();
+        conserve(&c);
+        // Fill the whole pool: 8 tokens × 2 layers = 4 pages of 4 tokens.
+        for _ in 0..8 {
+            for layer in 0..2 {
+                c.append_token(a, layer, &k, &k).unwrap();
+                conserve(&c);
+            }
+        }
+        assert_eq!(c.free_pages(), 0);
+        assert_eq!(c.append_token(a, 0, &k, &k), Err(KvCacheError::OutOfPages));
+        conserve(&c);
+        c.release(a).unwrap();
+        conserve(&c);
+        assert_eq!(c.free_pages(), total);
+        // A new sequence must be able to claim every recycled page; with the
+        // pool this small, success proves the exact same pages came back.
+        let b = SequenceId(200);
+        c.register(b).unwrap();
+        for _ in 0..8 {
+            for layer in 0..2 {
+                c.append_token(b, layer, &k, &k).unwrap();
+                conserve(&c);
+            }
+        }
+        assert_eq!(c.used_pages(), total);
+        assert_eq!(c.seq_len(b), 8);
+        c.release(b).unwrap();
+        conserve(&c);
+        assert_eq!(c.free_pages(), total);
+    }
+
+    #[test]
     fn can_grow_accounting() {
         let mut c = PagedKvCache::new(cfg(KvPrecision::Int4), 4);
         let s = SequenceId(0);

@@ -10,9 +10,17 @@
 //! * [`baselines`] — system models for every baseline in Figures 2b/15/17:
 //!   TensorRT-LLM (FP16 / W8A8 / W4A16), Atom and QuaRot (W4A4), alongside
 //!   QServe per-channel and per-group.
+//! * [`request`] — the request model: per-request lengths and arrival
+//!   times, a lifecycle state machine, and seeded heterogeneous workload
+//!   generation ([`WorkloadSpec`]).
+//! * [`scheduler`] — the request-lifecycle scheduler core: pluggable
+//!   [`SchedulingPolicy`] admission (FCFS, shortest-job-first,
+//!   memory-aware), KV page budgets with optional recompute preemption, and
+//!   latency/TTFT statistics. Shared by the analytic engine and the real
+//!   execution path — the single continuous-batching implementation.
 //! * [`engine`] — a continuous-batching serving engine running against the
-//!   `qserve-gpusim` cost model: step-level simulation with prefill
-//!   admission, decode batching, KV growth and retirement.
+//!   `qserve-gpusim` cost model: the scheduler core driven by per-sequence
+//!   prefill/decode costs (each sequence charged at its true KV length).
 //!
 //! The engine's scheduler/cache logic is real (allocation, batching,
 //! accounting all execute); only kernel *wall-clock* comes from the cost
@@ -25,6 +33,8 @@ pub mod engine;
 pub mod kv_cache;
 pub mod memory;
 pub mod model_exec;
+pub mod request;
+pub mod scheduler;
 
 pub use attention_exec::paged_decode_attention;
 pub use block_exec::BlockRuntime;
@@ -32,3 +42,8 @@ pub use model_exec::ModelRuntime;
 pub use baselines::SystemConfig;
 pub use engine::{ServingEngine, ServingReport, Workload};
 pub use kv_cache::{PagedKvCache, SequenceId};
+pub use request::{ArrivalPattern, LengthDist, Request, RequestId, RequestState, WorkloadSpec};
+pub use scheduler::{
+    Fcfs, KvBudget, MemoryAware, PageBudget, Reservation, Scheduler, SchedulingPolicy,
+    ShortestJobFirst, UnboundedBudget,
+};

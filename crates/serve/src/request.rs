@@ -1,0 +1,367 @@
+//! Serving requests: per-request lifecycle state and heterogeneous workload
+//! generation.
+//!
+//! The paper benchmarks one fixed shape (1024 in / 512 out, §6.3), but a
+//! serving estimate is only as good as its workload model: real traffic mixes
+//! short chat turns with long-document prompts and arrives over time. This
+//! module gives every request its own lengths and arrival time, and
+//! [`WorkloadSpec`] generates whole workloads from seeded distributions
+//! (built on `qserve_tensor::rng`, so same seed ⇒ same workload, bit for
+//! bit).
+
+use qserve_tensor::rng::TensorRng;
+
+/// Identifies one serving request across the scheduler, cache and reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RequestId(pub u64);
+
+/// Where a request is in its life.
+///
+/// ```text
+/// Queued ──admit──▶ Running ──last token──▶ Finished
+///    ▲                 │
+///    └──── preempt ────┘   (re-queued as Preempted; recompute on re-admit)
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestState {
+    /// Waiting for admission (has arrived or will arrive later).
+    Queued,
+    /// Admitted: prefilled and decoding.
+    Running,
+    /// Evicted under memory pressure; waits to be re-admitted, at which point
+    /// its prompt *and* already-generated tokens are recomputed
+    /// (vLLM-style recompute preemption).
+    Preempted,
+    /// All output tokens generated.
+    Finished,
+}
+
+/// One serving request with its lifecycle accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Stable identity (also used as the KV-cache [`crate::SequenceId`]).
+    pub id: RequestId,
+    /// Prompt tokens.
+    pub input_len: usize,
+    /// Tokens to generate.
+    pub output_len: usize,
+    /// When the request becomes available to the scheduler, seconds.
+    pub arrival_s: f64,
+    /// Lifecycle state.
+    pub state: RequestState,
+    /// Tokens currently resident in the KV cache (0 unless running).
+    pub seq_len: usize,
+    /// Output tokens generated so far (survives preemption).
+    pub generated: usize,
+    /// Clock at which the first output token completed (TTFT marker).
+    pub first_token_s: Option<f64>,
+    /// Clock at which the last output token completed.
+    pub finish_s: Option<f64>,
+    /// Times this request was preempted.
+    pub preemptions: usize,
+}
+
+impl Request {
+    /// A fresh queued request.
+    pub fn new(id: RequestId, input_len: usize, output_len: usize, arrival_s: f64) -> Self {
+        assert!(input_len > 0, "request needs at least one prompt token");
+        assert!(output_len > 0, "request must generate at least one token");
+        Self {
+            id,
+            input_len,
+            output_len,
+            arrival_s,
+            state: RequestState::Queued,
+            seq_len: 0,
+            generated: 0,
+            first_token_s: None,
+            finish_s: None,
+            preemptions: 0,
+        }
+    }
+
+    /// Peak KV footprint in tokens (prompt + full output).
+    pub fn peak_len(&self) -> usize {
+        self.input_len + self.output_len
+    }
+
+    /// Output tokens still to generate.
+    pub fn remaining(&self) -> usize {
+        self.output_len - self.generated
+    }
+
+    /// Tokens to prefill on (re-)admission: the prompt plus any already
+    /// generated tokens that must be recomputed after a preemption.
+    pub fn prefill_len(&self) -> usize {
+        self.input_len + self.generated
+    }
+
+    /// End-to-end latency (arrival → last token), once finished.
+    pub fn latency_s(&self) -> Option<f64> {
+        self.finish_s.map(|t| t - self.arrival_s)
+    }
+
+    /// Time to first token (arrival → first output token), once produced.
+    pub fn ttft_s(&self) -> Option<f64> {
+        self.first_token_s.map(|t| t - self.arrival_s)
+    }
+}
+
+/// A sequence-length distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LengthDist {
+    /// Every request gets exactly this length (the paper's protocol).
+    Fixed(usize),
+    /// Uniform over the inclusive range `[lo, hi]`.
+    Uniform {
+        /// Smallest length.
+        lo: usize,
+        /// Largest length (inclusive).
+        hi: usize,
+    },
+    /// A mixture of two uniform modes — short chat turns vs long-document
+    /// requests, the classic bimodal production mix.
+    Bimodal {
+        /// Inclusive `[lo, hi]` of the short mode.
+        short: (usize, usize),
+        /// Inclusive `[lo, hi]` of the long mode.
+        long: (usize, usize),
+        /// Probability of drawing from the long mode.
+        long_weight: f64,
+    },
+}
+
+impl LengthDist {
+    /// Draws one length.
+    pub fn sample(&self, rng: &mut TensorRng) -> usize {
+        match *self {
+            LengthDist::Fixed(n) => n,
+            LengthDist::Uniform { lo, hi } => rng.int_in(lo as i64, hi as i64) as usize,
+            LengthDist::Bimodal { short, long, long_weight } => {
+                let (lo, hi) = if f64::from(rng.next_f32()) < long_weight { long } else { short };
+                rng.int_in(lo as i64, hi as i64) as usize
+            }
+        }
+    }
+
+    /// Inclusive `(min, max)` any sample can take.
+    pub fn bounds(&self) -> (usize, usize) {
+        match *self {
+            LengthDist::Fixed(n) => (n, n),
+            LengthDist::Uniform { lo, hi } => (lo, hi),
+            LengthDist::Bimodal { short, long, .. } => {
+                (short.0.min(long.0), short.1.max(long.1))
+            }
+        }
+    }
+}
+
+/// When requests become available to the scheduler.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalPattern {
+    /// Everything at t=0 — the offline throughput benchmark.
+    Batch,
+    /// Deterministic spacing: request `i` arrives at `i / rate_rps`.
+    Uniform {
+        /// Offered load, requests per second.
+        rate_rps: f64,
+    },
+    /// Poisson process: exponentially-distributed inter-arrival gaps at the
+    /// given mean rate — bursty, like real traffic.
+    Poisson {
+        /// Mean offered load, requests per second.
+        rate_rps: f64,
+    },
+}
+
+/// A seeded heterogeneous workload: length distributions plus an arrival
+/// pattern. Sampling is deterministic in `seed`.
+///
+/// # Example
+/// ```
+/// use qserve_serve::request::WorkloadSpec;
+/// let a = WorkloadSpec::mixed(16, 7).sample();
+/// let b = WorkloadSpec::mixed(16, 7).sample();
+/// assert_eq!(a, b); // same seed, same workload
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadSpec {
+    /// Requests to generate.
+    pub num_requests: usize,
+    /// Prompt-length distribution.
+    pub input: LengthDist,
+    /// Output-length distribution.
+    pub output: LengthDist,
+    /// Arrival pattern.
+    pub arrival: ArrivalPattern,
+    /// RNG seed for length/arrival sampling.
+    pub seed: u64,
+}
+
+impl WorkloadSpec {
+    /// The paper's §6.3 protocol: every request 1024 in / 512 out, offline.
+    pub fn paper(num_requests: usize) -> Self {
+        Self::fixed(1024, 512, num_requests)
+    }
+
+    /// A fixed-shape offline workload (generalizes [`WorkloadSpec::paper`]).
+    pub fn fixed(input_len: usize, output_len: usize, num_requests: usize) -> Self {
+        Self {
+            num_requests,
+            input: LengthDist::Fixed(input_len),
+            output: LengthDist::Fixed(output_len),
+            arrival: ArrivalPattern::Batch,
+            seed: 0,
+        }
+    }
+
+    /// Short interactive chat turns: small prompts, small completions.
+    pub fn chat(num_requests: usize, seed: u64) -> Self {
+        Self {
+            num_requests,
+            input: LengthDist::Uniform { lo: 64, hi: 512 },
+            output: LengthDist::Uniform { lo: 32, hi: 256 },
+            arrival: ArrivalPattern::Batch,
+            seed,
+        }
+    }
+
+    /// The production mix: mostly chat turns, a long-document tail that
+    /// stresses memory-aware admission (prompts up to 4k).
+    pub fn mixed(num_requests: usize, seed: u64) -> Self {
+        Self {
+            num_requests,
+            input: LengthDist::Bimodal {
+                short: (64, 512),
+                long: (2048, 4096),
+                long_weight: 0.2,
+            },
+            output: LengthDist::Bimodal {
+                short: (32, 256),
+                long: (512, 1024),
+                long_weight: 0.2,
+            },
+            arrival: ArrivalPattern::Batch,
+            seed,
+        }
+    }
+
+    /// Replaces the arrival pattern (builder-style).
+    pub fn with_arrivals(mut self, arrival: ArrivalPattern) -> Self {
+        self.arrival = arrival;
+        self
+    }
+
+    /// Largest peak KV footprint (tokens) any sampled request can have —
+    /// what conservative admission must size batches against.
+    pub fn max_peak_len(&self) -> usize {
+        self.input.bounds().1 + self.output.bounds().1
+    }
+
+    /// Smallest peak KV footprint any sampled request can have — the
+    /// optimistic bound aggressive admission sizes concurrency against.
+    pub fn min_peak_len(&self) -> usize {
+        self.input.bounds().0 + self.output.bounds().0
+    }
+
+    /// Samples the workload: `num_requests` requests with ids `0..n`, lengths
+    /// drawn from the distributions and arrival times from the pattern.
+    /// Deterministic in `seed`.
+    pub fn sample(&self) -> Vec<Request> {
+        if let ArrivalPattern::Uniform { rate_rps } | ArrivalPattern::Poisson { rate_rps } =
+            self.arrival
+        {
+            assert!(rate_rps > 0.0, "arrival rate must be positive");
+        }
+        let mut rng = TensorRng::seed(self.seed);
+        let mut clock = 0.0f64;
+        (0..self.num_requests)
+            .map(|i| {
+                let input = self.input.sample(&mut rng);
+                let output = self.output.sample(&mut rng);
+                let arrival = match self.arrival {
+                    ArrivalPattern::Batch => 0.0,
+                    ArrivalPattern::Uniform { rate_rps } => i as f64 / rate_rps,
+                    ArrivalPattern::Poisson { rate_rps } => {
+                        // Exponential gap via inverse CDF; clamp the uniform
+                        // away from 0 so ln() stays finite.
+                        let u = f64::from(rng.next_f32()).max(f64::EPSILON);
+                        clock += -u.ln() / rate_rps;
+                        clock
+                    }
+                };
+                Request::new(RequestId(i as u64), input, output, arrival)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle_accessors() {
+        let mut r = Request::new(RequestId(3), 100, 20, 1.5);
+        assert_eq!(r.peak_len(), 120);
+        assert_eq!(r.remaining(), 20);
+        assert_eq!(r.prefill_len(), 100);
+        assert_eq!(r.latency_s(), None);
+        r.generated = 5;
+        assert_eq!(r.remaining(), 15);
+        assert_eq!(r.prefill_len(), 105); // recompute includes generated
+        r.first_token_s = Some(2.0);
+        r.finish_s = Some(4.0);
+        assert_eq!(r.ttft_s(), Some(0.5));
+        assert_eq!(r.latency_s(), Some(2.5));
+    }
+
+    #[test]
+    fn paper_spec_matches_protocol() {
+        let reqs = WorkloadSpec::paper(8).sample();
+        assert_eq!(reqs.len(), 8);
+        for r in &reqs {
+            assert_eq!((r.input_len, r.output_len), (1024, 512));
+            assert_eq!(r.arrival_s, 0.0);
+            assert_eq!(r.state, RequestState::Queued);
+        }
+    }
+
+    #[test]
+    fn sampled_lengths_respect_bounds() {
+        let spec = WorkloadSpec::mixed(200, 11);
+        let (ilo, ihi) = spec.input.bounds();
+        let (olo, ohi) = spec.output.bounds();
+        for r in spec.sample() {
+            assert!((ilo..=ihi).contains(&r.input_len));
+            assert!((olo..=ohi).contains(&r.output_len));
+        }
+        assert_eq!(spec.max_peak_len(), 4096 + 1024);
+    }
+
+    #[test]
+    fn bimodal_hits_both_modes() {
+        let reqs = WorkloadSpec::mixed(200, 5).sample();
+        assert!(reqs.iter().any(|r| r.input_len <= 512), "short mode unused");
+        assert!(reqs.iter().any(|r| r.input_len >= 2048), "long mode unused");
+    }
+
+    #[test]
+    fn arrivals_monotone_and_positive() {
+        for pattern in [
+            ArrivalPattern::Uniform { rate_rps: 4.0 },
+            ArrivalPattern::Poisson { rate_rps: 4.0 },
+        ] {
+            let reqs = WorkloadSpec::chat(50, 9).with_arrivals(pattern).sample();
+            let mut prev = -1.0;
+            for r in &reqs {
+                assert!(r.arrival_s >= 0.0);
+                assert!(r.arrival_s >= prev, "arrivals must be non-decreasing");
+                prev = r.arrival_s;
+            }
+            // Mean inter-arrival should be in the vicinity of 1/rate.
+            let span = reqs.last().unwrap().arrival_s;
+            assert!(span > 49.0 / 4.0 * 0.5 && span < 49.0 / 4.0 * 2.0, "span {}", span);
+        }
+    }
+}

@@ -1,0 +1,710 @@
+//! The request-lifecycle scheduler core: one event-driven continuous-batching
+//! state machine shared by every serving path.
+//!
+//! The core owns the queue → running → finished lifecycle of
+//! [`Request`]s — admission order (delegated to a pluggable
+//! [`SchedulingPolicy`]), KV-memory gating (delegated to a [`KvBudget`]),
+//! recompute-style preemption, clock/phase accounting, and latency
+//! statistics. It deliberately does *not* know what a step costs or what
+//! executes it: the analytic engine drives it with cost-model latencies
+//! ([`crate::ServingEngine`]), while the functional path drives it with real
+//! quantized forward passes over the paged KV4 cache
+//! ([`crate::ModelRuntime::serve`]). That split is what keeps exactly one
+//! decode/prefill accounting implementation in the tree.
+//!
+//! A driver loop ticks the core:
+//!
+//! ```text
+//! while !done {
+//!     admit(budget)            // policy picks, budget gates, wave returned
+//!     charge_prefill(dt)       // driver prices the admitted wave
+//!     make_room(budget)        // grow every resident; preempt on pressure
+//!     decode_step(dt, budget)  // one token for the whole batch; retire
+//! }
+//! ```
+
+use crate::request::{Request, RequestId, RequestState};
+
+// ---------------------------------------------------------------------------
+// KV memory budgets
+// ---------------------------------------------------------------------------
+
+/// Abstracts "is there KV memory for this?" so admission and growth can be
+/// gated by a real page pool, a simulated one, or nothing at all.
+pub trait KvBudget {
+    /// Tokens that could still be cached before the pool runs out
+    /// (page-granular approximation; `usize::MAX` when unbounded).
+    fn free_tokens(&self) -> usize;
+
+    /// Reserves what admitting a request needs: it starts at `start_tokens`
+    /// (prompt + recomputed output) and may reach `peak_tokens`. Returns
+    /// `false` to refuse admission.
+    fn admit(&mut self, id: RequestId, start_tokens: usize, peak_tokens: usize) -> bool;
+
+    /// Accounts one more cached token for `id`; `false` means the pool is
+    /// exhausted and someone must be preempted.
+    fn grow(&mut self, id: RequestId) -> bool;
+
+    /// Returns everything `id` holds to the pool.
+    fn release(&mut self, id: RequestId);
+}
+
+/// No memory gating: admission is limited by the batch limit alone. This is
+/// the legacy engine behavior, where the batch limit is already derived from
+/// peak-sized KV budgeting ([`crate::memory::MemoryPlan::max_batch`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UnboundedBudget;
+
+impl KvBudget for UnboundedBudget {
+    fn free_tokens(&self) -> usize {
+        usize::MAX
+    }
+    fn admit(&mut self, _id: RequestId, _start: usize, _peak: usize) -> bool {
+        true
+    }
+    fn grow(&mut self, _id: RequestId) -> bool {
+        true
+    }
+    fn release(&mut self, _id: RequestId) {}
+}
+
+/// How a [`PageBudget`] reserves pages at admission time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Reservation {
+    /// Reserve the request's *peak* footprint up front: growth can never
+    /// fail, so no preemption — the conservative sizing real schedulers use
+    /// for admission (and what the legacy batch limit encodes).
+    Peak,
+    /// Reserve only the current footprint and allocate pages as sequences
+    /// grow: admits far more concurrency, at the price of preemptions when
+    /// the pool runs dry mid-decode (vLLM-style).
+    OnDemand,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PageEntry {
+    tokens: usize,
+    reserved_per_layer: usize,
+}
+
+/// A page ledger mirroring [`crate::PagedKvCache`]'s allocation arithmetic
+/// (fixed pool of fixed-size pages, one page table per layer) without
+/// storing bytes — the memory model the scheduler admits and preempts
+/// against.
+#[derive(Debug, Clone)]
+pub struct PageBudget {
+    page_tokens: usize,
+    layers: usize,
+    total_pages: usize,
+    free_pages: usize,
+    mode: Reservation,
+    entries: std::collections::HashMap<RequestId, PageEntry>,
+}
+
+impl PageBudget {
+    /// A ledger over `total_pages` pages of `page_tokens` tokens each, with
+    /// one page table per layer.
+    pub fn new(page_tokens: usize, layers: usize, total_pages: usize, mode: Reservation) -> Self {
+        assert!(page_tokens > 0 && layers > 0, "degenerate page geometry");
+        Self {
+            page_tokens,
+            layers,
+            total_pages,
+            free_pages: total_pages,
+            mode,
+            entries: std::collections::HashMap::new(),
+        }
+    }
+
+    /// Total pages in the pool.
+    pub fn total_pages(&self) -> usize {
+        self.total_pages
+    }
+
+    /// Pages currently free.
+    pub fn free_pages(&self) -> usize {
+        self.free_pages
+    }
+
+    /// Pages one sequence of `tokens` needs per layer.
+    fn pages_for(&self, tokens: usize) -> usize {
+        tokens.div_ceil(self.page_tokens)
+    }
+}
+
+impl KvBudget for PageBudget {
+    fn free_tokens(&self) -> usize {
+        self.free_pages / self.layers * self.page_tokens
+    }
+
+    fn admit(&mut self, id: RequestId, start_tokens: usize, peak_tokens: usize) -> bool {
+        let reserve_tokens = match self.mode {
+            Reservation::Peak => peak_tokens,
+            Reservation::OnDemand => start_tokens,
+        };
+        let per_layer = self.pages_for(reserve_tokens);
+        let need = per_layer * self.layers;
+        if need > self.free_pages {
+            return false;
+        }
+        self.free_pages -= need;
+        let prev = self.entries.insert(
+            id,
+            PageEntry { tokens: start_tokens, reserved_per_layer: per_layer },
+        );
+        assert!(prev.is_none(), "request {:?} admitted twice", id);
+        true
+    }
+
+    fn grow(&mut self, id: RequestId) -> bool {
+        let layers = self.layers;
+        let page_tokens = self.page_tokens;
+        let entry = self.entries.get_mut(&id).expect("grow() on unadmitted request");
+        entry.tokens += 1;
+        let need_per_layer = entry.tokens.div_ceil(page_tokens);
+        if need_per_layer <= entry.reserved_per_layer {
+            return true;
+        }
+        let need = (need_per_layer - entry.reserved_per_layer) * layers;
+        if need > self.free_pages {
+            entry.tokens -= 1;
+            return false;
+        }
+        self.free_pages -= need;
+        entry.reserved_per_layer = need_per_layer;
+        true
+    }
+
+    fn release(&mut self, id: RequestId) {
+        if let Some(entry) = self.entries.remove(&id) {
+            self.free_pages += entry.reserved_per_layer * self.layers;
+            debug_assert!(self.free_pages <= self.total_pages, "page ledger over-released");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scheduling policies
+// ---------------------------------------------------------------------------
+
+/// Decides *which* queued request is admitted next and *who* gets preempted
+/// under memory pressure. Policies see only arrived requests; batch-limit
+/// and budget gating stay in the core.
+pub trait SchedulingPolicy {
+    /// Policy name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Index into `waiting` (arrived requests, FCFS order) of the next
+    /// request to admit, or `None` to hold admission this tick.
+    fn select(&self, waiting: &[Request], running: &[Request], budget: &dyn KvBudget)
+        -> Option<usize>;
+
+    /// Index into `running` of the preemption victim when the pool runs dry.
+    /// Default: the most recently admitted resident (LIFO, protects the
+    /// oldest request's progress).
+    fn victim(&self, running: &[Request]) -> Option<usize> {
+        running.len().checked_sub(1)
+    }
+}
+
+/// First-come-first-served continuous batching — the classic (and legacy)
+/// admission order.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Fcfs;
+
+impl SchedulingPolicy for Fcfs {
+    fn name(&self) -> &'static str {
+        "fcfs"
+    }
+    fn select(&self, waiting: &[Request], _running: &[Request], _budget: &dyn KvBudget)
+        -> Option<usize> {
+        (!waiting.is_empty()).then_some(0)
+    }
+}
+
+/// Shortest-job-first: admits the arrived request with the least remaining
+/// output work, shrinking mean latency on mixed workloads at the price of
+/// delaying long requests.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ShortestJobFirst;
+
+impl SchedulingPolicy for ShortestJobFirst {
+    fn name(&self) -> &'static str {
+        "sjf"
+    }
+    fn select(&self, waiting: &[Request], _running: &[Request], _budget: &dyn KvBudget)
+        -> Option<usize> {
+        waiting
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, r)| (r.remaining(), r.input_len, r.id))
+            .map(|(i, _)| i)
+    }
+}
+
+/// Memory-aware admission: FCFS order, but a request is only admitted while
+/// the free page pool covers its prefill footprint plus `headroom` of its
+/// remaining output — aggressive enough to beat peak reservation, cautious
+/// enough to keep preemption storms rare. Pair with an
+/// [`Reservation::OnDemand`] [`PageBudget`]; preemption (LIFO victim)
+/// backstops the optimism.
+#[derive(Debug, Clone, Copy)]
+pub struct MemoryAware {
+    /// Fraction of a candidate's remaining output that must fit in free
+    /// pages at admission time (0 = fully optimistic, 1 = peak-conservative).
+    pub headroom: f64,
+}
+
+impl Default for MemoryAware {
+    fn default() -> Self {
+        Self { headroom: 0.5 }
+    }
+}
+
+impl SchedulingPolicy for MemoryAware {
+    fn name(&self) -> &'static str {
+        "memory-aware"
+    }
+    fn select(&self, waiting: &[Request], _running: &[Request], budget: &dyn KvBudget)
+        -> Option<usize> {
+        let r = waiting.first()?;
+        let need = r.prefill_len() + (r.remaining() as f64 * self.headroom).ceil() as usize;
+        (budget.free_tokens() >= need).then_some(0)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The scheduler core
+// ---------------------------------------------------------------------------
+
+/// One admitted wave: ids plus the per-request token counts the driver must
+/// prefill (prompt + recomputed output for re-admitted preemptees).
+#[derive(Debug, Clone, Default)]
+pub struct AdmittedWave {
+    /// Admitted request ids, in admission order.
+    pub ids: Vec<RequestId>,
+    /// Matching prefill token counts.
+    pub prefill_lens: Vec<usize>,
+}
+
+/// Aggregate timing statistics over the finished requests.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SchedulerStats {
+    /// Final clock, seconds.
+    pub clock_s: f64,
+    /// Time spent in prefill.
+    pub prefill_time_s: f64,
+    /// Time spent in decode.
+    pub decode_time_s: f64,
+    /// Requests finished.
+    pub completed: usize,
+    /// Output tokens generated across finished requests.
+    pub generated_tokens: usize,
+    /// Mean end-to-end latency (arrival → last token).
+    pub mean_latency_s: f64,
+    /// Worst end-to-end latency.
+    pub max_latency_s: f64,
+    /// Median end-to-end latency.
+    pub p50_latency_s: f64,
+    /// 95th-percentile end-to-end latency.
+    pub p95_latency_s: f64,
+    /// 99th-percentile end-to-end latency.
+    pub p99_latency_s: f64,
+    /// Mean time-to-first-token.
+    pub mean_ttft_s: f64,
+    /// Preemption events over the run.
+    pub preemptions: usize,
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice (`q` in `(0, 1]`).
+pub fn percentile(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of empty sample");
+    assert!(q > 0.0 && q <= 1.0, "q must be in (0, 1]");
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// The continuous-batching lifecycle state machine. See the module docs for
+/// the driver contract.
+pub struct Scheduler {
+    policy: Box<dyn SchedulingPolicy>,
+    batch_limit: usize,
+    /// Not-yet-running requests (queued + preempted), sorted by
+    /// `(arrival_s, id)` so the arrived prefix is FCFS-ordered.
+    pending: Vec<Request>,
+    /// Admitted requests, in admission order (LIFO preemption indexes this).
+    running: Vec<Request>,
+    finished: Vec<Request>,
+    clock: f64,
+    prefill_time: f64,
+    decode_time: f64,
+    preemptions: usize,
+}
+
+impl Scheduler {
+    /// Builds a scheduler over `requests` with a fixed concurrency limit.
+    ///
+    /// # Panics
+    /// Panics if `batch_limit` is zero or `requests` is empty.
+    pub fn new(
+        mut requests: Vec<Request>,
+        batch_limit: usize,
+        policy: Box<dyn SchedulingPolicy>,
+    ) -> Self {
+        assert!(batch_limit > 0, "batch limit must be positive");
+        assert!(!requests.is_empty(), "nothing to schedule");
+        requests.sort_by(|a, b| {
+            a.arrival_s.partial_cmp(&b.arrival_s).unwrap().then(a.id.cmp(&b.id))
+        });
+        Self {
+            policy,
+            batch_limit,
+            pending: requests,
+            running: Vec::new(),
+            finished: Vec::new(),
+            clock: 0.0,
+            prefill_time: 0.0,
+            decode_time: 0.0,
+            preemptions: 0,
+        }
+    }
+
+    /// Current simulation clock, seconds.
+    pub fn clock(&self) -> f64 {
+        self.clock
+    }
+
+    /// All requests finished?
+    pub fn is_done(&self) -> bool {
+        self.pending.is_empty() && self.running.is_empty()
+    }
+
+    /// The running batch, in admission order.
+    pub fn running(&self) -> &[Request] {
+        &self.running
+    }
+
+    /// Current KV length of every running sequence, in admission order.
+    pub fn running_seq_lens(&self) -> Vec<usize> {
+        self.running.iter().map(|r| r.seq_len).collect()
+    }
+
+    /// The finished requests (arbitrary completion order).
+    pub fn finished(&self) -> &[Request] {
+        &self.finished
+    }
+
+    /// The policy's report name.
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+
+    /// Number of pending requests that have arrived by the current clock.
+    fn arrived(&self) -> usize {
+        // `pending` is sorted by arrival, so the arrived set is a prefix.
+        self.pending.partition_point(|r| r.arrival_s <= self.clock)
+    }
+
+    /// Admission tick: repeatedly let the policy pick among arrived requests
+    /// and the budget confirm, until the batch limit is hit, the policy
+    /// holds, or the budget refuses. When the machine is idle the first
+    /// arrived request is force-admitted past a holding policy — a policy
+    /// may shape order, not deadlock the system.
+    pub fn admit(&mut self, budget: &mut dyn KvBudget) -> AdmittedWave {
+        let mut wave = AdmittedWave::default();
+        while self.running.len() < self.batch_limit {
+            let arrived = self.arrived();
+            if arrived == 0 {
+                break;
+            }
+            let choice = self
+                .policy
+                .select(&self.pending[..arrived], &self.running, budget)
+                .or_else(|| {
+                    // Idle machine: progress beats policy caution.
+                    (self.running.is_empty() && wave.ids.is_empty()).then_some(0)
+                });
+            let Some(idx) = choice else { break };
+            assert!(idx < arrived, "policy selected an unarrived request");
+            let candidate = &self.pending[idx];
+            if !budget.admit(candidate.id, candidate.prefill_len(), candidate.peak_len()) {
+                assert!(
+                    !(self.running.is_empty() && wave.ids.is_empty()),
+                    "request {:?} (peak {} tokens) can never fit the KV budget",
+                    candidate.id,
+                    candidate.peak_len()
+                );
+                break;
+            }
+            let mut req = self.pending.remove(idx);
+            req.state = RequestState::Running;
+            req.seq_len = req.prefill_len();
+            wave.ids.push(req.id);
+            wave.prefill_lens.push(req.seq_len);
+            self.running.push(req);
+        }
+        wave
+    }
+
+    /// Charges `dt` seconds of prefill work for the last admitted wave.
+    pub fn charge_prefill(&mut self, dt: f64) {
+        self.clock += dt;
+        self.prefill_time += dt;
+    }
+
+    /// Accounts one token of KV growth for every resident, preempting
+    /// (policy-chosen victims, recompute-style) until the budget fits.
+    /// Returns the preempted ids. Call once per tick, before pricing the
+    /// decode step, so the step is costed on the surviving batch.
+    ///
+    /// # Panics
+    /// Panics if a lone resident cannot grow — the pool is too small for
+    /// even one request, which admission should have refused.
+    pub fn make_room(&mut self, budget: &mut dyn KvBudget) -> Vec<RequestId> {
+        let mut preempted = Vec::new();
+        let ids: Vec<RequestId> = self.running.iter().map(|r| r.id).collect();
+        for id in ids {
+            loop {
+                if self.running.iter().all(|r| r.id != id) {
+                    break; // already preempted as someone else's victim
+                }
+                if budget.grow(id) {
+                    break;
+                }
+                assert!(
+                    self.running.len() > 1,
+                    "KV budget cannot hold even one growing sequence (request {:?})",
+                    id
+                );
+                let victim = self
+                    .policy
+                    .victim(&self.running)
+                    .filter(|&v| v < self.running.len())
+                    .unwrap_or(self.running.len() - 1);
+                // Never evict the oldest resident: guarantees someone always
+                // finishes, so preemption cannot livelock.
+                let victim = victim.max(1);
+                preempted.push(self.running[victim].id);
+                self.preempt(victim, budget);
+            }
+        }
+        preempted
+    }
+
+    fn preempt(&mut self, idx: usize, budget: &mut dyn KvBudget) {
+        let mut req = self.running.remove(idx);
+        budget.release(req.id);
+        req.state = RequestState::Preempted;
+        req.seq_len = 0;
+        req.preemptions += 1;
+        self.preemptions += 1;
+        // Re-queue at its original arrival slot so FCFS re-admits it first.
+        let at = self.pending.partition_point(|r| {
+            (r.arrival_s, r.id) <= (req.arrival_s, req.id)
+        });
+        self.pending.insert(at, req);
+    }
+
+    /// One decode step for the whole running batch: charges `dt`, advances
+    /// every resident by one token, stamps TTFTs, retires finished requests
+    /// (releasing their budget) and returns their ids.
+    ///
+    /// # Panics
+    /// Panics if nothing is running.
+    pub fn decode_step(&mut self, dt: f64, budget: &mut dyn KvBudget) -> Vec<RequestId> {
+        assert!(!self.running.is_empty(), "decode_step with an empty batch");
+        self.clock += dt;
+        self.decode_time += dt;
+        let clock = self.clock;
+        let mut done = Vec::new();
+        let mut i = 0;
+        while i < self.running.len() {
+            let r = &mut self.running[i];
+            r.seq_len += 1;
+            r.generated += 1;
+            if r.first_token_s.is_none() {
+                r.first_token_s = Some(clock);
+            }
+            if r.generated == r.output_len {
+                let mut req = self.running.remove(i);
+                budget.release(req.id);
+                req.state = RequestState::Finished;
+                req.finish_s = Some(clock);
+                done.push(req.id);
+                self.finished.push(req);
+            } else {
+                i += 1;
+            }
+        }
+        done
+    }
+
+    /// Advances the clock to the next pending arrival (no-op when something
+    /// has already arrived).
+    ///
+    /// # Panics
+    /// Panics if nothing is pending.
+    pub fn idle_until_arrival(&mut self) {
+        assert!(!self.pending.is_empty(), "idle with nothing pending");
+        self.clock = self.clock.max(self.pending[0].arrival_s);
+    }
+
+    /// Timing statistics over the finished requests.
+    ///
+    /// # Panics
+    /// Panics if nothing has finished yet.
+    pub fn stats(&self) -> SchedulerStats {
+        assert!(!self.finished.is_empty(), "stats before any completion");
+        let mut latencies: Vec<f64> =
+            self.finished.iter().map(|r| r.latency_s().expect("finished")).collect();
+        latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let n = latencies.len() as f64;
+        let ttft_sum: f64 = self.finished.iter().map(|r| r.ttft_s().expect("finished")).sum();
+        SchedulerStats {
+            clock_s: self.clock,
+            prefill_time_s: self.prefill_time,
+            decode_time_s: self.decode_time,
+            completed: self.finished.len(),
+            generated_tokens: self.finished.iter().map(|r| r.generated).sum(),
+            mean_latency_s: latencies.iter().sum::<f64>() / n,
+            max_latency_s: *latencies.last().unwrap(),
+            p50_latency_s: percentile(&latencies, 0.50),
+            p95_latency_s: percentile(&latencies, 0.95),
+            p99_latency_s: percentile(&latencies, 0.99),
+            mean_ttft_s: ttft_sum / n,
+            preemptions: self.preemptions,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::WorkloadSpec;
+
+    fn drive(
+        mut sched: Scheduler,
+        budget: &mut dyn KvBudget,
+        prefill_cost: f64,
+        decode_cost: f64,
+    ) -> SchedulerStats {
+        let mut guard = 0usize;
+        while !sched.is_done() {
+            guard += 1;
+            assert!(guard < 1_000_000, "scheduler failed to converge");
+            let wave = sched.admit(budget);
+            if !wave.ids.is_empty() {
+                sched.charge_prefill(prefill_cost * wave.ids.len() as f64);
+            }
+            if sched.running().is_empty() {
+                sched.idle_until_arrival();
+                continue;
+            }
+            sched.make_room(budget);
+            if sched.running().is_empty() {
+                continue;
+            }
+            sched.decode_step(decode_cost, budget);
+        }
+        sched.stats()
+    }
+
+    #[test]
+    fn fcfs_completes_everything_in_order() {
+        let reqs = WorkloadSpec::fixed(8, 4, 10).sample();
+        let sched = Scheduler::new(reqs, 3, Box::new(Fcfs));
+        let stats = drive(sched, &mut UnboundedBudget, 0.1, 0.01);
+        assert_eq!(stats.completed, 10);
+        assert_eq!(stats.generated_tokens, 40);
+        assert!(stats.p50_latency_s <= stats.p95_latency_s);
+        assert!(stats.p95_latency_s <= stats.p99_latency_s);
+        assert!(stats.p99_latency_s <= stats.max_latency_s);
+        assert!(stats.mean_ttft_s > 0.0 && stats.mean_ttft_s <= stats.mean_latency_s);
+        assert_eq!(stats.preemptions, 0);
+    }
+
+    #[test]
+    fn sjf_prefers_short_jobs() {
+        // One long job arrives first, shorts queue behind it; with batch 1,
+        // SJF clears every short before the long one.
+        let mut reqs = vec![crate::request::Request::new(crate::request::RequestId(0), 8, 64, 0.0)];
+        for i in 1..5u64 {
+            reqs.push(crate::request::Request::new(crate::request::RequestId(i), 8, 2, 0.0));
+        }
+        let sched = Scheduler::new(reqs.clone(), 1, Box::new(ShortestJobFirst));
+        let sjf = drive(sched, &mut UnboundedBudget, 0.1, 0.01);
+        let sched = Scheduler::new(reqs, 1, Box::new(Fcfs));
+        let fcfs = drive(sched, &mut UnboundedBudget, 0.1, 0.01);
+        assert!(
+            sjf.mean_latency_s < fcfs.mean_latency_s,
+            "SJF mean {} should beat FCFS {}",
+            sjf.mean_latency_s,
+            fcfs.mean_latency_s
+        );
+    }
+
+    #[test]
+    fn page_budget_tracks_cache_arithmetic() {
+        let mut b = PageBudget::new(4, 2, 8, Reservation::OnDemand);
+        let id = RequestId(0);
+        assert!(b.admit(id, 5, 16)); // 2 pages × 2 layers
+        assert_eq!(b.free_pages(), 4);
+        for _ in 0..3 {
+            assert!(b.grow(id)); // 6,7,8 tokens: still 2 pages
+        }
+        assert_eq!(b.free_pages(), 4);
+        assert!(b.grow(id)); // 9 tokens: 3rd page on both layers
+        assert_eq!(b.free_pages(), 2);
+        b.release(id);
+        assert_eq!(b.free_pages(), 8);
+    }
+
+    #[test]
+    fn peak_reservation_never_fails_growth() {
+        let mut b = PageBudget::new(4, 1, 4, Reservation::Peak);
+        let id = RequestId(1);
+        assert!(b.admit(id, 1, 16)); // all 4 pages reserved up front
+        assert!(!b.admit(RequestId(2), 1, 4), "pool exhausted by the peak hold");
+        for _ in 0..15 {
+            assert!(b.grow(id));
+        }
+    }
+
+    #[test]
+    fn on_demand_budget_forces_preemption_and_still_completes() {
+        // Pool: 16 pages × 4 tokens, 1 layer = 64 token slots. Four requests
+        // peak at 34 tokens each (2+32): peak reservation fits one at a
+        // time; on-demand admits all four (4×2=8 tokens to start) and must
+        // preempt as they grow toward 4×34 = 136 > 64.
+        let reqs = WorkloadSpec::fixed(2, 32, 4).sample();
+        let mut budget = PageBudget::new(4, 1, 16, Reservation::OnDemand);
+        let sched = Scheduler::new(reqs, 4, Box::new(MemoryAware { headroom: 0.0 }));
+        let stats = drive(sched, &mut budget, 0.1, 0.01);
+        assert_eq!(stats.completed, 4);
+        assert_eq!(stats.generated_tokens, 128);
+        assert!(stats.preemptions > 0, "tight pool must force preemption");
+        assert_eq!(budget.free_pages(), budget.total_pages(), "all pages returned");
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let xs: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&xs, 0.50), 50.0);
+        assert_eq!(percentile(&xs, 0.95), 95.0);
+        assert_eq!(percentile(&xs, 0.99), 99.0);
+        assert_eq!(percentile(&xs, 1.0), 100.0);
+        assert_eq!(percentile(&[7.0], 0.5), 7.0);
+    }
+
+    #[test]
+    fn staggered_arrivals_idle_correctly() {
+        let reqs = WorkloadSpec::fixed(4, 2, 3)
+            .with_arrivals(crate::request::ArrivalPattern::Uniform { rate_rps: 0.5 })
+            .sample();
+        let sched = Scheduler::new(reqs, 2, Box::new(Fcfs));
+        let stats = drive(sched, &mut UnboundedBudget, 0.0, 0.1);
+        assert_eq!(stats.completed, 3);
+        // Last arrival at t=4s; the clock must have idled past it.
+        assert!(stats.clock_s >= 4.0);
+    }
+}

@@ -1,6 +1,8 @@
-//! Functional serving path: a multi-sequence paged KV4 cache feeding the
-//! fused attention kernel, with real admission/retirement — the data-plane
-//! counterpart of the latency-simulating engine.
+//! Functional serving path: the request-lifecycle scheduler core driving a
+//! multi-sequence paged KV4 cache and the fused attention kernel with real
+//! admission/retirement — the data-plane counterpart of the
+//! latency-simulating engine, now with heterogeneous prompt lengths and
+//! page-budget-gated admission.
 //!
 //! ```text
 //! cargo run --release --example paged_serving
@@ -9,6 +11,8 @@
 use qserve::core::kv_quant::KvPrecision;
 use qserve::serve::attention_exec::paged_decode_attention;
 use qserve::serve::kv_cache::{KvCacheConfig, PagedKvCache, SequenceId};
+use qserve::serve::request::{ArrivalPattern, LengthDist, WorkloadSpec};
+use qserve::serve::scheduler::{Fcfs, PageBudget, Reservation, Scheduler};
 use qserve::tensor::rng::TensorRng;
 
 fn main() {
@@ -19,71 +23,112 @@ fn main() {
         layers: 2,
         precision: KvPrecision::Int4,
     };
-    let mut cache = PagedKvCache::new(cfg, 256);
+    let total_pages = 64;
+    let mut cache = PagedKvCache::new(cfg, total_pages);
     let mut rng = TensorRng::seed(3);
     let width = cfg.kv_heads * cfg.head_dim;
+    let query_heads = 8; // GQA: 8 query heads over 4 kv heads
 
     println!(
         "paged KV4 cache: {} pages × {} tokens × {} B (per-head fp16 scales inline)\n",
-        256,
+        total_pages,
         cfg.page_tokens,
         cfg.page_bytes()
     );
 
-    // Admit three sequences with different prompt lengths.
-    let prompts = [40usize, 25, 60];
-    for (i, &len) in prompts.iter().enumerate() {
-        let seq = SequenceId(i as u64);
-        cache.register(seq).expect("fresh");
-        for _ in 0..len {
-            let k: Vec<f32> = (0..width).map(|_| rng.normal(1.0)).collect();
-            let v: Vec<f32> = (0..width).map(|_| rng.normal(1.0)).collect();
-            for layer in 0..cfg.layers {
-                cache.append_token(seq, layer, &k, &v).expect("capacity");
-            }
-        }
-        println!(
-            "seq {}: prefilled {} tokens — cache now uses {}/{} pages",
-            i,
-            len,
-            cache.used_pages(),
-            256
-        );
-    }
+    // A heterogeneous workload: six requests with mixed prompt/output
+    // lengths, admitted by the scheduler core against the cache's own page
+    // arithmetic (peak-reserving, so appends can never hit OutOfPages).
+    let spec = WorkloadSpec {
+        num_requests: 6,
+        input: LengthDist::Uniform { lo: 12, hi: 56 },
+        output: LengthDist::Uniform { lo: 4, hi: 12 },
+        arrival: ArrivalPattern::Batch,
+        seed: 11,
+    };
+    let mut budget =
+        PageBudget::new(cfg.page_tokens, cfg.layers, total_pages, Reservation::Peak);
+    let mut sched = Scheduler::new(spec.sample(), 4, Box::new(Fcfs));
+    println!(
+        "workload: {} requests, prompts 12–56 tokens, outputs 4–12; batch limit 4, \
+         page-budget admission",
+        spec.num_requests
+    );
 
-    // Decode five steps for every active sequence (GQA: 8 query heads over
-    // 4 kv heads).
-    println!("\ndecoding 5 steps across all sequences:");
-    let query_heads = 8;
-    for step in 0..5 {
-        for (i, _) in prompts.iter().enumerate() {
-            let seq = SequenceId(i as u64);
+    let fresh = |rng: &mut TensorRng| -> Vec<f32> {
+        (0..width).map(|_| rng.normal(1.0)).collect()
+    };
+    let mut step = 0usize;
+    while !sched.is_done() {
+        let wave = sched.admit(&mut budget);
+        for (&id, &len) in wave.ids.iter().zip(&wave.prefill_lens) {
+            let seq = SequenceId(id.0);
+            cache.register(seq).expect("fresh sequence");
+            for _ in 0..len {
+                let (k, v) = (fresh(&mut rng), fresh(&mut rng));
+                for layer in 0..cfg.layers {
+                    cache.append_token(seq, layer, &k, &v).expect("peak-reserved");
+                }
+            }
+            println!(
+                "step {:2}: admitted seq {} ({} prompt tokens) — cache {}/{} pages",
+                step,
+                id.0,
+                len,
+                cache.used_pages(),
+                total_pages
+            );
+        }
+        if !wave.ids.is_empty() {
+            sched.charge_prefill(wave.prefill_lens.iter().sum::<usize>() as f64);
+        }
+        sched.make_room(&mut budget); // no-op under peak reservation
+
+        // One decode tick: fused KV4 attention for every running sequence,
+        // then append this step's KV (as the engine would after projections).
+        for r in sched.running() {
+            let seq = SequenceId(r.id.0);
             let q: Vec<f32> = (0..query_heads * cfg.head_dim).map(|_| rng.normal(1.0)).collect();
             let out = paged_decode_attention(&cache, seq, 0, &q).expect("active");
-            // Append this step's KV (as the engine would after projections).
-            let k: Vec<f32> = (0..width).map(|_| rng.normal(1.0)).collect();
-            let v: Vec<f32> = (0..width).map(|_| rng.normal(1.0)).collect();
+            let (k, v) = (fresh(&mut rng), fresh(&mut rng));
             for layer in 0..cfg.layers {
-                cache.append_token(seq, layer, &k, &v).expect("capacity");
+                cache.append_token(seq, layer, &k, &v).expect("peak-reserved");
             }
-            if step == 4 {
+            if r.remaining() == 1 {
                 let norm: f32 = out.iter().map(|x| x * x).sum::<f32>().sqrt();
                 println!(
-                    "  seq {}: context {:3} tokens, attention output ‖o‖ = {:.3}",
-                    i,
+                    "step {:2}: seq {} finishing — context {:3} tokens, ‖attention out‖ = {:.3}",
+                    step,
+                    r.id.0,
                     cache.seq_len(seq),
                     norm
                 );
             }
         }
+        for id in sched.decode_step(1.0, &mut budget) {
+            let seq = SequenceId(id.0);
+            let before = cache.free_pages();
+            cache.release(seq).expect("registered");
+            println!(
+                "step {:2}: retired seq {} — free pages {} → {}",
+                step,
+                id.0,
+                before,
+                cache.free_pages()
+            );
+        }
+        step += 1;
     }
 
-    // Retire sequence 1; its pages return to the pool.
-    let before = cache.free_pages();
-    cache.release(SequenceId(1)).expect("registered");
+    let stats = sched.stats();
+    assert_eq!(cache.used_pages(), 0, "every page must return to the pool");
     println!(
-        "\nretired seq 1: free pages {} → {} (no leaks — every page accounted for)",
-        before,
-        cache.free_pages()
+        "\nserved {} requests in {} decode ticks ({} tokens generated); \
+         mean TTFT {:.0} steps, p95 latency {:.0} steps — no leaks, every page accounted for",
+        stats.completed,
+        stats.decode_time_s as usize,
+        stats.generated_tokens,
+        stats.mean_ttft_s,
+        stats.p95_latency_s
     );
 }

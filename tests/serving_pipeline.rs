@@ -6,6 +6,8 @@ use qserve::gpusim::GpuSpec;
 use qserve::model::ModelConfig;
 use qserve::serve::engine::Workload;
 use qserve::serve::kv_cache::{KvCacheConfig, PagedKvCache, SequenceId};
+use qserve::serve::request::{ArrivalPattern, LengthDist, WorkloadSpec};
+use qserve::serve::scheduler::{Fcfs, MemoryAware, Reservation, ShortestJobFirst, UnboundedBudget};
 use qserve::serve::{ServingEngine, SystemConfig};
 use qserve::tensor::{prop, props};
 
@@ -69,7 +71,96 @@ fn memory_constrained_batch_respected() {
     assert!(e.plan().max_tokens >= (batch * wl.peak_len()) as u64);
 }
 
+#[test]
+fn fixed_workload_report_identical_across_policies() {
+    // The paper protocol is homogeneous: admission order cannot change the
+    // wave composition, so FCFS and SJF must produce the *same* report —
+    // the guarantee that keeps Table 4 / Figure 15 independent of the
+    // scheduler refactor.
+    let e = ServingEngine::new(
+        GpuSpec::a100(),
+        ModelConfig::llama2_7b(),
+        SystemConfig::QServePerChannel,
+    )
+    .unwrap();
+    let reqs = WorkloadSpec::paper(48).sample();
+    let fcfs = e.run_scheduled(reqs.clone(), 16, Box::new(Fcfs), &mut UnboundedBudget);
+    let sjf = e.run_scheduled(reqs, 16, Box::new(ShortestJobFirst), &mut UnboundedBudget);
+    assert_eq!(fcfs, sjf);
+    // And the legacy wrapper is the same path.
+    assert_eq!(fcfs, e.run_with_batch(&Workload::paper(48), 16));
+}
+
+#[test]
+fn heterogeneous_policies_complete_and_expose_percentiles() {
+    let e = ServingEngine::new(
+        GpuSpec::l40s(),
+        ModelConfig::llama2_7b(),
+        SystemConfig::QServePerGroup,
+    )
+    .unwrap();
+    let spec = WorkloadSpec::mixed(40, 31)
+        .with_arrivals(ArrivalPattern::Poisson { rate_rps: 8.0 });
+    for report in [
+        e.run_workload(&spec, Box::new(Fcfs)).expect("serves"),
+        e.run_workload(&spec, Box::new(ShortestJobFirst)).expect("serves"),
+        e.run_workload_paged(&spec, Box::new(MemoryAware::default()), Reservation::OnDemand)
+            .expect("serves"),
+    ] {
+        assert_eq!(report.completed, 40);
+        assert!(report.mean_ttft_s > 0.0);
+        assert!(report.mean_ttft_s <= report.mean_request_latency_s);
+        assert!(report.p50_latency_s <= report.p95_latency_s);
+        assert!(report.p95_latency_s <= report.p99_latency_s);
+        assert!(report.p99_latency_s <= report.max_request_latency_s + 1e-12);
+        assert!(report.prefill_time_s + report.decode_time_s <= report.total_time_s + 1e-9);
+    }
+}
+
 props! {
+    /// Same seed ⇒ identical workload: request lengths and arrival times
+    /// replay bit-for-bit, and every sample respects the configured bounds.
+    fn prop_workload_sampling_seed_deterministic(rng, cases = 32) {
+        let lo = rng.int_in(1, 64) as usize;
+        let hi = lo + rng.int_in(0, 512) as usize;
+        let out_lo = rng.int_in(1, 32) as usize;
+        let out_hi = out_lo + rng.int_in(0, 128) as usize;
+        let seed = rng.next_u64();
+        let arrival = match rng.int_in(0, 2) {
+            0 => ArrivalPattern::Batch,
+            1 => ArrivalPattern::Uniform { rate_rps: 2.0 },
+            _ => ArrivalPattern::Poisson { rate_rps: 2.0 },
+        };
+        let spec = WorkloadSpec {
+            num_requests: rng.int_in(1, 24) as usize,
+            input: LengthDist::Uniform { lo, hi },
+            output: LengthDist::Bimodal {
+                short: (out_lo, out_hi),
+                long: (out_hi + 1, out_hi + 64),
+                long_weight: 0.25,
+            },
+            arrival,
+            seed,
+        };
+        let a = spec.sample();
+        let b = spec.sample();
+        assert_eq!(a, b, "same seed must replay the identical workload");
+        let (ilo, ihi) = spec.input.bounds();
+        let (olo, ohi) = spec.output.bounds();
+        let mut prev_arrival = 0.0f64;
+        for r in &a {
+            assert!((ilo..=ihi).contains(&r.input_len), "input {} outside bounds", r.input_len);
+            assert!((olo..=ohi).contains(&r.output_len), "output {} outside bounds", r.output_len);
+            assert!(r.arrival_s >= prev_arrival, "arrivals must be non-decreasing");
+            prev_arrival = r.arrival_s;
+        }
+        // A different seed almost surely changes a non-degenerate workload.
+        if ihi > ilo && a.len() > 4 {
+            let other = WorkloadSpec { seed: seed ^ 0xDEAD_BEEF, ..spec.clone() };
+            assert_ne!(other.sample(), a, "distinct seeds should differ");
+        }
+    }
+
     /// The paged cache never loses or duplicates pages across random
     /// register/append/release interleavings.
     fn prop_cache_page_conservation(rng, cases = 16) {
