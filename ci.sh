@@ -1,10 +1,13 @@
 #!/usr/bin/env sh
 # Tier-1 verification, fully offline. Any attempt to pull a crates.io
 # dependency fails the build immediately — the workspace must stay
-# dependency-free (internal path dependencies only).
+# dependency-free (internal path dependencies only). Warnings are
+# promoted to errors so zero-warning status is enforced, not incidental.
 set -eu
 
 cd "$(dirname "$0")"
+
+export RUSTFLAGS="-D warnings"
 
 cargo build --release --offline --locked --workspace --all-targets
 # Tier-1 shape (root package, debug), then the whole workspace in release —
@@ -19,9 +22,14 @@ rm -f results/table1.csv
 cargo run --release --offline --locked -p qserve-bench --bin reproduce -- table1 >/dev/null
 test -s results/table1.csv
 
+# Smoke the prefix-sharing/chunked-prefill grid the same way.
+rm -f results/prefix_sweep.csv
+cargo run --release --offline --locked -p qserve-bench --bin reproduce -- prefix_sweep >/dev/null
+test -s results/prefix_sweep.csv
+
 # Every example must run end to end, offline (smoke: exit status only).
-for ex in quickstart generate kv4_attention paged_serving roofline \
-          serving_throughput ablation; do
+for ex in quickstart generate kv4_attention paged_serving prefix_caching \
+          roofline serving_throughput ablation; do
     cargo run --release --offline --locked --example "$ex" >/dev/null
 done
 

@@ -1,0 +1,71 @@
+//! Golden-snapshot harness: the paper-protocol reproduce CSVs are committed
+//! under `tests/golden/` (repo root) and every run must regenerate them
+//! **byte for byte**. Scheduler/cache/engine refactors — prefix sharing,
+//! chunked prefill, whatever comes next — are free to reshape the hot
+//! subsystems, but if an un-shared, un-chunked paper number moves by one
+//! bit, this test names the experiment that drifted.
+//!
+//! To re-baseline after an *intentional* accounting change, regenerate with
+//! `cargo run --release -p qserve-bench --bin reproduce -- <ids>` and copy
+//! the CSVs from `results/` over `tests/golden/` in the same commit that
+//! explains why.
+
+use qserve_bench::run_experiment;
+
+/// The pinned experiments and their committed CSVs (indexed like the
+/// `reproduce` binary writes them: first table = `<id>.csv`, later tables =
+/// `<id>_<i>.csv`).
+const GOLDEN: &[(&str, &[&str])] = &[
+    ("table1", &[include_str!("../../../tests/golden/table1.csv")]),
+    (
+        "table4",
+        &[
+            include_str!("../../../tests/golden/table4.csv"),
+            include_str!("../../../tests/golden/table4_1.csv"),
+        ],
+    ),
+    ("table6", &[include_str!("../../../tests/golden/table6.csv")]),
+    ("fig1", &[include_str!("../../../tests/golden/fig1.csv")]),
+    (
+        "fig17",
+        &[
+            include_str!("../../../tests/golden/fig17.csv"),
+            include_str!("../../../tests/golden/fig17_1.csv"),
+        ],
+    ),
+];
+
+#[test]
+fn paper_protocol_csvs_are_byte_identical_to_golden() {
+    for (id, golden_tables) in GOLDEN {
+        let tables = run_experiment(id).unwrap_or_else(|| panic!("unknown experiment '{}'", id));
+        assert_eq!(
+            tables.len(),
+            golden_tables.len(),
+            "experiment '{}' changed its table count",
+            id
+        );
+        for (i, (table, golden)) in tables.iter().zip(*golden_tables).enumerate() {
+            let fresh = table.to_csv();
+            assert!(
+                fresh == *golden,
+                "experiment '{}' table {} drifted from tests/golden/ — a refactor \
+                 changed paper-protocol numbers.\n--- golden ---\n{}\n--- regenerated ---\n{}",
+                id,
+                i,
+                golden,
+                fresh
+            );
+        }
+    }
+}
+
+#[test]
+fn golden_files_are_sane() {
+    // Guard the harness itself: every pinned CSV has a header and data.
+    for (id, tables) in GOLDEN {
+        for csv in *tables {
+            assert!(csv.lines().count() >= 2, "golden CSV for '{}' is empty", id);
+        }
+    }
+}

@@ -346,6 +346,32 @@ pub fn attention_prefill_latency_hetero(
     prefill_latency_from_totals(gpu, kernel, total as f64, total_sq, query_heads, kv_heads, head_dim)
 }
 
+/// Prefill attention for a wave of prompt *chunks*: each entry is
+/// `(new_tokens, past_tokens)` — `new_tokens` fresh prompt tokens attending
+/// causally over `past_tokens` of already-cached context (an aliased shared
+/// prefix and/or earlier chunks of the same prompt) plus themselves. Only
+/// the new tokens' KV is written.
+///
+/// The causal work of a chunk is `c·(c + 2p)` in the same units that give a
+/// whole prompt `s²` — and because `(Σcᵢ)² = Σ cᵢ·(cᵢ + 2pᵢ)` exactly when
+/// the `pᵢ` are the running sums, every term is an exact integer and a
+/// single chunk with no past, `(s, 0)`, is **bit-identical** to
+/// [`attention_prefill_latency_hetero`] on `[s]`. That identity is what
+/// keeps the un-shared, un-chunked paper protocol byte-stable while shared
+/// or chunked runs reuse the same cost model.
+pub fn attention_prefill_latency_chunked(
+    gpu: &GpuSpec,
+    kernel: AttentionKernel,
+    chunks: &[(usize, usize)],
+    query_heads: usize,
+    kv_heads: usize,
+    head_dim: usize,
+) -> f64 {
+    let total: usize = chunks.iter().map(|&(c, _)| c).sum();
+    let total_sq: f64 = chunks.iter().map(|&(c, p)| (c * (c + 2 * p)) as f64).sum();
+    prefill_latency_from_totals(gpu, kernel, total as f64, total_sq, query_heads, kv_heads, head_dim)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -512,6 +538,68 @@ mod tests {
             },
         );
         assert!(gqa.memory_s < mha.memory_s / 3.0);
+    }
+
+    #[test]
+    fn chunked_prefill_unchunked_is_bit_identical() {
+        // The exact-integer identity (Σcᵢ)² = Σ cᵢ(cᵢ+2pᵢ): one whole-prompt
+        // chunk must reproduce the hetero path bit for bit — the invariant
+        // the golden-snapshot CSVs rest on.
+        let gpu = GpuSpec::a100();
+        for lens in [vec![1024usize], vec![1024, 512, 77], vec![1, 1, 4096]] {
+            let chunks: Vec<(usize, usize)> = lens.iter().map(|&s| (s, 0)).collect();
+            let hetero = attention_prefill_latency_hetero(
+                &gpu, AttentionKernel::Kv4QServe, &lens, 32, 32, 128,
+            );
+            let chunked = attention_prefill_latency_chunked(
+                &gpu, AttentionKernel::Kv4QServe, &chunks, 32, 32, 128,
+            );
+            assert_eq!(hetero.to_bits(), chunked.to_bits(), "lens {:?}", lens);
+        }
+    }
+
+    #[test]
+    fn chunk_split_work_sums_exactly_per_launch() {
+        // Splitting one prompt into chunks conserves the causal-attention
+        // totals: Σ cᵢ(cᵢ+2pᵢ) with running-sum pasts equals s² exactly, so
+        // a merged launch of all chunks costs the same as the whole prompt.
+        let gpu = GpuSpec::a100();
+        let s = 1024usize;
+        let whole = attention_prefill_latency_hetero(
+            &gpu, AttentionKernel::Kv4QServe, &[s], 32, 32, 128,
+        );
+        for chunk in [128usize, 256, 1000] {
+            let mut chunks = Vec::new();
+            let mut past = 0;
+            while past < s {
+                let c = chunk.min(s - past);
+                chunks.push((c, past));
+                past += c;
+            }
+            let split = attention_prefill_latency_chunked(
+                &gpu, AttentionKernel::Kv4QServe, &chunks, 32, 32, 128,
+            );
+            assert_eq!(whole.to_bits(), split.to_bits(), "chunk {}", chunk);
+        }
+    }
+
+    #[test]
+    fn shared_prefix_prefill_cheaper() {
+        // A suffix over an aliased 896-token prefix costs less than
+        // prefilling the whole 1024 tokens, but more than the bare suffix
+        // (it still attends over the prefix).
+        let gpu = GpuSpec::a100();
+        let full = attention_prefill_latency_hetero(
+            &gpu, AttentionKernel::Kv4QServe, &[1024], 32, 32, 128,
+        );
+        let bare = attention_prefill_latency_hetero(
+            &gpu, AttentionKernel::Kv4QServe, &[128], 32, 32, 128,
+        );
+        let shared = attention_prefill_latency_chunked(
+            &gpu, AttentionKernel::Kv4QServe, &[(128, 896)], 32, 32, 128,
+        );
+        assert!(shared < full, "sharing must save prefill: {} vs {}", shared, full);
+        assert!(shared > bare, "context attention is not free: {} vs {}", shared, bare);
     }
 
     #[test]

@@ -20,12 +20,13 @@ use crate::baselines::SystemConfig;
 use crate::memory::MemoryPlan;
 use crate::request::{Request, WorkloadSpec};
 use crate::scheduler::{
-    Fcfs, KvBudget, PageBudget, Reservation, Scheduler, SchedulerStats, SchedulingPolicy,
-    UnboundedBudget,
+    Fcfs, KvBudget, PageBudget, Reservation, SchedOptions, Scheduler, SchedulerStats,
+    SchedulingPolicy, UnboundedBudget,
 };
 use qserve_gpusim::attention_model::{
     attention_decode_latency, attention_decode_latency_hetero, attention_prefill_latency,
-    attention_prefill_latency_hetero, AttentionLatency, AttentionShape,
+    attention_prefill_latency_chunked, attention_prefill_latency_hetero, AttentionLatency,
+    AttentionShape,
 };
 use qserve_gpusim::gemm_model::{gemm_latency, GemmShape};
 use qserve_gpusim::GpuSpec;
@@ -102,11 +103,15 @@ pub struct ServingReport {
     pub p99_latency_s: f64,
     /// Preemption events during the run (0 under peak-reserving admission).
     pub preemptions: usize,
+    /// High-water mark of unique KV pages in use (0 when the run was not
+    /// gated by a page budget) — prefix sharing lowers this, more requests
+    /// fit, and that is the capacity story of the `prefix_sweep` grid.
+    pub peak_unique_pages: usize,
 }
 
 impl ServingReport {
     /// Builds the report from the scheduler's timing statistics.
-    fn from_stats(stats: SchedulerStats, max_batch: usize) -> Self {
+    fn from_stats(stats: SchedulerStats, max_batch: usize, peak_unique_pages: usize) -> Self {
         Self {
             throughput_tps: stats.generated_tokens as f64 / stats.clock_s,
             total_time_s: stats.clock_s,
@@ -121,6 +126,7 @@ impl ServingReport {
             p95_latency_s: stats.p95_latency_s,
             p99_latency_s: stats.p99_latency_s,
             preemptions: stats.preemptions,
+            peak_unique_pages,
         }
     }
 }
@@ -315,9 +321,29 @@ impl ServingEngine {
         self.prefill_cost(input_lens.iter().sum(), attn_s)
     }
 
+    /// Latency to prefill a wave of prompt chunks `(new_tokens,
+    /// past_tokens)`: only the new tokens run through the GEMMs and write
+    /// KV, while attention still covers the cached past (aliased shared
+    /// prefix and/or earlier chunks). A whole prompt as one `(s, 0)` chunk
+    /// is bit-identical to [`ServingEngine::prefill_latency_hetero`].
+    pub fn prefill_latency_chunked(&self, chunks: &[(usize, usize)]) -> f64 {
+        if chunks.is_empty() {
+            return 0.0;
+        }
+        let attn_s = attention_prefill_latency_chunked(
+            &self.gpu,
+            self.system.attention_kernel(),
+            chunks,
+            self.model.heads,
+            self.model.kv_heads,
+            self.model.head_dim(),
+        );
+        self.prefill_cost(chunks.iter().map(|&(c, _)| c).sum(), attn_s)
+    }
+
     /// Drives the shared scheduler core over this engine's cost model: the
     /// one continuous-batching simulation loop every entry point funnels
-    /// through.
+    /// through (legacy knobs: no sharing, whole-prompt prefill).
     pub fn run_scheduled(
         &self,
         requests: Vec<Request>,
@@ -325,21 +351,59 @@ impl ServingEngine {
         policy: Box<dyn SchedulingPolicy>,
         budget: &mut dyn KvBudget,
     ) -> ServingReport {
-        let mut sched = Scheduler::new(requests, batch_limit, policy);
+        self.run_scheduled_with(requests, batch_limit, policy, budget, SchedOptions::default())
+    }
+
+    /// [`ServingEngine::run_scheduled`] with explicit prefix-sharing /
+    /// chunked-prefill options. With the default options this is the legacy
+    /// loop tick for tick; with sharing on, admitted requests skip the
+    /// aliased part of their prompt; with chunking on, prompts prefill in
+    /// `chunk_tokens`-sized slices interleaved with decode steps for the
+    /// already-full residents.
+    pub fn run_scheduled_with(
+        &self,
+        requests: Vec<Request>,
+        batch_limit: usize,
+        policy: Box<dyn SchedulingPolicy>,
+        budget: &mut dyn KvBudget,
+        opts: SchedOptions,
+    ) -> ServingReport {
+        let mut sched = Scheduler::with_options(requests, batch_limit, policy, opts);
         while !sched.is_done() {
             let wave = sched.admit(budget);
-            if !wave.ids.is_empty() {
-                sched.charge_prefill(self.prefill_latency_hetero(&wave.prefill_lens));
+            match opts.chunk_tokens {
+                None => {
+                    if !wave.ids.is_empty() {
+                        let chunks: Vec<(usize, usize)> = wave
+                            .prefill_lens
+                            .iter()
+                            .zip(&wave.shared_lens)
+                            .map(|(&full, &shared)| (full - shared, shared))
+                            .collect();
+                        sched.charge_prefill(self.prefill_latency_chunked(&chunks));
+                    }
+                }
+                Some(chunk_tokens) => {
+                    let chunks = sched.prefill_chunks(chunk_tokens);
+                    if !chunks.is_empty() {
+                        let pairs: Vec<(usize, usize)> =
+                            chunks.iter().map(|&(_, c, p)| (c, p)).collect();
+                        sched.charge_prefill(self.prefill_latency_chunked(&pairs));
+                    }
+                }
             }
             if sched.running().is_empty() {
                 sched.idle_until_arrival();
                 continue;
             }
             sched.make_room(budget);
-            let lens = sched.running_seq_lens();
+            let lens = sched.decoding_seq_lens();
+            if lens.is_empty() {
+                continue; // every resident is still chunk-prefilling
+            }
             sched.decode_step(self.decode_step_latency_hetero(&lens), budget);
         }
-        ServingReport::from_stats(sched.stats(), batch_limit)
+        ServingReport::from_stats(sched.stats(), batch_limit, budget.peak_pages())
     }
 
     /// Runs the continuous-batching simulation at an explicit batch limit
@@ -413,6 +477,23 @@ impl ServingEngine {
         policy: Box<dyn SchedulingPolicy>,
         reservation: Reservation,
     ) -> Result<ServingReport, EngineUnavailable> {
+        self.run_workload_paged_with(spec, policy, reservation, SchedOptions::default())
+    }
+
+    /// [`ServingEngine::run_workload_paged`] with prefix-sharing /
+    /// chunked-prefill options — the entry point behind the `prefix_sweep`
+    /// grid.
+    ///
+    /// # Errors
+    /// [`EngineUnavailable::OutOfMemory`] when a worst-case request exceeds
+    /// the whole page pool.
+    pub fn run_workload_paged_with(
+        &self,
+        spec: &WorkloadSpec,
+        policy: Box<dyn SchedulingPolicy>,
+        reservation: Reservation,
+        opts: SchedOptions,
+    ) -> Result<ServingReport, EngineUnavailable> {
         let layers = self.model.layers;
         // `max_tokens` counts whole-model tokens; each occupies a slot in
         // every layer's page table.
@@ -426,7 +507,7 @@ impl ServingEngine {
         // every request were as small as possible; the page budget is the
         // real gate.
         let optimistic = self.plan.max_batch(spec.min_peak_len()).max(1);
-        Ok(self.run_scheduled(spec.sample(), optimistic, policy, &mut budget))
+        Ok(self.run_scheduled_with(spec.sample(), optimistic, policy, &mut budget, opts))
     }
 
     /// The paper's headline measurement: maximum achievable throughput under
@@ -765,6 +846,169 @@ mod tests {
         assert_eq!(r.completed, 32);
         assert!(r.throughput_tps > 0.0);
         assert!(r.p99_latency_s >= r.p50_latency_s);
+    }
+
+    #[test]
+    fn sharing_cuts_unique_pages_and_ttft() {
+        // The acceptance bar for prefix sharing: the same multi-tenant
+        // workload, same policy, same pool — sharing ON must finish with a
+        // strictly lower unique-page high-water mark *and* a lower mean
+        // TTFT than sharing OFF (it skips recomputing resident prefixes and
+        // stores them once).
+        let e = engine(GpuSpec::a100(), ModelConfig::llama2_7b(), SystemConfig::QServePerChannel);
+        let spec = WorkloadSpec::shared_prefix(4, 512, 32, 41);
+        let opts = crate::scheduler::SchedOptions { share_prefixes: true, chunk_tokens: None };
+        let shared = e
+            .run_workload_paged_with(&spec, Box::new(Fcfs), Reservation::Peak, opts)
+            .expect("serves");
+        let private = e
+            .run_workload_paged(&spec, Box::new(Fcfs), Reservation::Peak)
+            .expect("serves");
+        assert_eq!(shared.completed, 32);
+        assert_eq!(private.completed, 32);
+        assert!(
+            shared.peak_unique_pages < private.peak_unique_pages,
+            "sharing must shrink true residency: {} vs {}",
+            shared.peak_unique_pages,
+            private.peak_unique_pages
+        );
+        assert!(
+            shared.mean_ttft_s < private.mean_ttft_s,
+            "sharing must cut TTFT: {} vs {}",
+            shared.mean_ttft_s,
+            private.mean_ttft_s
+        );
+        // Same tokens served either way.
+        assert!(
+            (shared.throughput_tps * shared.total_time_s
+                - private.throughput_tps * private.total_time_s)
+                .abs()
+                < 1.0
+        );
+    }
+
+    #[test]
+    fn chunked_prefill_serves_identical_tokens() {
+        let e = engine(GpuSpec::a100(), ModelConfig::llama2_7b(), SystemConfig::QServePerChannel);
+        let spec = WorkloadSpec::mixed(24, 19)
+            .with_arrivals(ArrivalPattern::Uniform { rate_rps: 4.0 });
+        let whole = e
+            .run_workload_paged(&spec, Box::new(Fcfs), Reservation::Peak)
+            .expect("serves");
+        for chunk in [256usize, 1024] {
+            let opts = crate::scheduler::SchedOptions {
+                share_prefixes: false,
+                chunk_tokens: Some(chunk),
+            };
+            let chunked = e
+                .run_workload_paged_with(&spec, Box::new(Fcfs), Reservation::Peak, opts)
+                .expect("serves");
+            assert_eq!(chunked.completed, 24);
+            // Work conserved: identical generated-token totals.
+            assert!(
+                (chunked.throughput_tps * chunked.total_time_s
+                    - whole.throughput_tps * whole.total_time_s)
+                    .abs()
+                    < 1.0
+            );
+            // Deterministic replay.
+            let again = e
+                .run_workload_paged_with(&spec, Box::new(Fcfs), Reservation::Peak, opts)
+                .expect("serves");
+            assert_eq!(chunked, again);
+        }
+    }
+
+    #[test]
+    fn chunked_prefill_bounds_decode_stalls() {
+        // One 4096-token document arrives amid a stream of chat turns.
+        // Whole-prompt prefill inserts its entire latency between two decode
+        // ticks — every running request's next token stalls behind it.
+        // 256-token chunks bound that stall near a single chunk's cost.
+        // Metric: the worst clock advance between consecutive decode steps
+        // while requests were mid-decode.
+        let e = engine(GpuSpec::a100(), ModelConfig::llama2_7b(), SystemConfig::QServePerChannel);
+        let mk_reqs = || {
+            let mut reqs = WorkloadSpec::fixed(64, 48, 24)
+                .with_arrivals(ArrivalPattern::Uniform { rate_rps: 8.0 })
+                .sample();
+            reqs[4] = Request::new(crate::request::RequestId(4), 4096, 48, reqs[4].arrival_s);
+            reqs
+        };
+        let worst_gap = |chunk_tokens: Option<usize>| -> f64 {
+            let opts = crate::scheduler::SchedOptions { share_prefixes: false, chunk_tokens };
+            let mut sched = Scheduler::with_options(mk_reqs(), 8, Box::new(Fcfs), opts);
+            let budget: &mut dyn KvBudget = &mut UnboundedBudget;
+            let (mut last_decode, mut worst) = (None::<f64>, 0.0f64);
+            while !sched.is_done() {
+                let wave = sched.admit(budget);
+                match chunk_tokens {
+                    None => {
+                        let chunks: Vec<(usize, usize)> =
+                            wave.prefill_lens.iter().map(|&l| (l, 0)).collect();
+                        if !chunks.is_empty() {
+                            sched.charge_prefill(e.prefill_latency_chunked(&chunks));
+                        }
+                    }
+                    Some(c) => {
+                        let pairs: Vec<(usize, usize)> = sched
+                            .prefill_chunks(c)
+                            .iter()
+                            .map(|&(_, n, p)| (n, p))
+                            .collect();
+                        if !pairs.is_empty() {
+                            sched.charge_prefill(e.prefill_latency_chunked(&pairs));
+                        }
+                    }
+                }
+                if sched.running().is_empty() {
+                    sched.idle_until_arrival();
+                    last_decode = None;
+                    continue;
+                }
+                sched.make_room(budget);
+                let lens = sched.decoding_seq_lens();
+                if lens.is_empty() {
+                    continue;
+                }
+                let survivors = lens.len() > sched.decode_step(
+                    e.decode_step_latency_hetero(&lens),
+                    budget,
+                ).len();
+                if let Some(t) = last_decode {
+                    worst = worst.max(sched.clock() - t);
+                }
+                last_decode = survivors.then_some(sched.clock());
+            }
+            assert_eq!(sched.stats().completed, 24);
+            worst
+        };
+        let whole = worst_gap(None);
+        let chunked = worst_gap(Some(256));
+        assert!(
+            chunked < whole / 2.0,
+            "chunking must bound the inter-token stall: {} vs {}",
+            chunked,
+            whole
+        );
+    }
+
+    #[test]
+    fn legacy_options_reproduce_legacy_run_exactly() {
+        // The options-driven loop with defaults must equal the legacy entry
+        // point bit for bit — the engine-level half of the golden-snapshot
+        // guarantee.
+        let e = engine(GpuSpec::a100(), ModelConfig::llama2_7b(), SystemConfig::QServePerChannel);
+        let spec = WorkloadSpec::mixed(16, 3);
+        let legacy = e.run_scheduled(spec.sample(), 4, Box::new(Fcfs), &mut UnboundedBudget);
+        let opted = e.run_scheduled_with(
+            spec.sample(),
+            4,
+            Box::new(Fcfs),
+            &mut UnboundedBudget,
+            crate::scheduler::SchedOptions::default(),
+        );
+        assert_eq!(legacy, opted);
     }
 
     #[test]

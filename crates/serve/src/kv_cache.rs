@@ -1,5 +1,5 @@
 //! Paged KV cache with inline per-head dynamic quantization parameters
-//! (§5.1).
+//! (§5.1) and copy-on-write prefix sharing.
 //!
 //! Layout of one page (per layer, per sequence): `page_tokens` slots, each
 //! holding the quantized K and V features of every KV head followed by that
@@ -9,7 +9,14 @@
 //! on-the-fly."
 //!
 //! The allocator is a free-list over fixed-size pages (the vLLM idea); a
-//! sequence owns one page table per layer.
+//! sequence owns one page table per layer. Pages carry refcounts so that
+//! [`PagedKvCache::fork`] can alias a parent's prefix pages into a child
+//! sequence without copying: thousands of requests sharing a system prompt
+//! store its KV exactly once. The first [`PagedKvCache::append_token`] that
+//! would write into a shared page copies it first (copy-on-write), so
+//! divergence is private while the common prefix stays deduplicated.
+//! [`PagedKvCache::used_pages`] / [`PagedKvCache::free_pages`] count
+//! *unique* pages, which is what memory-aware admission must gate on.
 
 use qserve_core::kv_quant::{quantize_head, KvPrecision, QuantizedHeadToken};
 use qserve_quant::params::QParams;
@@ -91,10 +98,17 @@ pub struct PagedKvCache {
     config: KvCacheConfig,
     pages: Vec<KvPage>,
     free_list: Vec<usize>,
+    /// Sequences referencing each page (0 = free).
+    refcounts: Vec<u32>,
     /// Page table: per sequence, per layer, ordered page indices.
     tables: HashMap<SequenceId, Vec<Vec<usize>>>,
-    /// Cached token count per sequence.
+    /// Cached token count per sequence (advanced on layer 0).
     lens: HashMap<SequenceId, usize>,
+    /// Per-sequence, per-layer token counts: a forked sequence may own fewer
+    /// tokens of its shared tail page than the page's `filled` says.
+    layer_lens: HashMap<SequenceId, Vec<usize>>,
+    /// High-water mark of unique allocated pages over the cache's life.
+    peak_used: usize,
 }
 
 /// Errors from cache operations.
@@ -106,6 +120,13 @@ pub enum KvCacheError {
     UnknownSequence(SequenceId),
     /// The sequence id is already registered.
     DuplicateSequence(SequenceId),
+    /// A fork asked for a longer prefix than the parent has cached.
+    PrefixTooLong {
+        /// Tokens the parent holds.
+        have: usize,
+        /// Tokens the fork requested.
+        want: usize,
+    },
 }
 
 impl std::fmt::Display for KvCacheError {
@@ -114,6 +135,9 @@ impl std::fmt::Display for KvCacheError {
             KvCacheError::OutOfPages => write!(f, "KV cache out of pages"),
             KvCacheError::UnknownSequence(s) => write!(f, "unknown sequence {:?}", s),
             KvCacheError::DuplicateSequence(s) => write!(f, "duplicate sequence {:?}", s),
+            KvCacheError::PrefixTooLong { have, want } => {
+                write!(f, "fork prefix of {} tokens exceeds parent's {}", want, have)
+            }
         }
     }
 }
@@ -133,8 +157,11 @@ impl PagedKvCache {
             config,
             pages,
             free_list: (0..total_pages).rev().collect(),
+            refcounts: vec![0; total_pages],
             tables: HashMap::new(),
             lens: HashMap::new(),
+            layer_lens: HashMap::new(),
+            peak_used: 0,
         }
     }
 
@@ -148,9 +175,50 @@ impl PagedKvCache {
         self.free_list.len()
     }
 
-    /// Pages currently allocated to sequences.
+    /// *Unique* pages currently allocated to sequences — shared prefix pages
+    /// count once no matter how many sequences alias them.
     pub fn used_pages(&self) -> usize {
         self.pages.len() - self.free_list.len()
+    }
+
+    /// High-water mark of [`PagedKvCache::used_pages`] over the cache's life
+    /// — the true-residency number the `prefix_sweep` experiment reports.
+    pub fn peak_used_pages(&self) -> usize {
+        self.peak_used
+    }
+
+    /// Sequences referencing `page` (0 = free).
+    pub fn page_refcount(&self, page: usize) -> u32 {
+        self.refcounts[page]
+    }
+
+    /// The ordered page indices a sequence holds for one layer
+    /// (tests/debug: shared pages show up in several sequences' tables).
+    ///
+    /// # Panics
+    /// Panics on an unknown sequence or out-of-range layer.
+    pub fn layer_pages(&self, seq: SequenceId, layer: usize) -> &[usize] {
+        &self.tables[&seq][layer]
+    }
+
+    /// Pops a free page, resetting its state and tracking the high-water
+    /// mark of unique residency.
+    fn alloc_page(&mut self) -> Result<usize, KvCacheError> {
+        let page = self.free_list.pop().ok_or(KvCacheError::OutOfPages)?;
+        self.pages[page].filled = 0;
+        self.refcounts[page] = 1;
+        self.peak_used = self.peak_used.max(self.used_pages());
+        Ok(page)
+    }
+
+    /// Drops one reference to `page`, recycling it when nobody is left.
+    fn unref_page(&mut self, page: usize) {
+        debug_assert!(self.refcounts[page] > 0, "unref of a free page");
+        self.refcounts[page] -= 1;
+        if self.refcounts[page] == 0 {
+            self.pages[page].filled = 0;
+            self.free_list.push(page);
+        }
     }
 
     /// Registers a new sequence.
@@ -163,10 +231,56 @@ impl PagedKvCache {
         }
         self.tables.insert(seq, vec![Vec::new(); self.config.layers]);
         self.lens.insert(seq, 0);
+        self.layer_lens.insert(seq, vec![0; self.config.layers]);
         Ok(())
     }
 
-    /// Releases every page of a sequence back to the free list.
+    /// Registers `child` as a fork of `parent`, aliasing every page that
+    /// holds the first `prefix_tokens` tokens (all layers). No bytes are
+    /// copied: the aliased pages' refcounts rise, and the child's first
+    /// divergent [`PagedKvCache::append_token`] copies only the partial tail
+    /// page it writes into (copy-on-write). The parent may finish and
+    /// release first — refcounts keep the shared pages alive.
+    ///
+    /// # Errors
+    /// [`KvCacheError::UnknownSequence`] for the parent,
+    /// [`KvCacheError::DuplicateSequence`] for the child, and
+    /// [`KvCacheError::PrefixTooLong`] when the parent has cached fewer than
+    /// `prefix_tokens` tokens.
+    pub fn fork(
+        &mut self,
+        parent: SequenceId,
+        child: SequenceId,
+        prefix_tokens: usize,
+    ) -> Result<(), KvCacheError> {
+        if !self.tables.contains_key(&parent) {
+            return Err(KvCacheError::UnknownSequence(parent));
+        }
+        if self.tables.contains_key(&child) {
+            return Err(KvCacheError::DuplicateSequence(child));
+        }
+        let have = self.seq_len(parent);
+        if prefix_tokens > have {
+            return Err(KvCacheError::PrefixTooLong { have, want: prefix_tokens });
+        }
+        let shared_pages = self.pages_for_tokens(prefix_tokens);
+        let table: Vec<Vec<usize>> = self.tables[&parent]
+            .iter()
+            .map(|layer| layer[..shared_pages.min(layer.len())].to_vec())
+            .collect();
+        for layer in &table {
+            for &page in layer {
+                self.refcounts[page] += 1;
+            }
+        }
+        self.tables.insert(child, table);
+        self.lens.insert(child, prefix_tokens);
+        self.layer_lens.insert(child, vec![prefix_tokens; self.config.layers]);
+        Ok(())
+    }
+
+    /// Releases a sequence: every page it references drops one refcount, and
+    /// pages nobody else shares return to the free list.
     ///
     /// # Errors
     /// [`KvCacheError::UnknownSequence`] if not registered.
@@ -176,10 +290,10 @@ impl PagedKvCache {
             .remove(&seq)
             .ok_or(KvCacheError::UnknownSequence(seq))?;
         self.lens.remove(&seq);
+        self.layer_lens.remove(&seq);
         for layer in table {
             for page in layer {
-                self.pages[page].filled = 0;
-                self.free_list.push(page);
+                self.unref_page(page);
             }
         }
         Ok(())
@@ -196,11 +310,22 @@ impl PagedKvCache {
     }
 
     /// Whether `extra_tokens` more tokens can be appended to `seq` without
-    /// exhausting the pool (across all layers).
+    /// exhausting the pool (across all layers). A forked sequence whose tail
+    /// page is still shared needs one extra page per layer for the
+    /// copy-on-write duplicate its first append triggers.
     pub fn can_grow(&self, seq: SequenceId, extra_tokens: usize) -> bool {
         let cur = self.seq_len(seq);
-        let need_per_layer =
+        let mut need_per_layer =
             self.pages_for_tokens(cur + extra_tokens) - self.pages_for_tokens(cur);
+        if extra_tokens > 0 && cur % self.config.page_tokens != 0 {
+            if let Some(table) = self.tables.get(&seq) {
+                if let Some(&tail) = table[0].last() {
+                    if self.refcounts[tail] > 1 {
+                        need_per_layer += 1;
+                    }
+                }
+            }
+        }
         need_per_layer * self.config.layers <= self.free_list.len()
     }
 
@@ -209,7 +334,9 @@ impl PagedKvCache {
     ///
     /// `k`/`v` are the full-width rows (`kv_heads × head_dim`). The sequence
     /// length counter advances only on layer 0 (callers append the same
-    /// token to every layer).
+    /// token to every layer). Writing into a page another sequence still
+    /// shares copies it first (copy-on-write), so a fork's divergence never
+    /// corrupts its siblings' prefix.
     ///
     /// # Errors
     /// [`KvCacheError::UnknownSequence`] or [`KvCacheError::OutOfPages`].
@@ -230,21 +357,37 @@ impl PagedKvCache {
         if !self.tables.contains_key(&seq) {
             return Err(KvCacheError::UnknownSequence(seq));
         }
-        // Find or allocate the tail page for this layer.
-        let needs_new_page = {
-            let table = &self.tables[&seq][layer];
-            match table.last() {
-                Some(&p) => self.pages[p].filled == self.config.page_tokens,
-                None => true,
+        // This sequence's write position in this layer — distinct from the
+        // tail page's `filled`, which a longer-prefix sharer may have set.
+        let tokens = self.layer_lens[&seq][layer];
+        let slot = tokens % self.config.page_tokens;
+        let page_idx = if slot == 0 && self.tables[&seq][layer].len() * self.config.page_tokens
+            <= tokens
+        {
+            // Tail full (or table empty): start a fresh private page.
+            let page = self.alloc_page()?;
+            self.tables.get_mut(&seq).unwrap()[layer].push(page);
+            page
+        } else {
+            let tail_idx = tokens / self.config.page_tokens;
+            let page = self.tables[&seq][layer][tail_idx];
+            if self.refcounts[page] > 1 {
+                // Copy-on-write: duplicate the shared prefix bytes we own,
+                // then diverge privately.
+                let copy = self.alloc_page()?;
+                let (src_data, src_filled) = {
+                    let src = &self.pages[page];
+                    (src.data.clone(), slot.min(src.filled))
+                };
+                self.pages[copy].data = src_data;
+                self.pages[copy].filled = src_filled;
+                self.tables.get_mut(&seq).unwrap()[layer][tail_idx] = copy;
+                self.unref_page(page);
+                copy
+            } else {
+                page
             }
         };
-        if needs_new_page {
-            let page = self.free_list.pop().ok_or(KvCacheError::OutOfPages)?;
-            self.pages[page].filled = 0;
-            self.tables.get_mut(&seq).unwrap()[layer].push(page);
-        }
-        let page_idx = *self.tables[&seq][layer].last().unwrap();
-        let slot = self.pages[page_idx].filled;
         let slot_bytes = self.config.token_slot_bytes();
         let precision = self.config.precision;
         let head_dim = self.config.head_dim;
@@ -279,8 +422,9 @@ impl PagedKvCache {
                     }
                 }
             }
-            page.filled += 1;
+            page.filled = slot + 1;
         }
+        self.layer_lens.get_mut(&seq).unwrap()[layer] += 1;
         if layer == 0 {
             *self.lens.get_mut(&seq).unwrap() += 1;
         }
@@ -305,13 +449,17 @@ impl PagedKvCache {
         assert!(head < self.config.kv_heads, "head out of range");
         let mut keys = Vec::new();
         let mut values = Vec::new();
+        // Cap at this sequence's own token count: a shared tail page may be
+        // filled further by the sequence it was forked from.
+        let mut remaining = self.layer_lens[&seq][layer];
         for &page_idx in &table[layer] {
             let page = &self.pages[page_idx];
-            for slot in 0..page.filled {
+            for slot in 0..page.filled.min(remaining) {
                 let (kq, vq) = self.read_slot_head(page, slot, head);
                 keys.push(kq);
                 values.push(vq);
             }
+            remaining -= page.filled.min(remaining);
         }
         Ok((keys, values))
     }
@@ -601,6 +749,165 @@ mod tests {
         let (k0, _) = c.read_head(s, 0, 0).unwrap();
         let (k1, _) = c.read_head(s, 0, 1).unwrap();
         assert!(k0[0].params.scale > k1[0].params.scale * 10.0);
+    }
+
+    #[test]
+    fn fork_aliases_prefix_pages_without_allocating() {
+        let mut c = PagedKvCache::new(cfg(KvPrecision::Int4), 32);
+        let (parent, child) = (SequenceId(0), SequenceId(1));
+        c.register(parent).unwrap();
+        let mut rng = TensorRng::seed(3);
+        // 10 tokens: 3 pages per layer, the last one partially filled.
+        for _ in 0..10 {
+            let k: Vec<f32> = (0..16).map(|_| rng.normal(1.0)).collect();
+            for layer in 0..2 {
+                c.append_token(parent, layer, &k, &k).unwrap();
+            }
+        }
+        let used_before = c.used_pages();
+        c.fork(parent, child, 10).unwrap();
+        assert_eq!(c.used_pages(), used_before, "fork must not allocate");
+        assert_eq!(c.seq_len(child), 10);
+        assert_eq!(c.layer_pages(child, 0), c.layer_pages(parent, 0));
+        for &p in c.layer_pages(child, 0) {
+            assert_eq!(c.page_refcount(p), 2);
+        }
+        // The forked view reads back exactly the parent's prefix.
+        let (pk, pv) = c.read_head(parent, 1, 0).unwrap();
+        let (ck, cv) = c.read_head(child, 1, 0).unwrap();
+        assert_eq!((pk, pv), (ck, cv));
+    }
+
+    #[test]
+    fn fork_partial_prefix_caps_reads() {
+        let mut c = PagedKvCache::new(cfg(KvPrecision::Int4), 32);
+        let (parent, child) = (SequenceId(0), SequenceId(1));
+        c.register(parent).unwrap();
+        let mut rng = TensorRng::seed(4);
+        for _ in 0..7 {
+            let k: Vec<f32> = (0..16).map(|_| rng.normal(1.0)).collect();
+            c.append_token(parent, 0, &k, &k).unwrap();
+        }
+        c.fork(parent, child, 5).unwrap();
+        let (pk, _) = c.read_head(parent, 0, 0).unwrap();
+        let (ck, _) = c.read_head(child, 0, 0).unwrap();
+        assert_eq!(ck.len(), 5, "child sees only its prefix");
+        assert_eq!(ck[..], pk[..5]);
+    }
+
+    #[test]
+    fn divergent_append_copies_on_write() {
+        let mut c = PagedKvCache::new(cfg(KvPrecision::Int4), 32);
+        let (parent, child) = (SequenceId(0), SequenceId(1));
+        c.register(parent).unwrap();
+        let a = vec![0.5f32; 16];
+        let b = vec![-2.0f32; 16];
+        // 6 tokens in layer 0: pages [P0 full, P1 half].
+        for _ in 0..6 {
+            c.append_token(parent, 0, &a, &a).unwrap();
+        }
+        c.fork(parent, child, 6).unwrap();
+        let shared_tail = c.layer_pages(parent, 0)[1];
+        assert_eq!(c.page_refcount(shared_tail), 2);
+        let used_before = c.used_pages();
+        // Child diverges: its 7th token must land in a private copy.
+        c.append_token(child, 0, &b, &b).unwrap();
+        assert_eq!(c.used_pages(), used_before + 1, "COW copies exactly one page");
+        let child_tail = c.layer_pages(child, 0)[1];
+        assert_ne!(child_tail, shared_tail);
+        assert_eq!(c.page_refcount(shared_tail), 1);
+        assert_eq!(c.page_refcount(child_tail), 1);
+        // Parent unchanged; child = shared prefix + its own token.
+        let (pk, _) = c.read_head(parent, 0, 0).unwrap();
+        let (ck, _) = c.read_head(child, 0, 0).unwrap();
+        assert_eq!(pk.len(), 6);
+        assert_eq!(ck.len(), 7);
+        assert_eq!(ck[..6], pk[..]);
+        assert_ne!(ck[6].codes, pk[5].codes);
+        // Parent's own appends now stay private too (refcount is back to 1).
+        c.append_token(parent, 0, &a, &a).unwrap();
+        assert_eq!(c.layer_pages(parent, 0)[1], shared_tail);
+    }
+
+    #[test]
+    fn fork_survives_parent_release() {
+        let mut c = PagedKvCache::new(cfg(KvPrecision::Int4), 16);
+        let (parent, child) = (SequenceId(0), SequenceId(1));
+        c.register(parent).unwrap();
+        let a = vec![1.0f32; 16];
+        for _ in 0..4 {
+            for layer in 0..2 {
+                c.append_token(parent, layer, &a, &a).unwrap();
+            }
+        }
+        c.fork(parent, child, 4).unwrap();
+        c.release(parent).unwrap();
+        // The shared pages survive via the child's refs.
+        assert_eq!(c.used_pages(), 2);
+        let (ck, _) = c.read_head(child, 0, 0).unwrap();
+        assert_eq!(ck.len(), 4);
+        c.release(child).unwrap();
+        assert_eq!(c.free_pages(), 16);
+    }
+
+    #[test]
+    fn fork_errors() {
+        let mut c = PagedKvCache::new(cfg(KvPrecision::Int4), 8);
+        let s = SequenceId(0);
+        c.register(s).unwrap();
+        let a = vec![1.0f32; 16];
+        c.append_token(s, 0, &a, &a).unwrap();
+        assert_eq!(
+            c.fork(SequenceId(9), SequenceId(1), 0),
+            Err(KvCacheError::UnknownSequence(SequenceId(9)))
+        );
+        assert_eq!(c.fork(s, s, 0), Err(KvCacheError::DuplicateSequence(s)));
+        assert_eq!(
+            c.fork(s, SequenceId(1), 2),
+            Err(KvCacheError::PrefixTooLong { have: 1, want: 2 })
+        );
+    }
+
+    #[test]
+    fn can_grow_accounts_for_cow_copy() {
+        // Pool of 3 pages, 1 layer. Parent fills page 0 and half of page 1;
+        // child forks the full 6 tokens. One page is free. The child *can*
+        // grow by one (COW copy into the free page), but a second sequence
+        // in the same state could not.
+        let geometry = KvCacheConfig { layers: 1, ..cfg(KvPrecision::Int4) };
+        let mut c = PagedKvCache::new(geometry, 3);
+        let (parent, child) = (SequenceId(0), SequenceId(1));
+        c.register(parent).unwrap();
+        let a = vec![1.0f32; 16];
+        for _ in 0..6 {
+            c.append_token(parent, 0, &a, &a).unwrap();
+        }
+        c.fork(parent, child, 6).unwrap();
+        assert!(c.can_grow(child, 1), "COW copy fits in the last free page");
+        assert!(!c.can_grow(child, 3), "copy + fresh page exceed the pool");
+        c.append_token(child, 0, &a, &a).unwrap();
+        assert_eq!(c.free_pages(), 0);
+        // Now that the tail is private, growth within it needs no pages.
+        assert!(c.can_grow(child, 1));
+        assert!(!c.can_grow(parent, 3), "parent would need a fresh page");
+    }
+
+    #[test]
+    fn peak_used_pages_tracks_high_water() {
+        let mut c = PagedKvCache::new(cfg(KvPrecision::Int4), 16);
+        assert_eq!(c.peak_used_pages(), 0);
+        let s = SequenceId(0);
+        c.register(s).unwrap();
+        let a = vec![1.0f32; 16];
+        for _ in 0..8 {
+            for layer in 0..2 {
+                c.append_token(s, layer, &a, &a).unwrap();
+            }
+        }
+        assert_eq!(c.peak_used_pages(), 4);
+        c.release(s).unwrap();
+        assert_eq!(c.used_pages(), 0);
+        assert_eq!(c.peak_used_pages(), 4, "high-water survives release");
     }
 
     #[test]

@@ -33,6 +33,7 @@ pub mod engine;
 pub mod kv_cache;
 pub mod memory;
 pub mod model_exec;
+pub mod prefix;
 pub mod request;
 pub mod scheduler;
 
@@ -42,7 +43,10 @@ pub use model_exec::ModelRuntime;
 pub use baselines::SystemConfig;
 pub use engine::{ServingEngine, ServingReport, Workload};
 pub use kv_cache::{PagedKvCache, SequenceId};
-pub use request::{ArrivalPattern, LengthDist, Request, RequestId, RequestState, WorkloadSpec};
+pub use prefix::PrefixIndex;
+pub use request::{
+    ArrivalPattern, LengthDist, PrefixSharing, Request, RequestId, RequestState, WorkloadSpec,
+};
 pub use scheduler::{
     Fcfs, KvBudget, MemoryAware, PageBudget, Reservation, Scheduler, SchedulingPolicy,
     ShortestJobFirst, UnboundedBudget,

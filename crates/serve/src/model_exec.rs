@@ -5,13 +5,13 @@
 
 use crate::block_exec::BlockRuntime;
 use crate::kv_cache::{KvCacheConfig, KvCacheError, PagedKvCache, SequenceId};
+use crate::prefix::PrefixIndex;
 use crate::request::{RequestId, WorkloadSpec};
-use crate::scheduler::{PageBudget, Reservation, Scheduler, SchedulingPolicy};
+use crate::scheduler::{PageBudget, Reservation, SchedOptions, Scheduler, SchedulingPolicy};
 use qserve_core::pipeline::{quantize_block, QoqConfig};
 use qserve_model::forward::collect_calibration;
 use qserve_model::synth::SyntheticModel;
 use qserve_tensor::ops::rmsnorm;
-use qserve_tensor::rng::TensorRng;
 use qserve_tensor::Matrix;
 use std::collections::HashMap;
 
@@ -154,16 +154,39 @@ pub struct ServedRequest {
 
 impl ModelRuntime {
     /// Serves a whole heterogeneous workload through the real quantized
+    /// stack with the legacy behavior (no sharing, whole-prompt prefill).
+    /// See [`ModelRuntime::serve_with`].
+    ///
+    /// # Errors
+    /// Propagates cache errors (which indicate a ledger/cache divergence —
+    /// the budget is sized to prevent them).
+    pub fn serve(
+        &mut self,
+        spec: &WorkloadSpec,
+        batch_limit: usize,
+        policy: Box<dyn SchedulingPolicy>,
+    ) -> Result<Vec<ServedRequest>, KvCacheError> {
+        self.serve_with(spec, batch_limit, policy, SchedOptions::default())
+    }
+
+    /// Serves a whole heterogeneous workload through the real quantized
     /// stack, driven by the shared [`Scheduler`] core: the policy orders
     /// admission, a page ledger mirroring this runtime's [`PagedKvCache`]
     /// geometry gates it (peak-reserving, so the cache can never run out of
     /// pages mid-flight), and every decode tick runs one true token step —
     /// W4A8 GEMMs, paged KV4 attention — for every running sequence.
     ///
+    /// With [`SchedOptions::share_prefixes`] on, admission consults a
+    /// [`PrefixIndex`] over the live sequences' prompts and *forks* the
+    /// scheduler-granted shared prefix (copy-on-write pages, stored once)
+    /// instead of recomputing it; with [`SchedOptions::chunk_tokens`] set,
+    /// prompts run through the model in chunks interleaved with decode
+    /// steps for the already-full residents.
+    ///
     /// The scheduler clock counts *model steps* (one decode tick = 1.0), so
     /// per-request `first_token_step`/`finish_step` are step indices, not
-    /// seconds. Prompts are synthesized deterministically from
-    /// `spec.seed`, making the whole serve reproducible.
+    /// seconds. Prompts are synthesized deterministically from `spec` (its
+    /// seed and sharing structure), making the whole serve reproducible.
     ///
     /// # Errors
     /// Propagates cache errors (which indicate a ledger/cache divergence —
@@ -171,25 +194,26 @@ impl ModelRuntime {
     ///
     /// # Panics
     /// Panics if a request's peak footprint exceeds the whole cache.
-    pub fn serve(
+    pub fn serve_with(
         &mut self,
         spec: &WorkloadSpec,
         batch_limit: usize,
         policy: Box<dyn SchedulingPolicy>,
+        opts: SchedOptions,
     ) -> Result<Vec<ServedRequest>, KvCacheError> {
         let requests = spec.sample();
         let vocab = self.model.config.vocab;
-        let mut prompt_rng = TensorRng::seed(spec.seed ^ 0x9E37_79B9_7F4A_7C15);
-        let prompts: HashMap<RequestId, Vec<u32>> = requests
-            .iter()
-            .map(|r| (r.id, prompt_rng.token_sequence(r.input_len, vocab)))
-            .collect();
+        let prompts = spec.synth_prompts(&requests, vocab);
 
         let cfg = *self.cache.config();
         let total_pages = self.cache.free_pages() + self.cache.used_pages();
         let mut budget =
             PageBudget::new(cfg.page_tokens, cfg.layers, total_pages, Reservation::Peak);
-        let mut sched = Scheduler::new(requests, batch_limit, policy);
+        let mut sched = Scheduler::with_options(requests, batch_limit, policy, opts);
+        let mut index = PrefixIndex::new();
+        // Prompt/recompute tokens still to run through the model, per live
+        // request (the post-fork remainder).
+        let mut pending: HashMap<RequestId, Vec<u32>> = HashMap::new();
         let mut outputs: HashMap<RequestId, Vec<u32>> = HashMap::new();
         let mut logits: HashMap<RequestId, Vec<f32>> = HashMap::new();
         let mut done: Vec<ServedRequest> = Vec::new();
@@ -197,20 +221,71 @@ impl ModelRuntime {
         while !sched.is_done() {
             let wave = sched.admit(&mut budget);
             let mut prefill_steps = 0usize;
-            for &id in &wave.ids {
-                self.cache.register(SequenceId(id.0))?;
-                // Recompute-style prefill: prompt plus any generated tokens
-                // (peak reservation means none in practice).
-                let mut tokens = prompts[&id].clone();
-                tokens.extend(outputs.get(&id).into_iter().flatten().copied());
-                prefill_steps += tokens.len();
-                let mut last = Vec::new();
-                for &t in &tokens {
-                    last = self.step(SequenceId(id.0), t)?;
+            for ((&id, &full), &shared) in
+                wave.ids.iter().zip(&wave.prefill_lens).zip(&wave.shared_lens)
+            {
+                let seq = SequenceId(id.0);
+                let prompt = &prompts[&id];
+                if shared > 0 {
+                    // The prefix layer: a live donor holding at least the
+                    // granted prefix, found by longest-prefix match with a
+                    // same-group fallback (the index may surface a sibling
+                    // that matches further but is not yet fully cached).
+                    let donor = index
+                        .longest_shared_prefix(prompt)
+                        .filter(|&(d, lcp)| lcp >= shared && self.cache.seq_len(d) >= shared)
+                        .map(|(d, _)| d)
+                        .or_else(|| {
+                            sched.running().iter().map(|r| SequenceId(r.id.0)).find(|&d| {
+                                self.cache.seq_len(d) >= shared
+                                    && prompts
+                                        .get(&RequestId(d.0))
+                                        .is_some_and(|p| p.len() >= shared && p[..shared] == prompt[..shared])
+                            })
+                        })
+                        .expect("scheduler granted a prefix no live sequence can donate");
+                    self.cache.fork(donor, seq, shared)?;
+                } else {
+                    self.cache.register(seq)?;
                 }
-                logits.insert(id, last);
+                index.insert(seq, prompt.clone());
+                // Recompute-style remainder: un-aliased prompt plus any
+                // generated tokens (peak reservation means none in practice).
+                let mut feed: Vec<u32> = prompt[shared..].to_vec();
+                feed.extend(outputs.get(&id).into_iter().flatten().copied());
+                debug_assert_eq!(shared + feed.len(), full);
+                if opts.chunk_tokens.is_none() {
+                    // Whole remainder runs right here, member by member — so
+                    // a same-wave sibling's prefix is cached before the next
+                    // member's fork (the cascade the scheduler's grants
+                    // assume).
+                    let mut last = Vec::new();
+                    for &t in &feed {
+                        last = self.step(seq, t)?;
+                    }
+                    prefill_steps += feed.len();
+                    logits.insert(id, last);
+                    feed.clear();
+                }
+                pending.insert(id, feed);
             }
-            if !wave.ids.is_empty() {
+            // Chunked work is metered by the scheduler and interleaved with
+            // decode steps for the already-full residents.
+            if let Some(c) = opts.chunk_tokens {
+                for (id, n, _past) in sched.prefill_chunks(c) {
+                    let seq = SequenceId(id.0);
+                    let feed = pending.get_mut(&id).expect("chunk for a live request");
+                    let mut last = Vec::new();
+                    for t in feed.drain(..n) {
+                        last = self.step(seq, t)?;
+                    }
+                    prefill_steps += n;
+                    if feed.is_empty() {
+                        logits.insert(id, last);
+                    }
+                }
+            }
+            if prefill_steps > 0 {
                 sched.charge_prefill(prefill_steps as f64);
             }
             if sched.running().is_empty() {
@@ -222,11 +297,18 @@ impl ModelRuntime {
             // be released from the real cache here.
             let preempted = sched.make_room(&mut budget);
             assert!(preempted.is_empty(), "peak-reserving budget cannot preempt");
-            // One real decode step per running sequence: sample greedily
+            // One real decode step per decodable sequence: sample greedily
             // from the last logits, then advance the model (skipping the
             // forward pass for sequences that just finished).
-            let step_requests: Vec<(RequestId, usize)> =
-                sched.running().iter().map(|r| (r.id, r.remaining())).collect();
+            let step_requests: Vec<(RequestId, usize)> = sched
+                .running()
+                .iter()
+                .filter(|r| r.prefill_remaining() == 0)
+                .map(|r| (r.id, r.remaining()))
+                .collect();
+            if step_requests.is_empty() {
+                continue; // every resident is still chunk-prefilling
+            }
             for (id, remaining) in step_requests {
                 let next = argmax(&logits[&id]) as u32;
                 outputs.entry(id).or_default().push(next);
@@ -237,7 +319,9 @@ impl ModelRuntime {
             }
             for id in sched.decode_step(1.0, &mut budget) {
                 self.finish_sequence(SequenceId(id.0))?;
+                index.remove(SequenceId(id.0));
                 logits.remove(&id);
+                pending.remove(&id);
             }
         }
 
@@ -350,6 +434,7 @@ mod tests {
             input: crate::request::LengthDist::Uniform { lo: 2, hi: 6 },
             output: crate::request::LengthDist::Uniform { lo: 2, hi: 5 },
             arrival: crate::request::ArrivalPattern::Batch,
+            sharing: crate::request::PrefixSharing::None,
             seed,
         }
     }
@@ -373,6 +458,141 @@ mod tests {
         }
         // Every page returned after the workload drains.
         assert_eq!(rt.cache().used_pages(), 0);
+    }
+
+    fn shared_spec(n: usize, seed: u64) -> crate::request::WorkloadSpec {
+        crate::request::WorkloadSpec {
+            num_requests: n,
+            // Page size is 16: a 40-token prefix = 2 full shared pages + a
+            // COW boundary page per fork.
+            input: crate::request::LengthDist::Uniform { lo: 3, hi: 6 },
+            output: crate::request::LengthDist::Uniform { lo: 2, hi: 4 },
+            arrival: crate::request::ArrivalPattern::Batch,
+            sharing: crate::request::PrefixSharing::Groups { groups: 2, prefix_len: 40 },
+            seed,
+        }
+    }
+
+    #[test]
+    fn forked_serve_tokens_identical_to_private_serve() {
+        // The whole point of COW sharing: byte-identical results, fewer
+        // unique pages. Sharing ON must reproduce sharing OFF token for
+        // token (the forked reads hit the same quantized bytes), with a
+        // strictly lower unique-page high-water mark and TTFT no worse.
+        use crate::scheduler::Fcfs;
+        let spec = shared_spec(6, 33);
+        let (_, mut private_rt) = deploy_small();
+        let private = private_rt.serve(&spec, 3, Box::new(Fcfs)).unwrap();
+        let private_peak = private_rt.cache().peak_used_pages();
+        let (_, mut shared_rt) = deploy_small();
+        let shared = shared_rt
+            .serve_with(
+                &spec,
+                3,
+                Box::new(Fcfs),
+                SchedOptions { share_prefixes: true, chunk_tokens: None },
+            )
+            .unwrap();
+        let shared_peak = shared_rt.cache().peak_used_pages();
+        assert_eq!(shared.len(), 6);
+        for (s, p) in shared.iter().zip(&private) {
+            assert_eq!(s.id, p.id);
+            assert_eq!(s.prompt, p.prompt);
+            assert_eq!(s.output, p.output, "fork changed request {:?}'s tokens", s.id);
+            assert!(
+                s.first_token_step <= p.first_token_step,
+                "sharing must not delay first tokens: {} vs {} for {:?}",
+                s.first_token_step,
+                p.first_token_step,
+                s.id
+            );
+        }
+        assert!(
+            shared_peak < private_peak,
+            "sharing must lower the unique-page high-water: {} vs {}",
+            shared_peak,
+            private_peak
+        );
+        // Every page returned either way.
+        assert_eq!(shared_rt.cache().used_pages(), 0);
+        assert_eq!(private_rt.cache().used_pages(), 0);
+    }
+
+    #[test]
+    fn forked_serve_matches_solo_generation() {
+        // Beyond matching the unshared batch: each forked request must equal
+        // a solo greedy run of its full prompt on a fresh deployment.
+        use crate::scheduler::Fcfs;
+        let spec = shared_spec(4, 51);
+        let (_, mut rt) = deploy_small();
+        let served = rt
+            .serve_with(
+                &spec,
+                2,
+                Box::new(Fcfs),
+                SchedOptions { share_prefixes: true, chunk_tokens: None },
+            )
+            .unwrap();
+        for r in &served {
+            let (_, mut solo) = deploy_small();
+            let s = solo.start_sequence().unwrap();
+            let expect = solo.generate_greedy(s, &r.prompt, r.output.len()).unwrap();
+            assert_eq!(r.output, expect, "request {:?} diverged under forking", r.id);
+        }
+    }
+
+    #[test]
+    fn chunked_serve_tokens_identical_to_whole_prompt() {
+        use crate::scheduler::Fcfs;
+        let spec = tiny_spec(5, 13);
+        let (_, mut whole_rt) = deploy_small();
+        let whole = whole_rt.serve(&spec, 2, Box::new(Fcfs)).unwrap();
+        for chunk in [1usize, 3] {
+            let (_, mut chunked_rt) = deploy_small();
+            let chunked = chunked_rt
+                .serve_with(
+                    &spec,
+                    2,
+                    Box::new(Fcfs),
+                    SchedOptions { share_prefixes: false, chunk_tokens: Some(chunk) },
+                )
+                .unwrap();
+            assert_eq!(chunked.len(), whole.len());
+            for (c, w) in chunked.iter().zip(&whole) {
+                assert_eq!(c.id, w.id);
+                assert_eq!(c.output, w.output, "chunk {} changed tokens", chunk);
+            }
+            assert_eq!(chunked_rt.cache().used_pages(), 0);
+        }
+    }
+
+    #[test]
+    fn multi_turn_serve_with_sharing_completes_consistently() {
+        use crate::scheduler::Fcfs;
+        let spec = crate::request::WorkloadSpec {
+            num_requests: 6,
+            input: crate::request::LengthDist::Uniform { lo: 2, hi: 5 },
+            output: crate::request::LengthDist::Uniform { lo: 2, hi: 3 },
+            arrival: crate::request::ArrivalPattern::Batch,
+            sharing: crate::request::PrefixSharing::MultiTurn { conversations: 2, turns: 3 },
+            seed: 27,
+        };
+        let (_, mut private_rt) = deploy_small();
+        let private = private_rt.serve(&spec, 3, Box::new(Fcfs)).unwrap();
+        let (_, mut shared_rt) = deploy_small();
+        let shared = shared_rt
+            .serve_with(
+                &spec,
+                3,
+                Box::new(Fcfs),
+                SchedOptions { share_prefixes: true, chunk_tokens: None },
+            )
+            .unwrap();
+        assert_eq!(shared.len(), 6);
+        for (s, p) in shared.iter().zip(&private) {
+            assert_eq!(s.output, p.output, "sharing changed {:?}", s.id);
+        }
+        assert_eq!(shared_rt.cache().used_pages(), 0);
     }
 
     #[test]

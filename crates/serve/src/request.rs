@@ -47,12 +47,27 @@ pub struct Request {
     pub output_len: usize,
     /// When the request becomes available to the scheduler, seconds.
     pub arrival_s: f64,
+    /// Prefix-sharing group this request belongs to (`None` = no sharing):
+    /// requests of one group open with the same `prefix_len`-token prompt
+    /// prefix, so a resident group member's KV pages can be forked instead
+    /// of recomputed.
+    pub prefix_group: Option<u64>,
+    /// Leading prompt tokens shared with the rest of the group (≤
+    /// `input_len`; 0 when `prefix_group` is `None`).
+    pub prefix_len: usize,
     /// Lifecycle state.
     pub state: RequestState,
     /// Tokens currently resident in the KV cache (0 unless running).
     pub seq_len: usize,
     /// Output tokens generated so far (survives preemption).
     pub generated: usize,
+    /// Prompt/recompute tokens materialized this residency: aliased via
+    /// prefix fork or computed by (possibly chunked) prefill. Decode starts
+    /// once this reaches [`Request::prefill_len`].
+    pub prefilled: usize,
+    /// Tokens of this residency's prefill that were aliased from a resident
+    /// group member's pages instead of computed.
+    pub shared_len: usize,
     /// Clock at which the first output token completed (TTFT marker).
     pub first_token_s: Option<f64>,
     /// Clock at which the last output token completed.
@@ -71,13 +86,31 @@ impl Request {
             input_len,
             output_len,
             arrival_s,
+            prefix_group: None,
+            prefix_len: 0,
             state: RequestState::Queued,
             seq_len: 0,
             generated: 0,
+            prefilled: 0,
+            shared_len: 0,
             first_token_s: None,
             finish_s: None,
             preemptions: 0,
         }
+    }
+
+    /// Tags the request as opening with `prefix_len` tokens shared across
+    /// `group` (builder-style).
+    ///
+    /// # Panics
+    /// Panics if the prefix exceeds the prompt, or leaves no private suffix
+    /// (a request must contribute at least one token of its own so the last
+    /// prompt position always produces fresh logits).
+    pub fn with_prefix(mut self, group: u64, prefix_len: usize) -> Self {
+        assert!(prefix_len < self.input_len, "prefix must leave a private suffix");
+        self.prefix_group = Some(group);
+        self.prefix_len = prefix_len;
+        self
     }
 
     /// Peak KV footprint in tokens (prompt + full output).
@@ -94,6 +127,11 @@ impl Request {
     /// generated tokens that must be recomputed after a preemption.
     pub fn prefill_len(&self) -> usize {
         self.input_len + self.generated
+    }
+
+    /// Prefill tokens still to materialize this residency (0 once decoding).
+    pub fn prefill_remaining(&self) -> usize {
+        self.prefill_len() - self.prefilled
     }
 
     /// End-to-end latency (arrival → last token), once finished.
@@ -174,8 +212,35 @@ pub enum ArrivalPattern {
     },
 }
 
+/// How prompts overlap across the workload's requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrefixSharing {
+    /// Every prompt is independent (the classic benchmark assumption).
+    None,
+    /// Multi-tenant traffic: `groups` tenants, each with its own
+    /// `prefix_len`-token system prompt that every request of the group
+    /// opens with before its private suffix (drawn from the input
+    /// distribution).
+    Groups {
+        /// Distinct shared system prompts.
+        groups: usize,
+        /// Tokens of each group's common prefix.
+        prefix_len: usize,
+    },
+    /// Conversations of `turns` turns each: turn `t`'s prompt is the whole
+    /// conversation so far plus a fresh user turn (drawn from the input
+    /// distribution), so consecutive turns share an ever-growing prefix.
+    MultiTurn {
+        /// Concurrent conversations.
+        conversations: usize,
+        /// Turns per conversation.
+        turns: usize,
+    },
+}
+
 /// A seeded heterogeneous workload: length distributions plus an arrival
-/// pattern. Sampling is deterministic in `seed`.
+/// pattern and a prompt-sharing structure. Sampling is deterministic in
+/// `seed`.
 ///
 /// # Example
 /// ```
@@ -188,12 +253,15 @@ pub enum ArrivalPattern {
 pub struct WorkloadSpec {
     /// Requests to generate.
     pub num_requests: usize,
-    /// Prompt-length distribution.
+    /// Prompt-length distribution (the *private suffix* length when
+    /// `sharing` is not [`PrefixSharing::None`]).
     pub input: LengthDist,
     /// Output-length distribution.
     pub output: LengthDist,
     /// Arrival pattern.
     pub arrival: ArrivalPattern,
+    /// Prompt-sharing structure.
+    pub sharing: PrefixSharing,
     /// RNG seed for length/arrival sampling.
     pub seed: u64,
 }
@@ -211,6 +279,7 @@ impl WorkloadSpec {
             input: LengthDist::Fixed(input_len),
             output: LengthDist::Fixed(output_len),
             arrival: ArrivalPattern::Batch,
+            sharing: PrefixSharing::None,
             seed: 0,
         }
     }
@@ -222,6 +291,7 @@ impl WorkloadSpec {
             input: LengthDist::Uniform { lo: 64, hi: 512 },
             output: LengthDist::Uniform { lo: 32, hi: 256 },
             arrival: ArrivalPattern::Batch,
+            sharing: PrefixSharing::None,
             seed,
         }
     }
@@ -242,8 +312,61 @@ impl WorkloadSpec {
                 long_weight: 0.2,
             },
             arrival: ArrivalPattern::Batch,
+            sharing: PrefixSharing::None,
             seed,
         }
+    }
+
+    /// Multi-tenant traffic: `groups` tenants, each with a
+    /// `prefix_len`-token system prompt, chat-sized private suffixes and
+    /// completions — the workload where prefix reuse pays.
+    pub fn shared_prefix(
+        groups: usize,
+        prefix_len: usize,
+        num_requests: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(groups > 0 && prefix_len > 0, "degenerate sharing spec");
+        Self {
+            num_requests,
+            input: LengthDist::Uniform { lo: 32, hi: 128 },
+            output: LengthDist::Uniform { lo: 32, hi: 128 },
+            arrival: ArrivalPattern::Batch,
+            sharing: PrefixSharing::Groups { groups, prefix_len },
+            seed,
+        }
+    }
+
+    /// Multi-turn conversations: each of `conversations` runs `turns`
+    /// turns whose prompts accumulate the whole history, so consecutive
+    /// turns share an ever-growing prefix.
+    pub fn multi_turn(conversations: usize, turns: usize, seed: u64) -> Self {
+        assert!(conversations > 0 && turns > 0, "degenerate conversation spec");
+        Self {
+            num_requests: conversations * turns,
+            input: LengthDist::Uniform { lo: 16, hi: 96 },
+            output: LengthDist::Uniform { lo: 16, hi: 96 },
+            arrival: ArrivalPattern::Batch,
+            sharing: PrefixSharing::MultiTurn { conversations, turns },
+            seed,
+        }
+    }
+
+    /// Replaces the sharing structure (builder-style).
+    ///
+    /// # Panics
+    /// Panics if a [`PrefixSharing::MultiTurn`] grid disagrees with
+    /// `num_requests`.
+    pub fn with_sharing(mut self, sharing: PrefixSharing) -> Self {
+        if let PrefixSharing::MultiTurn { conversations, turns } = sharing {
+            assert_eq!(
+                conversations * turns,
+                self.num_requests,
+                "conversations × turns must equal num_requests"
+            );
+        }
+        self.sharing = sharing;
+        self
     }
 
     /// Replaces the arrival pattern (builder-style).
@@ -252,33 +375,80 @@ impl WorkloadSpec {
         self
     }
 
+    /// Largest total prompt length (shared prefix + private suffix, plus the
+    /// longest accumulated history for multi-turn conversations).
+    fn max_input_len(&self) -> usize {
+        let suffix_hi = self.input.bounds().1;
+        match self.sharing {
+            PrefixSharing::None => suffix_hi,
+            PrefixSharing::Groups { prefix_len, .. } => prefix_len + suffix_hi,
+            PrefixSharing::MultiTurn { turns, .. } => {
+                (turns - 1) * (suffix_hi + self.output.bounds().1) + suffix_hi
+            }
+        }
+    }
+
     /// Largest peak KV footprint (tokens) any sampled request can have —
     /// what conservative admission must size batches against.
     pub fn max_peak_len(&self) -> usize {
-        self.input.bounds().1 + self.output.bounds().1
+        self.max_input_len() + self.output.bounds().1
     }
 
     /// Smallest peak KV footprint any sampled request can have — the
     /// optimistic bound aggressive admission sizes concurrency against.
+    /// Group sharing prepends its fixed prefix to every prompt; a
+    /// conversation's first turn has no history, so multi-turn keeps the
+    /// bare bound.
     pub fn min_peak_len(&self) -> usize {
-        self.input.bounds().0 + self.output.bounds().0
+        let base = self.input.bounds().0 + self.output.bounds().0;
+        match self.sharing {
+            PrefixSharing::Groups { prefix_len, .. } => prefix_len + base,
+            _ => base,
+        }
     }
 
     /// Samples the workload: `num_requests` requests with ids `0..n`, lengths
-    /// drawn from the distributions and arrival times from the pattern.
-    /// Deterministic in `seed`.
+    /// drawn from the distributions, arrival times from the pattern and
+    /// prefix groups from the sharing structure. Deterministic in `seed`.
     pub fn sample(&self) -> Vec<Request> {
         if let ArrivalPattern::Uniform { rate_rps } | ArrivalPattern::Poisson { rate_rps } =
             self.arrival
         {
             assert!(rate_rps > 0.0, "arrival rate must be positive");
         }
+        if let PrefixSharing::MultiTurn { conversations, turns } = self.sharing {
+            assert_eq!(
+                conversations * turns,
+                self.num_requests,
+                "conversations × turns must equal num_requests"
+            );
+        }
         let mut rng = TensorRng::seed(self.seed);
         let mut clock = 0.0f64;
+        // Accumulated (prompt + output) history per conversation.
+        let mut history: Vec<usize> = match self.sharing {
+            PrefixSharing::MultiTurn { conversations, .. } => vec![0; conversations],
+            _ => Vec::new(),
+        };
         (0..self.num_requests)
             .map(|i| {
-                let input = self.input.sample(&mut rng);
+                let suffix = self.input.sample(&mut rng);
                 let output = self.output.sample(&mut rng);
+                let sharing = match self.sharing {
+                    PrefixSharing::None => None,
+                    PrefixSharing::Groups { groups, prefix_len } => {
+                        let g = rng.int_in(0, groups as i64 - 1) as u64;
+                        Some((g, prefix_len, prefix_len + suffix))
+                    }
+                    PrefixSharing::MultiTurn { conversations, .. } => {
+                        // Turn-major ids: conversation c's turns are requests
+                        // c, c+conversations, … so turns arrive in order.
+                        let c = i % conversations;
+                        let prefix = history[c];
+                        history[c] += suffix + output;
+                        Some((c as u64, prefix, prefix + suffix))
+                    }
+                };
                 let arrival = match self.arrival {
                     ArrivalPattern::Batch => 0.0,
                     ArrivalPattern::Uniform { rate_rps } => i as f64 / rate_rps,
@@ -290,7 +460,73 @@ impl WorkloadSpec {
                         clock
                     }
                 };
-                Request::new(RequestId(i as u64), input, output, arrival)
+                match sharing {
+                    None => Request::new(RequestId(i as u64), suffix, output, arrival),
+                    Some((group, prefix, total_input)) => {
+                        Request::new(RequestId(i as u64), total_input, output, arrival)
+                            .with_prefix(group, prefix)
+                    }
+                }
+            })
+            .collect()
+    }
+
+    /// Synthesizes a deterministic prompt per request over a `vocab`-token
+    /// vocabulary, honoring the sharing structure: requests of one group
+    /// open with identical prefix tokens, and a conversation's turns are
+    /// literal prefixes of the next turn's prompt — so the functional
+    /// serving path's prefix index finds real, byte-equal overlaps.
+    pub fn synth_prompts(
+        &self,
+        requests: &[Request],
+        vocab: usize,
+    ) -> std::collections::HashMap<RequestId, Vec<u32>> {
+        let sub_seed = |salt: u64, idx: u64| -> u64 {
+            (self.seed ^ salt)
+                .wrapping_add(idx.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                .rotate_left(17)
+                .wrapping_mul(0xBF58_476D_1CE4_E5B9)
+        };
+        // One shared token stream per group/conversation, long enough for
+        // the longest prompt that draws on it.
+        let mut stream_len: std::collections::HashMap<u64, usize> =
+            std::collections::HashMap::new();
+        for r in requests {
+            if let Some(g) = r.prefix_group {
+                let need = match self.sharing {
+                    // Group prefixes are fixed-length; suffixes are private.
+                    PrefixSharing::Groups { prefix_len, .. } => prefix_len,
+                    // Conversation streams carry whole prompts.
+                    _ => r.input_len,
+                };
+                let e = stream_len.entry(g).or_insert(0);
+                *e = (*e).max(need);
+            }
+        }
+        let streams: std::collections::HashMap<u64, Vec<u32>> = stream_len
+            .into_iter()
+            .map(|(g, len)| {
+                (g, TensorRng::seed(sub_seed(0x5052_4546, g)).token_sequence(len, vocab))
+            })
+            .collect();
+        requests
+            .iter()
+            .map(|r| {
+                let private = |len: usize| {
+                    TensorRng::seed(sub_seed(0x5355_4646, r.id.0)).token_sequence(len, vocab)
+                };
+                let prompt = match (r.prefix_group, self.sharing) {
+                    (Some(g), PrefixSharing::Groups { prefix_len, .. }) => {
+                        let mut p = streams[&g][..prefix_len].to_vec();
+                        p.extend(private(r.input_len - prefix_len));
+                        p
+                    }
+                    (Some(g), PrefixSharing::MultiTurn { .. }) => {
+                        streams[&g][..r.input_len].to_vec()
+                    }
+                    _ => private(r.input_len),
+                };
+                (r.id, prompt)
             })
             .collect()
     }
@@ -344,6 +580,91 @@ mod tests {
         let reqs = WorkloadSpec::mixed(200, 5).sample();
         assert!(reqs.iter().any(|r| r.input_len <= 512), "short mode unused");
         assert!(reqs.iter().any(|r| r.input_len >= 2048), "long mode unused");
+    }
+
+    #[test]
+    fn shared_prefix_workload_structure() {
+        let spec = WorkloadSpec::shared_prefix(4, 256, 64, 9);
+        let reqs = spec.sample();
+        assert_eq!(reqs.len(), 64);
+        let mut groups_seen = std::collections::HashSet::new();
+        for r in &reqs {
+            let g = r.prefix_group.expect("every request belongs to a group");
+            assert!(g < 4);
+            groups_seen.insert(g);
+            assert_eq!(r.prefix_len, 256);
+            assert!(r.input_len > 256, "prefix + private suffix");
+            assert!(r.input_len <= 256 + 128);
+        }
+        assert!(groups_seen.len() > 1, "more than one tenant must appear");
+        assert_eq!(spec.max_peak_len(), 256 + 128 + 128);
+        // Same seed replays identically.
+        assert_eq!(spec.sample(), reqs);
+    }
+
+    #[test]
+    fn multi_turn_prefixes_accumulate_history() {
+        let spec = WorkloadSpec::multi_turn(3, 4, 11);
+        let reqs = spec.sample();
+        assert_eq!(reqs.len(), 12);
+        for c in 0..3usize {
+            let turns: Vec<&Request> =
+                (0..4).map(|t| &reqs[t * 3 + c]).collect();
+            assert_eq!(turns[0].prefix_len, 0, "first turn has no history");
+            for w in turns.windows(2) {
+                let (prev, next) = (w[0], w[1]);
+                assert_eq!(prev.prefix_group, next.prefix_group);
+                assert_eq!(
+                    next.prefix_len,
+                    prev.input_len + prev.output_len,
+                    "turn history = whole previous context"
+                );
+                assert!(next.input_len > next.prefix_len);
+            }
+        }
+    }
+
+    #[test]
+    fn synth_prompts_share_real_token_prefixes() {
+        let spec = WorkloadSpec::shared_prefix(2, 32, 12, 5);
+        let reqs = spec.sample();
+        let prompts = spec.synth_prompts(&reqs, 1000);
+        for a in &reqs {
+            for b in &reqs {
+                let (pa, pb) = (&prompts[&a.id], &prompts[&b.id]);
+                if a.id != b.id && a.prefix_group == b.prefix_group {
+                    assert_eq!(pa[..32], pb[..32], "group prefix must be byte-equal");
+                    assert_ne!(pa[32..], pb[32..], "suffixes are private");
+                }
+            }
+            assert_eq!(prompts[&a.id].len(), a.input_len);
+        }
+        // Distinct groups get distinct prefixes.
+        let (a, b) = (
+            reqs.iter().find(|r| r.prefix_group == Some(0)).unwrap(),
+            reqs.iter().find(|r| r.prefix_group == Some(1)).unwrap(),
+        );
+        assert_ne!(prompts[&a.id][..32], prompts[&b.id][..32]);
+    }
+
+    #[test]
+    fn synth_prompts_multi_turn_literal_prefixes() {
+        let spec = WorkloadSpec::multi_turn(2, 3, 7);
+        let reqs = spec.sample();
+        let prompts = spec.synth_prompts(&reqs, 500);
+        for c in 0..2usize {
+            for t in 0..2usize {
+                let prev = &prompts[&reqs[t * 2 + c].id];
+                let next = &prompts[&reqs[(t + 1) * 2 + c].id];
+                assert_eq!(
+                    *prev,
+                    next[..prev.len()],
+                    "turn {} prompt must be a literal prefix of turn {}",
+                    t,
+                    t + 1
+                );
+            }
+        }
     }
 
     #[test]

@@ -41,12 +41,36 @@ pub trait KvBudget {
     /// `false` to refuse admission.
     fn admit(&mut self, id: RequestId, start_tokens: usize, peak_tokens: usize) -> bool;
 
+    /// Like [`KvBudget::admit`], but the first `shared_tokens` of the
+    /// request's prompt belong to prefix-sharing group `group`: a budget
+    /// that models page sharing charges those pages once per *group* (fully
+    /// covered pages only — the partial boundary page is private, mirroring
+    /// the copy-on-write duplicate in [`crate::PagedKvCache`]). The default
+    /// ignores sharing and reserves the full footprint.
+    fn admit_shared(
+        &mut self,
+        id: RequestId,
+        group: Option<u64>,
+        shared_tokens: usize,
+        start_tokens: usize,
+        peak_tokens: usize,
+    ) -> bool {
+        let _ = (group, shared_tokens);
+        self.admit(id, start_tokens, peak_tokens)
+    }
+
     /// Accounts one more cached token for `id`; `false` means the pool is
     /// exhausted and someone must be preempted.
     fn grow(&mut self, id: RequestId) -> bool;
 
     /// Returns everything `id` holds to the pool.
     fn release(&mut self, id: RequestId);
+
+    /// High-water mark of unique pages in use (0 for budgets that do not
+    /// track pages) — the true-residency number `prefix_sweep` reports.
+    fn peak_pages(&self) -> usize {
+        0
+    }
 }
 
 /// No memory gating: admission is limited by the batch limit alone. This is
@@ -83,22 +107,35 @@ pub enum Reservation {
 
 #[derive(Debug, Clone, Copy)]
 struct PageEntry {
+    /// Tokens in the entry's *private* region (beyond any shared pool pages).
     tokens: usize,
     reserved_per_layer: usize,
+    /// Prefix-sharing pool this entry holds a reference on.
+    group: Option<u64>,
+}
+
+/// One prefix-sharing group's pooled pages: charged once, refcounted by the
+/// resident group members — the ledger twin of the cache's page refcounts.
+#[derive(Debug, Clone, Copy)]
+struct SharedPool {
+    pages_per_layer: usize,
+    refs: usize,
 }
 
 /// A page ledger mirroring [`crate::PagedKvCache`]'s allocation arithmetic
-/// (fixed pool of fixed-size pages, one page table per layer) without
-/// storing bytes — the memory model the scheduler admits and preempts
-/// against.
+/// (fixed pool of fixed-size pages, one page table per layer, refcounted
+/// prefix sharing) without storing bytes — the memory model the scheduler
+/// admits and preempts against.
 #[derive(Debug, Clone)]
 pub struct PageBudget {
     page_tokens: usize,
     layers: usize,
     total_pages: usize,
     free_pages: usize,
+    peak_used: usize,
     mode: Reservation,
     entries: std::collections::HashMap<RequestId, PageEntry>,
+    pools: std::collections::HashMap<u64, SharedPool>,
 }
 
 impl PageBudget {
@@ -111,8 +148,10 @@ impl PageBudget {
             layers,
             total_pages,
             free_pages: total_pages,
+            peak_used: 0,
             mode,
             entries: std::collections::HashMap::new(),
+            pools: std::collections::HashMap::new(),
         }
     }
 
@@ -130,6 +169,11 @@ impl PageBudget {
     fn pages_for(&self, tokens: usize) -> usize {
         tokens.div_ceil(self.page_tokens)
     }
+
+    fn take(&mut self, pages: usize) {
+        self.free_pages -= pages;
+        self.peak_used = self.peak_used.max(self.total_pages - self.free_pages);
+    }
 }
 
 impl KvBudget for PageBudget {
@@ -138,19 +182,56 @@ impl KvBudget for PageBudget {
     }
 
     fn admit(&mut self, id: RequestId, start_tokens: usize, peak_tokens: usize) -> bool {
+        self.admit_shared(id, None, 0, start_tokens, peak_tokens)
+    }
+
+    fn admit_shared(
+        &mut self,
+        id: RequestId,
+        group: Option<u64>,
+        shared_tokens: usize,
+        start_tokens: usize,
+        peak_tokens: usize,
+    ) -> bool {
+        // Only fully covered prefix pages are shared; the partial boundary
+        // page is private (the cache would copy-on-write it anyway).
+        let group = group.filter(|_| shared_tokens >= self.page_tokens);
+        let (pool_need, covered_tokens) = match group {
+            None => (0, 0),
+            Some(g) => {
+                let own_pages = shared_tokens / self.page_tokens;
+                match self.pools.get(&g) {
+                    // Joining an existing pool costs nothing; alias at most
+                    // what the pool actually holds.
+                    Some(pool) => (0, own_pages.min(pool.pages_per_layer) * self.page_tokens),
+                    None => (own_pages * self.layers, own_pages * self.page_tokens),
+                }
+            }
+        };
         let reserve_tokens = match self.mode {
             Reservation::Peak => peak_tokens,
             Reservation::OnDemand => start_tokens,
         };
-        let per_layer = self.pages_for(reserve_tokens);
-        let need = per_layer * self.layers;
+        let per_layer = self.pages_for(reserve_tokens.saturating_sub(covered_tokens));
+        let need = per_layer * self.layers + pool_need;
         if need > self.free_pages {
             return false;
         }
-        self.free_pages -= need;
+        self.take(need);
+        if let Some(g) = group {
+            let pool = self.pools.entry(g).or_insert(SharedPool {
+                pages_per_layer: covered_tokens / self.page_tokens,
+                refs: 0,
+            });
+            pool.refs += 1;
+        }
         let prev = self.entries.insert(
             id,
-            PageEntry { tokens: start_tokens, reserved_per_layer: per_layer },
+            PageEntry {
+                tokens: start_tokens - covered_tokens,
+                reserved_per_layer: per_layer,
+                group,
+            },
         );
         assert!(prev.is_none(), "request {:?} admitted twice", id);
         true
@@ -170,16 +251,28 @@ impl KvBudget for PageBudget {
             entry.tokens -= 1;
             return false;
         }
-        self.free_pages -= need;
-        entry.reserved_per_layer = need_per_layer;
+        self.entries.get_mut(&id).unwrap().reserved_per_layer = need_per_layer;
+        self.take(need);
         true
     }
 
     fn release(&mut self, id: RequestId) {
         if let Some(entry) = self.entries.remove(&id) {
             self.free_pages += entry.reserved_per_layer * self.layers;
+            if let Some(g) = entry.group {
+                let pool = self.pools.get_mut(&g).expect("entry references a dead pool");
+                pool.refs -= 1;
+                if pool.refs == 0 {
+                    self.free_pages += pool.pages_per_layer * self.layers;
+                    self.pools.remove(&g);
+                }
+            }
             debug_assert!(self.free_pages <= self.total_pages, "page ledger over-released");
         }
+    }
+
+    fn peak_pages(&self) -> usize {
+        self.peak_used
     }
 }
 
@@ -283,8 +376,25 @@ impl SchedulingPolicy for MemoryAware {
 pub struct AdmittedWave {
     /// Admitted request ids, in admission order.
     pub ids: Vec<RequestId>,
-    /// Matching prefill token counts.
+    /// Matching prefill token counts (the *full* target, shared included).
     pub prefill_lens: Vec<usize>,
+    /// Tokens of each prefill aliased from a resident group member's prefix
+    /// pages — already cached, so the driver must not charge compute for
+    /// them (all zeros unless sharing is enabled).
+    pub shared_lens: Vec<usize>,
+}
+
+/// Knobs for the prefix-sharing and chunked-prefill extensions. The default
+/// (`sharing off, chunking off`) reproduces the legacy scheduler
+/// tick-for-tick, which is what keeps the paper protocol CSVs byte-stable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SchedOptions {
+    /// Alias resident same-group prefixes at admission instead of
+    /// recomputing them ([`crate::request::PrefixSharing`] workloads).
+    pub share_prefixes: bool,
+    /// Split prompts into chunks of at most this many tokens, interleaved
+    /// with decode steps (`None` = whole-prompt prefill at admission).
+    pub chunk_tokens: Option<usize>,
 }
 
 /// Aggregate timing statistics over the finished requests.
@@ -316,12 +426,20 @@ pub struct SchedulerStats {
     pub preemptions: usize,
 }
 
-/// Nearest-rank percentile of an ascending-sorted slice (`q` in `(0, 1]`).
+/// Nearest-rank percentile of an ascending-sorted slice (`q` in `(0, 1]`):
+/// the smallest element with at least a `q` fraction of the sample at or
+/// below it. Well-defined for every sample size — a single-element slice
+/// returns that element for every `q` (so p50/p95/p99 of a one-request run
+/// all equal its latency), and `q = 1` returns the maximum; no index
+/// arithmetic at the array edge.
 pub fn percentile(sorted: &[f64], q: f64) -> f64 {
     assert!(!sorted.is_empty(), "percentile of empty sample");
     assert!(q > 0.0 && q <= 1.0, "q must be in (0, 1]");
     let rank = (q * sorted.len() as f64).ceil() as usize;
-    sorted[rank.clamp(1, sorted.len()) - 1]
+    // `q > 0` makes rank ≥ 1 and `q ≤ 1` makes rank ≤ len, but float
+    // rounding could break either bound; saturate instead of trusting it.
+    let idx = rank.saturating_sub(1).min(sorted.len() - 1);
+    sorted[idx]
 }
 
 /// The continuous-batching lifecycle state machine. See the module docs for
@@ -329,6 +447,7 @@ pub fn percentile(sorted: &[f64], q: f64) -> f64 {
 pub struct Scheduler {
     policy: Box<dyn SchedulingPolicy>,
     batch_limit: usize,
+    opts: SchedOptions,
     /// Not-yet-running requests (queued + preempted), sorted by
     /// `(arrival_s, id)` so the arrived prefix is FCFS-ordered.
     pending: Vec<Request>,
@@ -342,23 +461,41 @@ pub struct Scheduler {
 }
 
 impl Scheduler {
-    /// Builds a scheduler over `requests` with a fixed concurrency limit.
+    /// Builds a scheduler over `requests` with a fixed concurrency limit and
+    /// the legacy behavior (no sharing, whole-prompt prefill).
     ///
     /// # Panics
     /// Panics if `batch_limit` is zero or `requests` is empty.
     pub fn new(
-        mut requests: Vec<Request>,
+        requests: Vec<Request>,
         batch_limit: usize,
         policy: Box<dyn SchedulingPolicy>,
     ) -> Self {
+        Self::with_options(requests, batch_limit, policy, SchedOptions::default())
+    }
+
+    /// Builds a scheduler with explicit prefix-sharing / chunked-prefill
+    /// options.
+    ///
+    /// # Panics
+    /// Panics if `batch_limit` is zero, `requests` is empty, or a chunk size
+    /// of zero tokens is requested.
+    pub fn with_options(
+        mut requests: Vec<Request>,
+        batch_limit: usize,
+        policy: Box<dyn SchedulingPolicy>,
+        opts: SchedOptions,
+    ) -> Self {
         assert!(batch_limit > 0, "batch limit must be positive");
         assert!(!requests.is_empty(), "nothing to schedule");
+        assert!(opts.chunk_tokens != Some(0), "chunk size must be positive");
         requests.sort_by(|a, b| {
             a.arrival_s.partial_cmp(&b.arrival_s).unwrap().then(a.id.cmp(&b.id))
         });
         Self {
             policy,
             batch_limit,
+            opts,
             pending: requests,
             running: Vec::new(),
             finished: Vec::new(),
@@ -387,6 +524,31 @@ impl Scheduler {
     /// Current KV length of every running sequence, in admission order.
     pub fn running_seq_lens(&self) -> Vec<usize> {
         self.running.iter().map(|r| r.seq_len).collect()
+    }
+
+    /// KV lengths of the sequences that will decode this tick — the running
+    /// requests whose (possibly chunked) prefill has completed. Without
+    /// chunking every resident qualifies, so this equals
+    /// [`Scheduler::running_seq_lens`].
+    pub fn decoding_seq_lens(&self) -> Vec<usize> {
+        self.running
+            .iter()
+            .filter(|r| r.prefill_remaining() == 0)
+            .map(|r| r.seq_len)
+            .collect()
+    }
+
+    /// Longest prefix of `candidate`'s prompt already materialized by a
+    /// resident member of its sharing group — the tokens a fork can alias
+    /// instead of recomputing.
+    fn shared_grant(&self, candidate: &Request) -> usize {
+        let Some(group) = candidate.prefix_group else { return 0 };
+        self.running
+            .iter()
+            .filter(|r| r.prefix_group == Some(group))
+            .map(|r| candidate.prefix_len.min(r.prefix_len).min(r.prefilled))
+            .max()
+            .unwrap_or(0)
     }
 
     /// The finished requests (arbitrary completion order).
@@ -427,7 +589,57 @@ impl Scheduler {
             let Some(idx) = choice else { break };
             assert!(idx < arrived, "policy selected an unarrived request");
             let candidate = &self.pending[idx];
-            if !budget.admit(candidate.id, candidate.prefill_len(), candidate.peak_len()) {
+            // Prefix-aware admission hold: when a resident sibling is still
+            // chunk-prefilling a prefix this candidate could alias, admitting
+            // now would recompute it privately. Holding a tick gets the
+            // prefix for free — strictly less total work. (Whole-prompt
+            // prefill materializes at admission, so it never holds.)
+            if self.opts.share_prefixes && !self.running.is_empty() {
+                let grant = self.shared_grant(candidate);
+                let potential = candidate
+                    .prefix_group
+                    .map(|g| {
+                        self.running
+                            .iter()
+                            .filter(|r| r.prefix_group == Some(g))
+                            .map(|r| candidate.prefix_len.min(r.prefix_len))
+                            .max()
+                            .unwrap_or(0)
+                    })
+                    .unwrap_or(0);
+                if potential > grant {
+                    break;
+                }
+            }
+            let (group, shared) = if self.opts.share_prefixes {
+                let grant = self.shared_grant(candidate);
+                let resident = candidate.prefix_group.is_some_and(|g| {
+                    self.running.iter().any(|r| r.prefix_group == Some(g))
+                });
+                // Share the group's page pool when actually aliasing
+                // (grant > 0) or when founding it (no resident member). A
+                // member that must recompute the prefix *while* a sibling is
+                // still chunk-prefilling it holds a private copy — exactly
+                // what the cache would do.
+                let group = if grant > 0 || !resident { candidate.prefix_group } else { None };
+                (group, grant)
+            } else {
+                (None, 0)
+            };
+            // Pages-wise, a founder's pool covers its whole prefix (it will
+            // compute it); a joiner's coverage is exactly what it aliases.
+            let pool_tokens = match (group, shared) {
+                (None, _) => 0,
+                (Some(_), 0) => candidate.prefix_len,
+                (Some(_), grant) => grant,
+            };
+            if !budget.admit_shared(
+                candidate.id,
+                group,
+                pool_tokens,
+                candidate.prefill_len(),
+                candidate.peak_len(),
+            ) {
                 assert!(
                     !(self.running.is_empty() && wave.ids.is_empty()),
                     "request {:?} (peak {} tokens) can never fit the KV budget",
@@ -438,12 +650,46 @@ impl Scheduler {
             }
             let mut req = self.pending.remove(idx);
             req.state = RequestState::Running;
-            req.seq_len = req.prefill_len();
+            req.shared_len = shared;
+            // Whole-prompt prefill materializes at admission; chunked
+            // prefill starts from the aliased prefix and catches up via
+            // `prefill_chunks` ticks.
+            req.prefilled = match self.opts.chunk_tokens {
+                None => req.prefill_len(),
+                Some(_) => shared,
+            };
+            req.seq_len = req.prefilled;
             wave.ids.push(req.id);
-            wave.prefill_lens.push(req.seq_len);
+            wave.prefill_lens.push(req.prefill_len());
+            wave.shared_lens.push(shared);
             self.running.push(req);
         }
         wave
+    }
+
+    /// One chunked-prefill tick: every running request still prefilling
+    /// advances by at most `chunk_tokens` tokens and is reported as
+    /// `(id, new_tokens, past_tokens)` — `past_tokens` being the context
+    /// those new tokens attend over (aliased prefix + earlier chunks). The
+    /// driver prices the returned chunks (e.g. via
+    /// `attention_prefill_latency_chunked`) and calls
+    /// [`Scheduler::charge_prefill`].
+    ///
+    /// # Panics
+    /// Panics if `chunk_tokens` is zero.
+    pub fn prefill_chunks(&mut self, chunk_tokens: usize) -> Vec<(RequestId, usize, usize)> {
+        assert!(chunk_tokens > 0, "chunk size must be positive");
+        let mut out = Vec::new();
+        for r in &mut self.running {
+            let remaining = r.prefill_remaining();
+            if remaining > 0 {
+                let take = remaining.min(chunk_tokens);
+                out.push((r.id, take, r.prefilled));
+                r.prefilled += take;
+                r.seq_len = r.prefilled;
+            }
+        }
+        out
     }
 
     /// Charges `dt` seconds of prefill work for the last admitted wave.
@@ -452,17 +698,24 @@ impl Scheduler {
         self.prefill_time += dt;
     }
 
-    /// Accounts one token of KV growth for every resident, preempting
-    /// (policy-chosen victims, recompute-style) until the budget fits.
-    /// Returns the preempted ids. Call once per tick, before pricing the
-    /// decode step, so the step is costed on the surviving batch.
+    /// Accounts one token of KV growth for every resident about to decode,
+    /// preempting (policy-chosen victims, recompute-style) until the budget
+    /// fits. Residents still in chunked prefill do not grow — their prompt
+    /// footprint was reserved at admission. Returns the preempted ids. Call
+    /// once per tick, before pricing the decode step, so the step is costed
+    /// on the surviving batch.
     ///
     /// # Panics
     /// Panics if a lone resident cannot grow — the pool is too small for
     /// even one request, which admission should have refused.
     pub fn make_room(&mut self, budget: &mut dyn KvBudget) -> Vec<RequestId> {
         let mut preempted = Vec::new();
-        let ids: Vec<RequestId> = self.running.iter().map(|r| r.id).collect();
+        let ids: Vec<RequestId> = self
+            .running
+            .iter()
+            .filter(|r| r.prefill_remaining() == 0)
+            .map(|r| r.id)
+            .collect();
         for id in ids {
             loop {
                 if self.running.iter().all(|r| r.id != id) {
@@ -496,6 +749,8 @@ impl Scheduler {
         budget.release(req.id);
         req.state = RequestState::Preempted;
         req.seq_len = 0;
+        req.prefilled = 0;
+        req.shared_len = 0;
         req.preemptions += 1;
         self.preemptions += 1;
         // Re-queue at its original arrival slot so FCFS re-admits it first.
@@ -505,14 +760,18 @@ impl Scheduler {
         self.pending.insert(at, req);
     }
 
-    /// One decode step for the whole running batch: charges `dt`, advances
-    /// every resident by one token, stamps TTFTs, retires finished requests
-    /// (releasing their budget) and returns their ids.
+    /// One decode step for the decodable part of the running batch: charges
+    /// `dt`, advances every fully-prefilled resident by one token, stamps
+    /// TTFTs, retires finished requests (releasing their budget) and returns
+    /// their ids. Residents still in chunked prefill are untouched.
     ///
     /// # Panics
-    /// Panics if nothing is running.
+    /// Panics if no resident is ready to decode.
     pub fn decode_step(&mut self, dt: f64, budget: &mut dyn KvBudget) -> Vec<RequestId> {
-        assert!(!self.running.is_empty(), "decode_step with an empty batch");
+        assert!(
+            self.running.iter().any(|r| r.prefill_remaining() == 0),
+            "decode_step with no decodable resident"
+        );
         self.clock += dt;
         self.decode_time += dt;
         let clock = self.clock;
@@ -520,8 +779,15 @@ impl Scheduler {
         let mut i = 0;
         while i < self.running.len() {
             let r = &mut self.running[i];
+            if r.prefill_remaining() > 0 {
+                i += 1;
+                continue;
+            }
             r.seq_len += 1;
             r.generated += 1;
+            // The decoded token is materialized context too: `prefilled`
+            // tracks it so `prefill_remaining()` stays 0 while decoding.
+            r.prefilled += 1;
             if r.first_token_s.is_none() {
                 r.first_token_s = Some(clock);
             }
@@ -687,6 +953,116 @@ mod tests {
     }
 
     #[test]
+    fn page_budget_pools_shared_prefix_pages() {
+        // Page 4 tokens, 2 layers, 32-token shared prefix = 8 pool pages
+        // per layer → 16 pool pages total. Each member privately holds its
+        // 6 suffix+output... (peak 40 - 32 covered = 8 tokens = 2 pages ×
+        // 2 layers = 4 pages).
+        let mut b = PageBudget::new(4, 2, 64, Reservation::Peak);
+        assert!(b.admit_shared(RequestId(0), Some(7), 32, 36, 40));
+        assert_eq!(b.free_pages(), 64 - 16 - 4, "pool + first private part");
+        assert!(b.admit_shared(RequestId(1), Some(7), 32, 36, 40));
+        assert_eq!(b.free_pages(), 64 - 16 - 8, "second member joins the pool free");
+        // An unshared admission of the same shape pays full freight.
+        assert!(b.admit_shared(RequestId(2), None, 0, 36, 40));
+        assert_eq!(b.free_pages(), 64 - 16 - 8 - 20);
+        // Pool pages outlive the first member and free with the last.
+        b.release(RequestId(0));
+        assert_eq!(b.free_pages(), 64 - 16 - 4 - 20);
+        b.release(RequestId(1));
+        assert_eq!(b.free_pages(), 64 - 20);
+        b.release(RequestId(2));
+        assert_eq!(b.free_pages(), 64);
+        assert_eq!(b.peak_pages(), 16 + 8 + 20, "high-water of unique pages");
+    }
+
+    #[test]
+    fn page_budget_partial_prefix_page_stays_private() {
+        // A 5-token prefix over 4-token pages shares only the one full page;
+        // the boundary page is private (the cache would COW it).
+        let mut b = PageBudget::new(4, 1, 16, Reservation::OnDemand);
+        assert!(b.admit_shared(RequestId(0), Some(1), 5, 8, 8));
+        // Pool: 1 page; private: 8 - 4 covered = 4 tokens = 1 page.
+        assert_eq!(b.free_pages(), 14);
+        // Below one page of sharing, the group is ignored outright.
+        assert!(b.admit_shared(RequestId(1), Some(2), 3, 8, 8));
+        assert_eq!(b.free_pages(), 12);
+        b.release(RequestId(0));
+        b.release(RequestId(1));
+        assert_eq!(b.free_pages(), 16);
+    }
+
+    #[test]
+    fn shared_admission_grants_resident_prefixes() {
+        // Two tenants (groups 0 and 1), prefix 8, suffix 4, output 4. With
+        // sharing on, the wave's later same-group members alias the first's
+        // prefix.
+        let mk = |id: u64, group: u64| {
+            crate::request::Request::new(crate::request::RequestId(id), 12, 4, 0.0)
+                .with_prefix(group, 8)
+        };
+        let reqs = vec![mk(0, 0), mk(1, 0), mk(2, 1), mk(3, 0)];
+        let mut sched = Scheduler::with_options(
+            reqs.clone(),
+            4,
+            Box::new(Fcfs),
+            SchedOptions { share_prefixes: true, chunk_tokens: None },
+        );
+        let wave = sched.admit(&mut UnboundedBudget);
+        assert_eq!(wave.prefill_lens, vec![12, 12, 12, 12]);
+        assert_eq!(
+            wave.shared_lens,
+            vec![0, 8, 0, 8],
+            "group 0's prefix is aliased once resident; group 1 pays its own"
+        );
+        // Sharing off: no grants.
+        let mut sched = Scheduler::new(reqs, 4, Box::new(Fcfs));
+        let wave = sched.admit(&mut UnboundedBudget);
+        assert_eq!(wave.shared_lens, vec![0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn chunked_prefill_interleaves_and_completes() {
+        // Prompts of 10 tokens, chunk 4: prefill takes ticks 1-3 (4+4+2)
+        // while earlier-finished... then 5 decode ticks.
+        let reqs = WorkloadSpec::fixed(10, 5, 3).sample();
+        let mut sched = Scheduler::with_options(
+            reqs,
+            2,
+            Box::new(Fcfs),
+            SchedOptions { share_prefixes: false, chunk_tokens: Some(4) },
+        );
+        let budget: &mut dyn KvBudget = &mut UnboundedBudget;
+        let mut guard = 0;
+        while !sched.is_done() {
+            guard += 1;
+            assert!(guard < 10_000);
+            let wave = sched.admit(budget);
+            // Chunked admission materializes nothing up front.
+            for (&id, &shared) in wave.ids.iter().zip(&wave.shared_lens) {
+                let r = sched.running().iter().find(|r| r.id == id).unwrap();
+                assert_eq!(r.prefilled, shared);
+            }
+            let chunks = sched.prefill_chunks(4);
+            for &(_, new, past) in &chunks {
+                assert!(new <= 4 && past + new <= 10);
+            }
+            if !chunks.is_empty() {
+                sched.charge_prefill(0.1 * chunks.len() as f64);
+            }
+            sched.make_room(budget);
+            if sched.decoding_seq_lens().is_empty() {
+                continue;
+            }
+            sched.decode_step(0.01, budget);
+        }
+        let stats = sched.stats();
+        assert_eq!(stats.completed, 3);
+        assert_eq!(stats.generated_tokens, 15);
+        assert!(stats.prefill_time_s > 0.0);
+    }
+
+    #[test]
     fn percentile_nearest_rank() {
         let xs: Vec<f64> = (1..=100).map(f64::from).collect();
         assert_eq!(percentile(&xs, 0.50), 50.0);
@@ -694,6 +1070,32 @@ mod tests {
         assert_eq!(percentile(&xs, 0.99), 99.0);
         assert_eq!(percentile(&xs, 1.0), 100.0);
         assert_eq!(percentile(&[7.0], 0.5), 7.0);
+    }
+
+    #[test]
+    fn percentile_single_sample_well_defined_for_all_q() {
+        // The single-request edge case: every percentile of a one-element
+        // sample is that element — p50 == p95 == p99 == max, no index
+        // arithmetic at the array edge.
+        for q in [0.001, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(percentile(&[3.25], q), 3.25, "q = {}", q);
+        }
+        // Two samples: the nearest-rank split lands between them.
+        assert_eq!(percentile(&[1.0, 2.0], 0.5), 1.0);
+        assert_eq!(percentile(&[1.0, 2.0], 0.51), 2.0);
+        assert_eq!(percentile(&[1.0, 2.0], 0.99), 2.0);
+    }
+
+    #[test]
+    fn single_request_stats_have_degenerate_percentiles() {
+        let reqs = WorkloadSpec::fixed(8, 4, 1).sample();
+        let sched = Scheduler::new(reqs, 2, Box::new(Fcfs));
+        let stats = drive(sched, &mut UnboundedBudget, 0.1, 0.01);
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.p50_latency_s, stats.max_latency_s);
+        assert_eq!(stats.p95_latency_s, stats.max_latency_s);
+        assert_eq!(stats.p99_latency_s, stats.max_latency_s);
+        assert_eq!(stats.mean_latency_s, stats.max_latency_s);
     }
 
     #[test]

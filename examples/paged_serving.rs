@@ -11,7 +11,7 @@
 use qserve::core::kv_quant::KvPrecision;
 use qserve::serve::attention_exec::paged_decode_attention;
 use qserve::serve::kv_cache::{KvCacheConfig, PagedKvCache, SequenceId};
-use qserve::serve::request::{ArrivalPattern, LengthDist, WorkloadSpec};
+use qserve::serve::request::{ArrivalPattern, LengthDist, PrefixSharing, WorkloadSpec};
 use qserve::serve::scheduler::{Fcfs, PageBudget, Reservation, Scheduler};
 use qserve::tensor::rng::TensorRng;
 
@@ -44,6 +44,7 @@ fn main() {
         input: LengthDist::Uniform { lo: 12, hi: 56 },
         output: LengthDist::Uniform { lo: 4, hi: 12 },
         arrival: ArrivalPattern::Batch,
+        sharing: PrefixSharing::None,
         seed: 11,
     };
     let mut budget =

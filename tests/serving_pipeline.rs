@@ -6,8 +6,11 @@ use qserve::gpusim::GpuSpec;
 use qserve::model::ModelConfig;
 use qserve::serve::engine::Workload;
 use qserve::serve::kv_cache::{KvCacheConfig, PagedKvCache, SequenceId};
-use qserve::serve::request::{ArrivalPattern, LengthDist, WorkloadSpec};
-use qserve::serve::scheduler::{Fcfs, MemoryAware, Reservation, ShortestJobFirst, UnboundedBudget};
+use qserve::serve::request::{ArrivalPattern, LengthDist, PrefixSharing, WorkloadSpec};
+use qserve::serve::scheduler::{
+    Fcfs, KvBudget, MemoryAware, PageBudget, Reservation, SchedOptions, Scheduler,
+    SchedulingPolicy, ShortestJobFirst, UnboundedBudget,
+};
 use qserve::serve::{ServingEngine, SystemConfig};
 use qserve::tensor::{prop, props};
 
@@ -140,6 +143,7 @@ props! {
                 long_weight: 0.25,
             },
             arrival,
+            sharing: PrefixSharing::None,
             seed,
         };
         let a = spec.sample();
@@ -207,6 +211,193 @@ props! {
             cache.release(id).unwrap();
         }
         assert_eq!(cache.free_pages(), total);
+    }
+
+    /// Copy-on-write sharing under random fork/append/release
+    /// interleavings: every page referenced by a live sequence keeps
+    /// refcount ≥ 1 (and the refcount equals the number of referencing
+    /// sequences), unique used + free == total at every step, and a fork
+    /// reads back exactly its parent's prefix before (and after) any
+    /// divergence.
+    fn prop_cow_sharing_invariants(rng, cases = 24) {
+        let cfg = KvCacheConfig {
+            page_tokens: 4,
+            kv_heads: 2,
+            head_dim: 8,
+            layers: 2,
+            precision: KvPrecision::Int4,
+        };
+        let total = 32;
+        let mut cache = PagedKvCache::new(cfg, total);
+        let width = cfg.kv_heads * cfg.head_dim;
+        let mut live: Vec<SequenceId> = Vec::new();
+        let mut next_id = 0u64;
+        let check = |cache: &PagedKvCache, live: &[SequenceId]| {
+            assert_eq!(cache.used_pages() + cache.free_pages(), total, "conservation");
+            // Refcounts must equal the number of live referencing sequences.
+            let mut refs = std::collections::HashMap::new();
+            for &s in live {
+                for layer in 0..cfg.layers {
+                    for &p in cache.layer_pages(s, layer) {
+                        *refs.entry(p).or_insert(0u32) += 1;
+                    }
+                }
+            }
+            assert_eq!(refs.len(), cache.used_pages(), "table pages = unique used pages");
+            for (&p, &n) in &refs {
+                assert!(n >= 1);
+                assert_eq!(cache.page_refcount(p), n, "page {} refcount drift", p);
+            }
+        };
+        for _ in 0..40 {
+            match rng.int_in(0, 9) {
+                0 | 1 => {
+                    let id = SequenceId(next_id);
+                    next_id += 1;
+                    cache.register(id).unwrap();
+                    live.push(id);
+                }
+                2 | 3 | 4 | 5 => {
+                    if !live.is_empty() {
+                        let s = live[rng.int_in(0, live.len() as i64 - 1) as usize];
+                        let feats: Vec<f32> =
+                            (0..width).map(|_| rng.uniform(-2.0, 2.0)).collect();
+                        // May legitimately hit OutOfPages (incl. mid-COW).
+                        let mut ok = true;
+                        for layer in 0..cfg.layers {
+                            if !ok { break; }
+                            ok = cache.append_token(s, layer, &feats, &feats).is_ok();
+                        }
+                    }
+                }
+                6 | 7 => {
+                    if !live.is_empty() {
+                        let pi = rng.int_in(0, live.len() as i64 - 1) as usize;
+                        let parent = live[pi];
+                        let plen = cache.seq_len(parent);
+                        let prefix = rng.int_in(0, plen as i64) as usize;
+                        let child = SequenceId(next_id);
+                        next_id += 1;
+                        cache.fork(parent, child, prefix).unwrap();
+                        live.push(child);
+                        // The forked view is the parent's prefix, byte-equal.
+                        for head in 0..cfg.kv_heads {
+                            let (pk, pv) = cache.read_head(parent, 1, head).unwrap();
+                            let (ck, cv) = cache.read_head(child, 1, head).unwrap();
+                            assert_eq!(ck.len().min(prefix), ck.len());
+                            assert_eq!(ck[..], pk[..ck.len()], "fork K diverged pre-write");
+                            assert_eq!(cv[..], pv[..cv.len()], "fork V diverged pre-write");
+                        }
+                    }
+                }
+                _ => {
+                    if !live.is_empty() {
+                        let i = rng.int_in(0, live.len() as i64 - 1) as usize;
+                        let s = live.swap_remove(i);
+                        cache.release(s).unwrap();
+                    }
+                }
+            }
+            check(&cache, &live);
+        }
+        for s in live.drain(..) {
+            cache.release(s).unwrap();
+        }
+        assert_eq!(cache.free_pages(), total, "all pages recycled at the end");
+    }
+
+    /// Scheduler conservation over random policy × workload × budget ×
+    /// option grids: every generated request finishes exactly once, no
+    /// request is both Finished and Preempted at exit, and each request's
+    /// output length matches its spec.
+    fn prop_scheduler_conserves_requests(rng, cases = 24) {
+        let n = rng.int_in(2, 14) as usize;
+        let seed = rng.next_u64();
+        let arrival = match rng.int_in(0, 2) {
+            0 => ArrivalPattern::Batch,
+            1 => ArrivalPattern::Uniform { rate_rps: 4.0 },
+            _ => ArrivalPattern::Poisson { rate_rps: 4.0 },
+        };
+        let sharing = match rng.int_in(0, 2) {
+            0 => PrefixSharing::None,
+            _ => PrefixSharing::Groups { groups: 2, prefix_len: 12 },
+        };
+        let spec = WorkloadSpec {
+            num_requests: n,
+            input: LengthDist::Uniform { lo: 2, hi: 9 },
+            output: LengthDist::Uniform { lo: 1, hi: 6 },
+            arrival,
+            sharing,
+            seed,
+        };
+        let requests = spec.sample();
+        let expected: Vec<(u64, usize)> =
+            requests.iter().map(|r| (r.id.0, r.output_len)).collect();
+        let policy: Box<dyn SchedulingPolicy> = match rng.int_in(0, 2) {
+            0 => Box::new(Fcfs),
+            1 => Box::new(ShortestJobFirst),
+            _ => Box::new(MemoryAware { headroom: 0.25 }),
+        };
+        // A pool tight enough to preempt sometimes but able to hold any
+        // single request (peak ≤ 30 tokens = 8 pages ≤ 12).
+        let mut paged;
+        let mut unbounded = UnboundedBudget;
+        let budget: &mut dyn KvBudget = if rng.int_in(0, 1) == 0 {
+            &mut unbounded
+        } else {
+            let mode = if rng.int_in(0, 1) == 0 { Reservation::Peak } else { Reservation::OnDemand };
+            paged = PageBudget::new(4, 1, 12, mode);
+            &mut paged
+        };
+        let opts = SchedOptions {
+            share_prefixes: rng.int_in(0, 1) == 1,
+            chunk_tokens: match rng.int_in(0, 2) {
+                0 => None,
+                1 => Some(2),
+                _ => Some(5),
+            },
+        };
+        let batch_limit = rng.int_in(1, 4) as usize;
+        let mut sched = Scheduler::with_options(requests, batch_limit, policy, opts);
+        let mut guard = 0;
+        while !sched.is_done() {
+            guard += 1;
+            assert!(guard < 100_000, "scheduler failed to converge");
+            sched.admit(budget);
+            if let Some(c) = opts.chunk_tokens {
+                let chunks = sched.prefill_chunks(c);
+                if !chunks.is_empty() {
+                    sched.charge_prefill(0.01 * chunks.len() as f64);
+                }
+            }
+            if sched.running().is_empty() {
+                sched.idle_until_arrival();
+                continue;
+            }
+            sched.make_room(budget);
+            if sched.decoding_seq_lens().is_empty() {
+                continue;
+            }
+            sched.decode_step(0.01, budget);
+        }
+        let finished = sched.finished();
+        assert_eq!(finished.len(), n, "every request finishes");
+        let mut seen = std::collections::HashSet::new();
+        for r in finished {
+            assert!(seen.insert(r.id.0), "request {} finished twice", r.id.0);
+            assert_eq!(
+                r.state,
+                qserve::serve::request::RequestState::Finished,
+                "request {} exits in a non-Finished state",
+                r.id.0
+            );
+            let (_, expect_out) = expected
+                .iter()
+                .find(|&&(id, _)| id == r.id.0)
+                .expect("finished an ungenerated request");
+            assert_eq!(r.generated, *expect_out, "request {} output length", r.id.0);
+            assert_eq!(r.remaining(), 0);
+        }
     }
 
     /// Round trip through the page bytes is within one quantization step for
