@@ -27,9 +27,14 @@ rm -f results/prefix_sweep.csv
 cargo run --release --offline --locked -p qserve-bench --bin reproduce -- prefix_sweep >/dev/null
 test -s results/prefix_sweep.csv
 
+# And the multi-replica cluster grid.
+rm -f results/cluster_sweep.csv
+cargo run --release --offline --locked -p qserve-bench --bin reproduce -- cluster_sweep >/dev/null
+test -s results/cluster_sweep.csv
+
 # Every example must run end to end, offline (smoke: exit status only).
 for ex in quickstart generate kv4_attention paged_serving prefix_caching \
-          roofline serving_throughput ablation; do
+          cluster_serving roofline serving_throughput ablation; do
     cargo run --release --offline --locked --example "$ex" >/dev/null
 done
 

@@ -21,7 +21,7 @@ pub fn experiment_ids() -> Vec<&'static str> {
     vec![
         "fig1", "fig2a", "fig2b", "fig3", "table1", "table2", "table3", "table5", "table4",
         "fig16", "fig17", "fig18", "table6", "attn_breakdown", "microbench", "sched_sweep",
-        "prefix_sweep",
+        "prefix_sweep", "cluster_sweep",
     ]
 }
 
@@ -57,6 +57,7 @@ pub fn run_experiment(id: &str) -> Option<Vec<Table>> {
         "table6" => vec![efficiency::table6()],
         "sched_sweep" => vec![scheduling::sched_sweep()],
         "prefix_sweep" => vec![scheduling::prefix_sweep()],
+        "cluster_sweep" => vec![scheduling::cluster_sweep()],
         _ => return None,
     };
     Some(tables)

@@ -6,6 +6,9 @@
 use crate::report::{fnum, Table};
 use qserve_gpusim::GpuSpec;
 use qserve_model::ModelConfig;
+use qserve_serve::cluster::{
+    Cluster, LeastOutstanding, PrefixAffinity, RoundRobin, RoutingPolicy,
+};
 use qserve_serve::request::{ArrivalPattern, LengthDist, PrefixSharing, WorkloadSpec};
 use qserve_serve::scheduler::{
     Fcfs, MemoryAware, Reservation, SchedOptions, SchedulingPolicy, ShortestJobFirst,
@@ -180,6 +183,78 @@ pub fn prefix_sweep() -> Table {
     t
 }
 
+fn routings() -> Vec<(&'static str, fn() -> Box<dyn RoutingPolicy>)> {
+    vec![
+        ("round-robin", || Box::new(RoundRobin::default())),
+        ("least-outstanding", || Box::new(LeastOutstanding)),
+        ("prefix-affinity", || Box::new(PrefixAffinity::default())),
+    ]
+}
+
+/// **cluster_sweep**: replicas × routing policy × share-ratio grid on
+/// A100 / Llama-2-7B / QServe — the same multi-tenant workloads as
+/// `prefix_sweep`, served by 1, 2 or 4 engine replicas behind each router.
+/// One replica reproduces the single-engine numbers exactly (routing is
+/// irrelevant with one target); scaling out divides the queue. The routing
+/// story appears at high share ratios: prefix-affinity keeps each tenant's
+/// system prompt on one replica, so its per-replica unique-page high-water
+/// and TTFT beat round-robin, which recomputes and stores every prefix on
+/// every replica.
+pub fn cluster_sweep() -> Table {
+    let mut t = Table::new(
+        "cluster_sweep",
+        "replicas × routing × shared-prefix ratio, Llama-2-7B QServe on A100 (latencies in s)",
+        &[
+            "Replicas",
+            "Routing",
+            "Prefix",
+            "Throughput (tok/s)",
+            "Mean TTFT",
+            "p50",
+            "p99",
+            "Preempt",
+            "Peak pages/replica",
+        ],
+    );
+    let engine = ServingEngine::new(
+        GpuSpec::a100(),
+        ModelConfig::llama2_7b(),
+        SystemConfig::QServePerChannel,
+    )
+    .expect("A100 serves Llama-2-7B");
+    for replicas in [1usize, 2, 4] {
+        for (rname, mk_routing) in routings() {
+            for prefix_len in [0usize, 2048, 3584] {
+                let spec = prefix_workload(prefix_len);
+                let opts = SchedOptions {
+                    share_prefixes: prefix_len > 0,
+                    chunk_tokens: None,
+                };
+                let r = Cluster::new(engine.clone(), replicas, mk_routing())
+                    .serve_paged(
+                        &spec,
+                        || Box::new(MemoryAware::default()),
+                        Reservation::OnDemand,
+                        opts,
+                    )
+                    .expect("workload must be servable");
+                t.push_row(vec![
+                    replicas.to_string(),
+                    rname.to_string(),
+                    prefix_len.to_string(),
+                    fnum(r.throughput_tps, 0),
+                    fnum(r.mean_ttft_s, 3),
+                    fnum(r.p50_latency_s, 3),
+                    fnum(r.p99_latency_s, 3),
+                    r.preemptions.to_string(),
+                    r.max_replica_peak_pages.to_string(),
+                ]);
+            }
+        }
+    }
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -213,6 +288,99 @@ mod tests {
             "policy changed the homogeneous protocol: {:?}",
             tputs
         );
+    }
+
+    #[test]
+    fn cluster_sweep_grid_and_routing_story() {
+        // One computation of both grids, every load-bearing assertion.
+        let t = cluster_sweep();
+        assert_eq!(t.rows.len(), 3 * routings().len() * 3);
+        let cell = |r: &Vec<String>, i: usize| r[i].clone();
+        for row in &t.rows {
+            let tput: f64 = row[3].parse().unwrap();
+            assert!(tput > 0.0, "row {:?}", row);
+        }
+        // With one replica, routing cannot matter: the three 1-replica rows
+        // of each prefix ratio must be cell-identical (minus the name), and
+        // equal to prefix_sweep's unchunked single-engine rows — the same
+        // numbers the golden snapshot pins.
+        let single = prefix_sweep();
+        for prefix in ["0", "2048", "3584"] {
+            let cluster_rows: Vec<&Vec<String>> = t
+                .rows
+                .iter()
+                .filter(|r| r[0] == "1" && r[2] == prefix)
+                .collect();
+            assert_eq!(cluster_rows.len(), routings().len());
+            for r in &cluster_rows {
+                assert_eq!(r[3..], cluster_rows[0][3..], "routing changed a 1-replica run");
+            }
+            let golden = single
+                .rows
+                .iter()
+                .find(|r| r[0] == prefix && r[1] == "—")
+                .expect("prefix_sweep has the unchunked row");
+            // cluster columns [tput, ttft, p50, p99, preempt, peak] vs
+            // prefix_sweep [tput, ttft, p50, p99, preempt, peak].
+            for (c, g) in [(3, 2), (4, 3), (5, 4), (6, 5), (7, 6), (8, 7)] {
+                assert_eq!(
+                    cell(cluster_rows[0], c),
+                    golden[g],
+                    "1-replica cluster drifted from the single engine at prefix {}",
+                    prefix
+                );
+            }
+        }
+        // The routing story at the highest share ratio, 4 replicas:
+        // prefix-affinity must beat round-robin on both the per-replica
+        // unique-page high-water and the mean TTFT.
+        let pick = |routing: &str| -> Vec<String> {
+            t.rows
+                .iter()
+                .find(|r| r[0] == "4" && r[1] == routing && r[2] == "3584")
+                .expect("grid row")
+                .clone()
+        };
+        let rr = pick("round-robin");
+        let pa = pick("prefix-affinity");
+        let peak = |r: &Vec<String>| -> usize { r[8].parse().unwrap() };
+        let ttft = |r: &Vec<String>| -> f64 { r[4].parse().unwrap() };
+        assert!(
+            peak(&pa) < peak(&rr),
+            "affinity must dedupe per-replica pages: {} vs {}",
+            peak(&pa),
+            peak(&rr)
+        );
+        assert!(
+            ttft(&pa) < ttft(&rr),
+            "affinity must cut TTFT at high sharing: {} vs {}",
+            ttft(&pa),
+            ttft(&rr)
+        );
+        // And scaling out must raise aggregate throughput at every ratio.
+        for prefix in ["0", "3584"] {
+            let one: f64 = t
+                .rows
+                .iter()
+                .find(|r| r[0] == "1" && r[1] == "least-outstanding" && r[2] == prefix)
+                .unwrap()[3]
+                .parse()
+                .unwrap();
+            let four: f64 = t
+                .rows
+                .iter()
+                .find(|r| r[0] == "4" && r[1] == "least-outstanding" && r[2] == prefix)
+                .unwrap()[3]
+                .parse()
+                .unwrap();
+            assert!(
+                four > one,
+                "4 replicas must outserve 1 at prefix {}: {} vs {}",
+                prefix,
+                four,
+                one
+            );
+        }
     }
 
     #[test]

@@ -33,6 +33,11 @@ const GOLDEN: &[(&str, &[&str])] = &[
             include_str!("../../../tests/golden/fig17_1.csv"),
         ],
     ),
+    // Beyond the paper protocol: the scheduler and prefix-sharing grids are
+    // pinned too, so a cluster/TP refactor cannot silently move the
+    // single-engine serving numbers it builds on.
+    ("sched_sweep", &[include_str!("../../../tests/golden/sched_sweep.csv")]),
+    ("prefix_sweep", &[include_str!("../../../tests/golden/prefix_sweep.csv")]),
 ];
 
 #[test]

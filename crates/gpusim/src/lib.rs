@@ -15,6 +15,9 @@
 //!   (Figure 18) and register-pressure occupancy effects (§3.2).
 //! * [`attention_model`] — decode/prefill attention latency for KV8,
 //!   naive KV4, and QServe KV4 (Table 1).
+//! * [`tp`] — tensor-parallel groups: exact-integer shard shapes plus a
+//!   ring all-reduce cost term (TP=1 degenerates to the single-GPU model
+//!   bit for bit).
 //!
 //! Absolute times are model outputs, not measurements; the calibrated
 //! quantities are the *ratios* the paper's figures argue about (who wins,
@@ -24,7 +27,9 @@ pub mod attention_model;
 pub mod gemm_model;
 pub mod roofline;
 pub mod spec;
+pub mod tp;
 
 pub use attention_model::{attention_decode_latency, AttentionKernel, AttentionShape};
 pub use gemm_model::{gemm_latency, GemmConfig, GemmShape};
 pub use spec::GpuSpec;
+pub use tp::TpGroup;

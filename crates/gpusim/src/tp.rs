@@ -1,0 +1,139 @@
+//! Tensor-parallel execution model: per-GPU shard compute plus ring
+//! all-reduce communication.
+//!
+//! A tensor-parallel group runs every layer Megatron-style: the QKV and
+//! FFN-up projections are column-parallel, the attention-output and
+//! FFN-down projections are row-parallel, and each of the two row-parallel
+//! outputs ends in one all-reduce over the activation tile. The model here
+//! follows the same discipline as the rest of `qserve-gpusim`: shard shapes
+//! are exact integer quotients (`div_ceil`), so a TP=1 group degenerates to
+//! the very same shapes and a zero communication term — bit-identical to
+//! the single-GPU cost model, which is what keeps the paper-protocol golden
+//! CSVs byte-stable while TP>1 reuses the same equations.
+
+/// One tensor-parallel group: `ways` GPUs of the same
+/// [`crate::GpuSpec`] joined by a symmetric interconnect.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TpGroup {
+    /// GPUs in the group (1 = no tensor parallelism).
+    pub ways: usize,
+    /// Per-direction link bandwidth each GPU can sustain during a
+    /// collective, bytes/second.
+    pub link_bytes_per_s: f64,
+    /// Fixed per-hop latency of one collective step, seconds.
+    pub link_latency_s: f64,
+}
+
+impl TpGroup {
+    /// A single GPU: no sharding, no communication.
+    pub fn single() -> Self {
+        Self {
+            ways: 1,
+            link_bytes_per_s: f64::INFINITY,
+            link_latency_s: 0.0,
+        }
+    }
+
+    /// An NVLink-class group: A100 SXM NVLink is 600 GB/s *bidirectional*
+    /// aggregate per GPU, i.e. 300 GB/s sustained per direction — the
+    /// number a ring all-reduce step actually gets — with ~3 µs collective
+    /// hop latency.
+    ///
+    /// # Panics
+    /// Panics if `ways` is zero.
+    pub fn nvlink(ways: usize) -> Self {
+        assert!(ways > 0, "a TP group needs at least one GPU");
+        Self {
+            ways,
+            link_bytes_per_s: 300e9,
+            link_latency_s: 3e-6,
+        }
+    }
+
+    /// A PCIe-class group (≈25 GB/s effective per direction, ~10 µs hop
+    /// latency) — the fallback interconnect where TP scaling hurts.
+    ///
+    /// # Panics
+    /// Panics if `ways` is zero.
+    pub fn pcie(ways: usize) -> Self {
+        assert!(ways > 0, "a TP group needs at least one GPU");
+        Self {
+            ways,
+            link_bytes_per_s: 25e9,
+            link_latency_s: 10e-6,
+        }
+    }
+
+    /// Shards an integer dimension across the group: the largest per-GPU
+    /// share (`div_ceil`, so TP=1 returns `n` exactly).
+    pub fn shard(&self, n: usize) -> usize {
+        n.div_ceil(self.ways)
+    }
+
+    /// Ring all-reduce latency over `bytes` of activations: `2·(w−1)/w`
+    /// of the payload crosses each link plus `2·(w−1)` hop latencies.
+    /// Exactly `0.0` for a single GPU — no communication term exists, so
+    /// adding it cannot move a TP=1 latency by even one bit.
+    pub fn all_reduce_latency(&self, bytes: f64) -> f64 {
+        if self.ways <= 1 {
+            return 0.0;
+        }
+        let w = self.ways as f64;
+        let steps = 2.0 * (w - 1.0);
+        steps * (bytes / w / self.link_bytes_per_s) + steps * self.link_latency_s
+    }
+}
+
+impl Default for TpGroup {
+    fn default() -> Self {
+        Self::single()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_gpu_is_free_and_identity() {
+        let tp = TpGroup::single();
+        assert_eq!(tp.shard(4096), 4096);
+        assert_eq!(tp.all_reduce_latency(1e9).to_bits(), 0.0f64.to_bits());
+        assert_eq!(TpGroup::default(), tp);
+    }
+
+    #[test]
+    fn shard_is_exact_ceiling() {
+        let tp = TpGroup::nvlink(4);
+        assert_eq!(tp.shard(4096), 1024);
+        assert_eq!(tp.shard(4097), 1025);
+        assert_eq!(tp.shard(3), 1);
+    }
+
+    #[test]
+    fn all_reduce_grows_with_ways_and_payload() {
+        let small = TpGroup::nvlink(2).all_reduce_latency(1e6);
+        let more_ways = TpGroup::nvlink(8).all_reduce_latency(1e6);
+        let more_bytes = TpGroup::nvlink(2).all_reduce_latency(1e8);
+        assert!(small > 0.0);
+        assert!(more_ways > small, "more hops cost more latency");
+        assert!(more_bytes > small, "more payload costs more bandwidth time");
+    }
+
+    #[test]
+    fn pcie_slower_than_nvlink() {
+        let bytes = 2.0 * 64.0 * 4096.0; // one decode activation tile
+        assert!(
+            TpGroup::pcie(4).all_reduce_latency(bytes)
+                > TpGroup::nvlink(4).all_reduce_latency(bytes)
+        );
+    }
+
+    #[test]
+    fn ring_bandwidth_term_matches_formula() {
+        let tp = TpGroup { ways: 4, link_bytes_per_s: 100e9, link_latency_s: 0.0 };
+        // 2·(4−1)/4 = 1.5 payload crossings of a 400 MB buffer at 100 GB/s.
+        let t = tp.all_reduce_latency(400e6);
+        assert!((t - 1.5 * 400e6 / 100e9).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,707 @@
+//! Multi-replica cluster serving: N independent engine replicas behind a
+//! pluggable request router.
+//!
+//! The paper's serving results are single-engine; production traffic scales
+//! *out* — many replicas, each a (possibly tensor-parallel) engine with its
+//! own KV page pool, scheduler core and clock, fed by a router that decides
+//! which replica owns each arriving request. This module models that layer
+//! from first principles on top of the existing pieces:
+//!
+//! * a [`Replica`] is one [`ServingEngine`] (TP group included) driving its
+//!   own [`Scheduler`] against its own [`PageBudget`] — the exact loop of
+//!   [`ServingEngine::run_scheduled_with`], restructured as an incremental
+//!   `tick` so replicas advance independently;
+//! * a [`RoutingPolicy`] sees each arriving request plus a snapshot of
+//!   every replica ([`ReplicaView`]) and picks the owner:
+//!   [`RoundRobin`], [`LeastOutstanding`], or [`PrefixAffinity`] (requests
+//!   of one [`crate::request::PrefixSharing`] group stick to the replica
+//!   already holding that prefix, so copy-on-write reuse survives
+//!   sharding);
+//! * [`Cluster::serve_paged`] replays the workload in arrival order,
+//!   advancing lagging replicas to each arrival before routing it, then
+//!   drains every replica and aggregates a [`ClusterReport`].
+//!
+//! A 1-replica cluster performs exactly the ticks
+//! [`ServingEngine::run_workload_paged_with`] performs, so its numbers are
+//! bit-identical to the single-engine report — the invariant that pins this
+//! layer to the golden-snapshot CSVs.
+
+use crate::engine::{EngineUnavailable, ServingEngine, ServingReport};
+use crate::request::{Request, WorkloadSpec};
+use crate::scheduler::{
+    percentile, KvBudget, PageBudget, Reservation, SchedOptions, Scheduler, SchedulingPolicy,
+};
+
+// ---------------------------------------------------------------------------
+// Routing
+// ---------------------------------------------------------------------------
+
+/// What a router sees of one replica at routing time: its local clock and
+/// queue pressure. Clocks may disagree across replicas — a real router's
+/// view is exactly this kind of snapshot, not a global barrier.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReplicaView {
+    /// Replica index (the value [`RoutingPolicy::route`] returns).
+    pub index: usize,
+    /// The replica's local clock, seconds.
+    pub clock_s: f64,
+    /// Tokens of work still owed to its queued + running requests.
+    pub outstanding_tokens: usize,
+    /// Requests waiting (queued or preempted).
+    pub waiting: usize,
+    /// Requests currently running.
+    pub running: usize,
+}
+
+/// Decides which replica owns each arriving request. Stateful: a policy may
+/// remember its own placement history (round-robin cursor, prefix pins).
+pub trait RoutingPolicy {
+    /// Policy name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Index of the replica that will own `req`. Must be `< replicas.len()`.
+    fn route(&mut self, req: &Request, replicas: &[ReplicaView]) -> usize;
+
+    /// Clears placement history. [`Cluster::serve_paged`] calls this before
+    /// every run — replicas are rebuilt empty per serve, so stale pins or a
+    /// mid-cycle cursor would otherwise leak one workload's placements into
+    /// the next and make repeated serves of one `Cluster` diverge from
+    /// fresh ones. Default: stateless, nothing to clear.
+    fn reset(&mut self) {}
+}
+
+/// Cycles through replicas in order, ignoring load — the classic baseline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RoundRobin {
+    next: usize,
+}
+
+impl RoutingPolicy for RoundRobin {
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+    fn route(&mut self, _req: &Request, replicas: &[ReplicaView]) -> usize {
+        let i = self.next % replicas.len();
+        self.next += 1;
+        i
+    }
+    fn reset(&mut self) {
+        self.next = 0;
+    }
+}
+
+/// Picks the replica owing the least outstanding work (prefill + decode
+/// tokens still due), ties to the lowest index — the load-balancing
+/// baseline a router with queue-depth feedback implements.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LeastOutstanding;
+
+fn least_outstanding(replicas: &[ReplicaView]) -> usize {
+    replicas
+        .iter()
+        .min_by_key(|v| (v.outstanding_tokens, v.index))
+        .expect("a cluster has at least one replica")
+        .index
+}
+
+impl RoutingPolicy for LeastOutstanding {
+    fn name(&self) -> &'static str {
+        "least-outstanding"
+    }
+    fn route(&mut self, _req: &Request, replicas: &[ReplicaView]) -> usize {
+        least_outstanding(replicas)
+    }
+}
+
+/// Prefix-affinity routing: the first request of a sharing group lands on
+/// the least-loaded replica and *pins* the group there; every later group
+/// member follows, so the group's prefix pages stay deduplicated on one
+/// replica instead of being recomputed (and stored) once per replica.
+/// Ungrouped requests fall back to least-outstanding.
+#[derive(Debug, Clone, Default)]
+pub struct PrefixAffinity {
+    pinned: std::collections::HashMap<u64, usize>,
+}
+
+impl RoutingPolicy for PrefixAffinity {
+    fn name(&self) -> &'static str {
+        "prefix-affinity"
+    }
+    fn route(&mut self, req: &Request, replicas: &[ReplicaView]) -> usize {
+        match req.prefix_group {
+            Some(g) => match self.pinned.get(&g) {
+                Some(&r) if r < replicas.len() => r,
+                _ => {
+                    let choice = least_outstanding(replicas);
+                    self.pinned.insert(g, choice);
+                    choice
+                }
+            },
+            None => least_outstanding(replicas),
+        }
+    }
+    fn reset(&mut self) {
+        self.pinned.clear();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Replicas
+// ---------------------------------------------------------------------------
+
+/// One engine replica: its own scheduler core, page ledger and clock,
+/// advanced one tick at a time — the incremental form of
+/// [`ServingEngine::run_scheduled_with`]'s loop body.
+struct Replica {
+    engine: ServingEngine,
+    sched: Scheduler,
+    budget: PageBudget,
+    routed: usize,
+}
+
+impl Replica {
+    fn done(&self) -> bool {
+        self.sched.is_done()
+    }
+
+    fn clock(&self) -> f64 {
+        self.sched.clock()
+    }
+
+    fn view(&self, index: usize) -> ReplicaView {
+        ReplicaView {
+            index,
+            clock_s: self.clock(),
+            outstanding_tokens: self.sched.outstanding_tokens(),
+            waiting: self.routed - self.sched.running().len() - self.sched.finished().len(),
+            running: self.sched.running().len(),
+        }
+    }
+
+    fn submit(&mut self, req: Request) {
+        self.routed += 1;
+        self.sched.submit(req);
+    }
+
+    /// One scheduling tick — [`ServingEngine::scheduler_tick`], the same
+    /// loop body `run_scheduled_with` drives, so a lone replica replays the
+    /// single-engine run exactly by construction.
+    fn tick(&mut self) {
+        self.engine.scheduler_tick(&mut self.sched, &mut self.budget);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The cluster
+// ---------------------------------------------------------------------------
+
+/// Per-replica slice of a [`ClusterReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplicaReport {
+    /// Requests the router sent here.
+    pub routed: usize,
+    /// Requests that finished here (== `routed` on success).
+    pub completed: usize,
+    /// Output tokens generated here.
+    pub generated_tokens: usize,
+    /// The replica's final clock, seconds.
+    pub clock_s: f64,
+    /// Preemption events on this replica.
+    pub preemptions: usize,
+    /// High-water mark of unique KV pages on this replica.
+    pub peak_unique_pages: usize,
+    /// Ids of the requests that finished here, in completion order — what
+    /// conservation properties audit (each id on exactly one replica).
+    pub finished: Vec<crate::request::RequestId>,
+}
+
+/// Aggregate result of one cluster serve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterReport {
+    /// The routing policy's report name.
+    pub routing: String,
+    /// Replica count.
+    pub replicas: usize,
+    /// Requests finished across the cluster.
+    pub completed: usize,
+    /// Output tokens generated across the cluster.
+    pub generated_tokens: usize,
+    /// Cluster makespan: the busiest replica's final clock, seconds.
+    pub makespan_s: f64,
+    /// Aggregate output tokens per second over the makespan.
+    pub throughput_tps: f64,
+    /// Mean time-to-first-token across all finished requests, seconds.
+    pub mean_ttft_s: f64,
+    /// Median end-to-end latency across all finished requests, seconds.
+    pub p50_latency_s: f64,
+    /// 99th-percentile end-to-end latency, seconds — the cluster SLO number.
+    pub p99_latency_s: f64,
+    /// Preemption events summed over replicas.
+    pub preemptions: usize,
+    /// Worst per-replica unique-page high-water mark — the number a
+    /// capacity planner provisions each replica's HBM against.
+    pub max_replica_peak_pages: usize,
+    /// Per-replica breakdown, indexed by replica.
+    pub per_replica: Vec<ReplicaReport>,
+}
+
+impl ClusterReport {
+    /// The 1-replica degenerate case as a single-engine [`ServingReport`]
+    /// comparison: every shared field must match bit for bit.
+    ///
+    /// # Panics
+    /// Panics unless the cluster has exactly one replica.
+    pub fn matches_single_engine(&self, r: &ServingReport) -> bool {
+        assert_eq!(self.replicas, 1, "single-engine comparison needs one replica");
+        self.completed == r.completed
+            && self.makespan_s.to_bits() == r.total_time_s.to_bits()
+            && self.throughput_tps.to_bits() == r.throughput_tps.to_bits()
+            && self.mean_ttft_s.to_bits() == r.mean_ttft_s.to_bits()
+            && self.p50_latency_s.to_bits() == r.p50_latency_s.to_bits()
+            && self.p99_latency_s.to_bits() == r.p99_latency_s.to_bits()
+            && self.preemptions == r.preemptions
+            && self.max_replica_peak_pages == r.peak_unique_pages
+    }
+}
+
+/// N independent engine replicas behind a [`RoutingPolicy`]. Every replica
+/// models the same (GPU, model, system, TP group) as the template engine;
+/// heterogeneous fleets would carry one engine per replica, which this
+/// constructor can grow into.
+pub struct Cluster {
+    engine: ServingEngine,
+    replicas: usize,
+    policy: Box<dyn RoutingPolicy>,
+}
+
+impl Cluster {
+    /// A cluster of `replicas` copies of `engine` routed by `policy`.
+    ///
+    /// # Panics
+    /// Panics if `replicas` is zero.
+    pub fn new(engine: ServingEngine, replicas: usize, policy: Box<dyn RoutingPolicy>) -> Self {
+        assert!(replicas > 0, "a cluster needs at least one replica");
+        Self {
+            engine,
+            replicas,
+            policy,
+        }
+    }
+
+    /// The routing policy's report name.
+    pub fn routing_name(&self) -> &'static str {
+        self.policy.name()
+    }
+
+    /// Serves `spec` across the cluster with paged admission on every
+    /// replica (each sized by [`ServingEngine::paged_budget`], i.e. exactly
+    /// like the single-engine paged path). Requests are routed in arrival
+    /// order: before each routing decision every replica lagging behind the
+    /// arrival is advanced to it, so the router sees live queue pressure;
+    /// after the last request is placed, replicas drain independently.
+    ///
+    /// # Errors
+    /// [`EngineUnavailable::OutOfMemory`] when a worst-case request exceeds
+    /// one replica's page pool.
+    ///
+    /// # Panics
+    /// Panics if the routing policy returns an out-of-range replica index.
+    pub fn serve_paged(
+        &mut self,
+        spec: &WorkloadSpec,
+        mk_policy: impl Fn() -> Box<dyn SchedulingPolicy>,
+        reservation: Reservation,
+        opts: SchedOptions,
+    ) -> Result<ClusterReport, EngineUnavailable> {
+        // Fresh replicas get a fresh router: no pins or cursor state from a
+        // previous serve may leak in.
+        self.policy.reset();
+        let mut reps: Vec<Replica> = (0..self.replicas)
+            .map(|_| -> Result<Replica, EngineUnavailable> {
+                let (budget, batch_limit) = self.engine.paged_budget(spec, reservation)?;
+                Ok(Replica {
+                    engine: self.engine.clone(),
+                    sched: Scheduler::open(batch_limit, mk_policy(), opts),
+                    budget,
+                    routed: 0,
+                })
+            })
+            .collect::<Result<_, _>>()?;
+
+        let mut requests = spec.sample();
+        requests.sort_by(|a, b| {
+            a.arrival_s.partial_cmp(&b.arrival_s).unwrap().then(a.id.cmp(&b.id))
+        });
+        for req in requests {
+            // Advance every replica that still has work and lags this
+            // arrival (lowest clock first, ties to the lowest index), so
+            // routing observes each replica as of the arrival instant.
+            while let Some(i) = Self::laggard(&reps, req.arrival_s) {
+                reps[i].tick();
+            }
+            let views: Vec<ReplicaView> =
+                reps.iter().enumerate().map(|(i, r)| r.view(i)).collect();
+            let choice = self.policy.route(&req, &views);
+            assert!(
+                choice < reps.len(),
+                "routing policy '{}' picked replica {} of {}",
+                self.policy.name(),
+                choice,
+                reps.len()
+            );
+            reps[choice].submit(req);
+        }
+        // Drain: keep ticking the furthest-behind replica until all finish.
+        while let Some(i) = Self::laggard(&reps, f64::INFINITY) {
+            reps[i].tick();
+        }
+        Ok(Self::aggregate(self.policy.name(), &reps))
+    }
+
+    /// Index of the lowest-clock replica that still has work and whose
+    /// clock is strictly below `horizon` (ties to the lowest index).
+    fn laggard(reps: &[Replica], horizon: f64) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        for (i, r) in reps.iter().enumerate() {
+            if r.done() || r.clock() >= horizon {
+                continue;
+            }
+            if best.is_none_or(|b| r.clock() < reps[b].clock()) {
+                best = Some(i);
+            }
+        }
+        best
+    }
+
+    fn aggregate(routing: &str, reps: &[Replica]) -> ClusterReport {
+        let mut latencies: Vec<f64> = Vec::new();
+        let mut ttft_sum = 0.0;
+        let mut generated = 0usize;
+        let mut completed = 0usize;
+        let mut preemptions = 0usize;
+        let mut makespan = 0.0f64;
+        let mut per_replica = Vec::with_capacity(reps.len());
+        for rep in reps {
+            let finished = rep.sched.finished();
+            for r in finished {
+                latencies.push(r.latency_s().expect("finished"));
+                ttft_sum += r.ttft_s().expect("finished");
+            }
+            let rep_generated: usize = finished.iter().map(|r| r.generated).sum();
+            generated += rep_generated;
+            completed += finished.len();
+            preemptions += rep.sched.preemptions();
+            if rep.routed > 0 {
+                makespan = makespan.max(rep.clock());
+            }
+            per_replica.push(ReplicaReport {
+                routed: rep.routed,
+                completed: finished.len(),
+                generated_tokens: rep_generated,
+                clock_s: rep.clock(),
+                preemptions: rep.sched.preemptions(),
+                peak_unique_pages: rep.budget.peak_pages(),
+                finished: finished.iter().map(|r| r.id).collect(),
+            });
+        }
+        assert!(!latencies.is_empty(), "cluster serve finished nothing");
+        latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        ClusterReport {
+            routing: routing.to_string(),
+            replicas: reps.len(),
+            completed,
+            generated_tokens: generated,
+            makespan_s: makespan,
+            throughput_tps: generated as f64 / makespan,
+            mean_ttft_s: ttft_sum / latencies.len() as f64,
+            p50_latency_s: percentile(&latencies, 0.50),
+            p99_latency_s: percentile(&latencies, 0.99),
+            preemptions,
+            max_replica_peak_pages: per_replica
+                .iter()
+                .map(|r| r.peak_unique_pages)
+                .max()
+                .unwrap_or(0),
+            per_replica,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::SystemConfig;
+    use crate::request::{ArrivalPattern, RequestId};
+    use crate::scheduler::{Fcfs, MemoryAware};
+    use qserve_gpusim::{GpuSpec, TpGroup};
+    use qserve_model::ModelConfig;
+
+    fn engine() -> ServingEngine {
+        ServingEngine::new(
+            GpuSpec::a100(),
+            ModelConfig::llama2_7b(),
+            SystemConfig::QServePerChannel,
+        )
+        .expect("A100 serves Llama-2-7B")
+    }
+
+    fn shared_spec() -> WorkloadSpec {
+        WorkloadSpec::shared_prefix(4, 2048, 48, 71)
+    }
+
+    #[test]
+    fn one_replica_cluster_bit_identical_to_single_engine() {
+        // The pinning invariant: a 1-replica TP=1 cluster performs exactly
+        // the single-engine ticks, so every shared report field matches bit
+        // for bit.
+        let e = engine();
+        for (spec, opts) in [
+            (WorkloadSpec::mixed(32, 23), SchedOptions::default()),
+            (
+                shared_spec(),
+                SchedOptions { share_prefixes: true, chunk_tokens: Some(512) },
+            ),
+        ] {
+            let single = e
+                .run_workload_paged_with(
+                    &spec,
+                    Box::new(MemoryAware::default()),
+                    Reservation::OnDemand,
+                    opts,
+                )
+                .expect("serves");
+            let mut cluster = Cluster::new(e.clone(), 1, Box::new(RoundRobin::default()));
+            let report = cluster
+                .serve_paged(
+                    &spec,
+                    || Box::new(MemoryAware::default()),
+                    Reservation::OnDemand,
+                    opts,
+                )
+                .expect("serves");
+            assert!(
+                report.matches_single_engine(&single),
+                "cluster {:?} drifted from single-engine {:?}",
+                report,
+                single
+            );
+        }
+    }
+
+    #[test]
+    fn one_replica_cluster_matches_single_engine_with_arrivals() {
+        let e = engine();
+        let spec = WorkloadSpec::chat(24, 5)
+            .with_arrivals(ArrivalPattern::Poisson { rate_rps: 4.0 });
+        let single = e
+            .run_workload_paged_with(
+                &spec,
+                Box::new(Fcfs),
+                Reservation::OnDemand,
+                SchedOptions::default(),
+            )
+            .expect("serves");
+        let mut cluster = Cluster::new(e, 1, Box::new(LeastOutstanding));
+        let report = cluster
+            .serve_paged(
+                &spec,
+                || Box::new(Fcfs),
+                Reservation::OnDemand,
+                SchedOptions::default(),
+            )
+            .expect("serves");
+        assert!(report.matches_single_engine(&single));
+    }
+
+    #[test]
+    fn scaling_out_replicas_lifts_throughput() {
+        let e = engine();
+        let spec = WorkloadSpec::mixed(192, 11);
+        let run = |n: usize| {
+            Cluster::new(e.clone(), n, Box::new(LeastOutstanding))
+                .serve_paged(
+                    &spec,
+                    || Box::new(MemoryAware::default()),
+                    Reservation::OnDemand,
+                    SchedOptions::default(),
+                )
+                .expect("serves")
+        };
+        let one = run(1);
+        let four = run(4);
+        assert_eq!(one.completed, 192);
+        assert_eq!(four.completed, 192);
+        assert_eq!(one.generated_tokens, four.generated_tokens);
+        assert!(
+            four.throughput_tps > one.throughput_tps * 2.0,
+            "4 replicas should scale throughput well past 2×: {} vs {}",
+            four.throughput_tps,
+            one.throughput_tps
+        );
+        assert!(four.makespan_s < one.makespan_s);
+        assert!(four.p99_latency_s < one.p99_latency_s, "queueing delay must shrink");
+        // Work actually spread: every replica saw requests.
+        assert!(four.per_replica.iter().all(|r| r.routed > 0));
+    }
+
+    #[test]
+    fn routing_policies_place_every_request_exactly_once() {
+        let e = engine();
+        let spec = shared_spec();
+        let policies: Vec<Box<dyn RoutingPolicy>> = vec![
+            Box::new(RoundRobin::default()),
+            Box::new(LeastOutstanding),
+            Box::new(PrefixAffinity::default()),
+        ];
+        for policy in policies {
+            let name = policy.name();
+            let report = Cluster::new(e.clone(), 3, policy)
+                .serve_paged(
+                    &spec,
+                    || Box::new(Fcfs),
+                    Reservation::OnDemand,
+                    SchedOptions { share_prefixes: true, chunk_tokens: None },
+                )
+                .expect("serves");
+            assert_eq!(report.completed, 48, "{} dropped requests", name);
+            assert_eq!(
+                report.per_replica.iter().map(|r| r.routed).sum::<usize>(),
+                48,
+                "{} routed a request twice or not at all",
+                name
+            );
+            for r in &report.per_replica {
+                assert_eq!(r.completed, r.routed, "{} lost a routed request", name);
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_affinity_pins_groups_and_cuts_peak_pages() {
+        // 4 tenants on 4 replicas: affinity stores each system prompt on
+        // one replica; round-robin replicates every prompt everywhere. The
+        // per-replica unique-page high-water and the TTFT must both win.
+        let e = engine();
+        let spec = shared_spec();
+        let run = |policy: Box<dyn RoutingPolicy>| {
+            Cluster::new(e.clone(), 4, policy)
+                .serve_paged(
+                    &spec,
+                    || Box::new(MemoryAware::default()),
+                    Reservation::OnDemand,
+                    SchedOptions { share_prefixes: true, chunk_tokens: None },
+                )
+                .expect("serves")
+        };
+        let rr = run(Box::new(RoundRobin::default()));
+        let affinity = run(Box::new(PrefixAffinity::default()));
+        assert_eq!(rr.completed, 48);
+        assert_eq!(affinity.completed, 48);
+        assert!(
+            affinity.max_replica_peak_pages < rr.max_replica_peak_pages,
+            "affinity must dedupe prefixes per replica: {} vs {}",
+            affinity.max_replica_peak_pages,
+            rr.max_replica_peak_pages
+        );
+        assert!(
+            affinity.mean_ttft_s < rr.mean_ttft_s,
+            "affinity must alias more prefixes (lower TTFT): {} vs {}",
+            affinity.mean_ttft_s,
+            rr.mean_ttft_s
+        );
+    }
+
+    #[test]
+    fn tensor_parallel_replicas_serve_faster_per_replica() {
+        // A replica may be a whole TP group: same cluster, beefier engines.
+        let spec = WorkloadSpec::mixed(32, 7);
+        let run = |e: ServingEngine| {
+            Cluster::new(e, 2, Box::new(LeastOutstanding))
+                .serve_paged(
+                    &spec,
+                    || Box::new(MemoryAware::default()),
+                    Reservation::OnDemand,
+                    SchedOptions::default(),
+                )
+                .expect("serves")
+        };
+        let tp1 = run(engine());
+        let tp4 = run(
+            ServingEngine::with_tp(
+                GpuSpec::a100(),
+                ModelConfig::llama2_7b(),
+                SystemConfig::QServePerChannel,
+                TpGroup::nvlink(4),
+            )
+            .expect("builds"),
+        );
+        assert_eq!(tp4.completed, 32);
+        assert!(
+            tp4.throughput_tps > tp1.throughput_tps,
+            "TP=4 replicas {} must outserve TP=1 {}",
+            tp4.throughput_tps,
+            tp1.throughput_tps
+        );
+    }
+
+    #[test]
+    fn repeated_serves_on_one_cluster_replay_identically() {
+        // serve_paged rebuilds replicas per call and resets the router, so
+        // a second serve on the same Cluster must equal the first (and a
+        // fresh Cluster) — no pins or cursor state leak across runs.
+        let e = engine();
+        let spec = shared_spec();
+        let opts = SchedOptions { share_prefixes: true, chunk_tokens: None };
+        let serve = |c: &mut Cluster| {
+            c.serve_paged(&spec, || Box::new(Fcfs), Reservation::OnDemand, opts)
+                .expect("serves")
+        };
+        for policy in [0usize, 1] {
+            let mk: Box<dyn Fn() -> Box<dyn RoutingPolicy>> = match policy {
+                0 => Box::new(|| Box::new(PrefixAffinity::default()) as Box<dyn RoutingPolicy>),
+                _ => Box::new(|| Box::new(RoundRobin::default()) as Box<dyn RoutingPolicy>),
+            };
+            let mut reused = Cluster::new(e.clone(), 3, mk());
+            let first = serve(&mut reused);
+            let second = serve(&mut reused);
+            assert_eq!(first, second, "state leaked across serves");
+            let fresh = serve(&mut Cluster::new(e.clone(), 3, mk()));
+            assert_eq!(first, fresh, "reused cluster diverged from a fresh one");
+        }
+    }
+
+    #[test]
+    fn round_robin_cycles_and_affinity_sticks() {
+        let views: Vec<ReplicaView> = (0..3)
+            .map(|i| ReplicaView {
+                index: i,
+                clock_s: 0.0,
+                outstanding_tokens: i * 10,
+                waiting: 0,
+                running: 0,
+            })
+            .collect();
+        let req = |id: u64, group: Option<u64>| {
+            let r = Request::new(RequestId(id), 8, 4, 0.0);
+            match group {
+                Some(g) => r.with_prefix(g, 4),
+                None => r,
+            }
+        };
+        let mut rr = RoundRobin::default();
+        assert_eq!(rr.route(&req(0, None), &views), 0);
+        assert_eq!(rr.route(&req(1, None), &views), 1);
+        assert_eq!(rr.route(&req(2, None), &views), 2);
+        assert_eq!(rr.route(&req(3, None), &views), 0);
+        let mut lo = LeastOutstanding;
+        assert_eq!(lo.route(&req(0, None), &views), 0, "least-loaded wins");
+        let mut pa = PrefixAffinity::default();
+        let first = pa.route(&req(0, Some(9)), &views);
+        assert_eq!(first, 0, "first member lands least-loaded");
+        // Later members stick even when another replica empties out.
+        let mut views2 = views.clone();
+        views2[0].outstanding_tokens = 1000;
+        assert_eq!(pa.route(&req(1, Some(9)), &views2), first);
+        assert_eq!(pa.route(&req(2, None), &views2), 1, "ungrouped falls back");
+    }
+}

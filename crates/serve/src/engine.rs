@@ -29,6 +29,7 @@ use qserve_gpusim::attention_model::{
     AttentionShape,
 };
 use qserve_gpusim::gemm_model::{gemm_latency, GemmShape};
+use qserve_gpusim::tp::TpGroup;
 use qserve_gpusim::GpuSpec;
 use qserve_model::ModelConfig;
 
@@ -131,13 +132,15 @@ impl ServingReport {
     }
 }
 
-/// A serving engine instance for (GPU, model, system).
+/// A serving engine instance for (GPU, model, system), optionally running
+/// as a tensor-parallel group of identical GPUs.
 #[derive(Debug, Clone)]
 pub struct ServingEngine {
     gpu: GpuSpec,
     model: ModelConfig,
     system: SystemConfig,
     plan: MemoryPlan,
+    tp: TpGroup,
 }
 
 /// Why an engine could not be constructed (the `OOM` / `N.S.` cells of
@@ -171,22 +174,60 @@ impl ServingEngine {
         model: ModelConfig,
         system: SystemConfig,
     ) -> Result<Self, EngineUnavailable> {
+        Self::with_tp(gpu, model, system, TpGroup::single())
+    }
+
+    /// Builds an engine over a tensor-parallel group of `tp.ways` identical
+    /// GPUs: weights and KV heads shard across the group (a 70B model that
+    /// OOMs one GPU can fit four), every layer runs per-GPU shard shapes,
+    /// and each row-parallel projection ends in a ring all-reduce priced by
+    /// [`TpGroup::all_reduce_latency`]. `TpGroup::single()` reproduces the
+    /// single-GPU engine bit for bit.
+    ///
+    /// The group size must divide the model's query *and* KV head counts
+    /// (the Megatron requirement): every GPU then holds exactly
+    /// `kv_heads / ways` KV heads, so the memory plan's per-GPU token cost
+    /// and the attention shard the cost model prices are the same exact
+    /// integer. Ragged groups, where the busiest GPU would hold more heads
+    /// than the plan charges, are rejected rather than silently
+    /// under-budgeted.
+    ///
+    /// # Errors
+    /// [`EngineUnavailable::NotSupported`] (unsupported model, or `tp.ways`
+    /// does not divide the head counts) or
+    /// [`EngineUnavailable::OutOfMemory`].
+    pub fn with_tp(
+        gpu: GpuSpec,
+        model: ModelConfig,
+        system: SystemConfig,
+        tp: TpGroup,
+    ) -> Result<Self, EngineUnavailable> {
         if !system.supports(&model) {
             return Err(EngineUnavailable::NotSupported);
         }
-        let plan = MemoryPlan::plan(&model, &gpu, system.weight_bits(), system.kv_bits())
-            .ok_or(EngineUnavailable::OutOfMemory)?;
+        if tp.ways > 1 && (model.heads % tp.ways != 0 || model.kv_heads % tp.ways != 0) {
+            return Err(EngineUnavailable::NotSupported);
+        }
+        let plan =
+            MemoryPlan::plan_tp(&model, &gpu, system.weight_bits(), system.kv_bits(), tp.ways)
+                .ok_or(EngineUnavailable::OutOfMemory)?;
         Ok(Self {
             gpu,
             model,
             system,
             plan,
+            tp,
         })
     }
 
     /// The memory plan in force.
     pub fn plan(&self) -> &MemoryPlan {
         &self.plan
+    }
+
+    /// The tensor-parallel group this engine models.
+    pub fn tp(&self) -> &TpGroup {
+        &self.tp
     }
 
     /// Memory-derived batch limit for a workload (0 ⇒ cannot serve).
@@ -205,27 +246,41 @@ impl ServingEngine {
         let cfg = self.system.gemm_config();
         let h = self.model.hidden;
         let kv = self.model.kv_heads * self.model.head_dim();
+        // Megatron sharding: QKV and FFN-up are column-parallel (output dim
+        // per GPU), attention-out and FFN-down are row-parallel (inner dim
+        // per GPU). `TpGroup::shard` is the exact integer quotient, so a
+        // TP=1 engine runs the very same shapes it always did.
+        let qkv_n = self.tp.shard(h) + 2 * self.tp.shard(kv);
+        let ffn_shard = self.tp.shard(self.model.ffn);
         let mut t = 0.0;
         // Attention projections (shared by dense and MoE).
-        for (n, k) in [(h + 2 * kv, h), (h, h)] {
+        for (n, k) in [(qkv_n, h), (h, self.tp.shard(h))] {
             t += gemm_latency(&self.gpu, cfg, GemmShape { m: batch, n, k }).total_s;
         }
         let e = self.model.experts;
         if e == 1 {
-            for (n, k) in [(2 * self.model.ffn, h), (h, self.model.ffn)] {
+            for (n, k) in [(2 * ffn_shard, h), (h, ffn_shard)] {
                 t += gemm_latency(&self.gpu, cfg, GemmShape { m: batch, n, k }).total_s;
             }
         } else {
             let routed = batch * self.model.active_experts;
             let touched = e.min(routed.max(1));
             let tokens_per_expert = (routed / touched).max(1);
-            for (n, k) in [(2 * self.model.ffn, h), (h, self.model.ffn)] {
+            for (n, k) in [(2 * ffn_shard, h), (h, ffn_shard)] {
                 t += touched as f64
                     * gemm_latency(&self.gpu, cfg, GemmShape { m: tokens_per_expert, n, k })
                         .total_s;
             }
         }
         t
+    }
+
+    /// Per-layer tensor-parallel communication: the two row-parallel
+    /// projections (attention out, FFN down) each end in a ring all-reduce
+    /// over the FP16 activation tile. Exactly `0.0` at TP=1.
+    fn layer_all_reduce_latency(&self, tokens: usize) -> f64 {
+        let act_bytes = 2.0 * tokens as f64 * self.model.hidden as f64;
+        2.0 * self.tp.all_reduce_latency(act_bytes)
     }
 
     /// One decode step: layer GEMMs at the batch size, a given attention
@@ -238,6 +293,7 @@ impl ServingEngine {
         let act_bytes = 2.0 * 2.0 * batch as f64 * self.model.hidden as f64;
         t += MISC_KERNELS_PER_LAYER
             * (act_bytes / self.gpu.dram_bytes_per_s + self.gpu.kernel_overhead_s);
+        t += self.layer_all_reduce_latency(batch);
         let per_layer = t;
         per_layer * self.model.layers as f64 / self.system.runtime_efficiency() + STEP_OVERHEAD_S
     }
@@ -252,8 +308,8 @@ impl ServingEngine {
             AttentionShape {
                 batch,
                 seq_len,
-                query_heads: self.model.heads,
-                kv_heads: self.model.kv_heads,
+                query_heads: self.tp.shard(self.model.heads),
+                kv_heads: self.tp.shard(self.model.kv_heads),
                 head_dim: self.model.head_dim(),
             },
         );
@@ -268,8 +324,8 @@ impl ServingEngine {
             &self.gpu,
             self.system.attention_kernel(),
             seq_lens,
-            self.model.heads,
-            self.model.kv_heads,
+            self.tp.shard(self.model.heads),
+            self.tp.shard(self.model.kv_heads),
             self.model.head_dim(),
         );
         self.decode_cost(seq_lens.len(), attn)
@@ -283,6 +339,7 @@ impl ServingEngine {
         let act_bytes = 2.0 * 2.0 * tokens as f64 * self.model.hidden as f64;
         t += MISC_KERNELS_PER_LAYER
             * (act_bytes / self.gpu.dram_bytes_per_s + self.gpu.kernel_overhead_s);
+        t += self.layer_all_reduce_latency(tokens);
         t * self.model.layers as f64 / self.system.runtime_efficiency() + STEP_OVERHEAD_S
     }
 
@@ -296,8 +353,8 @@ impl ServingEngine {
             self.system.attention_kernel(),
             batch,
             input_len,
-            self.model.heads,
-            self.model.kv_heads,
+            self.tp.shard(self.model.heads),
+            self.tp.shard(self.model.kv_heads),
             self.model.head_dim(),
         );
         self.prefill_cost(batch * input_len, attn_s)
@@ -314,8 +371,8 @@ impl ServingEngine {
             &self.gpu,
             self.system.attention_kernel(),
             input_lens,
-            self.model.heads,
-            self.model.kv_heads,
+            self.tp.shard(self.model.heads),
+            self.tp.shard(self.model.kv_heads),
             self.model.head_dim(),
         );
         self.prefill_cost(input_lens.iter().sum(), attn_s)
@@ -334,8 +391,8 @@ impl ServingEngine {
             &self.gpu,
             self.system.attention_kernel(),
             chunks,
-            self.model.heads,
-            self.model.kv_heads,
+            self.tp.shard(self.model.heads),
+            self.tp.shard(self.model.kv_heads),
             self.model.head_dim(),
         );
         self.prefill_cost(chunks.iter().map(|&(c, _)| c).sum(), attn_s)
@@ -370,40 +427,56 @@ impl ServingEngine {
     ) -> ServingReport {
         let mut sched = Scheduler::with_options(requests, batch_limit, policy, opts);
         while !sched.is_done() {
-            let wave = sched.admit(budget);
-            match opts.chunk_tokens {
-                None => {
-                    if !wave.ids.is_empty() {
-                        let chunks: Vec<(usize, usize)> = wave
-                            .prefill_lens
-                            .iter()
-                            .zip(&wave.shared_lens)
-                            .map(|(&full, &shared)| (full - shared, shared))
-                            .collect();
-                        sched.charge_prefill(self.prefill_latency_chunked(&chunks));
-                    }
-                }
-                Some(chunk_tokens) => {
-                    let chunks = sched.prefill_chunks(chunk_tokens);
-                    if !chunks.is_empty() {
-                        let pairs: Vec<(usize, usize)> =
-                            chunks.iter().map(|&(_, c, p)| (c, p)).collect();
-                        sched.charge_prefill(self.prefill_latency_chunked(&pairs));
-                    }
-                }
-            }
-            if sched.running().is_empty() {
-                sched.idle_until_arrival();
-                continue;
-            }
-            sched.make_room(budget);
-            let lens = sched.decoding_seq_lens();
-            if lens.is_empty() {
-                continue; // every resident is still chunk-prefilling
-            }
-            sched.decode_step(self.decode_step_latency_hetero(&lens), budget);
+            self.scheduler_tick(&mut sched, budget);
         }
         ServingReport::from_stats(sched.stats(), batch_limit, budget.peak_pages())
+    }
+
+    /// One scheduling tick priced by this engine's cost model: admit, charge
+    /// (possibly chunked) prefill, idle if nothing runs, make room, decode.
+    /// The single loop body behind [`ServingEngine::run_scheduled_with`]
+    /// *and* every [`crate::cluster`] replica — one implementation, so a
+    /// 1-replica cluster is bit-identical to the single-engine run by
+    /// construction. The chunking knob comes from the scheduler itself
+    /// ([`Scheduler::options`]), so pricing can never disagree with the
+    /// admission behavior those options drive.
+    pub(crate) fn scheduler_tick(&self, sched: &mut Scheduler, budget: &mut dyn KvBudget) {
+        let wave = sched.admit(budget);
+        match sched.options().chunk_tokens {
+            None => {
+                if !wave.ids.is_empty() {
+                    let chunks: Vec<(usize, usize)> = wave
+                        .prefill_lens
+                        .iter()
+                        .zip(&wave.shared_lens)
+                        .map(|(&full, &shared)| (full - shared, shared))
+                        .collect();
+                    sched.charge_prefill(self.prefill_latency_chunked(&chunks));
+                }
+            }
+            Some(chunk_tokens) => {
+                let chunks = sched.prefill_chunks(chunk_tokens);
+                if !chunks.is_empty() {
+                    let pairs: Vec<(usize, usize)> =
+                        chunks.iter().map(|&(_, c, p)| (c, p)).collect();
+                    sched.charge_prefill(self.prefill_latency_chunked(&pairs));
+                }
+            }
+        }
+        if sched.running().is_empty() {
+            // A drained-but-open scheduler (cluster replica between routing
+            // decisions) has nothing to idle toward.
+            if !sched.is_done() {
+                sched.idle_until_arrival();
+            }
+            return;
+        }
+        sched.make_room(budget);
+        let lens = sched.decoding_seq_lens();
+        if lens.is_empty() {
+            return; // every resident is still chunk-prefilling
+        }
+        sched.decode_step(self.decode_step_latency_hetero(&lens), budget);
     }
 
     /// Runs the continuous-batching simulation at an explicit batch limit
@@ -494,11 +567,28 @@ impl ServingEngine {
         reservation: Reservation,
         opts: SchedOptions,
     ) -> Result<ServingReport, EngineUnavailable> {
+        let (mut budget, optimistic) = self.paged_budget(spec, reservation)?;
+        Ok(self.run_scheduled_with(spec.sample(), optimistic, policy, &mut budget, opts))
+    }
+
+    /// Sizes the page ledger and the optimistic batch limit this engine
+    /// uses for paged serving of `spec` — the sizing behind
+    /// [`ServingEngine::run_workload_paged_with`], shared with
+    /// [`crate::cluster`] so every replica mirrors the single-engine math.
+    ///
+    /// # Errors
+    /// [`EngineUnavailable::OutOfMemory`] when a worst-case request exceeds
+    /// the whole page pool.
+    pub fn paged_budget(
+        &self,
+        spec: &WorkloadSpec,
+        reservation: Reservation,
+    ) -> Result<(PageBudget, usize), EngineUnavailable> {
         let layers = self.model.layers;
         // `max_tokens` counts whole-model tokens; each occupies a slot in
         // every layer's page table.
         let total_pages = (self.plan.max_tokens as usize * layers) / SIM_PAGE_TOKENS;
-        let mut budget = PageBudget::new(SIM_PAGE_TOKENS, layers, total_pages, reservation);
+        let budget = PageBudget::new(SIM_PAGE_TOKENS, layers, total_pages, reservation);
         let worst = spec.max_peak_len().div_ceil(SIM_PAGE_TOKENS) * layers;
         if worst > total_pages {
             return Err(EngineUnavailable::OutOfMemory);
@@ -507,7 +597,7 @@ impl ServingEngine {
         // every request were as small as possible; the page budget is the
         // real gate.
         let optimistic = self.plan.max_batch(spec.min_peak_len()).max(1);
-        Ok(self.run_scheduled_with(spec.sample(), optimistic, policy, &mut budget, opts))
+        Ok((budget, optimistic))
     }
 
     /// The paper's headline measurement: maximum achievable throughput under
@@ -1009,6 +1099,115 @@ mod tests {
             crate::scheduler::SchedOptions::default(),
         );
         assert_eq!(legacy, opted);
+    }
+
+    #[test]
+    fn tp1_engine_bit_identical_to_legacy() {
+        // `with_tp(TpGroup::single())` must reproduce the single-GPU engine
+        // bit for bit — the identity the golden-snapshot CSVs rest on once
+        // clusters model replicas as TP groups.
+        let m = ModelConfig::llama2_7b();
+        let legacy = engine(GpuSpec::a100(), m.clone(), SystemConfig::QServePerChannel);
+        let tp1 = ServingEngine::with_tp(
+            GpuSpec::a100(),
+            m,
+            SystemConfig::QServePerChannel,
+            TpGroup::single(),
+        )
+        .expect("builds");
+        assert_eq!(legacy.plan(), tp1.plan());
+        for (batch, len) in [(1usize, 128usize), (16, 1024), (64, 1536)] {
+            assert_eq!(
+                legacy.decode_step_latency(batch, len).to_bits(),
+                tp1.decode_step_latency(batch, len).to_bits()
+            );
+            assert_eq!(
+                legacy.prefill_latency(batch, len).to_bits(),
+                tp1.prefill_latency(batch, len).to_bits()
+            );
+        }
+        let wl = Workload::paper(32);
+        assert_eq!(legacy.run_with_batch(&wl, 16), tp1.run_with_batch(&wl, 16));
+    }
+
+    #[test]
+    fn tp_shards_compute_and_charges_communication() {
+        let m = ModelConfig::llama2_7b();
+        let mk = |tp: TpGroup| {
+            ServingEngine::with_tp(GpuSpec::a100(), m.clone(), SystemConfig::QServePerChannel, tp)
+                .expect("builds")
+        };
+        let tp1 = mk(TpGroup::single());
+        let tp4 = mk(TpGroup::nvlink(4));
+        // Sharding must speed a step up, but sublinearly: the all-reduce
+        // and the unsharded auxiliary kernels don't scale.
+        let t1 = tp1.decode_step_latency(64, 1024);
+        let t4 = tp4.decode_step_latency(64, 1024);
+        assert!(t4 < t1, "TP=4 step {} must beat TP=1 {}", t4, t1);
+        assert!(t4 > t1 / 4.0, "TP=4 speedup cannot be ideal: {} vs {}", t4, t1);
+        // A slow interconnect erodes the gain.
+        let pcie = mk(TpGroup::pcie(4)).decode_step_latency(64, 1024);
+        assert!(pcie > t4, "PCIe all-reduce {} must cost more than NVLink {}", pcie, t4);
+        // And the group holds more KV tokens than one GPU.
+        assert!(tp4.plan().max_tokens > tp1.plan().max_tokens);
+    }
+
+    #[test]
+    fn tp_rejects_ragged_head_splits() {
+        // 32 query/KV heads cannot split 3 ways evenly: the busiest GPU
+        // would hold 11 heads while the memory plan charged the even share,
+        // silently over-admitting KV. Such groups are refused outright.
+        let m = ModelConfig::llama2_7b();
+        assert_eq!(
+            ServingEngine::with_tp(
+                GpuSpec::a100(),
+                m.clone(),
+                SystemConfig::QServePerChannel,
+                TpGroup::nvlink(3),
+            )
+            .err(),
+            Some(EngineUnavailable::NotSupported)
+        );
+        // GQA: Llama-3-8B has 8 KV heads — 16 ways divides the 32 query
+        // heads but not the KV heads, so it is refused too; 8 ways works.
+        let g = ModelConfig::llama3_8b();
+        assert_eq!(
+            ServingEngine::with_tp(
+                GpuSpec::a100(),
+                g.clone(),
+                SystemConfig::QServePerGroup,
+                TpGroup::nvlink(16),
+            )
+            .err(),
+            Some(EngineUnavailable::NotSupported)
+        );
+        assert!(ServingEngine::with_tp(
+            GpuSpec::a100(),
+            g,
+            SystemConfig::QServePerGroup,
+            TpGroup::nvlink(8),
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn tp_rescues_fp16_70b_from_oom() {
+        // FP16 70B OOMs a single A100 (Table 4's OOM cell) but serves once
+        // the weights shard across a 4-GPU TP group.
+        let m = ModelConfig::llama2_70b();
+        assert_eq!(
+            ServingEngine::new(GpuSpec::a100(), m.clone(), SystemConfig::TrtFp16).err(),
+            Some(EngineUnavailable::OutOfMemory)
+        );
+        let tp4 = ServingEngine::with_tp(
+            GpuSpec::a100(),
+            m,
+            SystemConfig::TrtFp16,
+            TpGroup::nvlink(4),
+        )
+        .expect("70B FP16 fits a 4-way group");
+        let r = tp4.max_throughput(&Workload::paper(8)).expect("serves");
+        assert!(r.throughput_tps > 0.0);
     }
 
     #[test]

@@ -212,9 +212,13 @@ impl PagedKvCache {
     }
 
     /// Drops one reference to `page`, recycling it when nobody is left.
+    /// The underflow check is a hard assert: a double-unref in a release
+    /// build would otherwise wrap the refcount to `u32::MAX` and leak the
+    /// page (plus every sequence that later aliased it) forever.
     fn unref_page(&mut self, page: usize) {
-        debug_assert!(self.refcounts[page] > 0, "unref of a free page");
-        self.refcounts[page] -= 1;
+        self.refcounts[page] = self.refcounts[page]
+            .checked_sub(1)
+            .expect("page refcount underflow: unref of a free page");
         if self.refcounts[page] == 0 {
             self.pages[page].filled = 0;
             self.free_list.push(page);

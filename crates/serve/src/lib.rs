@@ -20,7 +20,11 @@
 //!   execution path — the single continuous-batching implementation.
 //! * [`engine`] — a continuous-batching serving engine running against the
 //!   `qserve-gpusim` cost model: the scheduler core driven by per-sequence
-//!   prefill/decode costs (each sequence charged at its true KV length).
+//!   prefill/decode costs (each sequence charged at its true KV length),
+//!   optionally as a tensor-parallel group of GPUs.
+//! * [`cluster`] — scale-out: N engine replicas (each with its own page
+//!   pool, scheduler and clock) behind a pluggable [`RoutingPolicy`]
+//!   (round-robin, least-outstanding-work, prefix-affinity).
 //!
 //! The engine's scheduler/cache logic is real (allocation, batching,
 //! accounting all execute); only kernel *wall-clock* comes from the cost
@@ -29,6 +33,7 @@
 pub mod attention_exec;
 pub mod baselines;
 pub mod block_exec;
+pub mod cluster;
 pub mod engine;
 pub mod kv_cache;
 pub mod memory;
@@ -39,6 +44,10 @@ pub mod scheduler;
 
 pub use attention_exec::paged_decode_attention;
 pub use block_exec::BlockRuntime;
+pub use cluster::{
+    Cluster, ClusterReport, LeastOutstanding, PrefixAffinity, ReplicaReport, ReplicaView,
+    RoundRobin, RoutingPolicy,
+};
 pub use model_exec::ModelRuntime;
 pub use baselines::SystemConfig;
 pub use engine::{ServingEngine, ServingReport, Workload};

@@ -32,14 +32,42 @@ impl MemoryPlan {
         weight_bits: u32,
         kv_bits: u32,
     ) -> Option<Self> {
-        let weight_bytes = model.weight_bytes(weight_bits);
+        Self::plan_tp(model, gpu, weight_bits, kv_bits, 1)
+    }
+
+    /// Builds the plan for a `tp_ways`-GPU tensor-parallel group: weights
+    /// and KV heads shard evenly, so each GPU holds a `1/tp_ways` slice of
+    /// both and the group's token capacity is what one GPU's KV budget can
+    /// hold at the per-GPU per-token cost. All quantities stay exact
+    /// integers (`div_ceil`), so `tp_ways = 1` is [`MemoryPlan::plan`]
+    /// bit for bit.
+    ///
+    /// The KV split is exact only when `tp_ways` divides the model's KV
+    /// head count — [`crate::ServingEngine::with_tp`] enforces that, so the
+    /// per-GPU token cost here equals the attention shard the cost model
+    /// prices. (Weight bytes round up by at most one tensor row per GPU.)
+    ///
+    /// # Panics
+    /// Panics if `tp_ways` is zero.
+    pub fn plan_tp(
+        model: &ModelConfig,
+        gpu: &GpuSpec,
+        weight_bits: u32,
+        kv_bits: u32,
+        tp_ways: usize,
+    ) -> Option<Self> {
+        assert!(tp_ways > 0, "a TP group needs at least one GPU");
+        let weight_bytes = model.weight_bytes(weight_bits).div_ceil(tp_ways as u64);
         let workspace_bytes = (gpu.memory_bytes as f64 * WORKSPACE_FRACTION) as u64;
         let used = weight_bytes + workspace_bytes;
         if used >= gpu.memory_bytes {
             return None;
         }
         let kv_budget_bytes = gpu.memory_bytes - used;
-        let kv_bytes_per_token = model.kv_bytes_per_token(kv_bits).max(1);
+        let kv_bytes_per_token = model
+            .kv_bytes_per_token(kv_bits)
+            .div_ceil(tp_ways as u64)
+            .max(1);
         Some(Self {
             weight_bytes,
             workspace_bytes,
@@ -100,6 +128,31 @@ mod tests {
         let kv4 = MemoryPlan::plan(&m, &gpu, 4, 4).unwrap();
         let ratio = kv4.max_tokens as f64 / kv8.max_tokens as f64;
         assert!((1.7..2.1).contains(&ratio), "ratio {}", ratio);
+    }
+
+    #[test]
+    fn tp1_plan_identical_to_single_gpu_plan() {
+        let m = ModelConfig::llama2_7b();
+        let gpu = GpuSpec::a100();
+        assert_eq!(
+            MemoryPlan::plan(&m, &gpu, 4, 4),
+            MemoryPlan::plan_tp(&m, &gpu, 4, 4, 1)
+        );
+    }
+
+    #[test]
+    fn tp_sharding_lifts_capacity_and_rescues_oom() {
+        let m = ModelConfig::llama2_70b();
+        let gpu = GpuSpec::a100();
+        // FP16 70B OOMs on one A100 but fits once weights shard 4 ways.
+        assert!(MemoryPlan::plan_tp(&m, &gpu, 16, 16, 1).is_none());
+        let tp4 = MemoryPlan::plan_tp(&m, &gpu, 16, 16, 4).expect("shards fit");
+        assert!(tp4.max_batch(1536) >= 1);
+        // More ways ⇒ smaller per-GPU KV cost ⇒ more group tokens.
+        let m7 = ModelConfig::llama2_7b();
+        let t1 = MemoryPlan::plan_tp(&m7, &gpu, 4, 4, 1).unwrap().max_tokens;
+        let t2 = MemoryPlan::plan_tp(&m7, &gpu, 4, 4, 2).unwrap().max_tokens;
+        assert!(t2 > t1, "TP=2 capacity {} must exceed TP=1 {}", t2, t1);
     }
 
     #[test]

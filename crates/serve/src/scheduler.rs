@@ -165,6 +165,52 @@ impl PageBudget {
         self.free_pages
     }
 
+    /// Pages currently charged to residents and shared pools.
+    pub fn used_pages(&self) -> usize {
+        self.total_pages - self.free_pages
+    }
+
+    /// Audits the ledger from first principles: the free count must equal
+    /// the total minus every resident's private reservation and every
+    /// shared pool's pages, and each pool's refcount must equal the number
+    /// of resident entries referencing it. Preemption/re-admission
+    /// regression tests call this step-wise; it is `assert!`-based, so it
+    /// bites in release builds too.
+    ///
+    /// # Panics
+    /// Panics on any drift between the counters and the entry/pool maps.
+    pub fn assert_consistent(&self) {
+        let reserved: usize = self
+            .entries
+            .values()
+            .map(|e| e.reserved_per_layer * self.layers)
+            .sum();
+        let pooled: usize = self
+            .pools
+            .values()
+            .map(|p| p.pages_per_layer * self.layers)
+            .sum();
+        assert_eq!(
+            self.free_pages + reserved + pooled,
+            self.total_pages,
+            "page ledger drift: free {} + reserved {} + pooled {} != total {}",
+            self.free_pages,
+            reserved,
+            pooled,
+            self.total_pages
+        );
+        for (g, pool) in &self.pools {
+            let refs = self.entries.values().filter(|e| e.group == Some(*g)).count();
+            assert_eq!(pool.refs, refs, "pool {} refcount drift", g);
+            assert!(refs > 0, "pool {} outlived its last resident", g);
+        }
+        for e in self.entries.values() {
+            if let Some(g) = e.group {
+                assert!(self.pools.contains_key(&g), "entry references a dead pool {}", g);
+            }
+        }
+    }
+
     /// Pages one sequence of `tokens` needs per layer.
     fn pages_for(&self, tokens: usize) -> usize {
         tokens.div_ceil(self.page_tokens)
@@ -261,13 +307,19 @@ impl KvBudget for PageBudget {
             self.free_pages += entry.reserved_per_layer * self.layers;
             if let Some(g) = entry.group {
                 let pool = self.pools.get_mut(&g).expect("entry references a dead pool");
-                pool.refs -= 1;
+                // A preempted or finished member drops exactly one pool
+                // reference; hard asserts (not debug_assert) so an
+                // accounting bug cannot wrap the counter in release builds.
+                pool.refs = pool
+                    .refs
+                    .checked_sub(1)
+                    .expect("shared pool refcount underflow");
                 if pool.refs == 0 {
                     self.free_pages += pool.pages_per_layer * self.layers;
                     self.pools.remove(&g);
                 }
             }
-            debug_assert!(self.free_pages <= self.total_pages, "page ledger over-released");
+            assert!(self.free_pages <= self.total_pages, "page ledger over-released");
         }
     }
 
@@ -486,17 +538,31 @@ impl Scheduler {
         policy: Box<dyn SchedulingPolicy>,
         opts: SchedOptions,
     ) -> Self {
-        assert!(batch_limit > 0, "batch limit must be positive");
         assert!(!requests.is_empty(), "nothing to schedule");
-        assert!(opts.chunk_tokens != Some(0), "chunk size must be positive");
         requests.sort_by(|a, b| {
             a.arrival_s.partial_cmp(&b.arrival_s).unwrap().then(a.id.cmp(&b.id))
         });
+        let mut sched = Self::open(batch_limit, policy, opts);
+        sched.pending = requests;
+        sched
+    }
+
+    /// Builds an *open* scheduler with no requests yet: callers submit work
+    /// incrementally via [`Scheduler::submit`] — how a cluster replica
+    /// receives requests one routing decision at a time. Starts in the done
+    /// state ([`Scheduler::is_done`]) until the first submission.
+    ///
+    /// # Panics
+    /// Panics if `batch_limit` is zero or a chunk size of zero tokens is
+    /// requested.
+    pub fn open(batch_limit: usize, policy: Box<dyn SchedulingPolicy>, opts: SchedOptions) -> Self {
+        assert!(batch_limit > 0, "batch limit must be positive");
+        assert!(opts.chunk_tokens != Some(0), "chunk size must be positive");
         Self {
             policy,
             batch_limit,
             opts,
-            pending: requests,
+            pending: Vec::new(),
             running: Vec::new(),
             finished: Vec::new(),
             clock: 0.0,
@@ -504,6 +570,34 @@ impl Scheduler {
             decode_time: 0.0,
             preemptions: 0,
         }
+    }
+
+    /// Submits one more request, keeping the pending queue sorted by
+    /// `(arrival_s, id)`. The request becomes admissible once the clock
+    /// reaches its arrival time, exactly as if it had been present from
+    /// construction.
+    pub fn submit(&mut self, req: Request) {
+        let at = self
+            .pending
+            .partition_point(|r| (r.arrival_s, r.id) <= (req.arrival_s, req.id));
+        self.pending.insert(at, req);
+    }
+
+    /// The sharing/chunking options this scheduler runs under — the single
+    /// source of truth a driver must price ticks against.
+    pub fn options(&self) -> SchedOptions {
+        self.opts
+    }
+
+    /// Tokens of work still owed to queued + running requests: un-prefilled
+    /// prompt/recompute tokens plus un-generated output tokens. The
+    /// "outstanding work" a cluster router balances replicas by.
+    pub fn outstanding_tokens(&self) -> usize {
+        self.pending
+            .iter()
+            .chain(&self.running)
+            .map(|r| r.prefill_remaining() + r.remaining())
+            .sum()
     }
 
     /// Current simulation clock, seconds.
@@ -559,6 +653,12 @@ impl Scheduler {
     /// The policy's report name.
     pub fn policy_name(&self) -> &'static str {
         self.policy.name()
+    }
+
+    /// Preemption events so far (available before anything finishes,
+    /// unlike [`Scheduler::stats`]).
+    pub fn preemptions(&self) -> usize {
+        self.preemptions
     }
 
     /// Number of pending requests that have arrived by the current clock.
@@ -1096,6 +1196,40 @@ mod tests {
         assert_eq!(stats.p95_latency_s, stats.max_latency_s);
         assert_eq!(stats.p99_latency_s, stats.max_latency_s);
         assert_eq!(stats.mean_latency_s, stats.max_latency_s);
+    }
+
+    #[test]
+    fn open_scheduler_with_submissions_matches_constructed() {
+        // Submitting the same requests one by one to an open scheduler must
+        // replay the constructed scheduler tick for tick — the identity the
+        // 1-replica cluster equivalence rests on.
+        let reqs = WorkloadSpec::mixed(12, 9)
+            .with_arrivals(crate::request::ArrivalPattern::Uniform { rate_rps: 4.0 })
+            .sample();
+        let constructed = Scheduler::new(reqs.clone(), 3, Box::new(Fcfs));
+        let mut open = Scheduler::open(3, Box::new(Fcfs), SchedOptions::default());
+        assert!(open.is_done(), "an open scheduler starts drained");
+        assert_eq!(open.outstanding_tokens(), 0);
+        for r in reqs {
+            open.submit(r);
+        }
+        assert!(!open.is_done());
+        assert!(open.outstanding_tokens() > 0);
+        let a = drive(constructed, &mut UnboundedBudget, 0.1, 0.01);
+        let b = drive(open, &mut UnboundedBudget, 0.1, 0.01);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn outstanding_tokens_counts_owed_work() {
+        let reqs = vec![crate::request::Request::new(crate::request::RequestId(0), 8, 4, 0.0)];
+        let mut sched = Scheduler::new(reqs, 1, Box::new(Fcfs));
+        assert_eq!(sched.outstanding_tokens(), 12);
+        sched.admit(&mut UnboundedBudget);
+        // Whole-prompt prefill materialized at admission: output remains.
+        assert_eq!(sched.outstanding_tokens(), 4);
+        sched.decode_step(0.01, &mut UnboundedBudget);
+        assert_eq!(sched.outstanding_tokens(), 3);
     }
 
     #[test]

@@ -1,0 +1,122 @@
+//! Fork/release ordering regressions for the paged KV cache.
+//!
+//! A parent released while a forked child still aliases its pages — and the
+//! reverse drop order — must never underflow a page refcount. The cache's
+//! refcount checks are hard asserts (`checked_sub`), not `debug_assert`, so
+//! these tests bite in release builds too (`ci.sh` runs the workspace test
+//! suite in `--release`); a wrap-around in an unchecked build would leak
+//! the page and corrupt every later sequence that recycled it.
+
+use qserve_core::kv_quant::KvPrecision;
+use qserve_serve::kv_cache::{KvCacheConfig, PagedKvCache, SequenceId};
+
+fn cfg() -> KvCacheConfig {
+    KvCacheConfig {
+        page_tokens: 4,
+        kv_heads: 2,
+        head_dim: 8,
+        layers: 2,
+        precision: KvPrecision::Int4,
+    }
+}
+
+fn fill(cache: &mut PagedKvCache, seq: SequenceId, tokens: usize, value: f32) {
+    let feats = vec![value; 16];
+    for _ in 0..tokens {
+        for layer in 0..2 {
+            cache.append_token(seq, layer, &feats, &feats).unwrap();
+        }
+    }
+}
+
+#[test]
+fn parent_then_child_and_child_then_parent_release_orders() {
+    let total = 32;
+    for parent_first in [true, false] {
+        let mut c = PagedKvCache::new(cfg(), total);
+        let (parent, child) = (SequenceId(0), SequenceId(1));
+        c.register(parent).unwrap();
+        fill(&mut c, parent, 10, 0.5); // 3 pages/layer, partial tail
+        c.fork(parent, child, 10).unwrap();
+        for &p in &c.layer_pages(parent, 0).to_vec() {
+            assert_eq!(c.page_refcount(p), 2);
+        }
+        let (first, second) = if parent_first { (parent, child) } else { (child, parent) };
+        c.release(first).unwrap();
+        // The survivor's pages all live on with refcount exactly 1.
+        for layer in 0..2 {
+            for &p in &c.layer_pages(second, layer).to_vec() {
+                assert_eq!(c.page_refcount(p), 1, "order parent_first={}", parent_first);
+            }
+        }
+        assert_eq!(c.used_pages() + c.free_pages(), total);
+        c.release(second).unwrap();
+        assert_eq!(c.free_pages(), total, "order parent_first={}", parent_first);
+        // Double release errors cleanly instead of touching refcounts.
+        assert!(c.release(second).is_err());
+    }
+}
+
+#[test]
+fn fork_chain_releases_in_every_order() {
+    // Grandparent → parent → child alias the same prefix pages (refcount
+    // 3). Release the three in all six orders: refcounts must step down
+    // 3 → 2 → 1 → free with conservation holding throughout.
+    let total = 32;
+    let orders: Vec<[u64; 3]> = vec![
+        [0, 1, 2],
+        [0, 2, 1],
+        [1, 0, 2],
+        [1, 2, 0],
+        [2, 0, 1],
+        [2, 1, 0],
+    ];
+    for order in orders {
+        let mut c = PagedKvCache::new(cfg(), total);
+        let gp = SequenceId(0);
+        c.register(gp).unwrap();
+        fill(&mut c, gp, 8, 1.0); // exactly 2 pages/layer, no partial tail
+        c.fork(gp, SequenceId(1), 8).unwrap();
+        c.fork(SequenceId(1), SequenceId(2), 8).unwrap();
+        let shared: Vec<usize> = c.layer_pages(gp, 0).to_vec();
+        for &p in &shared {
+            assert_eq!(c.page_refcount(p), 3);
+        }
+        for (i, &id) in order.iter().enumerate() {
+            c.release(SequenceId(id)).unwrap();
+            assert_eq!(c.used_pages() + c.free_pages(), total, "order {:?}", order);
+            let expect = 2 - i as u32;
+            for &p in &shared {
+                assert_eq!(c.page_refcount(p), expect, "order {:?} step {}", order, i);
+            }
+        }
+        assert_eq!(c.free_pages(), total, "order {:?}", order);
+    }
+}
+
+#[test]
+fn cow_divergence_then_mixed_release_order() {
+    // The child diverges (copy-on-write duplicates the shared tail), then
+    // parent and child release in both orders: the COW copy must free with
+    // the child, the original tail with the parent, nothing twice.
+    let total = 32;
+    for parent_first in [true, false] {
+        let mut c = PagedKvCache::new(cfg(), total);
+        let (parent, child) = (SequenceId(0), SequenceId(1));
+        c.register(parent).unwrap();
+        fill(&mut c, parent, 6, 0.25); // 2 pages/layer, tail half full
+        c.fork(parent, child, 6).unwrap();
+        fill(&mut c, child, 1, -2.0); // COW: one private tail copy per layer
+        let used_after_cow = c.used_pages();
+        assert_eq!(used_after_cow, 4 + 2, "exactly one COW copy per layer");
+        let (first, second) = if parent_first { (parent, child) } else { (child, parent) };
+        c.release(first).unwrap();
+        assert_eq!(c.used_pages() + c.free_pages(), total);
+        // The survivor still reads its own full view.
+        let len = c.seq_len(second);
+        let (k, _) = c.read_head(second, 0, 0).unwrap();
+        assert_eq!(k.len(), len);
+        c.release(second).unwrap();
+        assert_eq!(c.free_pages(), total, "order parent_first={}", parent_first);
+    }
+}

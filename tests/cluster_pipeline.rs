@@ -1,0 +1,147 @@
+//! Cluster-serving integration: routing conservation under randomized
+//! workloads, single-replica equivalence, and tensor-parallel identities.
+
+use qserve::gpusim::{GpuSpec, TpGroup};
+use qserve::model::ModelConfig;
+use qserve::serve::cluster::{
+    Cluster, LeastOutstanding, PrefixAffinity, RoundRobin, RoutingPolicy,
+};
+use qserve::serve::request::{ArrivalPattern, LengthDist, PrefixSharing, WorkloadSpec};
+use qserve::serve::scheduler::{Fcfs, MemoryAware, Reservation, SchedOptions, SchedulingPolicy};
+use qserve::serve::{ServingEngine, SystemConfig};
+use qserve::tensor::props;
+
+fn engine() -> ServingEngine {
+    ServingEngine::new(
+        GpuSpec::a100(),
+        ModelConfig::llama2_7b(),
+        SystemConfig::QServePerChannel,
+    )
+    .expect("A100 serves Llama-2-7B")
+}
+
+#[test]
+fn one_replica_tp1_cluster_equals_single_engine_bitwise() {
+    // The acceptance identity: a 1-replica TP=1 cluster run is the
+    // single-engine run, bit for bit, for every routing policy.
+    let e = engine();
+    let spec = WorkloadSpec::shared_prefix(4, 1024, 32, 19);
+    let opts = SchedOptions { share_prefixes: true, chunk_tokens: Some(512) };
+    let single = e
+        .run_workload_paged_with(
+            &spec,
+            Box::new(MemoryAware::default()),
+            Reservation::OnDemand,
+            opts,
+        )
+        .expect("serves");
+    let policies: Vec<Box<dyn RoutingPolicy>> = vec![
+        Box::new(RoundRobin::default()),
+        Box::new(LeastOutstanding),
+        Box::new(PrefixAffinity::default()),
+    ];
+    for policy in policies {
+        let report = Cluster::new(e.clone(), 1, policy)
+            .serve_paged(
+                &spec,
+                || Box::new(MemoryAware::default()),
+                Reservation::OnDemand,
+                opts,
+            )
+            .expect("serves");
+        assert!(report.matches_single_engine(&single));
+    }
+}
+
+#[test]
+fn tp1_engine_unchanged_and_tp_group_memory_plan_scales() {
+    let e1 = engine();
+    let etp = ServingEngine::with_tp(
+        GpuSpec::a100(),
+        ModelConfig::llama2_7b(),
+        SystemConfig::QServePerChannel,
+        TpGroup::single(),
+    )
+    .expect("builds");
+    assert_eq!(e1.plan(), etp.plan());
+    assert_eq!(
+        e1.decode_step_latency(32, 1024).to_bits(),
+        etp.decode_step_latency(32, 1024).to_bits()
+    );
+    let e4 = ServingEngine::with_tp(
+        GpuSpec::a100(),
+        ModelConfig::llama2_7b(),
+        SystemConfig::QServePerChannel,
+        TpGroup::nvlink(4),
+    )
+    .expect("builds");
+    assert!(e4.plan().max_tokens > e1.plan().max_tokens);
+}
+
+props! {
+    /// Every routing policy conserves requests across replicas: each
+    /// generated request finishes exactly once, on exactly one replica,
+    /// under random replica counts, sharing structures, arrivals and
+    /// scheduling policies.
+    fn prop_routing_conserves_requests_across_replicas(rng, cases = 12) {
+        let n = rng.int_in(4, 24) as usize;
+        let seed = rng.next_u64();
+        let arrival = match rng.int_in(0, 2) {
+            0 => ArrivalPattern::Batch,
+            1 => ArrivalPattern::Uniform { rate_rps: 2.0 },
+            _ => ArrivalPattern::Poisson { rate_rps: 2.0 },
+        };
+        let sharing = match rng.int_in(0, 2) {
+            0 => PrefixSharing::None,
+            _ => PrefixSharing::Groups { groups: 3, prefix_len: 512 },
+        };
+        let spec = WorkloadSpec {
+            num_requests: n,
+            input: LengthDist::Uniform { lo: 64, hi: 768 },
+            output: LengthDist::Uniform { lo: 16, hi: 128 },
+            arrival,
+            sharing,
+            seed,
+        };
+        let replicas = rng.int_in(1, 4) as usize;
+        let routing: Box<dyn RoutingPolicy> = match rng.int_in(0, 2) {
+            0 => Box::new(RoundRobin::default()),
+            1 => Box::new(LeastOutstanding),
+            _ => Box::new(PrefixAffinity::default()),
+        };
+        let share = matches!(sharing, PrefixSharing::Groups { .. }) && rng.int_in(0, 1) == 1;
+        let opts = SchedOptions {
+            share_prefixes: share,
+            chunk_tokens: match rng.int_in(0, 1) {
+                0 => None,
+                _ => Some(256),
+            },
+        };
+        let sched_policy: fn() -> Box<dyn SchedulingPolicy> = match rng.int_in(0, 1) {
+            0 => || Box::new(Fcfs),
+            _ => || Box::new(MemoryAware { headroom: 0.25 }),
+        };
+        let report = Cluster::new(engine(), replicas, routing)
+            .serve_paged(&spec, sched_policy, Reservation::OnDemand, opts)
+            .expect("workload must be servable");
+        assert_eq!(report.completed, n, "every request finishes");
+        assert_eq!(report.replicas, replicas);
+        // Exactly-once across the fleet: the union of per-replica finished
+        // ids is the workload's id set with no duplicates.
+        let mut seen = std::collections::HashSet::new();
+        for rep in &report.per_replica {
+            assert_eq!(rep.completed, rep.routed, "a replica lost a routed request");
+            assert_eq!(rep.completed, rep.finished.len());
+            for id in &rep.finished {
+                assert!(seen.insert(id.0), "request {} finished on two replicas", id.0);
+            }
+        }
+        assert_eq!(seen.len(), n);
+        for id in 0..n as u64 {
+            assert!(seen.contains(&id), "request {} never finished", id);
+        }
+        // Token conservation: aggregate generated == Σ spec outputs.
+        let expected: usize = spec.sample().iter().map(|r| r.output_len).sum();
+        assert_eq!(report.generated_tokens, expected);
+    }
+}
