@@ -32,9 +32,15 @@ rm -f results/cluster_sweep.csv
 cargo run --release --offline --locked -p qserve-bench --bin reproduce -- cluster_sweep >/dev/null
 test -s results/cluster_sweep.csv
 
+# And the heterogeneous-fleet × admission grid (the full grid is small).
+rm -f results/hetero_sweep.csv
+cargo run --release --offline --locked -p qserve-bench --bin reproduce -- hetero_sweep >/dev/null
+test -s results/hetero_sweep.csv
+
 # Every example must run end to end, offline (smoke: exit status only).
 for ex in quickstart generate kv4_attention paged_serving prefix_caching \
-          cluster_serving roofline serving_throughput ablation; do
+          cluster_serving heterogeneous_fleet roofline serving_throughput \
+          ablation; do
     cargo run --release --offline --locked --example "$ex" >/dev/null
 done
 

@@ -6,10 +6,11 @@ use qserve_bench::{bench_group, bench_main};
 use qserve_core::kv_quant::KvPrecision;
 use qserve_gpusim::GpuSpec;
 use qserve_model::ModelConfig;
-use qserve_serve::engine::Workload;
+use qserve_serve::engine::{ServeConfig, Workload};
 use qserve_serve::kv_cache::{KvCacheConfig, PagedKvCache, SequenceId};
 use qserve_serve::request::WorkloadSpec;
-use qserve_serve::scheduler::ShortestJobFirst;
+use qserve_serve::request::ArrivalPattern;
+use qserve_serve::scheduler::{Fcfs, ShortestJobFirst};
 use qserve_serve::{ServingEngine, SystemConfig};
 use qserve_tensor::rng::TensorRng;
 
@@ -70,7 +71,13 @@ fn bench_engine(c: &mut Criterion) {
         num_requests: 128,
     };
     c.bench_function("engine_full_simulation_128_requests", |b| {
-        b.iter(|| black_box(engine.run_with_batch(&wl, 64)))
+        b.iter(|| {
+            black_box(
+                engine
+                    .serve(&wl.spec(), Box::new(Fcfs), ServeConfig::fixed_batch(64))
+                    .expect("serves"),
+            )
+        })
     });
     // The staggered-arrival path: admission interleaves with decode, so the
     // scheduler's arrival bookkeeping (idle jumps, partial batches) is on
@@ -80,8 +87,15 @@ fn bench_engine(c: &mut Criterion) {
         output_len: 64,
         num_requests: 64,
     };
+    let online_spec = online.spec().with_arrivals(ArrivalPattern::Uniform { rate_rps: 8.0 });
     c.bench_function("engine_online_arrivals_64_requests", |b| {
-        b.iter(|| black_box(engine.run_with_arrivals(&online, 32, 8.0)))
+        b.iter(|| {
+            black_box(
+                engine
+                    .serve(&online_spec, Box::new(Fcfs), ServeConfig::fixed_batch(32))
+                    .expect("serves"),
+            )
+        })
     });
     let spec = WorkloadSpec::mixed(64, 7);
     c.bench_function("engine_heterogeneous_sjf_64_requests", |b| {

@@ -9,7 +9,8 @@ use qserve_gpusim::gemm_model::{gemm_latency, GemmConfig, GemmShape};
 use qserve_gpusim::roofline::{attainable_gemm_ops, GemmPrecision};
 use qserve_gpusim::GpuSpec;
 use qserve_model::ModelConfig;
-use qserve_serve::engine::{EngineUnavailable, Workload};
+use qserve_serve::engine::{EngineUnavailable, ServeConfig, Workload};
+use qserve_serve::scheduler::Fcfs;
 use qserve_serve::{ServingEngine, SystemConfig};
 
 /// **Figure 2a**: runtime share of attention vs GEMM vs others on Llama-2-7B
@@ -258,7 +259,13 @@ pub fn fig17(model: &ModelConfig, batches: &[usize]) -> Table {
                     if e.memory_max_batch(&Workload::paper(64)) < b {
                         row.push("OOM".to_string());
                     } else {
-                        let r = e.run_with_batch(&Workload::paper(b * 2), b);
+                        let r = e
+                            .serve(
+                                &Workload::paper(b * 2).spec(),
+                                Box::new(Fcfs),
+                                ServeConfig::fixed_batch(b),
+                            )
+                            .expect("fixed-batch protocol serves");
                         row.push(fnum(r.throughput_tps, 0));
                     }
                 }

@@ -21,7 +21,7 @@ pub fn experiment_ids() -> Vec<&'static str> {
     vec![
         "fig1", "fig2a", "fig2b", "fig3", "table1", "table2", "table3", "table5", "table4",
         "fig16", "fig17", "fig18", "table6", "attn_breakdown", "microbench", "sched_sweep",
-        "prefix_sweep", "cluster_sweep",
+        "prefix_sweep", "cluster_sweep", "hetero_sweep",
     ]
 }
 
@@ -58,6 +58,7 @@ pub fn run_experiment(id: &str) -> Option<Vec<Table>> {
         "sched_sweep" => vec![scheduling::sched_sweep()],
         "prefix_sweep" => vec![scheduling::prefix_sweep()],
         "cluster_sweep" => vec![scheduling::cluster_sweep()],
+        "hetero_sweep" => vec![scheduling::hetero_sweep()],
         _ => return None,
     };
     Some(tables)

@@ -7,9 +7,12 @@ use crate::report::{fnum, Table};
 use qserve_gpusim::GpuSpec;
 use qserve_model::ModelConfig;
 use qserve_serve::cluster::{
-    Cluster, LeastOutstanding, PrefixAffinity, RoundRobin, RoutingPolicy,
+    AdmissionPolicy, AdmitAll, Cluster, DeadlineFeasible, LeastOutstanding, PrefixAffinity,
+    PriorityShed, RoundRobin, RoutingPolicy,
 };
-use qserve_serve::request::{ArrivalPattern, LengthDist, PrefixSharing, WorkloadSpec};
+use qserve_serve::request::{
+    ArrivalPattern, LengthDist, PrefixSharing, Slo, SloSpec, WorkloadSpec,
+};
 use qserve_serve::scheduler::{
     Fcfs, MemoryAware, Reservation, SchedOptions, SchedulingPolicy, ShortestJobFirst,
 };
@@ -122,6 +125,7 @@ fn prefix_workload(prefix_len: usize) -> WorkloadSpec {
         } else {
             PrefixSharing::Groups { groups: 4, prefix_len }
         },
+        slo: SloSpec::None,
         seed: SWEEP_SEED,
     }
 }
@@ -255,6 +259,123 @@ pub fn cluster_sweep() -> Table {
     t
 }
 
+/// The heterogeneous fleets the `hetero_sweep` grid compares: a uniform
+/// 4×A100 baseline and a mixed 2×A100 + 2×L40S fleet of the same size.
+/// Each replica's prefill/decode costs, page pool and speed profile come
+/// from its own spec — the L40S replicas really are ~2× slower at decode.
+fn hetero_fleets() -> Vec<(&'static str, Vec<ServingEngine>)> {
+    let a100 = ServingEngine::new(
+        GpuSpec::a100(),
+        ModelConfig::llama2_7b(),
+        SystemConfig::QServePerChannel,
+    )
+    .expect("A100 serves Llama-2-7B");
+    let l40s = ServingEngine::new(
+        GpuSpec::l40s(),
+        ModelConfig::llama2_7b(),
+        SystemConfig::QServePerGroup,
+    )
+    .expect("L40S serves Llama-2-7B");
+    vec![
+        ("4xA100", vec![a100.clone(); 4]),
+        ("2xA100+2xL40S", vec![a100.clone(), a100, l40s.clone(), l40s]),
+    ]
+}
+
+/// The overloaded SLO workload behind `hetero_sweep`: the production mix
+/// (bimodal lengths) at a sustained Poisson rate well above fleet capacity,
+/// with a deterministic interactive / standard / best-effort tier cycle.
+/// Overload is the point — admission policy only matters when serving
+/// everything on time is impossible.
+fn slo_workload() -> WorkloadSpec {
+    WorkloadSpec::mixed(768, SWEEP_SEED)
+        .with_arrivals(ArrivalPattern::Poisson { rate_rps: 96.0 })
+        .with_slos(SloSpec::Cycle(vec![
+            Slo::interactive(2.0, 8.0),
+            Slo::standard(6.0, 20.0),
+            Slo::best_effort(),
+        ]))
+}
+
+fn hetero_routings() -> Vec<(&'static str, fn() -> Box<dyn RoutingPolicy>)> {
+    vec![
+        ("round-robin", || Box::new(RoundRobin::default())),
+        ("least-outstanding", || Box::new(LeastOutstanding)),
+    ]
+}
+
+fn admissions() -> Vec<(&'static str, fn() -> Box<dyn AdmissionPolicy>)> {
+    vec![
+        ("admit-all", || Box::new(AdmitAll)),
+        ("deadline", || Box::new(DeadlineFeasible)),
+        ("priority-shed", || Box::new(PriorityShed { queue_budget_s: 2.0 })),
+    ]
+}
+
+/// **hetero_sweep**: fleet mix × routing × admission grid under sustained
+/// overload — goodput (SLO-met tok/s), SLO attainment among served
+/// requests, shed counts per tier, tail latency and per-replica
+/// utilization. Two stories: (1) on the mixed fleet, work-normalized
+/// least-outstanding routing beats round-robin on goodput because it stops
+/// treating an L40S like an A100 (round-robin pegs the L40S replicas while
+/// the A100s idle); (2) deadline admission sheds the requests that cannot
+/// meet their SLO anyway, lifting both goodput and attainment over
+/// admit-all, while priority shedding sacrifices batch-tier traffic first
+/// and never touches interactive.
+pub fn hetero_sweep() -> Table {
+    let mut t = Table::new(
+        "hetero_sweep",
+        "fleet mix × routing × admission under overload, Llama-2-7B QServe (latencies in s)",
+        &[
+            "Fleet",
+            "Routing",
+            "Admission",
+            "Goodput (tok/s)",
+            "Throughput (tok/s)",
+            "SLO att",
+            "Shed",
+            "Shed i/s/b",
+            "p99",
+            "Util min",
+            "Util max",
+        ],
+    );
+    let spec = slo_workload();
+    for (fname, fleet) in hetero_fleets() {
+        for (rname, mk_routing) in hetero_routings() {
+            for (aname, mk_admission) in admissions() {
+                let r = Cluster::heterogeneous(fleet.clone(), mk_routing())
+                    .with_admission(mk_admission())
+                    .serve_paged(
+                        &spec,
+                        || Box::new(MemoryAware::default()),
+                        Reservation::OnDemand,
+                        SchedOptions::default(),
+                    )
+                    .expect("workload must be servable");
+                let utils: Vec<f64> =
+                    r.per_replica.iter().map(|p| p.utilization).collect();
+                let min_util = utils.iter().copied().fold(f64::INFINITY, f64::min);
+                let max_util = utils.iter().copied().fold(0.0f64, f64::max);
+                t.push_row(vec![
+                    fname.to_string(),
+                    rname.to_string(),
+                    aname.to_string(),
+                    fnum(r.goodput_tps, 0),
+                    fnum(r.throughput_tps, 0),
+                    fnum(r.slo_attainment, 3),
+                    r.shed.to_string(),
+                    format!("{}/{}/{}", r.shed_by_tier[0], r.shed_by_tier[1], r.shed_by_tier[2]),
+                    fnum(r.p99_latency_s, 3),
+                    fnum(min_util, 2),
+                    fnum(max_util, 2),
+                ]);
+            }
+        }
+    }
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -379,6 +500,81 @@ mod tests {
                 prefix,
                 four,
                 one
+            );
+        }
+    }
+
+    #[test]
+    fn hetero_sweep_routing_and_admission_stories() {
+        // One computation of the grid, every load-bearing assertion — this
+        // is the sweep's acceptance contract.
+        let t = hetero_sweep();
+        assert_eq!(t.rows.len(), hetero_fleets().len() * hetero_routings().len() * admissions().len());
+        let goodput = |r: &Vec<String>| -> f64 { r[3].parse().unwrap() };
+        let tput = |r: &Vec<String>| -> f64 { r[4].parse().unwrap() };
+        let att = |r: &Vec<String>| -> f64 { r[5].parse().unwrap() };
+        let shed = |r: &Vec<String>| -> usize { r[6].parse().unwrap() };
+        let pick = |fleet: &str, routing: &str, admission: &str| -> Vec<String> {
+            t.rows
+                .iter()
+                .find(|r| r[0] == fleet && r[1] == routing && r[2] == admission)
+                .expect("grid row")
+                .clone()
+        };
+        for row in &t.rows {
+            // Goodput can never exceed raw throughput; attainment is a
+            // fraction; admit-all sheds nothing.
+            assert!(goodput(row) <= tput(row) + 1e-9, "row {:?}", row);
+            assert!((0.0..=1.0).contains(&att(row)), "row {:?}", row);
+            if row[2] == "admit-all" {
+                assert_eq!(shed(row), 0, "admit-all must not shed: {:?}", row);
+                assert_eq!(row[7], "0/0/0");
+            }
+            if row[2] == "priority-shed" {
+                let tiers: Vec<usize> =
+                    row[7].split('/').map(|c| c.parse().unwrap()).collect();
+                assert_eq!(tiers[0], 0, "priority shedding never touches interactive");
+                assert!(tiers[2] > 0, "overload must shed batch traffic: {:?}", row);
+            }
+        }
+        // Story 1: on the mixed fleet, work-normalized routing beats
+        // round-robin on goodput — it stops treating an L40S like an A100.
+        let rr = pick("2xA100+2xL40S", "round-robin", "admit-all");
+        let lo = pick("2xA100+2xL40S", "least-outstanding", "admit-all");
+        assert!(
+            goodput(&lo) > goodput(&rr),
+            "work-normalized routing must lift mixed-fleet goodput: {} vs {}",
+            goodput(&lo),
+            goodput(&rr)
+        );
+        // ...and it actually balances: round-robin leaves the fast replicas
+        // much idler than the pegged L40S replicas.
+        let util_min = |r: &Vec<String>| -> f64 { r[9].parse().unwrap() };
+        assert!(
+            util_min(&lo) > util_min(&rr),
+            "work-normalized routing must raise the idlest replica's utilization: {} vs {}",
+            util_min(&lo),
+            util_min(&rr)
+        );
+        // Story 2: deadline admission raises SLO attainment *and* goodput
+        // over admit-all under overload, on both fleets.
+        for fleet in ["4xA100", "2xA100+2xL40S"] {
+            let all = pick(fleet, "least-outstanding", "admit-all");
+            let gated = pick(fleet, "least-outstanding", "deadline");
+            assert!(shed(&gated) > 0, "overload must force deadline shedding on {}", fleet);
+            assert!(
+                att(&gated) > att(&all),
+                "{}: deadline admission must lift attainment: {} vs {}",
+                fleet,
+                att(&gated),
+                att(&all)
+            );
+            assert!(
+                goodput(&gated) > goodput(&all),
+                "{}: deadline admission must lift goodput: {} vs {}",
+                fleet,
+                goodput(&gated),
+                goodput(&all)
             );
         }
     }

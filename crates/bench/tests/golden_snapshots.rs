@@ -38,6 +38,10 @@ const GOLDEN: &[(&str, &[&str])] = &[
     // single-engine serving numbers it builds on.
     ("sched_sweep", &[include_str!("../../../tests/golden/sched_sweep.csv")]),
     ("prefix_sweep", &[include_str!("../../../tests/golden/prefix_sweep.csv")]),
+    // The homogeneous-fleet, admit-all cluster grid: pinning it is what
+    // makes "heterogeneous fleets + admission control changed nothing for
+    // the homogeneous admit-all path" an enforced invariant, not a hope.
+    ("cluster_sweep", &[include_str!("../../../tests/golden/cluster_sweep.csv")]),
 ];
 
 #[test]

@@ -1,33 +1,48 @@
-//! Multi-replica cluster serving: N independent engine replicas behind a
-//! pluggable request router.
+//! Multi-replica cluster serving: N independent engine replicas — possibly
+//! of *different hardware* — behind a pluggable request router with
+//! SLO-aware admission control.
 //!
 //! The paper's serving results are single-engine; production traffic scales
 //! *out* — many replicas, each a (possibly tensor-parallel) engine with its
 //! own KV page pool, scheduler core and clock, fed by a router that decides
-//! which replica owns each arriving request. This module models that layer
-//! from first principles on top of the existing pieces:
+//! *whether* to serve each arriving request at all, and if so *where*. This
+//! module models that layer from first principles on top of the existing
+//! pieces:
 //!
-//! * a [`Replica`] is one [`ServingEngine`] (TP group included) driving its
-//!   own [`Scheduler`] against its own [`PageBudget`] — the exact loop of
-//!   [`ServingEngine::run_scheduled_with`], restructured as an incremental
-//!   `tick` so replicas advance independently;
-//! * a [`RoutingPolicy`] sees each arriving request plus a snapshot of
-//!   every replica ([`ReplicaView`]) and picks the owner:
-//!   [`RoundRobin`], [`LeastOutstanding`], or [`PrefixAffinity`] (requests
-//!   of one [`crate::request::PrefixSharing`] group stick to the replica
-//!   already holding that prefix, so copy-on-write reuse survives
+//! * a [`Replica`] is one [`ServingEngine`] (its own [`qserve_gpusim`] spec
+//!   and TP group — an A100 and an L40S can share one fleet) driving its
+//!   own [`Scheduler`] against its own [`PageBudget`], both sized by *its*
+//!   cost model — the exact loop of
+//!   [`ServingEngine::run_workload_paged_with`], restructured as an
+//!   incremental `tick` so replicas advance independently;
+//! * an [`AdmissionPolicy`] sees each arriving request plus a snapshot of
+//!   every replica ([`ReplicaView`], speed profile included) and decides
+//!   admit vs shed: [`AdmitAll`], [`DeadlineFeasible`] (shed what cannot
+//!   meet its [`crate::request::Slo`] deadlines on any replica, priced by
+//!   each replica's own cost model), or [`PriorityShed`] (shed low
+//!   [`crate::request::Tier`]s once estimated queueing delay exceeds a
+//!   budget);
+//! * a [`RoutingPolicy`] picks the owner of each admitted request:
+//!   [`RoundRobin`], [`LeastOutstanding`] (*work-normalized*: outstanding
+//!   tokens ÷ replica decode throughput, so a faster replica absorbs
+//!   proportionally more of a mixed fleet's load), or [`PrefixAffinity`]
+//!   (requests of one [`crate::request::PrefixSharing`] group stick to the
+//!   replica already holding that prefix, so copy-on-write reuse survives
 //!   sharding);
 //! * [`Cluster::serve_paged`] replays the workload in arrival order,
-//!   advancing lagging replicas to each arrival before routing it, then
-//!   drains every replica and aggregates a [`ClusterReport`].
+//!   advancing lagging replicas to each arrival before deciding on it, then
+//!   drains every replica and aggregates a [`ClusterReport`] — goodput
+//!   (SLO-met throughput), SLO attainment, per-tier shed counts and
+//!   per-replica utilization included.
 //!
 //! A 1-replica cluster performs exactly the ticks
 //! [`ServingEngine::run_workload_paged_with`] performs, so its numbers are
-//! bit-identical to the single-engine report — the invariant that pins this
-//! layer to the golden-snapshot CSVs.
+//! bit-identical to the single-engine report; a homogeneous fleet under
+//! [`AdmitAll`] is bit-identical to the PR-4 cluster — the invariants that
+//! pin this layer to the golden-snapshot CSVs.
 
-use crate::engine::{EngineUnavailable, ServingEngine, ServingReport};
-use crate::request::{Request, WorkloadSpec};
+use crate::engine::{EngineUnavailable, ServingEngine, ServingReport, SpeedProfile};
+use crate::request::{Request, RequestId, Tier, WorkloadSpec};
 use crate::scheduler::{
     percentile, KvBudget, PageBudget, Reservation, SchedOptions, Scheduler, SchedulingPolicy,
 };
@@ -36,9 +51,10 @@ use crate::scheduler::{
 // Routing
 // ---------------------------------------------------------------------------
 
-/// What a router sees of one replica at routing time: its local clock and
-/// queue pressure. Clocks may disagree across replicas — a real router's
-/// view is exactly this kind of snapshot, not a global barrier.
+/// What a router sees of one replica at routing time: its local clock,
+/// queue pressure, and the speed profile of its hardware. Clocks may
+/// disagree across replicas — a real router's view is exactly this kind of
+/// snapshot, not a global barrier.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ReplicaView {
     /// Replica index (the value [`RoutingPolicy::route`] returns).
@@ -51,6 +67,43 @@ pub struct ReplicaView {
     pub waiting: usize,
     /// Requests currently running.
     pub running: usize,
+    /// The replica's hardware speed profile, from *its own* engine's cost
+    /// model — what makes load balancing and deadline feasibility
+    /// hardware-aware on a mixed fleet.
+    pub speed: SpeedProfile,
+}
+
+impl ReplicaView {
+    /// Estimated seconds to drain the replica's outstanding work at its
+    /// reference decode throughput — the queueing-delay proxy both
+    /// work-normalized routing and admission control price with.
+    pub fn est_queue_s(&self) -> f64 {
+        self.outstanding_tokens as f64 / self.speed.decode_tps
+    }
+
+    /// Back-of-envelope `(TTFT, end-to-end latency)` estimate for serving
+    /// `req` on this replica, priced by the replica's own speed profile.
+    ///
+    /// Continuous batching admits immediately while the replica has
+    /// batch/page headroom (`waiting == 0`), so TTFT is normally just the
+    /// prefill pass; a backlog of waiting requests means new arrivals queue
+    /// behind the outstanding work first. Decode is processor sharing: the
+    /// request needs `output_len` steps at its inter-token gap, but cannot
+    /// finish before the replica drains its share of the aggregate backlog
+    /// at the reference decode throughput. Deliberately crude — a router
+    /// must decide from a snapshot, not a simulation — but priced
+    /// per-replica, so a slow replica is honestly worse than a fast one.
+    pub fn estimate(&self, req: &Request) -> (f64, f64) {
+        let wait_s = if self.waiting > 0 { self.est_queue_s() } else { 0.0 };
+        let ttft =
+            wait_s + req.input_len as f64 / self.speed.prefill_tps + self.speed.decode_step_s;
+        // Whatever drain the TTFT term already charged as admission wait
+        // must not be charged again as decode-time sharing.
+        let drain_s =
+            (self.outstanding_tokens + req.output_len) as f64 / self.speed.decode_tps - wait_s;
+        let decode_s = (req.output_len as f64 * self.speed.decode_step_s).max(drain_s);
+        (ttft, ttft + decode_s)
+    }
 }
 
 /// Decides which replica owns each arriving request. Stateful: a policy may
@@ -90,16 +143,24 @@ impl RoutingPolicy for RoundRobin {
     }
 }
 
-/// Picks the replica owing the least outstanding work (prefill + decode
-/// tokens still due), ties to the lowest index — the load-balancing
-/// baseline a router with queue-depth feedback implements.
+/// Picks the replica with the least outstanding *time* — owed tokens
+/// (prefill + decode still due) normalized by the replica's reference
+/// decode throughput, ties to the lowest index. On a homogeneous fleet the
+/// divisor is constant, so this is exactly the classic least-outstanding-
+/// tokens policy; on a mixed fleet it sends a faster replica
+/// proportionally more work instead of treating an L40S like an A100.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct LeastOutstanding;
 
 fn least_outstanding(replicas: &[ReplicaView]) -> usize {
     replicas
         .iter()
-        .min_by_key(|v| (v.outstanding_tokens, v.index))
+        .min_by(|a, b| {
+            a.est_queue_s()
+                .partial_cmp(&b.est_queue_s())
+                .expect("queue estimates are finite")
+                .then(a.index.cmp(&b.index))
+        })
         .expect("a cluster has at least one replica")
         .index
 }
@@ -146,6 +207,121 @@ impl RoutingPolicy for PrefixAffinity {
 }
 
 // ---------------------------------------------------------------------------
+// Admission control
+// ---------------------------------------------------------------------------
+
+/// Verdict of an [`AdmissionPolicy`] on one arriving request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Serve it: hand the request to the routing policy.
+    Admit,
+    /// Refuse it: the request is never routed, prefilled or decoded. Its
+    /// tokens don't count toward throughput, and it can never meet an SLO —
+    /// shedding is only worth it when serving it would cost *other*
+    /// requests their SLOs.
+    Shed,
+}
+
+/// Decides *whether* each arriving request is served at all — the router's
+/// load-shedding seam, upstream of [`RoutingPolicy`]. Sees the same
+/// [`ReplicaView`] snapshot the router sees (speed profiles included), so a
+/// policy can price feasibility against each replica's own cost model.
+pub trait AdmissionPolicy {
+    /// Policy name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Admit or shed `req`, given a snapshot of every replica.
+    fn decide(&mut self, req: &Request, replicas: &[ReplicaView]) -> Admission;
+
+    /// Clears any internal state. [`Cluster::serve_paged`] calls this before
+    /// every run, mirroring [`RoutingPolicy::reset`].
+    fn reset(&mut self) {}
+}
+
+/// Admits everything — the PR-4 behavior, and the right policy when demand
+/// is known to fit capacity. A homogeneous admit-all cluster run is
+/// bit-identical to the pre-admission-control cluster.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AdmitAll;
+
+impl AdmissionPolicy for AdmitAll {
+    fn name(&self) -> &'static str {
+        "admit-all"
+    }
+    fn decide(&mut self, _req: &Request, _replicas: &[ReplicaView]) -> Admission {
+        Admission::Admit
+    }
+}
+
+/// Sheds a request unless at least one replica's cost model says its
+/// deadlines are feasible ([`ReplicaView::estimate`]): an infeasible
+/// request would burn prefill/decode on tokens that miss their SLO anyway
+/// *and* queue-delay everyone behind it — shedding it early protects
+/// goodput. Deadline-free requests are always admitted.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DeadlineFeasible;
+
+impl AdmissionPolicy for DeadlineFeasible {
+    fn name(&self) -> &'static str {
+        "deadline"
+    }
+    fn decide(&mut self, req: &Request, replicas: &[ReplicaView]) -> Admission {
+        if !req.slo.has_deadline() {
+            return Admission::Admit;
+        }
+        let feasible = replicas.iter().any(|v| {
+            let (ttft, latency) = v.estimate(req);
+            req.slo.met_by(ttft, latency)
+        });
+        if feasible {
+            Admission::Admit
+        } else {
+            Admission::Shed
+        }
+    }
+}
+
+/// Priority load shedding: once the *least-loaded* replica's estimated
+/// queueing delay exceeds the tier's tolerance, the request is shed —
+/// [`Tier::Batch`] at `queue_budget_s`, [`Tier::Standard`] at twice that,
+/// [`Tier::Interactive`] never. Under overload the cluster keeps serving
+/// the traffic that values latency most instead of collapsing uniformly.
+#[derive(Debug, Clone, Copy)]
+pub struct PriorityShed {
+    /// Estimated queueing delay (seconds) at which batch-tier traffic is
+    /// shed; standard-tier traffic tolerates twice this.
+    pub queue_budget_s: f64,
+}
+
+impl Default for PriorityShed {
+    fn default() -> Self {
+        Self { queue_budget_s: 20.0 }
+    }
+}
+
+impl AdmissionPolicy for PriorityShed {
+    fn name(&self) -> &'static str {
+        "priority-shed"
+    }
+    fn decide(&mut self, req: &Request, replicas: &[ReplicaView]) -> Admission {
+        let pressure = replicas
+            .iter()
+            .map(ReplicaView::est_queue_s)
+            .fold(f64::INFINITY, f64::min);
+        let tolerance = match req.slo.tier {
+            Tier::Interactive => f64::INFINITY,
+            Tier::Standard => 2.0 * self.queue_budget_s,
+            Tier::Batch => self.queue_budget_s,
+        };
+        if pressure > tolerance {
+            Admission::Shed
+        } else {
+            Admission::Admit
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Replicas
 // ---------------------------------------------------------------------------
 
@@ -154,6 +330,7 @@ impl RoutingPolicy for PrefixAffinity {
 /// [`ServingEngine::run_scheduled_with`]'s loop body.
 struct Replica {
     engine: ServingEngine,
+    speed: SpeedProfile,
     sched: Scheduler,
     budget: PageBudget,
     routed: usize,
@@ -175,6 +352,7 @@ impl Replica {
             outstanding_tokens: self.sched.outstanding_tokens(),
             waiting: self.routed - self.sched.running().len() - self.sched.finished().len(),
             running: self.sched.running().len(),
+            speed: self.speed,
         }
     }
 
@@ -198,6 +376,8 @@ impl Replica {
 /// Per-replica slice of a [`ClusterReport`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct ReplicaReport {
+    /// GPU name of this replica's spec (distinguishes a mixed fleet's rows).
+    pub gpu: &'static str,
     /// Requests the router sent here.
     pub routed: usize,
     /// Requests that finished here (== `routed` on success).
@@ -206,20 +386,31 @@ pub struct ReplicaReport {
     pub generated_tokens: usize,
     /// The replica's final clock, seconds.
     pub clock_s: f64,
+    /// Seconds this replica spent doing work (prefill + decode).
+    pub busy_s: f64,
+    /// Fraction of the cluster makespan this replica spent working — the
+    /// balance number a fleet planner reads (0 when nothing ran).
+    pub utilization: f64,
     /// Preemption events on this replica.
     pub preemptions: usize,
     /// High-water mark of unique KV pages on this replica.
     pub peak_unique_pages: usize,
     /// Ids of the requests that finished here, in completion order — what
     /// conservation properties audit (each id on exactly one replica).
-    pub finished: Vec<crate::request::RequestId>,
+    pub finished: Vec<RequestId>,
 }
 
 /// Aggregate result of one cluster serve.
+///
+/// Every statistic is edge-safe when *everything* was shed: rates and
+/// percentiles report `0.0`, counts report `0`, and the shed accounting
+/// still partitions the workload.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ClusterReport {
     /// The routing policy's report name.
     pub routing: String,
+    /// The admission policy's report name.
+    pub admission: String,
     /// Replica count.
     pub replicas: usize,
     /// Requests finished across the cluster.
@@ -230,6 +421,29 @@ pub struct ClusterReport {
     pub makespan_s: f64,
     /// Aggregate output tokens per second over the makespan.
     pub throughput_tps: f64,
+    /// *Goodput*: output tokens per second counting only requests that met
+    /// their SLO — the number admission control protects. Equal to
+    /// `throughput_tps` when no request carries a deadline.
+    pub goodput_tps: f64,
+    /// Fraction of *finished* requests that met their SLO. Shed requests
+    /// are excluded — they are accounted by `shed`/`shed_by_tier` and by
+    /// `goodput_tps` (their tokens are never produced) — so attainment
+    /// reads "of what we chose to serve, how much was served in time".
+    pub slo_attainment: f64,
+    /// Median of `achieved ÷ deadline` over deadline-carrying finished
+    /// requests, taking each request's worst ratio across its TTFT and
+    /// latency deadlines (≤ 1 means met; 0 when none carried a deadline).
+    pub slo_ratio_p50: f64,
+    /// 99th percentile of the same ratio — the tail's distance from its
+    /// deadline.
+    pub slo_ratio_p99: f64,
+    /// Requests shed at admission.
+    pub shed: usize,
+    /// Shed counts per priority tier, indexed by [`Tier::index`].
+    pub shed_by_tier: [usize; 3],
+    /// Ids of the shed requests — the other half of the workload partition
+    /// conservation properties audit.
+    pub shed_ids: Vec<RequestId>,
     /// Mean time-to-first-token across all finished requests, seconds.
     pub mean_ttft_s: f64,
     /// Median end-to-end latency across all finished requests, seconds.
@@ -253,7 +467,8 @@ impl ClusterReport {
     /// Panics unless the cluster has exactly one replica.
     pub fn matches_single_engine(&self, r: &ServingReport) -> bool {
         assert_eq!(self.replicas, 1, "single-engine comparison needs one replica");
-        self.completed == r.completed
+        self.shed == 0
+            && self.completed == r.completed
             && self.makespan_s.to_bits() == r.total_time_s.to_bits()
             && self.throughput_tps.to_bits() == r.throughput_tps.to_bits()
             && self.mean_ttft_s.to_bits() == r.mean_ttft_s.to_bits()
@@ -264,28 +479,46 @@ impl ClusterReport {
     }
 }
 
-/// N independent engine replicas behind a [`RoutingPolicy`]. Every replica
-/// models the same (GPU, model, system, TP group) as the template engine;
-/// heterogeneous fleets would carry one engine per replica, which this
-/// constructor can grow into.
+/// N independent engine replicas behind an [`AdmissionPolicy`] and a
+/// [`RoutingPolicy`]. Each replica carries its *own* [`ServingEngine`] —
+/// its own GPU spec, TP plan, page-pool sizing and prefill/decode cost
+/// model — so a fleet may mix hardware (e.g. A100 and L40S replicas).
 pub struct Cluster {
-    engine: ServingEngine,
-    replicas: usize,
+    engines: Vec<ServingEngine>,
     policy: Box<dyn RoutingPolicy>,
+    admission: Box<dyn AdmissionPolicy>,
 }
 
 impl Cluster {
-    /// A cluster of `replicas` copies of `engine` routed by `policy`.
+    /// A homogeneous cluster: `replicas` copies of `engine` routed by
+    /// `policy`, admitting everything.
     ///
     /// # Panics
     /// Panics if `replicas` is zero.
     pub fn new(engine: ServingEngine, replicas: usize, policy: Box<dyn RoutingPolicy>) -> Self {
         assert!(replicas > 0, "a cluster needs at least one replica");
+        Self::heterogeneous(vec![engine; replicas], policy)
+    }
+
+    /// A heterogeneous fleet: one engine per replica, in fleet order, each
+    /// with its own spec-derived cost model and page pool. Admits
+    /// everything until [`Cluster::with_admission`] installs a policy.
+    ///
+    /// # Panics
+    /// Panics if `engines` is empty.
+    pub fn heterogeneous(engines: Vec<ServingEngine>, policy: Box<dyn RoutingPolicy>) -> Self {
+        assert!(!engines.is_empty(), "a cluster needs at least one replica");
         Self {
-            engine,
-            replicas,
+            engines,
             policy,
+            admission: Box::new(AdmitAll),
         }
+    }
+
+    /// Installs an admission policy (builder-style); [`AdmitAll`] before.
+    pub fn with_admission(mut self, admission: Box<dyn AdmissionPolicy>) -> Self {
+        self.admission = admission;
+        self
     }
 
     /// The routing policy's report name.
@@ -293,16 +526,23 @@ impl Cluster {
         self.policy.name()
     }
 
+    /// The admission policy's report name.
+    pub fn admission_name(&self) -> &'static str {
+        self.admission.name()
+    }
+
     /// Serves `spec` across the cluster with paged admission on every
-    /// replica (each sized by [`ServingEngine::paged_budget`], i.e. exactly
-    /// like the single-engine paged path). Requests are routed in arrival
-    /// order: before each routing decision every replica lagging behind the
-    /// arrival is advanced to it, so the router sees live queue pressure;
-    /// after the last request is placed, replicas drain independently.
+    /// replica (each sized by *its own* [`ServingEngine::paged_budget`],
+    /// i.e. exactly like the single-engine paged path on that hardware).
+    /// Requests are decided in arrival order: before each decision every
+    /// replica lagging behind the arrival is advanced to it, so admission
+    /// and routing see live queue pressure; the admission policy then
+    /// admits or sheds, the routing policy places admitted requests, and
+    /// after the last arrival replicas drain independently.
     ///
     /// # Errors
     /// [`EngineUnavailable::OutOfMemory`] when a worst-case request exceeds
-    /// one replica's page pool.
+    /// some replica's page pool.
     ///
     /// # Panics
     /// Panics if the routing policy returns an out-of-range replica index.
@@ -313,14 +553,18 @@ impl Cluster {
         reservation: Reservation,
         opts: SchedOptions,
     ) -> Result<ClusterReport, EngineUnavailable> {
-        // Fresh replicas get a fresh router: no pins or cursor state from a
-        // previous serve may leak in.
+        // Fresh replicas get a fresh router and admission gate: no pins,
+        // cursors or pressure state from a previous serve may leak in.
         self.policy.reset();
-        let mut reps: Vec<Replica> = (0..self.replicas)
-            .map(|_| -> Result<Replica, EngineUnavailable> {
-                let (budget, batch_limit) = self.engine.paged_budget(spec, reservation)?;
+        self.admission.reset();
+        let mut reps: Vec<Replica> = self
+            .engines
+            .iter()
+            .map(|engine| -> Result<Replica, EngineUnavailable> {
+                let (budget, batch_limit) = engine.paged_budget(spec, reservation)?;
                 Ok(Replica {
-                    engine: self.engine.clone(),
+                    engine: engine.clone(),
+                    speed: engine.speed_profile(),
                     sched: Scheduler::open(batch_limit, mk_policy(), opts),
                     budget,
                     routed: 0,
@@ -332,15 +576,20 @@ impl Cluster {
         requests.sort_by(|a, b| {
             a.arrival_s.partial_cmp(&b.arrival_s).unwrap().then(a.id.cmp(&b.id))
         });
+        let mut shed: Vec<Request> = Vec::new();
         for req in requests {
             // Advance every replica that still has work and lags this
             // arrival (lowest clock first, ties to the lowest index), so
-            // routing observes each replica as of the arrival instant.
+            // the decision observes each replica as of the arrival instant.
             while let Some(i) = Self::laggard(&reps, req.arrival_s) {
                 reps[i].tick();
             }
             let views: Vec<ReplicaView> =
                 reps.iter().enumerate().map(|(i, r)| r.view(i)).collect();
+            if self.admission.decide(&req, &views) == Admission::Shed {
+                shed.push(req);
+                continue;
+            }
             let choice = self.policy.route(&req, &views);
             assert!(
                 choice < reps.len(),
@@ -355,7 +604,7 @@ impl Cluster {
         while let Some(i) = Self::laggard(&reps, f64::INFINITY) {
             reps[i].tick();
         }
-        Ok(Self::aggregate(self.policy.name(), &reps))
+        Ok(Self::aggregate(self.policy.name(), self.admission.name(), &reps, &shed))
     }
 
     /// Index of the lowest-clock replica that still has work and whose
@@ -373,10 +622,18 @@ impl Cluster {
         best
     }
 
-    fn aggregate(routing: &str, reps: &[Replica]) -> ClusterReport {
+    fn aggregate(
+        routing: &str,
+        admission: &str,
+        reps: &[Replica],
+        shed: &[Request],
+    ) -> ClusterReport {
         let mut latencies: Vec<f64> = Vec::new();
+        let mut slo_ratios: Vec<f64> = Vec::new();
         let mut ttft_sum = 0.0;
         let mut generated = 0usize;
+        let mut good_tokens = 0usize;
+        let mut met = 0usize;
         let mut completed = 0usize;
         let mut preemptions = 0usize;
         let mut makespan = 0.0f64;
@@ -386,6 +643,26 @@ impl Cluster {
             for r in finished {
                 latencies.push(r.latency_s().expect("finished"));
                 ttft_sum += r.ttft_s().expect("finished");
+                if r.met_slo().expect("finished") {
+                    met += 1;
+                    good_tokens += r.generated;
+                }
+                // Worst achieved ÷ deadline ratio across the deadlines the
+                // request carries (≤ 1 ⇔ SLO met).
+                let ttft_ratio = r
+                    .slo
+                    .ttft_deadline_s
+                    .map(|d| r.ttft_s().expect("finished") / d);
+                let lat_ratio = r
+                    .slo
+                    .latency_deadline_s
+                    .map(|d| r.latency_s().expect("finished") / d);
+                if let Some(ratio) = match (ttft_ratio, lat_ratio) {
+                    (Some(a), Some(b)) => Some(a.max(b)),
+                    (a, b) => a.or(b),
+                } {
+                    slo_ratios.push(ratio);
+                }
             }
             let rep_generated: usize = finished.iter().map(|r| r.generated).sum();
             generated += rep_generated;
@@ -395,27 +672,50 @@ impl Cluster {
                 makespan = makespan.max(rep.clock());
             }
             per_replica.push(ReplicaReport {
+                gpu: rep.speed.gpu,
                 routed: rep.routed,
                 completed: finished.len(),
                 generated_tokens: rep_generated,
                 clock_s: rep.clock(),
+                busy_s: rep.sched.busy_time_s(),
+                utilization: 0.0, // filled in once the makespan is known
                 preemptions: rep.sched.preemptions(),
                 peak_unique_pages: rep.budget.peak_pages(),
                 finished: finished.iter().map(|r| r.id).collect(),
             });
         }
-        assert!(!latencies.is_empty(), "cluster serve finished nothing");
+        for r in &mut per_replica {
+            r.utilization = if makespan > 0.0 { r.busy_s / makespan } else { 0.0 };
+        }
+        let mut shed_by_tier = [0usize; 3];
+        for r in shed {
+            shed_by_tier[r.slo.tier.index()] += 1;
+        }
         latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        slo_ratios.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let rate = |tokens: usize| if makespan > 0.0 { tokens as f64 / makespan } else { 0.0 };
         ClusterReport {
             routing: routing.to_string(),
+            admission: admission.to_string(),
             replicas: reps.len(),
             completed,
             generated_tokens: generated,
             makespan_s: makespan,
-            throughput_tps: generated as f64 / makespan,
-            mean_ttft_s: ttft_sum / latencies.len() as f64,
-            p50_latency_s: percentile(&latencies, 0.50),
-            p99_latency_s: percentile(&latencies, 0.99),
+            throughput_tps: rate(generated),
+            goodput_tps: rate(good_tokens),
+            slo_attainment: if completed > 0 { met as f64 / completed as f64 } else { 0.0 },
+            slo_ratio_p50: if slo_ratios.is_empty() { 0.0 } else { percentile(&slo_ratios, 0.50) },
+            slo_ratio_p99: if slo_ratios.is_empty() { 0.0 } else { percentile(&slo_ratios, 0.99) },
+            shed: shed.len(),
+            shed_by_tier,
+            shed_ids: shed.iter().map(|r| r.id).collect(),
+            mean_ttft_s: if latencies.is_empty() {
+                0.0
+            } else {
+                ttft_sum / latencies.len() as f64
+            },
+            p50_latency_s: if latencies.is_empty() { 0.0 } else { percentile(&latencies, 0.50) },
+            p99_latency_s: if latencies.is_empty() { 0.0 } else { percentile(&latencies, 0.99) },
             preemptions,
             max_replica_peak_pages: per_replica
                 .iter()
@@ -670,17 +970,30 @@ mod tests {
         }
     }
 
+    fn test_speed(decode_tps: f64) -> SpeedProfile {
+        SpeedProfile {
+            gpu: "test-gpu",
+            decode_tps,
+            prefill_tps: 10.0 * decode_tps,
+            decode_step_s: 32.0 / decode_tps,
+        }
+    }
+
+    fn test_view(index: usize, outstanding_tokens: usize, decode_tps: f64) -> ReplicaView {
+        ReplicaView {
+            index,
+            clock_s: 0.0,
+            outstanding_tokens,
+            waiting: 0,
+            running: 0,
+            speed: test_speed(decode_tps),
+        }
+    }
+
     #[test]
     fn round_robin_cycles_and_affinity_sticks() {
-        let views: Vec<ReplicaView> = (0..3)
-            .map(|i| ReplicaView {
-                index: i,
-                clock_s: 0.0,
-                outstanding_tokens: i * 10,
-                waiting: 0,
-                running: 0,
-            })
-            .collect();
+        let views: Vec<ReplicaView> =
+            (0..3).map(|i| test_view(i, i * 10, 1000.0)).collect();
         let req = |id: u64, group: Option<u64>| {
             let r = Request::new(RequestId(id), 8, 4, 0.0);
             match group {
@@ -704,4 +1017,203 @@ mod tests {
         assert_eq!(pa.route(&req(1, Some(9)), &views2), first);
         assert_eq!(pa.route(&req(2, None), &views2), 1, "ungrouped falls back");
     }
+
+    #[test]
+    fn least_outstanding_is_work_normalized() {
+        // Replica 0 owes fewer tokens but is 4× slower: its *time* backlog
+        // (1000/500 = 2s) exceeds replica 1's (3000/2000 = 1.5s), so the
+        // work-normalized router must pick the fast replica.
+        let views = vec![test_view(0, 1000, 500.0), test_view(1, 3000, 2000.0)];
+        let mut lo = LeastOutstanding;
+        let req = Request::new(RequestId(0), 8, 4, 0.0);
+        assert_eq!(lo.route(&req, &views), 1, "faster replica absorbs more work");
+        // Equal speeds: degenerates to the classic least-tokens policy.
+        let even = vec![test_view(0, 1000, 1000.0), test_view(1, 900, 1000.0)];
+        assert_eq!(lo.route(&req, &even), 1);
+    }
+
+    #[test]
+    fn admission_policies_decide_from_slos_and_pressure() {
+        let req = |slo: crate::request::Slo| {
+            Request::new(RequestId(0), 100, 50, 0.0).with_slo(slo)
+        };
+        // decode_tps 1000 → est_queue = outstanding/1000 s.
+        let idle = vec![test_view(0, 0, 1000.0)];
+        let busy = vec![test_view(0, 100_000, 1000.0)]; // 100 s of backlog
+        let mut admit_all = AdmitAll;
+        let mut deadline = DeadlineFeasible;
+        let mut shedder = PriorityShed { queue_budget_s: 20.0 };
+        let tight = req(crate::request::Slo::interactive(1.0, 30.0));
+        assert_eq!(admit_all.decide(&tight, &busy), Admission::Admit);
+        assert_eq!(deadline.decide(&tight, &idle), Admission::Admit);
+        assert_eq!(
+            deadline.decide(&tight, &busy),
+            Admission::Shed,
+            "a 100 s backlog cannot meet a 1 s TTFT deadline"
+        );
+        // Deadline-free requests sail through deadline admission.
+        assert_eq!(deadline.decide(&req(crate::request::Slo::best_effort()), &busy), Admission::Admit);
+        // Priority shedding: batch sheds first, standard at 2×, interactive never.
+        assert_eq!(shedder.decide(&req(crate::request::Slo::best_effort()), &idle), Admission::Admit);
+        assert_eq!(shedder.decide(&req(crate::request::Slo::best_effort()), &busy), Admission::Shed);
+        assert_eq!(shedder.decide(&req(crate::request::Slo::default()), &busy), Admission::Shed);
+        let mild = vec![test_view(0, 30_000, 1000.0)]; // 30 s backlog
+        assert_eq!(shedder.decide(&req(crate::request::Slo::best_effort()), &mild), Admission::Shed);
+        assert_eq!(shedder.decide(&req(crate::request::Slo::default()), &mild), Admission::Admit);
+        assert_eq!(shedder.decide(&tight, &busy), Admission::Admit, "interactive never shed");
+        // Feasibility is judged against the *best* replica, not the worst.
+        let mixed = vec![test_view(0, 100_000, 1000.0), test_view(1, 0, 1000.0)];
+        assert_eq!(deadline.decide(&tight, &mixed), Admission::Admit);
+    }
+
+    #[test]
+    fn heterogeneous_fleet_serves_and_reports_per_replica_specs() {
+        // 1×A100 + 1×L40S: both serve, the report names each replica's GPU,
+        // and work-normalized routing sends the A100 more work than the
+        // slower L40S.
+        let a100 = engine();
+        let l40s = ServingEngine::new(
+            GpuSpec::l40s(),
+            ModelConfig::llama2_7b(),
+            SystemConfig::QServePerGroup,
+        )
+        .expect("L40S serves Llama-2-7B");
+        let spec = WorkloadSpec::chat(64, 13);
+        let report = Cluster::heterogeneous(
+            vec![a100.clone(), l40s.clone()],
+            Box::new(LeastOutstanding),
+        )
+        .serve_paged(
+            &spec,
+            || Box::new(MemoryAware::default()),
+            Reservation::OnDemand,
+            SchedOptions::default(),
+        )
+        .expect("serves");
+        assert_eq!(report.completed, 64);
+        assert_eq!(report.shed, 0);
+        assert_eq!(report.per_replica[0].gpu, "A100-80G-SXM4");
+        assert_eq!(report.per_replica[1].gpu, "L40S-48G");
+        assert!(
+            report.per_replica[0].generated_tokens > report.per_replica[1].generated_tokens,
+            "the faster A100 must absorb more work: {} vs {}",
+            report.per_replica[0].generated_tokens,
+            report.per_replica[1].generated_tokens
+        );
+        // Utilization is a sane fraction on every replica.
+        for r in &report.per_replica {
+            assert!(r.utilization > 0.0 && r.utilization <= 1.0 + 1e-9, "util {}", r.utilization);
+            assert!(r.busy_s <= r.clock_s + 1e-9);
+        }
+        // No SLOs ⇒ goodput is throughput and attainment is total.
+        assert_eq!(report.goodput_tps.to_bits(), report.throughput_tps.to_bits());
+        assert_eq!(report.slo_attainment, 1.0);
+    }
+
+    #[test]
+    fn homogeneous_admit_all_fleet_identical_to_plain_constructor() {
+        // The PR-4 pinning invariant, rephrased: Cluster::new is
+        // Cluster::heterogeneous with N copies + AdmitAll, bit for bit.
+        let e = engine();
+        let spec = shared_spec();
+        let opts = SchedOptions { share_prefixes: true, chunk_tokens: None };
+        let plain = Cluster::new(e.clone(), 3, Box::new(LeastOutstanding))
+            .serve_paged(&spec, || Box::new(Fcfs), Reservation::OnDemand, opts)
+            .expect("serves");
+        let hetero = Cluster::heterogeneous(
+            vec![e.clone(), e.clone(), e],
+            Box::new(LeastOutstanding),
+        )
+        .with_admission(Box::new(AdmitAll))
+        .serve_paged(&spec, || Box::new(Fcfs), Reservation::OnDemand, opts)
+        .expect("serves");
+        assert_eq!(plain, hetero);
+    }
+
+    #[test]
+    fn all_shed_report_is_edge_safe() {
+        // An impossible deadline on every request + deadline admission:
+        // everything is shed, nothing runs, and the report stays finite.
+        let e = engine();
+        let spec = WorkloadSpec::chat(12, 3).with_slos(crate::request::SloSpec::Cycle(vec![
+            crate::request::Slo::interactive(0.0, 0.0),
+        ]));
+        let report = Cluster::new(e, 2, Box::new(RoundRobin::default()))
+            .with_admission(Box::new(DeadlineFeasible))
+            .serve_paged(
+                &spec,
+                || Box::new(Fcfs),
+                Reservation::OnDemand,
+                SchedOptions::default(),
+            )
+            .expect("constructs replicas");
+        assert_eq!(report.completed, 0);
+        assert_eq!(report.shed, 12);
+        assert_eq!(report.shed_ids.len(), 12);
+        assert_eq!(report.shed_by_tier, [12, 0, 0]);
+        assert_eq!(report.generated_tokens, 0);
+        assert_eq!(report.throughput_tps, 0.0);
+        assert_eq!(report.goodput_tps, 0.0);
+        assert_eq!(report.slo_attainment, 0.0);
+        assert_eq!(report.mean_ttft_s, 0.0);
+        assert_eq!(report.p50_latency_s, 0.0);
+        assert_eq!(report.p99_latency_s, 0.0);
+        assert_eq!(report.makespan_s, 0.0);
+        for r in &report.per_replica {
+            assert_eq!(r.routed, 0);
+            assert_eq!(r.utilization, 0.0);
+        }
+    }
+
+    #[test]
+    fn deadline_admission_protects_goodput_under_overload() {
+        // Overload a small cluster with deadline-carrying traffic: admit-all
+        // serves everything late (low attainment), deadline admission sheds
+        // the infeasible tail and lifts both attainment and goodput.
+        let e = engine();
+        let spec = WorkloadSpec::mixed(768, 7)
+            .with_arrivals(ArrivalPattern::Poisson { rate_rps: 96.0 })
+            .with_slos(crate::request::SloSpec::Cycle(vec![
+                crate::request::Slo::interactive(2.0, 8.0),
+                crate::request::Slo::standard(6.0, 20.0),
+                crate::request::Slo::best_effort(),
+            ]));
+        let run = |admission: Box<dyn AdmissionPolicy>| {
+            Cluster::new(e.clone(), 4, Box::new(LeastOutstanding))
+                .with_admission(admission)
+                .serve_paged(
+                    &spec,
+                    || Box::new(Fcfs),
+                    Reservation::OnDemand,
+                    SchedOptions::default(),
+                )
+                .expect("serves")
+        };
+        let all = run(Box::new(AdmitAll));
+        let gated = run(Box::new(DeadlineFeasible));
+        assert_eq!(all.shed, 0);
+        assert_eq!(all.completed, 768);
+        assert!(all.slo_attainment < 1.0, "overload must cause admit-all misses");
+        assert!(gated.shed > 0, "overload must force shedding");
+        assert_eq!(gated.completed + gated.shed, 768, "partition");
+        assert!(
+            gated.slo_attainment > all.slo_attainment,
+            "deadline admission must lift attainment: {} vs {}",
+            gated.slo_attainment,
+            all.slo_attainment
+        );
+        assert!(
+            gated.goodput_tps > all.goodput_tps,
+            "deadline admission must lift goodput: {} vs {}",
+            gated.goodput_tps,
+            all.goodput_tps
+        );
+        // Goodput never exceeds raw throughput, and the ratio percentiles
+        // are ordered.
+        for r in [&all, &gated] {
+            assert!(r.goodput_tps <= r.throughput_tps + 1e-9);
+            assert!(r.slo_ratio_p50 <= r.slo_ratio_p99);
+        }
+    }
 }
+

@@ -10,11 +10,12 @@
 //! decode step costs on this (GPU, model, system) triple, charged
 //! per-sequence at each sequence's true KV length. The request lifecycle
 //! (admission order, memory gating, preemption, latency accounting) lives in
-//! the shared [`crate::scheduler`] core, which [`ServingEngine::run_with_batch`]
-//! and [`ServingEngine::run_with_arrivals`] merely drive with fixed-shape
-//! workloads. Heterogeneous workloads go through
-//! [`ServingEngine::run_workload`] / [`ServingEngine::run_workload_paged`]
-//! with any [`SchedulingPolicy`].
+//! the shared [`crate::scheduler`] core, which exactly one driver loop ticks:
+//! [`ServingEngine::scheduler_tick`] behind [`ServingEngine::serve`]. Every
+//! public entry point — the fixed-batch Figure 17 protocol, worst-case-sized
+//! heterogeneous serving, paged on-demand admission — is a declarative
+//! [`ServeConfig`] over that one core, so making the engine spec-parametric
+//! (heterogeneous fleets) changes a single code path.
 
 use crate::baselines::SystemConfig;
 use crate::memory::MemoryPlan;
@@ -164,6 +165,99 @@ impl std::fmt::Display for EngineUnavailable {
 
 impl std::error::Error for EngineUnavailable {}
 
+/// How [`ServingEngine::serve`] derives the concurrency (batch) limit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchLimit {
+    /// An explicit limit (the Figure 17 same-batch protocol): memory is
+    /// whatever the caller encoded in the number.
+    Fixed(usize),
+    /// What the memory plan guarantees for the *largest possible* request —
+    /// conservative peak sizing, so growth can never fail.
+    WorstCase,
+    /// Concurrency capped by the *smallest possible* request — optimistic;
+    /// pair with [`KvModel::Paged`], whose ledger is the real gate.
+    Optimistic,
+}
+
+/// How KV memory is modeled during a [`ServingEngine::serve`] run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KvModel {
+    /// No ledger: the batch limit alone encodes memory (the legacy
+    /// fixed-shape protocol, where the limit is already peak-derived).
+    BatchOnly,
+    /// A page-granular ledger mirroring [`crate::PagedKvCache`] geometry.
+    Paged(Reservation),
+}
+
+/// One serving run, declaratively: batch-limit derivation, memory model and
+/// scheduler options. Every public entry point is a named `ServeConfig`
+/// over the same [`ServingEngine::serve`] core.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeConfig {
+    /// Concurrency-limit derivation.
+    pub batch: BatchLimit,
+    /// KV memory model.
+    pub memory: KvModel,
+    /// Prefix-sharing / chunked-prefill options.
+    pub opts: SchedOptions,
+}
+
+impl ServeConfig {
+    /// The Figure 17 same-batch protocol: explicit limit, no page ledger.
+    pub fn fixed_batch(limit: usize) -> Self {
+        Self {
+            batch: BatchLimit::Fixed(limit),
+            memory: KvModel::BatchOnly,
+            opts: SchedOptions::default(),
+        }
+    }
+
+    /// Conservative peak-sized admission: the limit covers the largest
+    /// possible request, so no preemption can occur.
+    pub fn worst_case() -> Self {
+        Self {
+            batch: BatchLimit::WorstCase,
+            memory: KvModel::BatchOnly,
+            opts: SchedOptions::default(),
+        }
+    }
+
+    /// Paged admission against the simulated page ledger, optimistic
+    /// concurrency (the `prefix_sweep` / cluster-replica path).
+    pub fn paged(reservation: Reservation) -> Self {
+        Self {
+            batch: BatchLimit::Optimistic,
+            memory: KvModel::Paged(reservation),
+            opts: SchedOptions::default(),
+        }
+    }
+
+    /// Replaces the scheduler options (builder-style).
+    pub fn with_opts(mut self, opts: SchedOptions) -> Self {
+        self.opts = opts;
+        self
+    }
+}
+
+/// Reference-shape speed summary of one engine, for routers and admission
+/// policies that must compare replicas of *different* hardware: how fast
+/// this engine drains decode work, chews through prompt tokens, and spaces
+/// consecutive tokens of one sequence. Exact cost-model numbers at a fixed
+/// reference shape — relative magnitudes are what matter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpeedProfile {
+    /// GPU name of the underlying spec (e.g. `"A100-80G-SXM4"`).
+    pub gpu: &'static str,
+    /// Aggregate decode throughput at the reference batch, tokens/s — the
+    /// work-normalization constant for load balancing.
+    pub decode_tps: f64,
+    /// Prefill bandwidth for a lone reference prompt, prompt tokens/s.
+    pub prefill_tps: f64,
+    /// Per-step decode latency at the reference batch, seconds — the
+    /// inter-token gap one resident sequence observes.
+    pub decode_step_s: f64,
+}
+
 impl ServingEngine {
     /// Builds an engine, checking model support and device memory.
     ///
@@ -228,6 +322,22 @@ impl ServingEngine {
     /// The tensor-parallel group this engine models.
     pub fn tp(&self) -> &TpGroup {
         &self.tp
+    }
+
+    /// The engine's [`SpeedProfile`] at the reference shape (batch 32,
+    /// sequence length 1024) — what a cluster router sees of this replica's
+    /// hardware. Derived entirely from the engine's own cost model, so a
+    /// faster spec, a wider TP group or a cheaper system config all move it.
+    pub fn speed_profile(&self) -> SpeedProfile {
+        const REF_BATCH: usize = 32;
+        const REF_LEN: usize = 1024;
+        let step_s = self.decode_step_latency(REF_BATCH, REF_LEN);
+        SpeedProfile {
+            gpu: self.gpu.name,
+            decode_tps: REF_BATCH as f64 / step_s,
+            prefill_tps: REF_LEN as f64 / self.prefill_latency(1, REF_LEN),
+            decode_step_s: step_s,
+        }
     }
 
     /// Memory-derived batch limit for a workload (0 ⇒ cannot serve).
@@ -479,45 +589,68 @@ impl ServingEngine {
         sched.decode_step(self.decode_step_latency_hetero(&lens), budget);
     }
 
-    /// Runs the continuous-batching simulation at an explicit batch limit
-    /// (the Figure 17 same-batch protocol): FCFS admission, memory encoded
-    /// in the batch limit.
-    pub fn run_with_batch(&self, workload: &Workload, batch_limit: usize) -> ServingReport {
-        assert!(workload.num_requests > 0 && workload.output_len > 0);
-        // All requests arrive at t=0 (offline benchmark), so each request's
-        // latency includes its queueing delay.
-        self.run_scheduled(
-            workload.spec().sample(),
-            batch_limit,
-            Box::new(Fcfs),
-            &mut UnboundedBudget,
-        )
-    }
-
-    /// Online serving with staggered arrivals: request `i` becomes available
-    /// at `i / arrival_rate` seconds. Exercises the scheduler's in-flight
-    /// batching under partial load (as opposed to the offline all-at-once
-    /// benchmark) and reports latency statistics.
+    /// The unified entry point: serves `spec` under the batch-limit
+    /// derivation, memory model and scheduler options `cfg` declares. Every
+    /// other `run_*` method is a one-line [`ServeConfig`] over this, and
+    /// this is nothing but [`ServingEngine::run_scheduled_with`] —
+    /// i.e. [`ServingEngine::scheduler_tick`] in a loop — so there is
+    /// exactly one serving code path to keep spec-parametric.
     ///
-    /// # Panics
-    /// Panics if `arrival_rate` is not positive.
-    pub fn run_with_arrivals(
+    /// # Errors
+    /// [`EngineUnavailable::OutOfMemory`] when the config's sizing cannot
+    /// hold even one worst-case request.
+    pub fn serve(
         &self,
-        workload: &Workload,
-        batch_limit: usize,
-        arrival_rate: f64,
-    ) -> ServingReport {
-        assert!(arrival_rate > 0.0, "arrival rate must be positive");
-        let spec = workload
-            .spec()
-            .with_arrivals(crate::request::ArrivalPattern::Uniform { rate_rps: arrival_rate });
-        self.run_scheduled(spec.sample(), batch_limit, Box::new(Fcfs), &mut UnboundedBudget)
+        spec: &WorkloadSpec,
+        policy: Box<dyn SchedulingPolicy>,
+        cfg: ServeConfig,
+    ) -> Result<ServingReport, EngineUnavailable> {
+        match cfg.memory {
+            KvModel::BatchOnly => {
+                let limit = match cfg.batch {
+                    BatchLimit::Fixed(n) => n,
+                    BatchLimit::WorstCase => {
+                        let b = self.plan.max_batch(spec.max_peak_len());
+                        if b == 0 {
+                            return Err(EngineUnavailable::OutOfMemory);
+                        }
+                        b
+                    }
+                    BatchLimit::Optimistic => {
+                        // With no page ledger there is nothing to catch an
+                        // over-optimistic limit, so "not even the smallest
+                        // request fits" must error rather than clamp to 1.
+                        let b = self.plan.max_batch(spec.min_peak_len());
+                        if b == 0 {
+                            return Err(EngineUnavailable::OutOfMemory);
+                        }
+                        b
+                    }
+                };
+                Ok(self.run_scheduled_with(
+                    spec.sample(),
+                    limit,
+                    policy,
+                    &mut UnboundedBudget,
+                    cfg.opts,
+                ))
+            }
+            KvModel::Paged(reservation) => {
+                let (mut budget, optimistic) = self.paged_budget(spec, reservation)?;
+                let limit = match cfg.batch {
+                    BatchLimit::Fixed(n) => n,
+                    BatchLimit::WorstCase => self.plan.max_batch(spec.max_peak_len()).max(1),
+                    BatchLimit::Optimistic => optimistic,
+                };
+                Ok(self.run_scheduled_with(spec.sample(), limit, policy, &mut budget, cfg.opts))
+            }
+        }
     }
 
     /// Serves a heterogeneous workload under the device memory constraint
     /// with conservative peak-sized admission: the batch limit is what the
     /// memory plan guarantees for the *largest possible* request, so no
-    /// preemption can occur.
+    /// preemption can occur. Alias for [`ServeConfig::worst_case`].
     ///
     /// # Errors
     /// [`EngineUnavailable::OutOfMemory`] when not even one worst-case
@@ -527,11 +660,7 @@ impl ServingEngine {
         spec: &WorkloadSpec,
         policy: Box<dyn SchedulingPolicy>,
     ) -> Result<ServingReport, EngineUnavailable> {
-        let batch = self.plan.max_batch(spec.max_peak_len());
-        if batch == 0 {
-            return Err(EngineUnavailable::OutOfMemory);
-        }
-        Ok(self.run_scheduled(spec.sample(), batch, policy, &mut UnboundedBudget))
+        self.serve(spec, policy, ServeConfig::worst_case())
     }
 
     /// Serves a heterogeneous workload against a page-granular KV ledger
@@ -539,7 +668,8 @@ impl ServingEngine {
     /// [`Reservation::OnDemand`] the scheduler admits beyond the worst-case
     /// batch and preempts under pressure — the aggressive mode that pays off
     /// on mixed workloads; with [`Reservation::Peak`] it reproduces
-    /// conservative sizing at page granularity.
+    /// conservative sizing at page granularity. Alias for
+    /// [`ServeConfig::paged`].
     ///
     /// # Errors
     /// [`EngineUnavailable::OutOfMemory`] when a worst-case request exceeds
@@ -550,7 +680,7 @@ impl ServingEngine {
         policy: Box<dyn SchedulingPolicy>,
         reservation: Reservation,
     ) -> Result<ServingReport, EngineUnavailable> {
-        self.run_workload_paged_with(spec, policy, reservation, SchedOptions::default())
+        self.serve(spec, policy, ServeConfig::paged(reservation))
     }
 
     /// [`ServingEngine::run_workload_paged`] with prefix-sharing /
@@ -567,8 +697,7 @@ impl ServingEngine {
         reservation: Reservation,
         opts: SchedOptions,
     ) -> Result<ServingReport, EngineUnavailable> {
-        let (mut budget, optimistic) = self.paged_budget(spec, reservation)?;
-        Ok(self.run_scheduled_with(spec.sample(), optimistic, policy, &mut budget, opts))
+        self.serve(spec, policy, ServeConfig::paged(reservation).with_opts(opts))
     }
 
     /// Sizes the page ledger and the optimistic batch limit this engine
@@ -615,7 +744,7 @@ impl ServingEngine {
             num_requests: workload.num_requests.max(batch * 2),
             ..*workload
         };
-        Ok(self.run_with_batch(&wl, batch))
+        self.serve(&wl.spec(), Box::new(Fcfs), ServeConfig::fixed_batch(batch))
     }
 }
 
@@ -627,6 +756,19 @@ mod tests {
 
     fn engine(gpu: GpuSpec, model: ModelConfig, sys: SystemConfig) -> ServingEngine {
         ServingEngine::new(gpu, model, sys).expect("engine must build")
+    }
+
+    /// The old `run_with_batch` protocol through the unified entry point:
+    /// FCFS at an explicit limit, memory encoded in the limit.
+    fn run_batch(e: &ServingEngine, wl: &Workload, limit: usize) -> ServingReport {
+        e.serve(&wl.spec(), Box::new(Fcfs), ServeConfig::fixed_batch(limit)).expect("serves")
+    }
+
+    /// The old `run_with_arrivals` protocol: uniformly staggered arrivals
+    /// at `rate_rps`, FCFS at an explicit limit.
+    fn run_arrivals(e: &ServingEngine, wl: &Workload, limit: usize, rate_rps: f64) -> ServingReport {
+        let spec = wl.spec().with_arrivals(ArrivalPattern::Uniform { rate_rps });
+        e.serve(&spec, Box::new(Fcfs), ServeConfig::fixed_batch(limit)).expect("serves")
     }
 
     fn tput(gpu: GpuSpec, model: ModelConfig, sys: SystemConfig) -> f64 {
@@ -752,8 +894,8 @@ mod tests {
     fn larger_batch_higher_throughput_until_saturation() {
         let e = engine(GpuSpec::a100(), ModelConfig::llama2_7b(), SystemConfig::QServePerChannel);
         let wl = Workload::paper(256);
-        let t8 = e.run_with_batch(&wl, 8).throughput_tps;
-        let t64 = e.run_with_batch(&wl, 64).throughput_tps;
+        let t8 = run_batch(&e, &wl, 8).throughput_tps;
+        let t64 = run_batch(&e, &wl, 64).throughput_tps;
         assert!(t64 > t8 * 2.0, "batching should pay: {} vs {}", t64, t8);
     }
 
@@ -765,7 +907,7 @@ mod tests {
             output_len: 32,
             num_requests: 100,
         };
-        let r = e.run_with_batch(&wl, 16);
+        let r = run_batch(&e, &wl, 16);
         assert_eq!(r.completed, 100);
         assert!((r.throughput_tps * r.total_time_s - 3200.0).abs() < 1.0);
         assert!(r.prefill_time_s + r.decode_time_s <= r.total_time_s + 1e-9);
@@ -779,8 +921,8 @@ mod tests {
         let t = engine(GpuSpec::l40s(), m, SystemConfig::TrtW8A8);
         let wl = Workload::paper(128);
         for batch in [16usize, 32, 64] {
-            let sq = q.run_with_batch(&wl, batch).throughput_tps;
-            let st = t.run_with_batch(&wl, batch).throughput_tps;
+            let sq = run_batch(&q, &wl, batch).throughput_tps;
+            let st = run_batch(&t, &wl, batch).throughput_tps;
             assert!(
                 sq > st,
                 "batch {}: QServe {} should beat W8A8 {} at the same batch",
@@ -845,8 +987,8 @@ mod tests {
     fn simulation_is_deterministic() {
         let e = engine(GpuSpec::a100(), ModelConfig::llama2_7b(), SystemConfig::QServePerChannel);
         let wl = Workload::paper(32);
-        let a = e.run_with_batch(&wl, 16);
-        let b = e.run_with_batch(&wl, 16);
+        let a = run_batch(&e, &wl, 16);
+        let b = run_batch(&e, &wl, 16);
         assert_eq!(a, b);
     }
 
@@ -861,10 +1003,10 @@ mod tests {
             output_len: 64,
             num_requests: 48,
         };
-        let offline = e.run_with_batch(&wl, 16);
+        let offline = run_batch(&e, &wl, 16);
         let peak_rps = offline.throughput_tps / wl.output_len as f64;
-        let light = e.run_with_arrivals(&wl, 16, peak_rps * 0.3);
-        let heavy = e.run_with_arrivals(&wl, 16, peak_rps * 3.0);
+        let light = run_arrivals(&e, &wl, 16, peak_rps * 0.3);
+        let heavy = run_arrivals(&e, &wl, 16, peak_rps * 3.0);
         assert!(
             light.mean_request_latency_s < heavy.mean_request_latency_s,
             "light-load latency {} should beat heavy-load {}",
@@ -885,7 +1027,7 @@ mod tests {
             output_len: 32,
             num_requests: 64,
         };
-        let r = e.run_with_batch(&wl, 8);
+        let r = run_batch(&e, &wl, 8);
         assert!(r.mean_request_latency_s > 0.0);
         assert!(r.max_request_latency_s >= r.mean_request_latency_s);
         // FIFO admission: the worst request waits at most the full run.
@@ -1127,7 +1269,7 @@ mod tests {
             );
         }
         let wl = Workload::paper(32);
-        assert_eq!(legacy.run_with_batch(&wl, 16), tp1.run_with_batch(&wl, 16));
+        assert_eq!(run_batch(&legacy, &wl, 16), run_batch(&tp1, &wl, 16));
     }
 
     #[test]

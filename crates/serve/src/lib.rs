@@ -22,9 +22,12 @@
 //!   `qserve-gpusim` cost model: the scheduler core driven by per-sequence
 //!   prefill/decode costs (each sequence charged at its true KV length),
 //!   optionally as a tensor-parallel group of GPUs.
-//! * [`cluster`] — scale-out: N engine replicas (each with its own page
-//!   pool, scheduler and clock) behind a pluggable [`RoutingPolicy`]
-//!   (round-robin, least-outstanding-work, prefix-affinity).
+//! * [`cluster`] — scale-out: N engine replicas, possibly of mixed
+//!   hardware (each with its own spec-derived cost model, page pool,
+//!   scheduler and clock), behind a pluggable [`AdmissionPolicy`]
+//!   (admit-all, deadline-feasibility, priority load shedding) and
+//!   [`RoutingPolicy`] (round-robin, work-normalized least-outstanding,
+//!   prefix-affinity).
 //!
 //! The engine's scheduler/cache logic is real (allocation, batching,
 //! accounting all execute); only kernel *wall-clock* comes from the cost
@@ -45,16 +48,20 @@ pub mod scheduler;
 pub use attention_exec::paged_decode_attention;
 pub use block_exec::BlockRuntime;
 pub use cluster::{
-    Cluster, ClusterReport, LeastOutstanding, PrefixAffinity, ReplicaReport, ReplicaView,
-    RoundRobin, RoutingPolicy,
+    Admission, AdmissionPolicy, AdmitAll, Cluster, ClusterReport, DeadlineFeasible,
+    LeastOutstanding, PrefixAffinity, PriorityShed, ReplicaReport, ReplicaView, RoundRobin,
+    RoutingPolicy,
 };
 pub use model_exec::ModelRuntime;
 pub use baselines::SystemConfig;
-pub use engine::{ServingEngine, ServingReport, Workload};
+pub use engine::{
+    BatchLimit, KvModel, ServeConfig, ServingEngine, ServingReport, SpeedProfile, Workload,
+};
 pub use kv_cache::{PagedKvCache, SequenceId};
 pub use prefix::PrefixIndex;
 pub use request::{
-    ArrivalPattern, LengthDist, PrefixSharing, Request, RequestId, RequestState, WorkloadSpec,
+    ArrivalPattern, LengthDist, PrefixSharing, Request, RequestId, RequestState, Slo, SloSpec,
+    Tier, WorkloadSpec,
 };
 pub use scheduler::{
     Fcfs, KvBudget, MemoryAware, PageBudget, Reservation, Scheduler, SchedulingPolicy,

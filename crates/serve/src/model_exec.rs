@@ -435,6 +435,7 @@ mod tests {
             output: crate::request::LengthDist::Uniform { lo: 2, hi: 5 },
             arrival: crate::request::ArrivalPattern::Batch,
             sharing: crate::request::PrefixSharing::None,
+            slo: crate::request::SloSpec::None,
             seed,
         }
     }
@@ -469,6 +470,7 @@ mod tests {
             output: crate::request::LengthDist::Uniform { lo: 2, hi: 4 },
             arrival: crate::request::ArrivalPattern::Batch,
             sharing: crate::request::PrefixSharing::Groups { groups: 2, prefix_len: 40 },
+            slo: crate::request::SloSpec::None,
             seed,
         }
     }
@@ -575,6 +577,7 @@ mod tests {
             output: crate::request::LengthDist::Uniform { lo: 2, hi: 3 },
             arrival: crate::request::ArrivalPattern::Batch,
             sharing: crate::request::PrefixSharing::MultiTurn { conversations: 2, turns: 3 },
+            slo: crate::request::SloSpec::None,
             seed: 27,
         };
         let (_, mut private_rt) = deploy_small();

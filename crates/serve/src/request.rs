@@ -15,6 +15,101 @@ use qserve_tensor::rng::TensorRng;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct RequestId(pub u64);
 
+/// Priority tier of a request — what load shedding protects first.
+///
+/// Tiers order by how *expendable* a request is: an admission policy under
+/// pressure sheds [`Tier::Batch`] first, [`Tier::Standard`] next, and
+/// [`Tier::Interactive`] only as a last resort (or never).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Tier {
+    /// Latency-critical interactive traffic — shed last.
+    Interactive,
+    /// The default tier for unremarkable traffic.
+    Standard,
+    /// Best-effort background work — shed first under pressure.
+    Batch,
+}
+
+impl Tier {
+    /// Every tier, most- to least-protected (index == [`Tier::index`]).
+    pub const ALL: [Tier; 3] = [Tier::Interactive, Tier::Standard, Tier::Batch];
+
+    /// Dense index for per-tier accounting arrays.
+    pub fn index(self) -> usize {
+        match self {
+            Tier::Interactive => 0,
+            Tier::Standard => 1,
+            Tier::Batch => 2,
+        }
+    }
+}
+
+/// Per-request service-level objective: optional deadlines plus a priority
+/// tier. The default (`Standard`, no deadlines) is always "met", so SLO-free
+/// workloads report goodput == throughput.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Slo {
+    /// Priority tier (drives load shedding, not scheduling order).
+    pub tier: Tier,
+    /// Time-to-first-token deadline (arrival → first output token), seconds.
+    pub ttft_deadline_s: Option<f64>,
+    /// End-to-end latency deadline (arrival → last token), seconds.
+    pub latency_deadline_s: Option<f64>,
+}
+
+impl Default for Slo {
+    fn default() -> Self {
+        Self {
+            tier: Tier::Standard,
+            ttft_deadline_s: None,
+            latency_deadline_s: None,
+        }
+    }
+}
+
+impl Slo {
+    /// An interactive-tier SLO with both deadlines set.
+    pub fn interactive(ttft_deadline_s: f64, latency_deadline_s: f64) -> Self {
+        Self {
+            tier: Tier::Interactive,
+            ttft_deadline_s: Some(ttft_deadline_s),
+            latency_deadline_s: Some(latency_deadline_s),
+        }
+    }
+
+    /// A standard-tier SLO with both deadlines set.
+    pub fn standard(ttft_deadline_s: f64, latency_deadline_s: f64) -> Self {
+        Self {
+            tier: Tier::Standard,
+            ttft_deadline_s: Some(ttft_deadline_s),
+            latency_deadline_s: Some(latency_deadline_s),
+        }
+    }
+
+    /// Batch-tier best effort: no deadlines, shed first under pressure.
+    pub fn best_effort() -> Self {
+        Self {
+            tier: Tier::Batch,
+            ttft_deadline_s: None,
+            latency_deadline_s: None,
+        }
+    }
+
+    /// Whether the SLO carries any deadline at all.
+    pub fn has_deadline(&self) -> bool {
+        self.ttft_deadline_s.is_some() || self.latency_deadline_s.is_some()
+    }
+
+    /// Whether the given achieved `(ttft_s, latency_s)` pair satisfies
+    /// every deadline this SLO carries — the one deadline-satisfaction
+    /// predicate shared by admission feasibility ([`crate::cluster`]) and
+    /// goodput/attainment accounting ([`Request::met_slo`]).
+    pub fn met_by(&self, ttft_s: f64, latency_s: f64) -> bool {
+        self.ttft_deadline_s.is_none_or(|d| ttft_s <= d)
+            && self.latency_deadline_s.is_none_or(|d| latency_s <= d)
+    }
+}
+
 /// Where a request is in its life.
 ///
 /// ```text
@@ -55,6 +150,9 @@ pub struct Request {
     /// Leading prompt tokens shared with the rest of the group (≤
     /// `input_len`; 0 when `prefix_group` is `None`).
     pub prefix_len: usize,
+    /// Service-level objective: deadlines and priority tier. Routers and
+    /// admission policies read it; the scheduler core ignores it.
+    pub slo: Slo,
     /// Lifecycle state.
     pub state: RequestState,
     /// Tokens currently resident in the KV cache (0 unless running).
@@ -88,6 +186,7 @@ impl Request {
             arrival_s,
             prefix_group: None,
             prefix_len: 0,
+            slo: Slo::default(),
             state: RequestState::Queued,
             seq_len: 0,
             generated: 0,
@@ -111,6 +210,21 @@ impl Request {
         self.prefix_group = Some(group);
         self.prefix_len = prefix_len;
         self
+    }
+
+    /// Attaches a service-level objective (builder-style).
+    pub fn with_slo(mut self, slo: Slo) -> Self {
+        self.slo = slo;
+        self
+    }
+
+    /// Whether the finished request met its SLO (`None` until finished):
+    /// every deadline it carries must be satisfied; a deadline-free SLO is
+    /// always met.
+    pub fn met_slo(&self) -> Option<bool> {
+        let latency = self.latency_s()?;
+        let ttft = self.ttft_s()?;
+        Some(self.slo.met_by(ttft, latency))
     }
 
     /// Peak KV footprint in tokens (prompt + full output).
@@ -238,6 +352,38 @@ pub enum PrefixSharing {
     },
 }
 
+/// How a workload assigns SLOs to its requests.
+///
+/// Assignment is a pure function of the request *index* — it never draws
+/// from the workload RNG — so attaching SLOs to an existing spec leaves its
+/// sampled lengths, arrivals and sharing structure bit-identical.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SloSpec {
+    /// No deadlines; every request gets the default `Standard` tier.
+    None,
+    /// Request `i` takes `classes[i % classes.len()]` — a deterministic
+    /// tier mix (e.g. interactive / standard / batch round-robin).
+    Cycle(Vec<Slo>),
+}
+
+impl SloSpec {
+    /// The SLO request `i` receives.
+    ///
+    /// # Panics
+    /// Panics on an empty [`SloSpec::Cycle`] (checked here, not only in
+    /// [`WorkloadSpec::with_slos`], because the `slo` field is public and
+    /// struct-literal construction bypasses the builder).
+    fn assign(&self, i: usize) -> Slo {
+        match self {
+            SloSpec::None => Slo::default(),
+            SloSpec::Cycle(classes) => {
+                assert!(!classes.is_empty(), "an SLO cycle needs at least one class");
+                classes[i % classes.len()]
+            }
+        }
+    }
+}
+
 /// A seeded heterogeneous workload: length distributions plus an arrival
 /// pattern and a prompt-sharing structure. Sampling is deterministic in
 /// `seed`.
@@ -262,6 +408,8 @@ pub struct WorkloadSpec {
     pub arrival: ArrivalPattern,
     /// Prompt-sharing structure.
     pub sharing: PrefixSharing,
+    /// SLO assignment (deadlines + tiers); [`SloSpec::None`] by default.
+    pub slo: SloSpec,
     /// RNG seed for length/arrival sampling.
     pub seed: u64,
 }
@@ -280,6 +428,7 @@ impl WorkloadSpec {
             output: LengthDist::Fixed(output_len),
             arrival: ArrivalPattern::Batch,
             sharing: PrefixSharing::None,
+            slo: SloSpec::None,
             seed: 0,
         }
     }
@@ -292,6 +441,7 @@ impl WorkloadSpec {
             output: LengthDist::Uniform { lo: 32, hi: 256 },
             arrival: ArrivalPattern::Batch,
             sharing: PrefixSharing::None,
+            slo: SloSpec::None,
             seed,
         }
     }
@@ -313,6 +463,7 @@ impl WorkloadSpec {
             },
             arrival: ArrivalPattern::Batch,
             sharing: PrefixSharing::None,
+            slo: SloSpec::None,
             seed,
         }
     }
@@ -333,6 +484,7 @@ impl WorkloadSpec {
             output: LengthDist::Uniform { lo: 32, hi: 128 },
             arrival: ArrivalPattern::Batch,
             sharing: PrefixSharing::Groups { groups, prefix_len },
+            slo: SloSpec::None,
             seed,
         }
     }
@@ -348,6 +500,7 @@ impl WorkloadSpec {
             output: LengthDist::Uniform { lo: 16, hi: 96 },
             arrival: ArrivalPattern::Batch,
             sharing: PrefixSharing::MultiTurn { conversations, turns },
+            slo: SloSpec::None,
             seed,
         }
     }
@@ -372,6 +525,19 @@ impl WorkloadSpec {
     /// Replaces the arrival pattern (builder-style).
     pub fn with_arrivals(mut self, arrival: ArrivalPattern) -> Self {
         self.arrival = arrival;
+        self
+    }
+
+    /// Replaces the SLO assignment (builder-style). Assignment is RNG-free,
+    /// so the sampled lengths/arrivals are unchanged by this call.
+    ///
+    /// # Panics
+    /// Panics on an empty [`SloSpec::Cycle`].
+    pub fn with_slos(mut self, slo: SloSpec) -> Self {
+        if let SloSpec::Cycle(classes) = &slo {
+            assert!(!classes.is_empty(), "an SLO cycle needs at least one class");
+        }
+        self.slo = slo;
         self
     }
 
@@ -460,13 +626,14 @@ impl WorkloadSpec {
                         clock
                     }
                 };
-                match sharing {
+                let req = match sharing {
                     None => Request::new(RequestId(i as u64), suffix, output, arrival),
                     Some((group, prefix, total_input)) => {
                         Request::new(RequestId(i as u64), total_input, output, arrival)
                             .with_prefix(group, prefix)
                     }
-                }
+                };
+                req.with_slo(self.slo.assign(i))
             })
             .collect()
     }
@@ -665,6 +832,44 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn slo_cycle_assignment_is_deterministic_and_rng_free() {
+        let base = WorkloadSpec::mixed(24, 11);
+        let plain = base.sample();
+        let classes =
+            vec![Slo::interactive(1.0, 10.0), Slo::standard(4.0, 30.0), Slo::best_effort()];
+        let slod = base.clone().with_slos(SloSpec::Cycle(classes.clone())).sample();
+        assert_eq!(plain.len(), slod.len());
+        for (a, b) in plain.iter().zip(&slod) {
+            // Lengths and arrivals must be bit-identical; only the SLO moves.
+            assert_eq!((a.input_len, a.output_len), (b.input_len, b.output_len));
+            assert_eq!(a.arrival_s.to_bits(), b.arrival_s.to_bits());
+            assert_eq!(a.slo, Slo::default());
+            assert_eq!(b.slo, classes[b.id.0 as usize % 3]);
+        }
+    }
+
+    #[test]
+    fn met_slo_checks_every_deadline() {
+        let mut r = Request::new(RequestId(0), 8, 4, 0.0).with_slo(Slo::interactive(1.0, 5.0));
+        assert_eq!(r.met_slo(), None, "unfinished requests have no verdict");
+        r.first_token_s = Some(0.5);
+        r.finish_s = Some(4.0);
+        assert_eq!(r.met_slo(), Some(true));
+        r.first_token_s = Some(2.0);
+        assert_eq!(r.met_slo(), Some(false), "TTFT deadline missed");
+        r.first_token_s = Some(0.5);
+        r.finish_s = Some(6.0);
+        assert_eq!(r.met_slo(), Some(false), "latency deadline missed");
+        // Deadline-free SLOs are always met once finished.
+        let mut b = Request::new(RequestId(1), 8, 4, 0.0).with_slo(Slo::best_effort());
+        b.first_token_s = Some(100.0);
+        b.finish_s = Some(1000.0);
+        assert_eq!(b.met_slo(), Some(true));
+        assert!(!Slo::best_effort().has_deadline());
+        assert_eq!(Tier::ALL.map(Tier::index), [0, 1, 2]);
     }
 
     #[test]

@@ -605,6 +605,13 @@ impl Scheduler {
         self.clock
     }
 
+    /// Seconds this scheduler has spent doing work (prefill + decode) —
+    /// excludes idle gaps waiting for arrivals, so `busy ÷ makespan` is a
+    /// cluster replica's utilization.
+    pub fn busy_time_s(&self) -> f64 {
+        self.prefill_time + self.decode_time
+    }
+
     /// All requests finished?
     pub fn is_done(&self) -> bool {
         self.pending.is_empty() && self.running.is_empty()

@@ -11,7 +11,7 @@
 use qserve::core::kv_quant::KvPrecision;
 use qserve::serve::attention_exec::paged_decode_attention;
 use qserve::serve::kv_cache::{KvCacheConfig, PagedKvCache, SequenceId};
-use qserve::serve::request::{ArrivalPattern, LengthDist, PrefixSharing, WorkloadSpec};
+use qserve::serve::request::{ArrivalPattern, LengthDist, PrefixSharing, SloSpec, WorkloadSpec};
 use qserve::serve::scheduler::{Fcfs, PageBudget, Reservation, Scheduler};
 use qserve::tensor::rng::TensorRng;
 
@@ -45,6 +45,7 @@ fn main() {
         output: LengthDist::Uniform { lo: 4, hi: 12 },
         arrival: ArrivalPattern::Batch,
         sharing: PrefixSharing::None,
+        slo: SloSpec::None,
         seed: 11,
     };
     let mut budget =

@@ -9,7 +9,7 @@
 
 use qserve::core::pipeline::{QoqConfig, WeightGranularity};
 use qserve::model::synth::SyntheticModel;
-use qserve::serve::request::{ArrivalPattern, LengthDist, PrefixSharing, WorkloadSpec};
+use qserve::serve::request::{ArrivalPattern, LengthDist, PrefixSharing, SloSpec, WorkloadSpec};
 use qserve::serve::scheduler::{Fcfs, SchedOptions};
 use qserve::serve::ModelRuntime;
 use qserve::tensor::rng::TensorRng;
@@ -33,6 +33,7 @@ fn main() {
         output: LengthDist::Uniform { lo: 2, hi: 5 },
         arrival: ArrivalPattern::Batch,
         sharing: PrefixSharing::Groups { groups: 2, prefix_len: 40 },
+        slo: SloSpec::None,
         seed: 7,
     };
 

@@ -4,9 +4,12 @@
 use qserve::gpusim::{GpuSpec, TpGroup};
 use qserve::model::ModelConfig;
 use qserve::serve::cluster::{
-    Cluster, LeastOutstanding, PrefixAffinity, RoundRobin, RoutingPolicy,
+    AdmissionPolicy, AdmitAll, Cluster, DeadlineFeasible, LeastOutstanding, PrefixAffinity,
+    PriorityShed, RoundRobin, RoutingPolicy,
 };
-use qserve::serve::request::{ArrivalPattern, LengthDist, PrefixSharing, WorkloadSpec};
+use qserve::serve::request::{
+    ArrivalPattern, LengthDist, PrefixSharing, Slo, SloSpec, WorkloadSpec,
+};
 use qserve::serve::scheduler::{Fcfs, MemoryAware, Reservation, SchedOptions, SchedulingPolicy};
 use qserve::serve::{ServingEngine, SystemConfig};
 use qserve::tensor::props;
@@ -18,6 +21,15 @@ fn engine() -> ServingEngine {
         SystemConfig::QServePerChannel,
     )
     .expect("A100 serves Llama-2-7B")
+}
+
+fn l40s_engine() -> ServingEngine {
+    ServingEngine::new(
+        GpuSpec::l40s(),
+        ModelConfig::llama2_7b(),
+        SystemConfig::QServePerGroup,
+    )
+    .expect("L40S serves Llama-2-7B")
 }
 
 #[test]
@@ -101,6 +113,7 @@ props! {
             output: LengthDist::Uniform { lo: 16, hi: 128 },
             arrival,
             sharing,
+            slo: SloSpec::None,
             seed,
         };
         let replicas = rng.int_in(1, 4) as usize;
@@ -142,6 +155,96 @@ props! {
         }
         // Token conservation: aggregate generated == Σ spec outputs.
         let expected: usize = spec.sample().iter().map(|r| r.output_len).sum();
+        assert_eq!(report.generated_tokens, expected);
+    }
+
+    /// Admission control partitions the workload exactly: every generated
+    /// request is either shed or finished — never both, never neither —
+    /// each finished request finishes exactly once on exactly one replica,
+    /// and admit-all sheds nothing, under random heterogeneous fleets,
+    /// SLO mixes, routings and admission policies.
+    fn prop_admission_partitions_workload_exactly(rng, cases = 10) {
+        let n = rng.int_in(4, 24) as usize;
+        let seed = rng.next_u64();
+        let arrival = match rng.int_in(0, 1) {
+            0 => ArrivalPattern::Batch,
+            _ => ArrivalPattern::Poisson { rate_rps: 3.0 },
+        };
+        // Deadlines from generously loose down to unmeetably tight, so
+        // deadline admission actually sheds in some cases.
+        let tight = 0.001 * rng.int_in(1, 1000) as f64;
+        let spec = WorkloadSpec {
+            num_requests: n,
+            input: LengthDist::Uniform { lo: 64, hi: 768 },
+            output: LengthDist::Uniform { lo: 16, hi: 128 },
+            arrival,
+            sharing: PrefixSharing::None,
+            slo: SloSpec::Cycle(vec![
+                Slo::interactive(tight, 10.0 * tight),
+                Slo::standard(30.0, 120.0),
+                Slo::best_effort(),
+            ]),
+            seed,
+        };
+        // A random heterogeneous fleet of 1-4 replicas.
+        let fleet: Vec<ServingEngine> = (0..rng.int_in(1, 4))
+            .map(|_| if rng.int_in(0, 1) == 0 { engine() } else { l40s_engine() })
+            .collect();
+        let routing: Box<dyn RoutingPolicy> = match rng.int_in(0, 1) {
+            0 => Box::new(RoundRobin::default()),
+            _ => Box::new(LeastOutstanding),
+        };
+        let admit_all = rng.int_in(0, 2) == 0;
+        let admission: Box<dyn AdmissionPolicy> = if admit_all {
+            Box::new(AdmitAll)
+        } else if rng.int_in(0, 1) == 0 {
+            Box::new(DeadlineFeasible)
+        } else {
+            Box::new(PriorityShed { queue_budget_s: 0.01 * rng.int_in(1, 200) as f64 })
+        };
+        let report = Cluster::heterogeneous(fleet, routing)
+            .with_admission(admission)
+            .serve_paged(
+                &spec,
+                || Box::new(Fcfs),
+                Reservation::OnDemand,
+                SchedOptions::default(),
+            )
+            .expect("workload must be servable");
+        // The partition: shed ∪ finished == generated ids, disjointly.
+        assert_eq!(report.completed + report.shed, n, "admitted ∪ shed must cover the workload");
+        assert_eq!(report.shed_ids.len(), report.shed);
+        assert_eq!(report.shed_by_tier.iter().sum::<usize>(), report.shed);
+        let mut seen = std::collections::HashSet::new();
+        for id in &report.shed_ids {
+            assert!(seen.insert(id.0), "request {} shed twice", id.0);
+        }
+        for rep in &report.per_replica {
+            assert_eq!(rep.completed, rep.routed, "a replica lost a routed request");
+            for id in &rep.finished {
+                assert!(
+                    seen.insert(id.0),
+                    "request {} both shed and finished, or finished twice",
+                    id.0
+                );
+            }
+        }
+        assert_eq!(seen.len(), n, "a request was neither shed nor finished");
+        for id in 0..n as u64 {
+            assert!(seen.contains(&id), "request {} vanished", id);
+        }
+        if admit_all {
+            assert_eq!(report.shed, 0, "admit-all must shed nothing");
+            assert!(report.shed_ids.is_empty());
+        }
+        // Shed tokens are really never generated.
+        let by_id: std::collections::HashMap<u64, usize> =
+            spec.sample().iter().map(|r| (r.id.0, r.output_len)).collect();
+        let expected: usize = by_id
+            .iter()
+            .filter(|(id, _)| !report.shed_ids.iter().any(|s| s.0 == **id))
+            .map(|(_, out)| out)
+            .sum();
         assert_eq!(report.generated_tokens, expected);
     }
 }

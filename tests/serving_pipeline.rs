@@ -4,9 +4,9 @@
 use qserve::core::kv_quant::KvPrecision;
 use qserve::gpusim::GpuSpec;
 use qserve::model::ModelConfig;
-use qserve::serve::engine::Workload;
+use qserve::serve::engine::{ServeConfig, Workload};
 use qserve::serve::kv_cache::{KvCacheConfig, PagedKvCache, SequenceId};
-use qserve::serve::request::{ArrivalPattern, LengthDist, PrefixSharing, WorkloadSpec};
+use qserve::serve::request::{ArrivalPattern, LengthDist, PrefixSharing, SloSpec, WorkloadSpec};
 use qserve::serve::scheduler::{
     Fcfs, KvBudget, MemoryAware, PageBudget, Reservation, SchedOptions, Scheduler,
     SchedulingPolicy, ShortestJobFirst, UnboundedBudget,
@@ -28,7 +28,9 @@ fn engine_completes_any_feasible_workload() {
             output_len: 16,
             num_requests: requests,
         };
-        let r = e.run_with_batch(&wl, batch);
+        let r = e
+            .serve(&wl.spec(), Box::new(Fcfs), ServeConfig::fixed_batch(batch))
+            .expect("serves");
         assert_eq!(r.completed, requests);
         let tokens = (requests * 16) as f64;
         assert!((r.throughput_tps * r.total_time_s - tokens).abs() < 1e-6 * tokens.max(1.0));
@@ -90,8 +92,16 @@ fn fixed_workload_report_identical_across_policies() {
     let fcfs = e.run_scheduled(reqs.clone(), 16, Box::new(Fcfs), &mut UnboundedBudget);
     let sjf = e.run_scheduled(reqs, 16, Box::new(ShortestJobFirst), &mut UnboundedBudget);
     assert_eq!(fcfs, sjf);
-    // And the legacy wrapper is the same path.
-    assert_eq!(fcfs, e.run_with_batch(&Workload::paper(48), 16));
+    // And the unified entry point is the same path, bit for bit.
+    assert_eq!(
+        fcfs,
+        e.serve(
+            &Workload::paper(48).spec(),
+            Box::new(Fcfs),
+            ServeConfig::fixed_batch(16),
+        )
+        .expect("serves")
+    );
 }
 
 #[test]
@@ -144,6 +154,7 @@ props! {
             },
             arrival,
             sharing: PrefixSharing::None,
+            slo: SloSpec::None,
             seed,
         };
         let a = spec.sample();
@@ -328,6 +339,7 @@ props! {
             output: LengthDist::Uniform { lo: 1, hi: 6 },
             arrival,
             sharing,
+            slo: SloSpec::None,
             seed,
         };
         let requests = spec.sample();
