@@ -10,6 +10,12 @@ cd "$(dirname "$0")"
 export RUSTFLAGS="-D warnings"
 
 cargo build --release --offline --locked --workspace --all-targets
+
+# Contract gate: qserve-lint must find zero unsuppressed violations of the
+# determinism/accounting contract before any test runs. Its summary line
+# prints the suppression count, so every `lint: allow` stays visible here.
+cargo run --release --offline --locked -p qserve-lint
+
 # Tier-1 shape (root package, debug), then the whole workspace in release —
 # release reuses the artifacts built above and keeps the heavy bench/model
 # suites fast.

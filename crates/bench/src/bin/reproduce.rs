@@ -11,6 +11,7 @@ use qserve_bench::{experiment_ids, run_experiment};
 use std::fs;
 
 fn main() {
+    // lint: allow(wall-clock) -- CLI entry point parsing its argv, not simulation state
     let args: Vec<String> = std::env::args().skip(1).collect();
     let ids: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
         experiment_ids()

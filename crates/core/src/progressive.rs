@@ -71,7 +71,7 @@ impl ProgressiveWeight {
         let mut channel_scales = Vec::with_capacity(n);
         let mut level0 = vec![0i8; n * k];
         for (i, am) in row_abs_max(w).into_iter().enumerate() {
-            let scale = if am == 0.0 {
+            let scale = if am.abs().to_bits() == 0 {
                 1.0
             } else {
                 round_f16(am / PROTECTIVE_QMAX as f32)
@@ -326,7 +326,7 @@ impl NaiveDoubleQuant {
         for i in 0..n {
             let row = &fp_scales[i * groups_per_row..(i + 1) * groups_per_row];
             let smax = row.iter().cloned().fold(0.0f32, f32::max);
-            let cscale = if smax == 0.0 { 1.0 } else { round_f16(smax / 255.0) };
+            let cscale = if smax.abs().to_bits() == 0 { 1.0 } else { round_f16(smax / 255.0) };
             channel_scales.push(cscale);
             for (g, &s) in row.iter().enumerate() {
                 scale_codes[i * groups_per_row + g] = round_clamp(s / cscale, 0, 255) as u8;

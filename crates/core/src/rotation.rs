@@ -71,7 +71,7 @@ pub fn channel_spread(x: &Matrix) -> f32 {
     let am = qserve_tensor::stats::col_abs_max(x);
     let max = am.iter().cloned().fold(0.0f32, f32::max);
     let mean = am.iter().sum::<f32>() / am.len().max(1) as f32;
-    if mean == 0.0 {
+    if mean.abs().to_bits() == 0 {
         1.0
     } else {
         max / mean

@@ -234,7 +234,7 @@ mod tests {
     fn dead_channels_get_unit_lambda() {
         let k = Matrix::zeros(4, 8);
         let s = SmoothAttentionScales::from_keys(&k, 8, 0.5);
-        assert!(s.lambda().iter().all(|&l| l == 1.0));
+        assert!(s.lambda().iter().all(|&l| l.to_bits() == 1.0f32.to_bits()));
     }
 
     #[test]

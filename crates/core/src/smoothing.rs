@@ -198,7 +198,7 @@ mod tests {
         let x = Matrix::zeros(4, 8);
         let w = Matrix::zeros(2, 8);
         let s = SmoothingScales::from_calibration(&x, &w, 0.5);
-        assert!(s.lambda().iter().all(|&l| l == 1.0));
+        assert!(s.lambda().iter().all(|&l| l.to_bits() == 1.0f32.to_bits()));
     }
 
     #[test]

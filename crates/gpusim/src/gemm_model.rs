@@ -185,7 +185,7 @@ impl GemmLatency {
     /// Fraction of total runtime spent on main-loop dequantization (the
     /// Figure 18 metric: achieved speed vs a dequantization-free kernel).
     pub fn dequant_overhead(&self) -> f64 {
-        if self.dequant_s == 0.0 {
+        if self.dequant_s.abs().to_bits() == 0 {
             0.0
         } else {
             self.dequant_s / self.total_s

@@ -85,7 +85,7 @@ pub fn crossover_batch(
     for m in 2..=512u32 {
         let cur = attainable_gemm_ops(gpu, a, f64::from(m), n, k)
             - attainable_gemm_ops(gpu, b, f64::from(m), n, k);
-        if prev.signum() != cur.signum() && cur != 0.0 {
+        if prev.signum() != cur.signum() && cur.abs().to_bits() != 0 {
             return Some(m);
         }
         prev = cur;

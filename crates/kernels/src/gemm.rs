@@ -53,7 +53,7 @@ pub fn quantize_activations_int8(x: &Matrix) -> QuantizedActivations {
     for i in 0..m {
         let row = x.row(i);
         let am = row.iter().fold(0.0f32, |a, v| a.max(v.abs()));
-        let scale = if am == 0.0 { 1.0 } else { round_f16(am / 127.0) };
+        let scale = if am.abs().to_bits() == 0 { 1.0 } else { round_f16(am / 127.0) };
         scales.push(scale);
         let mut sum = 0i32;
         for (j, &v) in row.iter().enumerate() {
@@ -355,7 +355,7 @@ mod tests {
         let mut rng = TensorRng::seed(9);
         let w = rng.gaussian(4, 64, 0.1);
         let y = gemm_w4a8_per_group(&q, &ProgressiveWeight::quantize(&w, 32));
-        assert!(y.as_slice().iter().all(|&v| v == 0.0));
+        assert!(y.as_slice().iter().all(|&v| v.abs().to_bits() == 0));
     }
 
     #[test]

@@ -1,0 +1,452 @@
+//! A hand-rolled Rust lexer producing tokens with 1-based line/column spans.
+//!
+//! Deliberately small: just enough fidelity for `qserve-lint`'s token-level
+//! rules — identifiers, integer/float literals, strings (including raw and
+//! byte strings), char literals vs. lifetimes, multi-character operators,
+//! and comments. Comments are kept in a separate stream so the allow
+//! directives can be parsed out of them. No `syn`, no proc-macro, no
+//! external crates.
+
+/// The coarse class of a token. Rules dispatch on this plus the raw text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    Ident,
+    Int,
+    Float,
+    Str,
+    Char,
+    Lifetime,
+    Punct,
+}
+
+/// One lexed token with its raw text and the 1-based position of its first
+/// character.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+    pub col: u32,
+}
+
+/// One comment (line or block), kept out of the token stream.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Full comment text including the `//` / `/*` leader.
+    pub text: String,
+    pub line: u32,
+    pub col: u32,
+    /// True when nothing but whitespace precedes the comment on its line —
+    /// an own-line allow directive targets the next code line instead of
+    /// its own.
+    pub own_line: bool,
+}
+
+/// The output of [`lex`]: the token stream plus the comment stream.
+pub struct Lexed {
+    pub toks: Vec<Tok>,
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes Rust source. Unknown bytes are skipped rather than fatal: a lint
+/// must never crash on the code it audits.
+pub fn lex(src: &str) -> Lexed {
+    Lexer::new(src).run()
+}
+
+/// Multi-character operators, longest first so maximal munch works.
+const PUNCTS: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "+=", "-=",
+    "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>", "..",
+];
+
+struct Lexer {
+    chars: Vec<char>,
+    i: usize,
+    line: u32,
+    col: u32,
+    toks: Vec<Tok>,
+    comments: Vec<Comment>,
+    /// Last line on which a token or comment ended; used for `own_line`.
+    content_line: u32,
+}
+
+impl Lexer {
+    fn new(src: &str) -> Self {
+        Lexer {
+            chars: src.chars().collect(),
+            i: 0,
+            line: 1,
+            col: 1,
+            toks: Vec::new(),
+            comments: Vec::new(),
+            content_line: 0,
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.i + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.i).copied()?;
+        self.i += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn push_tok(&mut self, kind: TokKind, text: String, line: u32, col: u32) {
+        self.toks.push(Tok { kind, text, line, col });
+        self.content_line = self.line;
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(c) = self.peek(0) {
+            let (line, col) = (self.line, self.col);
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(line, col),
+                '/' if self.peek(1) == Some('*') => self.block_comment(line, col),
+                '\'' => self.char_or_lifetime(line, col),
+                '"' => self.string(line, col),
+                'r' if matches!(self.peek(1), Some('"') | Some('#')) && self.raw_str_ahead(1) => {
+                    self.raw_string(line, col)
+                }
+                'b' if self.peek(1) == Some('"') => {
+                    self.bump();
+                    self.string(line, col);
+                }
+                'b' if self.peek(1) == Some('\'') => {
+                    self.bump();
+                    self.char_or_lifetime(line, col);
+                }
+                'b' if self.peek(1) == Some('r') && self.raw_str_ahead(2) => {
+                    self.bump();
+                    self.raw_string(line, col);
+                }
+                c if c.is_ascii_digit() => self.number(line, col),
+                c if c.is_alphabetic() || c == '_' => self.ident(line, col),
+                _ => self.punct(line, col),
+            }
+        }
+        Lexed { toks: self.toks, comments: self.comments }
+    }
+
+    /// Is `r` (at offset `from`) actually a raw-string opener (`r"`, `r#"`)?
+    fn raw_str_ahead(&self, from: usize) -> bool {
+        let mut k = from;
+        while self.peek(k) == Some('#') {
+            k += 1;
+        }
+        self.peek(k) == Some('"')
+    }
+
+    fn line_comment(&mut self, line: u32, col: u32) {
+        let own_line = self.content_line != line;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.comments.push(Comment { text, line, col, own_line });
+        self.content_line = line;
+    }
+
+    fn block_comment(&mut self, line: u32, col: u32) {
+        let own_line = self.content_line != line;
+        let mut text = String::new();
+        let mut depth = 0usize;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push_str("/*");
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                text.push_str("*/");
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.comments.push(Comment { text, line, col, own_line });
+        self.content_line = self.line;
+    }
+
+    fn char_or_lifetime(&mut self, line: u32, col: u32) {
+        // `'a` is a lifetime unless the next-next char closes it (`'a'`).
+        let next = self.peek(1);
+        let is_lifetime = match next {
+            Some(n) if n.is_alphabetic() || n == '_' => self.peek(2) != Some('\''),
+            _ => false,
+        };
+        if is_lifetime {
+            let mut text = String::from("'");
+            self.bump();
+            while let Some(c) = self.peek(0) {
+                if c.is_alphanumeric() || c == '_' {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.push_tok(TokKind::Lifetime, text, line, col);
+        } else {
+            let mut text = String::new();
+            text.push(self.bump().unwrap());
+            while let Some(c) = self.bump() {
+                text.push(c);
+                if c == '\\' {
+                    if let Some(esc) = self.bump() {
+                        text.push(esc);
+                    }
+                } else if c == '\'' {
+                    break;
+                }
+            }
+            self.push_tok(TokKind::Char, text, line, col);
+        }
+    }
+
+    fn string(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        text.push(self.bump().unwrap()); // opening quote
+        while let Some(c) = self.bump() {
+            text.push(c);
+            if c == '\\' {
+                if let Some(esc) = self.bump() {
+                    text.push(esc);
+                }
+            } else if c == '"' {
+                break;
+            }
+        }
+        self.push_tok(TokKind::Str, text, line, col);
+    }
+
+    fn raw_string(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        text.push(self.bump().unwrap()); // 'r'
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            text.push(self.bump().unwrap());
+        }
+        text.push(self.bump().unwrap()); // opening quote
+        loop {
+            match self.bump() {
+                None => break,
+                Some('"') => {
+                    text.push('"');
+                    let mut seen = 0usize;
+                    while seen < hashes && self.peek(0) == Some('#') {
+                        seen += 1;
+                        text.push(self.bump().unwrap());
+                    }
+                    if seen == hashes {
+                        break;
+                    }
+                }
+                Some(c) => text.push(c),
+            }
+        }
+        self.push_tok(TokKind::Str, text, line, col);
+    }
+
+    fn number(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        let mut float = false;
+        if self.peek(0) == Some('0') && matches!(self.peek(1), Some('x') | Some('o') | Some('b')) {
+            text.push(self.bump().unwrap());
+            text.push(self.bump().unwrap());
+            while let Some(c) = self.peek(0) {
+                if c.is_ascii_alphanumeric() || c == '_' {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.push_tok(TokKind::Int, text, line, col);
+            return;
+        }
+        while let Some(c) = self.peek(0) {
+            if c.is_ascii_digit() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        // Fractional part: `1.5`, or trailing-dot `1.` (but not `1..2` or
+        // `1.max(2)`).
+        if self.peek(0) == Some('.') {
+            match self.peek(1) {
+                Some(d) if d.is_ascii_digit() => {
+                    float = true;
+                    text.push(self.bump().unwrap());
+                    while let Some(c) = self.peek(0) {
+                        if c.is_ascii_digit() || c == '_' {
+                            text.push(c);
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                Some(d) if d == '.' || d.is_alphabetic() || d == '_' => {}
+                _ => {
+                    float = true;
+                    text.push(self.bump().unwrap());
+                }
+            }
+        }
+        // Exponent.
+        if matches!(self.peek(0), Some('e') | Some('E')) {
+            let sign = matches!(self.peek(1), Some('+') | Some('-'));
+            let digit_at = if sign { 2 } else { 1 };
+            if matches!(self.peek(digit_at), Some(d) if d.is_ascii_digit()) {
+                float = true;
+                text.push(self.bump().unwrap());
+                if sign {
+                    text.push(self.bump().unwrap());
+                }
+                while let Some(c) = self.peek(0) {
+                    if c.is_ascii_digit() || c == '_' {
+                        text.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+            }
+        }
+        // Type suffix (`usize`, `f32`, ...).
+        let mut suffix = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                suffix.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if suffix.starts_with('f') {
+            float = true;
+        }
+        text.push_str(&suffix);
+        let kind = if float { TokKind::Float } else { TokKind::Int };
+        self.push_tok(kind, text, line, col);
+    }
+
+    fn ident(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push_tok(TokKind::Ident, text, line, col);
+    }
+
+    fn punct(&mut self, line: u32, col: u32) {
+        for op in PUNCTS {
+            if op.chars().zip(0..).all(|(c, k)| self.peek(k) == Some(c)) {
+                for _ in 0..op.len() {
+                    self.bump();
+                }
+                self.push_tok(TokKind::Punct, op.to_string(), line, col);
+                return;
+            }
+        }
+        let c = self.bump().unwrap();
+        self.push_tok(TokKind::Punct, c.to_string(), line, col);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).toks.into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn basic_tokens_and_spans() {
+        let l = lex("let x = a - 1;\nx -= 2.5;");
+        let minus = l.toks.iter().find(|t| t.text == "-").unwrap();
+        assert_eq!((minus.line, minus.col), (1, 11));
+        let sub = l.toks.iter().find(|t| t.text == "-=").unwrap();
+        assert_eq!((sub.line, sub.col), (2, 3));
+        let f = l.toks.iter().find(|t| t.kind == TokKind::Float).unwrap();
+        assert_eq!(f.text, "2.5");
+    }
+
+    #[test]
+    fn floats_vs_ranges_vs_methods() {
+        let ks = kinds("1.5 1. 1..2 1.max(2) 2e-3 1.0f32 7usize");
+        assert_eq!(ks[0], (TokKind::Float, "1.5".into()));
+        assert_eq!(ks[1], (TokKind::Float, "1.".into()));
+        assert_eq!(ks[2], (TokKind::Int, "1".into()));
+        assert_eq!(ks[3], (TokKind::Punct, "..".into()));
+        assert_eq!(ks[5], (TokKind::Int, "1".into()));
+        assert_eq!(ks[6], (TokKind::Punct, ".".into()));
+        assert_eq!(ks[7], (TokKind::Ident, "max".into()));
+        assert!(ks.iter().any(|k| *k == (TokKind::Float, "2e-3".into())));
+        assert!(ks.iter().any(|k| *k == (TokKind::Float, "1.0f32".into())));
+        assert!(ks.iter().any(|k| *k == (TokKind::Int, "7usize".into())));
+    }
+
+    #[test]
+    fn lifetimes_chars_strings() {
+        let ks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let s = \"he//llo\"; }");
+        assert!(ks.contains(&(TokKind::Lifetime, "'a".into())));
+        assert!(ks.contains(&(TokKind::Char, "'x'".into())));
+        assert!(ks.contains(&(TokKind::Str, "\"he//llo\"".into())));
+    }
+
+    #[test]
+    fn raw_strings_swallow_comment_markers() {
+        let l = lex("let s = r#\"// not a comment\"#; // real");
+        assert_eq!(l.comments.len(), 1);
+        assert_eq!(l.comments[0].text, "// real");
+        assert!(!l.comments[0].own_line);
+    }
+
+    #[test]
+    fn own_line_detection() {
+        let l = lex("// top\nlet x = 1; // trailing\n  // indented own line\n");
+        assert!(l.comments[0].own_line);
+        assert!(!l.comments[1].own_line);
+        assert!(l.comments[2].own_line);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let l = lex("/* a /* b */ c */ let x = 1;");
+        assert_eq!(l.comments.len(), 1);
+        assert_eq!(l.toks[0].text, "let");
+        assert_eq!(l.toks[0].col, 19);
+    }
+}

@@ -1,0 +1,154 @@
+//! The `qserve-lint` binary: lints the workspace tree and exits non-zero on
+//! any unsuppressed finding.
+//!
+//! ```text
+//! qserve-lint [--json] [--root <dir>]
+//! ```
+//!
+//! Findings print one per line as `file:line:col: lint-name: message`. The
+//! summary line reports the suppression count so allowlist growth stays
+//! visible in CI logs. `--json` emits the same data as a single JSON object
+//! for tooling.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use qserve_lint::{lint_workspace, WorkspaceReport};
+
+fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(s) = std::fs::read_to_string(&manifest) {
+            if s.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn print_json(report: &WorkspaceReport) {
+    let findings: Vec<String> = report
+        .findings
+        .iter()
+        .map(|f| {
+            format!(
+                "{{\"file\":\"{}\",\"line\":{},\"col\":{},\"lint\":\"{}\",\"message\":\"{}\"}}",
+                json_escape(&f.file),
+                f.line,
+                f.col,
+                f.lint,
+                json_escape(&f.message)
+            )
+        })
+        .collect();
+    let suppressed: Vec<String> = report
+        .suppressed
+        .iter()
+        .map(|s| {
+            format!(
+                "{{\"file\":\"{}\",\"line\":{},\"lint\":\"{}\",\"reason\":\"{}\"}}",
+                json_escape(&s.finding.file),
+                s.finding.line,
+                s.finding.lint,
+                json_escape(&s.reason)
+            )
+        })
+        .collect();
+    println!(
+        "{{\"findings\":[{}],\"suppressed\":[{}],\"allow_comments\":{},\"files_scanned\":{}}}",
+        findings.join(","),
+        suppressed.join(","),
+        report.allow_comments,
+        report.files_scanned
+    );
+}
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("qserve-lint: --root needs a directory argument");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: qserve-lint [--json] [--root <dir>]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("qserve-lint: unknown argument `{}`", other);
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("qserve-lint: cannot read current dir: {}", e);
+                    return ExitCode::from(2);
+                }
+            };
+            match find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!("qserve-lint: no workspace root found above {}", cwd.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+    let report = match lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("qserve-lint: walk failed: {}", e);
+            return ExitCode::from(2);
+        }
+    };
+    if json {
+        print_json(&report);
+    } else {
+        for f in &report.findings {
+            println!("{}", f);
+        }
+        println!(
+            "qserve-lint: {} unsuppressed finding(s), {} suppressed by {} allow comment(s), {} files scanned",
+            report.findings.len(),
+            report.suppressed.len(),
+            report.allow_comments,
+            report.files_scanned
+        );
+    }
+    if report.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

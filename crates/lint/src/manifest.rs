@@ -1,0 +1,303 @@
+//! `manifest-policy`: every dependency in every `Cargo.toml` must be a
+//! workspace-internal `path` dependency.
+//!
+//! The build environment has no crates.io access, so a version, git, or
+//! registry dependency anywhere in the workspace is a build break waiting
+//! for the first `cargo` invocation. A tiny line-level TOML scan is enough:
+//! section headers, `key = value` entries, and `[dependencies.<name>]`
+//! dotted tables. Allow directives use the TOML comment leader:
+//! `# lint: allow(manifest-policy) -- <reason>`.
+
+use crate::lexer::Comment;
+use crate::{apply_allows, parse_directives_on, FileOutcome, Finding};
+
+/// Is `section` one that declares dependencies (`[dependencies]`,
+/// `[dev-dependencies]`, `[target.'cfg(..)'.dependencies]`,
+/// `[workspace.dependencies]`, ...)?
+fn is_dep_section(section: &str) -> bool {
+    const KINDS: &[&str] = &["dependencies", "dev-dependencies", "build-dependencies"];
+    KINDS.iter().any(|k| section == *k || section.ends_with(&format!(".{}", k)))
+}
+
+/// Does a dep section name like `dependencies.serde` name a single
+/// dependency as a dotted table? Returns the dependency name.
+fn dotted_dep_name(section: &str) -> Option<&str> {
+    let (head, tail) = section.rsplit_once('.')?;
+    if is_dep_section(head) {
+        Some(tail)
+    } else {
+        None
+    }
+}
+
+/// Splits a TOML line into (content, optional comment), honoring `#` inside
+/// basic strings.
+fn split_comment(line: &str) -> (&str, Option<(usize, &str)>) {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return (&line[..i], Some((i, &line[i..]))),
+            _ => {}
+        }
+    }
+    (line, None)
+}
+
+/// Resolves `dep_path` against the manifest's directory and reports whether
+/// it stays inside the workspace root.
+fn path_stays_inside(manifest_rel: &str, dep_path: &str) -> bool {
+    if dep_path.starts_with('/') || dep_path.contains(':') {
+        return false;
+    }
+    let dir = manifest_rel.rsplit_once('/').map(|(d, _)| d).unwrap_or("");
+    let mut depth: i32 = if dir.is_empty() { 0 } else { dir.split('/').count() as i32 };
+    for comp in dep_path.split('/') {
+        match comp {
+            "" | "." => {}
+            ".." => {
+                depth -= 1;
+                if depth < 0 {
+                    return false;
+                }
+            }
+            _ => depth += 1,
+        }
+    }
+    true
+}
+
+/// One dependency entry, however it was spelled.
+struct DepEntry {
+    name: String,
+    line: u32,
+    col: u32,
+    has_path: bool,
+    path_value: Option<String>,
+    forbidden_key: Option<String>,
+}
+
+impl DepEntry {
+    fn check(&self, rel: &str, out: &mut Vec<Finding>) {
+        let push = |out: &mut Vec<Finding>, message: String| {
+            out.push(Finding {
+                file: rel.to_string(),
+                line: self.line,
+                col: self.col,
+                lint: "manifest-policy",
+                message,
+            });
+        };
+        if let Some(k) = &self.forbidden_key {
+            push(
+                out,
+                format!(
+                    "dependency `{}` uses `{}`; only workspace-internal `path` dependencies are allowed",
+                    self.name, k
+                ),
+            );
+            return;
+        }
+        if !self.has_path {
+            push(
+                out,
+                format!(
+                    "dependency `{}` must be a workspace-internal `path` dependency",
+                    self.name
+                ),
+            );
+            return;
+        }
+        if let Some(p) = &self.path_value {
+            if !path_stays_inside(rel, p) {
+                push(
+                    out,
+                    format!("dependency `{}` path `{}` leaves the workspace", self.name, p),
+                );
+            }
+        }
+    }
+}
+
+/// Parses the inline-table keys of `name = { ... }` into a [`DepEntry`].
+fn inline_table_entry(name: &str, body: &str, line: u32, col: u32) -> DepEntry {
+    let mut entry = DepEntry {
+        name: name.to_string(),
+        line,
+        col,
+        has_path: false,
+        path_value: None,
+        forbidden_key: None,
+    };
+    let inner = body.trim_start_matches('{').trim_end_matches('}');
+    for kv in inner.split(',') {
+        let Some((k, v)) = kv.split_once('=') else { continue };
+        let k = k.trim();
+        let v = v.trim().trim_matches('"');
+        match k {
+            "path" => {
+                entry.has_path = true;
+                entry.path_value = Some(v.to_string());
+            }
+            "git" | "registry" | "workspace" => {
+                entry.forbidden_key.get_or_insert_with(|| k.to_string());
+            }
+            _ => {}
+        }
+    }
+    entry
+}
+
+/// Lints one `Cargo.toml`.
+pub fn lint_manifest(rel: &str, src: &str) -> FileOutcome {
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut comments: Vec<Comment> = Vec::new();
+    let mut content_lines: Vec<u32> = Vec::new();
+    let mut section = String::new();
+    // A `[dependencies.<name>]` dotted table being accumulated.
+    let mut dotted: Option<DepEntry> = None;
+
+    let finalize = |d: Option<DepEntry>, findings: &mut Vec<Finding>| {
+        if let Some(d) = d {
+            d.check(rel, findings);
+        }
+    };
+
+    for (idx, raw) in src.lines().enumerate() {
+        let line_no = (idx + 1) as u32;
+        let (content, comment) = split_comment(raw);
+        let trimmed = content.trim();
+        if let Some((at, text)) = comment {
+            comments.push(Comment {
+                text: text.to_string(),
+                line: line_no,
+                col: (at + 1) as u32,
+                own_line: trimmed.is_empty(),
+            });
+        }
+        if trimmed.is_empty() {
+            continue;
+        }
+        content_lines.push(line_no);
+        if trimmed.starts_with('[') {
+            finalize(dotted.take(), &mut findings);
+            section = trimmed.trim_matches(['[', ']']).trim().to_string();
+            if let Some(name) = dotted_dep_name(&section) {
+                let col = (content.find('[').unwrap_or(0) + 1) as u32;
+                dotted = Some(DepEntry {
+                    name: name.to_string(),
+                    line: line_no,
+                    col,
+                    has_path: false,
+                    path_value: None,
+                    forbidden_key: None,
+                });
+            }
+            continue;
+        }
+        let Some((key, value)) = content.split_once('=') else { continue };
+        let name = key.trim();
+        let value = value.trim();
+        let col = (content.len() - content.trim_start().len() + 1) as u32;
+        if let Some(d) = dotted.as_mut() {
+            match name {
+                "path" => {
+                    d.has_path = true;
+                    d.path_value = Some(value.trim_matches('"').to_string());
+                }
+                "git" | "registry" | "workspace" => {
+                    d.forbidden_key.get_or_insert_with(|| name.to_string());
+                }
+                _ => {}
+            }
+            continue;
+        }
+        if !is_dep_section(&section) {
+            continue;
+        }
+        let entry = if value.starts_with('{') {
+            inline_table_entry(name, value, line_no, col)
+        } else {
+            // `foo = "1.0"` (or any non-table form): not a path dependency.
+            DepEntry {
+                name: name.to_string(),
+                line: line_no,
+                col,
+                has_path: false,
+                path_value: None,
+                forbidden_key: None,
+            }
+        };
+        entry.check(rel, &mut findings);
+    }
+    finalize(dotted.take(), &mut findings);
+
+    let (allows, mut malformed) = parse_directives_on(&comments, rel, &content_lines);
+    findings.append(&mut malformed);
+    apply_allows(findings, allows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lints_of(src: &str) -> Vec<(u32, u32, String)> {
+        lint_manifest("crates/demo/Cargo.toml", src)
+            .findings
+            .into_iter()
+            .map(|f| (f.line, f.col, f.message))
+            .collect()
+    }
+
+    #[test]
+    fn path_deps_are_clean() {
+        let src = "[package]\nname = \"x\"\n\n[dependencies]\nqserve-tensor = { path = \"../tensor\" }\n";
+        assert!(lints_of(src).is_empty());
+    }
+
+    #[test]
+    fn version_and_git_deps_fire() {
+        let src = "[dependencies]\nserde = \"1.0\"\nrand = { git = \"https://x\" }\nlibc = { version = \"0.2\" }\n";
+        let got = lints_of(src);
+        assert_eq!(got.len(), 3);
+        assert_eq!(got[0].0, 2);
+        assert!(got[1].2.contains("`git`"));
+        assert!(got[2].2.contains("path"));
+    }
+
+    #[test]
+    fn escaping_path_fires() {
+        let src = "[dependencies]\nevil = { path = \"../../../outside\" }\n";
+        let got = lints_of(src);
+        assert_eq!(got.len(), 1);
+        assert!(got[0].2.contains("leaves the workspace"));
+    }
+
+    #[test]
+    fn dotted_table_needs_path() {
+        let src = "[dependencies.serde]\nversion = \"1.0\"\n\n[dependencies.ok]\npath = \"../ok\"\n";
+        let got = lints_of(src);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].0, 1);
+    }
+
+    #[test]
+    fn dev_and_target_sections_are_covered() {
+        let src = "[dev-dependencies]\nquick = \"1\"\n\n[target.'cfg(unix)'.dependencies]\nnix = \"0.1\"\n";
+        assert_eq!(lints_of(src).len(), 2);
+    }
+
+    #[test]
+    fn allow_with_reason_suppresses() {
+        let src = "[dependencies]\nserde = \"1.0\" # lint: allow(manifest-policy) -- vendored locally, build verified offline\n";
+        let out = lint_manifest("crates/demo/Cargo.toml", src);
+        assert!(out.findings.is_empty());
+        assert_eq!(out.suppressed.len(), 1);
+    }
+
+    #[test]
+    fn non_dep_sections_ignore_version_keys() {
+        let src = "[package]\nversion = \"0.1.0\"\nedition = \"2021\"\n\n[[bench]]\nname = \"x\"\nharness = false\n";
+        assert!(lints_of(src).is_empty());
+    }
+}

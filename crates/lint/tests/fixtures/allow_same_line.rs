@@ -1,0 +1,4 @@
+//@ path: crates/tensor/src/widget.rs
+pub fn is_zero(x: f32) -> bool {
+    x == 0.0 // lint: allow(float-eq) -- fixture demonstrates a trailing allow
+}

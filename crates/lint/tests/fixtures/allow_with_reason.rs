@@ -1,0 +1,5 @@
+//@ path: crates/core/src/widget.rs
+pub fn widget() {
+    // lint: allow(hygiene) -- fixture demonstrates an own-line allow
+    todo!()
+}

@@ -1,0 +1,8 @@
+//@ path: crates/tensor/src/widget.rs
+pub fn is_zero(x: f32) -> bool {
+    x.abs().to_bits() == 0
+}
+
+pub fn is_unit(x: f32) -> bool {
+    x.to_bits() == 1.0f32.to_bits()
+}

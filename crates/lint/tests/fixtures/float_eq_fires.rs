@@ -1,0 +1,8 @@
+//@ path: crates/tensor/src/widget.rs
+pub fn is_zero(x: f32) -> bool {
+    x == 0.0
+}
+
+pub fn differs(x: f64) -> bool {
+    x != -1.5
+}

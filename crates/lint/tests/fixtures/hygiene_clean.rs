@@ -1,0 +1,4 @@
+//@ path: crates/core/src/widget.rs
+pub fn widget() -> u32 {
+    41 + 1
+}

@@ -1,0 +1,8 @@
+//@ path: crates/core/src/widget.rs
+pub fn widget() {
+    todo!()
+}
+
+pub fn probe(x: u32) -> u32 {
+    dbg!(x)
+}

@@ -1,0 +1,4 @@
+//@ path: crates/gpusim/src/widget.rs
+pub fn pack(token_count: u64) -> usize {
+    usize::try_from(token_count).expect("token count fits usize")
+}

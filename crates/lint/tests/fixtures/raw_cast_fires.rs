@@ -1,0 +1,4 @@
+//@ path: crates/gpusim/src/widget.rs
+pub fn pack(token_count: u64) -> usize {
+    token_count as usize
+}

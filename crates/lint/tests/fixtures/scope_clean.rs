@@ -1,0 +1,8 @@
+//@ path: crates/quant/src/widget.rs
+use std::collections::HashMap;
+
+pub fn total(pages: &HashMap<u64, usize>) -> usize {
+    let used_pages: usize = pages.values().sum();
+    let free_pages = 2usize;
+    used_pages - free_pages
+}

@@ -1,0 +1,8 @@
+//@ path: crates/serve/src/scheduler.rs
+pub fn drain(total_pages: usize, free_pages: usize) -> usize {
+    total_pages.checked_sub(free_pages).expect("ledger drift")
+}
+
+pub fn take(free_pages: usize, n: usize) -> usize {
+    free_pages.saturating_sub(n)
+}

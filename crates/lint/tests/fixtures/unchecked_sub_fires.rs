@@ -1,0 +1,9 @@
+//@ path: crates/serve/src/scheduler.rs
+pub fn drain(total_pages: usize, free_pages: usize) -> usize {
+    total_pages - free_pages
+}
+
+pub fn take(mut free_pages: usize, n: usize) -> usize {
+    free_pages -= n;
+    free_pages
+}

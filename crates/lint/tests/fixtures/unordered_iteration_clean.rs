@@ -1,0 +1,6 @@
+//@ path: crates/serve/src/widget.rs
+use std::collections::BTreeMap;
+
+pub fn total(pages: &BTreeMap<u64, usize>) -> usize {
+    pages.values().sum()
+}

@@ -1,0 +1,17 @@
+//@ path: crates/serve/src/widget.rs
+use std::collections::HashMap;
+
+pub fn total(pages: &HashMap<u64, usize>) -> usize {
+    pages.values().sum()
+}
+
+pub fn dump(index: HashMap<u64, u64>) -> Vec<u64> {
+    let mut out = Vec::new();
+    for k in index.keys() {
+        out.push(*k);
+    }
+    for v in &index {
+        out.push(*v.1);
+    }
+    out
+}

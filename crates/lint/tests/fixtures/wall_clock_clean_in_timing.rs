@@ -1,0 +1,4 @@
+//@ path: crates/bench/src/timing.rs
+pub fn stamp() -> u128 {
+    std::time::Instant::now().elapsed().as_nanos()
+}

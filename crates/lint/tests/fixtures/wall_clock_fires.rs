@@ -1,0 +1,6 @@
+//@ path: crates/serve/src/widget.rs
+pub fn stamp() {
+    let t0 = std::time::Instant::now();
+    let _ = t0;
+    let _home = std::env::var("HOME");
+}

@@ -1,0 +1,110 @@
+//! Fixture-based UI tests: every file under `tests/fixtures/` is linted
+//! under a pseudo-path and its rendered output must match the sibling
+//! `.expected` file byte for byte.
+//!
+//! Fixture grammar:
+//! - Rust fixtures start with `//@ path: <workspace-relative path>`;
+//!   TOML fixtures start with `#@ path: ...`. The directive line stays in
+//!   the source handed to the linter, so reported line numbers match the
+//!   fixture file itself.
+//! - `<fixture>.expected` holds the sorted `file:line:col: lint: message`
+//!   lines followed by one trailer line
+//!   `-- suppressed: <S> by <A> allow comment(s)`.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use qserve_lint::lint_file_str;
+
+fn fixture_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn pseudo_path(src: &str, fixture: &Path) -> String {
+    let first = src.lines().next().unwrap_or("");
+    let rest = first
+        .strip_prefix("//@ path:")
+        .or_else(|| first.strip_prefix("#@ path:"))
+        .unwrap_or_else(|| {
+            panic!(
+                "{} must start with `//@ path:` or `#@ path:`",
+                fixture.display()
+            )
+        });
+    rest.trim().to_string()
+}
+
+fn render(rel: &str, src: &str) -> String {
+    let outcome = lint_file_str(rel, src);
+    let mut lines: Vec<String> = outcome.findings.iter().map(|f| f.to_string()).collect();
+    lines.sort();
+    let mut out = String::new();
+    for l in &lines {
+        writeln!(out, "{}", l).unwrap();
+    }
+    writeln!(
+        out,
+        "-- suppressed: {} by {} allow comment(s)",
+        outcome.suppressed.len(),
+        outcome.allow_comments
+    )
+    .unwrap();
+    out
+}
+
+#[test]
+fn fixtures_match_expected_output() {
+    let dir = fixture_dir();
+    let mut fixtures: Vec<PathBuf> = fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("missing fixture dir {}: {}", dir.display(), e))
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().map_or(true, |x| x != "expected"))
+        .collect();
+    fixtures.sort();
+    assert!(!fixtures.is_empty(), "no fixtures found in {}", dir.display());
+
+    let mut failures = String::new();
+    for fixture in &fixtures {
+        let src = fs::read_to_string(fixture).unwrap();
+        let rel = pseudo_path(&src, fixture);
+        let expected_path = PathBuf::from(format!("{}.expected", fixture.display()));
+        let expected = fs::read_to_string(&expected_path).unwrap_or_else(|e| {
+            panic!("missing {}: {}", expected_path.display(), e)
+        });
+        let actual = render(&rel, &src);
+        if actual != expected {
+            writeln!(
+                failures,
+                "== {} (as {})\n-- expected --\n{}-- actual --\n{}",
+                fixture.file_name().unwrap().to_string_lossy(),
+                rel,
+                expected,
+                actual
+            )
+            .unwrap();
+        }
+    }
+    assert!(failures.is_empty(), "fixture mismatches:\n{}", failures);
+}
+
+#[test]
+fn every_lint_has_a_firing_fixture() {
+    // Guards against adding a rule without fixture coverage: each public
+    // lint name must appear in at least one .expected file.
+    let dir = fixture_dir();
+    let mut all_expected = String::new();
+    for e in fs::read_dir(&dir).unwrap() {
+        let p = e.unwrap().path();
+        if p.extension().is_some_and(|x| x == "expected") {
+            all_expected.push_str(&fs::read_to_string(&p).unwrap());
+        }
+    }
+    for lint in qserve_lint::LINTS {
+        assert!(
+            all_expected.contains(&format!(": {}: ", lint)),
+            "no fixture exercises lint `{}`",
+            lint
+        );
+    }
+}

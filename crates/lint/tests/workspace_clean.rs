@@ -1,0 +1,51 @@
+//! Self-check: the live workspace must carry zero unsuppressed findings.
+//! This is the same contract `ci.sh` gates on, enforced from the test
+//! suite so `cargo test` alone catches a regression.
+
+use std::path::Path;
+
+use qserve_lint::lint_workspace;
+
+fn workspace_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lint sits two levels below the workspace root")
+}
+
+#[test]
+fn live_tree_is_lint_clean() {
+    let report = lint_workspace(workspace_root()).expect("workspace walk");
+    let rendered: Vec<String> = report.findings.iter().map(|f| f.to_string()).collect();
+    assert!(
+        rendered.is_empty(),
+        "the tree violates its own determinism/accounting contract:\n{}",
+        rendered.join("\n")
+    );
+}
+
+#[test]
+fn walker_covers_the_workspace() {
+    // Guards against the walker silently skipping the source tree (a clean
+    // report over zero files would be meaningless).
+    let report = lint_workspace(workspace_root()).expect("workspace walk");
+    assert!(
+        report.files_scanned > 60,
+        "only {} files scanned; walker is skipping too much",
+        report.files_scanned
+    );
+}
+
+#[test]
+fn every_allow_carries_a_reason() {
+    // The suppression ledger itself: every allow in the live tree parsed
+    // with a non-empty reason (malformed ones surface as findings above).
+    let report = lint_workspace(workspace_root()).expect("workspace walk");
+    for s in &report.suppressed {
+        assert!(
+            !s.reason.is_empty(),
+            "suppressed finding without a reason: {}",
+            s.finding
+        );
+    }
+}

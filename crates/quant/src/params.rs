@@ -31,7 +31,7 @@ impl QParams {
     pub fn symmetric(absmax: f32, qmax: i32) -> Self {
         assert!(qmax > 0, "symmetric qmax must be positive");
         assert!(absmax >= 0.0, "absmax must be non-negative, got {absmax}");
-        let scale = if absmax == 0.0 { 1.0 } else { absmax / qmax as f32 };
+        let scale = if absmax.abs().to_bits() == 0 { 1.0 } else { absmax / qmax as f32 };
         Self { scale, zero: 0 }
     }
 

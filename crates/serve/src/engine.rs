@@ -716,7 +716,9 @@ impl ServingEngine {
         let layers = self.model.layers;
         // `max_tokens` counts whole-model tokens; each occupies a slot in
         // every layer's page table.
-        let total_pages = (self.plan.max_tokens as usize * layers) / SIM_PAGE_TOKENS;
+        let total_pages = (usize::try_from(self.plan.max_tokens).expect("KV token budget fits usize")
+            * layers)
+            / SIM_PAGE_TOKENS;
         let budget = PageBudget::new(SIM_PAGE_TOKENS, layers, total_pages, reservation);
         let worst = spec.max_peak_len().div_ceil(SIM_PAGE_TOKENS) * layers;
         if worst > total_pages {

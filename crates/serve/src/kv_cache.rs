@@ -178,7 +178,10 @@ impl PagedKvCache {
     /// *Unique* pages currently allocated to sequences — shared prefix pages
     /// count once no matter how many sequences alias them.
     pub fn used_pages(&self) -> usize {
-        self.pages.len() - self.free_list.len()
+        self.pages
+            .len()
+            .checked_sub(self.free_list.len())
+            .expect("free list grew past the page pool")
     }
 
     /// High-water mark of [`PagedKvCache::used_pages`] over the cache's life
@@ -319,8 +322,10 @@ impl PagedKvCache {
     /// copy-on-write duplicate its first append triggers.
     pub fn can_grow(&self, seq: SequenceId, extra_tokens: usize) -> bool {
         let cur = self.seq_len(seq);
-        let mut need_per_layer =
-            self.pages_for_tokens(cur + extra_tokens) - self.pages_for_tokens(cur);
+        let mut need_per_layer = self
+            .pages_for_tokens(cur + extra_tokens)
+            .checked_sub(self.pages_for_tokens(cur))
+            .expect("page demand shrank while growing");
         if extra_tokens > 0 && cur % self.config.page_tokens != 0 {
             if let Some(table) = self.tables.get(&seq) {
                 if let Some(&tail) = table[0].last() {
@@ -463,7 +468,7 @@ impl PagedKvCache {
                 keys.push(kq);
                 values.push(vq);
             }
-            remaining -= page.filled.min(remaining);
+            remaining = remaining.saturating_sub(page.filled);
         }
         Ok((keys, values))
     }

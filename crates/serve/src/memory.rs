@@ -63,7 +63,8 @@ impl MemoryPlan {
         if used >= gpu.memory_bytes {
             return None;
         }
-        let kv_budget_bytes = gpu.memory_bytes - used;
+        let kv_budget_bytes =
+            gpu.memory_bytes.checked_sub(used).expect("weights + workspace exceed GPU memory");
         let kv_bytes_per_token = model
             .kv_bytes_per_token(kv_bits)
             .div_ceil(tp_ways as u64)
@@ -80,7 +81,8 @@ impl MemoryPlan {
     /// Max concurrent sequences when each holds `max_seq_len` tokens at peak
     /// (the conservative sizing real schedulers use for admission).
     pub fn max_batch(&self, max_seq_len: usize) -> usize {
-        (self.max_tokens / max_seq_len.max(1) as u64) as usize
+        usize::try_from(self.max_tokens / max_seq_len.max(1) as u64)
+            .expect("concurrent-sequence count fits usize")
     }
 }
 

@@ -656,8 +656,8 @@ impl WorkloadSpec {
         };
         // One shared token stream per group/conversation, long enough for
         // the longest prompt that draws on it.
-        let mut stream_len: std::collections::HashMap<u64, usize> =
-            std::collections::HashMap::new();
+        let mut stream_len: std::collections::BTreeMap<u64, usize> =
+            std::collections::BTreeMap::new();
         for r in requests {
             if let Some(g) = r.prefix_group {
                 let need = match self.sharing {
@@ -670,7 +670,7 @@ impl WorkloadSpec {
                 *e = (*e).max(need);
             }
         }
-        let streams: std::collections::HashMap<u64, Vec<u32>> = stream_len
+        let streams: std::collections::BTreeMap<u64, Vec<u32>> = stream_len
             .into_iter()
             .map(|(g, len)| {
                 (g, TensorRng::seed(sub_seed(0x5052_4546, g)).token_sequence(len, vocab))

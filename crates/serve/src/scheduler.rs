@@ -134,8 +134,8 @@ pub struct PageBudget {
     free_pages: usize,
     peak_used: usize,
     mode: Reservation,
-    entries: std::collections::HashMap<RequestId, PageEntry>,
-    pools: std::collections::HashMap<u64, SharedPool>,
+    entries: std::collections::BTreeMap<RequestId, PageEntry>,
+    pools: std::collections::BTreeMap<u64, SharedPool>,
 }
 
 impl PageBudget {
@@ -150,8 +150,8 @@ impl PageBudget {
             free_pages: total_pages,
             peak_used: 0,
             mode,
-            entries: std::collections::HashMap::new(),
-            pools: std::collections::HashMap::new(),
+            entries: std::collections::BTreeMap::new(),
+            pools: std::collections::BTreeMap::new(),
         }
     }
 
@@ -167,7 +167,7 @@ impl PageBudget {
 
     /// Pages currently charged to residents and shared pools.
     pub fn used_pages(&self) -> usize {
-        self.total_pages - self.free_pages
+        self.total_pages.checked_sub(self.free_pages).expect("ledger drift: free exceeds total")
     }
 
     /// Audits the ledger from first principles: the free count must equal
@@ -217,8 +217,9 @@ impl PageBudget {
     }
 
     fn take(&mut self, pages: usize) {
-        self.free_pages -= pages;
-        self.peak_used = self.peak_used.max(self.total_pages - self.free_pages);
+        self.free_pages =
+            self.free_pages.checked_sub(pages).expect("page take exceeds the free pool");
+        self.peak_used = self.peak_used.max(self.used_pages());
     }
 }
 
@@ -274,7 +275,9 @@ impl KvBudget for PageBudget {
         let prev = self.entries.insert(
             id,
             PageEntry {
-                tokens: start_tokens - covered_tokens,
+                tokens: start_tokens
+                    .checked_sub(covered_tokens)
+                    .expect("shared coverage exceeds the request's start tokens"),
                 reserved_per_layer: per_layer,
                 group,
             },
@@ -294,7 +297,8 @@ impl KvBudget for PageBudget {
         }
         let need = (need_per_layer - entry.reserved_per_layer) * layers;
         if need > self.free_pages {
-            entry.tokens -= 1;
+            entry.tokens =
+                entry.tokens.checked_sub(1).expect("grow() rollback on an empty entry");
             return false;
         }
         self.entries.get_mut(&id).unwrap().reserved_per_layer = need_per_layer;
@@ -413,6 +417,7 @@ impl SchedulingPolicy for MemoryAware {
     fn select(&self, waiting: &[Request], _running: &[Request], budget: &dyn KvBudget)
         -> Option<usize> {
         let r = waiting.first()?;
+        // lint: allow(raw-cast) -- admission headroom is a deliberate f64 estimate; ceil() is finite and non-negative, so the cast is exact
         let need = r.prefill_len() + (r.remaining() as f64 * self.headroom).ceil() as usize;
         (budget.free_tokens() >= need).then_some(0)
     }

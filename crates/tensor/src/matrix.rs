@@ -205,7 +205,7 @@ impl Matrix {
             let xi = &self.data[i * k..(i + 1) * k];
             let oi = &mut out.data[i * n..(i + 1) * n];
             for (p, &x) in xi.iter().enumerate() {
-                if x == 0.0 {
+                if x.abs().to_bits() == 0 {
                     continue;
                 }
                 let wr = &other.data[p * n..(p + 1) * n];
@@ -469,7 +469,7 @@ mod tests {
         let m = Matrix::zeros(3, 4);
         assert_eq!(m.shape(), (3, 4));
         assert_eq!(m.len(), 12);
-        assert!(m.as_slice().iter().all(|&v| v == 0.0));
+        assert!(m.as_slice().iter().all(|&v| v.abs().to_bits() == 0));
     }
 
     #[test]

@@ -75,7 +75,7 @@ pub fn sqnr_db(reference: &Matrix, quantized: &Matrix) -> f64 {
             d * d
         })
         .sum();
-    if noise == 0.0 {
+    if noise.abs().to_bits() == 0 {
         f64::INFINITY
     } else {
         10.0 * (signal / noise).log10()
@@ -91,8 +91,8 @@ pub fn relative_error(reference: &Matrix, approx: &Matrix) -> f64 {
     assert_eq!(reference.shape(), approx.shape(), "relative_error shape mismatch");
     let num = f64::from(reference.sub(approx).frobenius_norm());
     let den = f64::from(reference.frobenius_norm());
-    if den == 0.0 {
-        if num == 0.0 {
+    if den.abs().to_bits() == 0 {
+        if num.abs().to_bits() == 0 {
             0.0
         } else {
             f64::INFINITY
