@@ -43,6 +43,12 @@ rm -f results/hetero_sweep.csv
 cargo run --release --offline --locked -p qserve-bench --bin reproduce -- hetero_sweep >/dev/null
 test -s results/hetero_sweep.csv
 
+# And the CI-sized mega_sweep (10k requests through the event-driven core;
+# the full million-request id is `mega_sweep`, minutes of runtime).
+rm -f results/mega_sweep_smoke.csv
+cargo run --release --offline --locked -p qserve-bench --bin reproduce -- mega_sweep_smoke >/dev/null
+test -s results/mega_sweep_smoke.csv
+
 # Every example must run end to end, offline (smoke: exit status only).
 for ex in quickstart generate kv4_attention paged_serving prefix_caching \
           cluster_serving heterogeneous_fleet roofline serving_throughput \

@@ -1,0 +1,78 @@
+//! Event-driven vs step-driven serving core on the same trace.
+//!
+//! The two arms run the identical workload on the identical fleet and must
+//! produce bit-identical `ClusterReport`s (the equivalence the `props!`
+//! oracle proves in miniature); the only difference is the driver. The
+//! step-driven reference pays an O(replicas) min-clock scan per step, an
+//! O(residents) outstanding-work scan per replica per arrival and a fresh
+//! snapshot/scratch allocation per decision, so its cost grows with
+//! `arrivals × backlog`; the event core replaces all three with a binary
+//! heap and incremental counters, staying O(events × log replicas).
+//!
+//! The trace is deliberately an *overload* regime (offered load ≈ 6.5× the
+//! fleet's ~615 req/s service rate) so a deep backlog persists for the whole
+//! run — the regime that made million-request traces unreachable for the
+//! step driver. Each arm runs exactly once (`bench_once`): a single run
+//! takes seconds to minutes, so the calibrated multi-sample loop would
+//! multiply a minutes-long baseline ~12×. Set `QSERVE_BENCH_FAST=1` for a
+//! CI-sized trace where relative numbers do not matter.
+
+use qserve_bench::timing::{fast_mode, Criterion};
+use qserve_serve::cluster::{Cluster, LeastOutstanding};
+use qserve_serve::request::WorkloadSpec;
+use qserve_serve::scheduler::{MemoryAware, Reservation, SchedOptions};
+use qserve_serve::{ServingEngine, SystemConfig};
+use qserve_gpusim::GpuSpec;
+use qserve_model::ModelConfig;
+
+/// Requests in the benchmark trace (the full run; `QSERVE_BENCH_FAST`
+/// shrinks it 10×).
+const REQUESTS: usize = 200_000;
+/// Offered load, requests per second — ~6.5× the 4×A100 service rate.
+const RATE_RPS: f64 = 4000.0;
+/// Trace seed (matches the scheduling sweeps' seed).
+const SEED: u64 = 20240603;
+
+fn fleet() -> Cluster {
+    let a100 = ServingEngine::new(
+        GpuSpec::a100(),
+        ModelConfig::llama2_7b(),
+        SystemConfig::QServePerChannel,
+    )
+    .expect("A100 serves Llama-2-7B");
+    Cluster::heterogeneous(vec![a100; 4], Box::new(LeastOutstanding))
+}
+
+fn main() {
+    let n = if fast_mode() { REQUESTS / 10 } else { REQUESTS };
+    let spec = WorkloadSpec::production(n, RATE_RPS, SEED);
+    let mut cluster = fleet();
+    let serve_args = || {
+        (
+            || Box::new(MemoryAware::default()) as Box<dyn qserve_serve::SchedulingPolicy>,
+            Reservation::OnDemand,
+            SchedOptions::default(),
+        )
+    };
+
+    let mut c = Criterion::default();
+    let (event_ns, event) = c.bench_once(&format!("serve_core/event/{n}"), || {
+        let (mk, res, opts) = serve_args();
+        cluster.serve_paged(&spec, mk, res, opts).expect("event core serves")
+    });
+    let (step_ns, step) = c.bench_once(&format!("serve_core/step/{n}"), || {
+        let (mk, res, opts) = serve_args();
+        cluster
+            .serve_paged_step_reference(&spec, mk, res, opts)
+            .expect("step reference serves")
+    });
+    // Equivalence re-proved on the benchmarked trace itself (don't
+    // `assert_eq!`: a failure would Debug-print hundreds of thousands of
+    // request ids).
+    assert!(event == step, "event core and step reference reports diverged");
+    println!(
+        "serve_core: {} requests, {} completed, {} preemptions",
+        n, event.completed, event.preemptions
+    );
+    println!("speedup: {:.1}x (event-driven over step-driven)", step_ns / event_ns);
+}

@@ -21,13 +21,15 @@ pub fn experiment_ids() -> Vec<&'static str> {
     vec![
         "fig1", "fig2a", "fig2b", "fig3", "table1", "table2", "table3", "table5", "table4",
         "fig16", "fig17", "fig18", "table6", "attn_breakdown", "microbench", "sched_sweep",
-        "prefix_sweep", "cluster_sweep", "hetero_sweep",
+        "prefix_sweep", "cluster_sweep", "hetero_sweep", "mega_sweep_smoke",
     ]
 }
 
 /// Runs one experiment by id, returning its tables — `None` for an unknown
 /// id. `table2quick` is an additional alias running the accuracy suite on
-/// two models only.
+/// two models only, and `mega_sweep` is the full million-request event-core
+/// reproduce (minutes of runtime; `mega_sweep_smoke` is its listed CI-sized
+/// stand-in).
 pub fn run_experiment(id: &str) -> Option<Vec<Table>> {
     let tables = match id {
         "fig1" => vec![efficiency::fig1()],
@@ -59,6 +61,8 @@ pub fn run_experiment(id: &str) -> Option<Vec<Table>> {
         "prefix_sweep" => vec![scheduling::prefix_sweep()],
         "cluster_sweep" => vec![scheduling::cluster_sweep()],
         "hetero_sweep" => vec![scheduling::hetero_sweep()],
+        "mega_sweep" => vec![scheduling::mega_sweep()],
+        "mega_sweep_smoke" => vec![scheduling::mega_sweep_smoke()],
         _ => return None,
     };
     Some(tables)

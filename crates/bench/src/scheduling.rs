@@ -376,6 +376,92 @@ pub fn hetero_sweep() -> Table {
     t
 }
 
+/// The `mega_sweep` fleet: four identical A100 replicas serving Llama-2-7B
+/// under QServe per-channel — homogeneous on purpose, so the experiment
+/// stresses arrival volume rather than fleet asymmetry.
+fn mega_fleet() -> Vec<ServingEngine> {
+    let a100 = ServingEngine::new(
+        GpuSpec::a100(),
+        ModelConfig::llama2_7b(),
+        SystemConfig::QServePerChannel,
+    )
+    .expect("A100 serves Llama-2-7B");
+    vec![a100; 4]
+}
+
+/// Offered load for the `mega_sweep` trace, requests per second across the
+/// fleet — chosen a little above the 4×A100 service rate on the production
+/// length mix, so a persistent (but bounded) backlog exercises admission,
+/// routing and the event queue under pressure for the whole run.
+const MEGA_RATE_RPS: f64 = 640.0;
+
+/// Shared core of `mega_sweep` / `mega_sweep_smoke`: an `num_requests`-long
+/// production Poisson trace served by [`mega_fleet`] behind work-normalized
+/// least-outstanding routing, reported as a single row. Above
+/// [`qserve_serve::EXACT_STATS_MAX`] finished requests the latency
+/// percentiles come from the streaming sketch (the exact and sketch columns
+/// coincide below it).
+fn mega_sweep_sized(name: &'static str, num_requests: usize) -> Table {
+    let mut t = Table::new(
+        name,
+        "million-request event-core reproduce: 4xA100 Llama-2-7B QServe, \
+         production Poisson trace (latencies in s)",
+        &[
+            "Requests",
+            "Rate (rps)",
+            "Completed",
+            "Throughput (tok/s)",
+            "Makespan (s)",
+            "Mean TTFT",
+            "p50",
+            "p99",
+            "Sketch p50",
+            "Sketch p99",
+            "Preempt",
+        ],
+    );
+    let spec = WorkloadSpec::production(num_requests, MEGA_RATE_RPS, SWEEP_SEED);
+    let r = Cluster::heterogeneous(mega_fleet(), Box::new(LeastOutstanding))
+        .serve_paged(
+            &spec,
+            || Box::new(MemoryAware::default()),
+            Reservation::OnDemand,
+            SchedOptions::default(),
+        )
+        .expect("workload must be servable");
+    assert_eq!(r.completed, num_requests, "mega_sweep must finish every request");
+    t.push_row(vec![
+        num_requests.to_string(),
+        fnum(MEGA_RATE_RPS, 0),
+        r.completed.to_string(),
+        fnum(r.throughput_tps, 0),
+        fnum(r.makespan_s, 1),
+        fnum(r.mean_ttft_s, 3),
+        fnum(r.p50_latency_s, 3),
+        fnum(r.p99_latency_s, 3),
+        fnum(r.sketch_p50_latency_s, 3),
+        fnum(r.sketch_p99_latency_s, 3),
+        r.preemptions.to_string(),
+    ]);
+    t
+}
+
+/// **mega_sweep**: the million-request reproduce — 1,000,000 Poisson
+/// arrivals through the event-driven serving core on a 4×A100 fleet. The
+/// step-driven driver's O(residents)-per-arrival scans made this scale
+/// unreachable; the event core finishes it in minutes, with latency
+/// percentiles from the streaming sketch.
+pub fn mega_sweep() -> Table {
+    mega_sweep_sized("mega_sweep", 1_000_000)
+}
+
+/// **mega_sweep_smoke**: the CI-sized `mega_sweep` (10,000 requests, same
+/// fleet, rate and seed) — small enough for the exact percentile path, so
+/// its sketch columns double as an accuracy check against the exact ones.
+pub fn mega_sweep_smoke() -> Table {
+    mega_sweep_sized("mega_sweep_smoke", 10_000)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -20,7 +20,10 @@ pub const TARGET_SAMPLE_TIME: Duration = Duration::from_millis(20);
 /// Samples collected per benchmark.
 pub const SAMPLES: usize = 11;
 
-fn fast_mode() -> bool {
+/// True when `QSERVE_BENCH_FAST=1` asks for a CI-sized smoke run — exposed
+/// so single-shot macro-benchmarks can scale their inputs by the same knob
+/// (this module is the only place allowed to read the environment).
+pub fn fast_mode() -> bool {
     std::env::var_os("QSERVE_BENCH_FAST").is_some_and(|v| v != "0")
 }
 
@@ -155,6 +158,31 @@ impl Criterion {
         );
         self.results.push(result);
         self
+    }
+
+    /// Times `f` exactly once and returns `(elapsed_ns, output)` — for
+    /// macro-benchmarks whose single run takes seconds to minutes, where
+    /// [`Criterion::bench_function`]'s calibrated multi-sample loop would
+    /// multiply the cost ~12×. The single measurement is recorded (and
+    /// printed) with `median == min == max` and one iteration per sample.
+    pub fn bench_once<O>(&mut self, name: &str, f: impl FnOnce() -> O) -> (f64, O) {
+        let start = Instant::now();
+        let out = black_box(f());
+        let ns = start.elapsed().as_nanos() as f64;
+        let result = BenchResult {
+            name: name.to_string(),
+            median_ns: ns,
+            min_ns: ns,
+            max_ns: ns,
+            iters: 1,
+        };
+        println!(
+            "{:<44} {:>12} /iter  (single shot)",
+            result.name,
+            fmt_ns(result.median_ns),
+        );
+        self.results.push(result);
+        (ns, out)
     }
 
     /// Opens a named group; benchmark ids are prefixed with `group/`.

@@ -21,6 +21,9 @@
 //!   on page/token counter expressions in ledger and cost-model files.
 //! - `float-eq` — `==`/`!=` against float literals anywhere (`to_bits`
 //!   identity comparisons are the sanctioned form).
+//! - `float-sort` — `partial_cmp(..).unwrap()`/`.expect(..)` anywhere: a
+//!   NaN panics mid-comparison and partial orders are how float sorts go
+//!   non-deterministic (`f64::total_cmp` is the sanctioned form).
 //! - `hygiene` — `todo!`, `unimplemented!`, `dbg!` anywhere.
 //!
 //! A finding is suppressed by an allow comment with a mandatory reason:
@@ -49,6 +52,7 @@ pub const LINTS: &[&str] = &[
     "unchecked-sub",
     "raw-cast",
     "float-eq",
+    "float-sort",
     "hygiene",
 ];
 

@@ -49,6 +49,7 @@ pub fn lint_rust(rel: &str, src: &str, scope: &FileScope) -> FileOutcome {
 
     hygiene(rel, toks, &mut findings);
     float_eq(rel, toks, &mut findings);
+    float_sort(rel, toks, &mut findings);
     if scope.wall_clock {
         wall_clock(rel, toks, &mut findings);
     }
@@ -131,6 +132,56 @@ fn float_eq(rel: &str, toks: &[Tok], out: &mut Vec<Finding>) {
                 format!(
                     "float `{}` comparison; compare `.to_bits()` or restructure to exact integers",
                     op
+                ),
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// float-sort: `.partial_cmp(..).unwrap()` / `.expect(..)` in comparator
+// position — panics on NaN mid-sort; `f64::total_cmp` is the sanctioned
+// total order (explicit `unwrap_or(Ordering::..)` fallbacks stay legal)
+// ---------------------------------------------------------------------------
+
+fn float_sort(rel: &str, toks: &[Tok], out: &mut Vec<Finding>) {
+    for i in 0..toks.len() {
+        if toks[i].kind != TokKind::Ident
+            || toks[i].text != "partial_cmp"
+            || text(toks, i as isize - 1) != "."
+            || text(toks, i as isize + 1) != "("
+        {
+            continue;
+        }
+        // Depth-match the argument list, then look for `.unwrap(` /
+        // `.expect(` immediately on the comparison's result.
+        let mut j = i + 1;
+        let mut depth = 0i32;
+        while j < toks.len() {
+            match toks[j].text.as_str() {
+                "(" => depth += 1,
+                ")" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        if text(toks, j as isize + 1) == "."
+            && kind(toks, j as isize + 2) == Some(TokKind::Ident)
+            && matches!(text(toks, j as isize + 2), "unwrap" | "expect")
+            && text(toks, j as isize + 3) == "("
+        {
+            out.push(finding(
+                rel,
+                &toks[i],
+                "float-sort",
+                format!(
+                    "`partial_cmp(..).{}(..)` panics on NaN mid-comparison; use `f64::total_cmp` for a deterministic total order",
+                    text(toks, j as isize + 2)
                 ),
             ));
         }
@@ -462,6 +513,32 @@ mod tests {
         assert_eq!(got, vec![("float-eq", 1, 26)]);
         assert!(lints_of("fn f(x: f64) -> bool { x.abs().to_bits() == 0 }").is_empty());
         assert_eq!(lints_of("fn f(x: f64) -> bool { x != -1.5 }").len(), 1);
+    }
+
+    #[test]
+    fn float_sort_fires_on_unwrapped_comparators() {
+        let got =
+            lints_of("fn f(v: &mut [f64]) { v.sort_by(|a, b| a.partial_cmp(b).unwrap()); }");
+        assert_eq!(got, vec![("float-sort", 1, 42)]);
+        let got = lints_of(
+            "fn f(v: &mut [f64]) { v.sort_by(|a, b| a.partial_cmp(b).expect(\"no NaN\")); }",
+        );
+        assert_eq!(got, vec![("float-sort", 1, 42)]);
+        // A parenthesized argument must not fool the depth matcher.
+        let got = lints_of("let o = x.partial_cmp(&(y + z.min(1.0))).unwrap();");
+        assert_eq!(got, vec![("float-sort", 1, 11)]);
+    }
+
+    #[test]
+    fn float_sort_leaves_sanctioned_forms_alone() {
+        // total_cmp is the fix; a bare partial_cmp (e.g. propagated as an
+        // Option) and an explicit Ordering fallback both stay legal.
+        assert!(lints_of("fn f(v: &mut [f64]) { v.sort_by(f64::total_cmp); }").is_empty());
+        assert!(lints_of("let o = a.partial_cmp(&b);").is_empty());
+        assert!(lints_of(
+            "v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));"
+        )
+        .is_empty());
     }
 
     #[test]

@@ -1,0 +1,12 @@
+//@ path: crates/tensor/src/widget.rs
+pub fn sort_latencies(v: &mut [f64]) {
+    v.sort_by(f64::total_cmp);
+}
+
+pub fn maybe_order(a: f64, b: f64) -> Option<std::cmp::Ordering> {
+    a.partial_cmp(&b)
+}
+
+pub fn sort_lenient(v: &mut [f64]) {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+}

@@ -1,0 +1,8 @@
+//@ path: crates/tensor/src/widget.rs
+pub fn sort_latencies(v: &mut [f64]) {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}
+
+pub fn sort_ratios(v: &mut [f64]) {
+    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN ratios"));
+}

@@ -41,11 +41,13 @@
 //! [`AdmitAll`] is bit-identical to the PR-4 cluster — the invariants that
 //! pin this layer to the golden-snapshot CSVs.
 
-use crate::engine::{EngineUnavailable, ServingEngine, ServingReport, SpeedProfile};
+use crate::engine::{EngineUnavailable, ServingEngine, ServingReport, SpeedProfile, TickScratch};
+use crate::event::EventQueue;
 use crate::request::{Request, RequestId, Tier, WorkloadSpec};
 use crate::scheduler::{
     percentile, KvBudget, PageBudget, Reservation, SchedOptions, Scheduler, SchedulingPolicy,
 };
+use crate::sketch::{PercentileSketch, EXACT_STATS_MAX};
 
 // ---------------------------------------------------------------------------
 // Routing
@@ -157,8 +159,7 @@ fn least_outstanding(replicas: &[ReplicaView]) -> usize {
         .iter()
         .min_by(|a, b| {
             a.est_queue_s()
-                .partial_cmp(&b.est_queue_s())
-                .expect("queue estimates are finite")
+                .total_cmp(&b.est_queue_s())
                 .then(a.index.cmp(&b.index))
         })
         .expect("a cluster has at least one replica")
@@ -325,6 +326,20 @@ impl AdmissionPolicy for PriorityShed {
 // Replicas
 // ---------------------------------------------------------------------------
 
+/// What the cluster's event queue is waiting on. Purely descriptive — every
+/// event advances its lane the same way (arrivals run an admission/routing
+/// decision; replica events run one tick) — but naming the *reason* a
+/// replica re-arms keeps traces and the queue's ordering contract legible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Event {
+    /// Lane 0: the next request reaches the front door.
+    Arrival,
+    /// A replica's next tick retires or decodes resident requests.
+    Completion,
+    /// A replica's next tick advances a chunked prefill one chunk.
+    ChunkBoundary,
+}
+
 /// One engine replica: its own scheduler core, page ledger and clock,
 /// advanced one tick at a time — the incremental form of
 /// [`ServingEngine::run_scheduled_with`]'s loop body.
@@ -334,6 +349,8 @@ struct Replica {
     sched: Scheduler,
     budget: PageBudget,
     routed: usize,
+    /// Per-replica tick buffers, reused across the replica's whole run.
+    scratch: TickScratch,
 }
 
 impl Replica {
@@ -345,6 +362,9 @@ impl Replica {
         self.sched.clock()
     }
 
+    /// Router/admission snapshot. O(1): the outstanding-work figure comes
+    /// from the scheduler's incremental counter, so probing every replica
+    /// per arrival costs O(replicas), not O(residents).
     fn view(&self, index: usize) -> ReplicaView {
         ReplicaView {
             index,
@@ -356,6 +376,17 @@ impl Replica {
         }
     }
 
+    /// The pre-event-core snapshot: same fields, but the outstanding work
+    /// comes from the O(residents) ground-truth scan. Kept for the
+    /// step-driven reference driver so its benchmarked cost profile stays
+    /// the one the event core actually replaced.
+    fn view_scan(&self, index: usize) -> ReplicaView {
+        ReplicaView {
+            outstanding_tokens: self.sched.outstanding_tokens_scan(),
+            ..self.view(index)
+        }
+    }
+
     fn submit(&mut self, req: Request) {
         self.routed += 1;
         self.sched.submit(req);
@@ -363,9 +394,30 @@ impl Replica {
 
     /// One scheduling tick — [`ServingEngine::scheduler_tick`], the same
     /// loop body `run_scheduled_with` drives, so a lone replica replays the
-    /// single-engine run exactly by construction.
+    /// single-engine run exactly by construction. Allocates its scratch per
+    /// tick; the step-driven reference keeps this cost profile.
     fn tick(&mut self) {
         self.engine.scheduler_tick(&mut self.sched, &mut self.budget);
+    }
+
+    /// [`Replica::tick`] with the replica-owned scratch buffers — identical
+    /// arithmetic, zero per-tick allocation; the event core's hot path.
+    fn tick_scratch(&mut self) {
+        self.engine
+            .scheduler_tick_scratch(&mut self.sched, &mut self.budget, &mut self.scratch);
+    }
+
+    /// What this replica's next tick will do — the event kind it re-arms
+    /// the queue with: a chunk boundary while any resident prefill is
+    /// mid-chunking, otherwise a completion step.
+    fn next_event(&self) -> Event {
+        if self.sched.options().chunk_tokens.is_some()
+            && self.sched.running().iter().any(|r| r.prefill_remaining() > 0)
+        {
+            Event::ChunkBoundary
+        } else {
+            Event::Completion
+        }
     }
 }
 
@@ -455,6 +507,13 @@ pub struct ClusterReport {
     /// Worst per-replica unique-page high-water mark — the number a
     /// capacity planner provisions each replica's HBM against.
     pub max_replica_peak_pages: usize,
+    /// Median latency from the per-replica streaming sketches, merged in
+    /// replica order — always populated, and the authoritative percentile
+    /// source above [`EXACT_STATS_MAX`] total completions (0 when nothing
+    /// finished).
+    pub sketch_p50_latency_s: f64,
+    /// 99th-percentile latency from the merged streaming sketches.
+    pub sketch_p99_latency_s: f64,
     /// Per-replica breakdown, indexed by replica.
     pub per_replica: Vec<ReplicaReport>,
 }
@@ -476,6 +535,8 @@ impl ClusterReport {
             && self.p99_latency_s.to_bits() == r.p99_latency_s.to_bits()
             && self.preemptions == r.preemptions
             && self.max_replica_peak_pages == r.peak_unique_pages
+            && self.sketch_p50_latency_s.to_bits() == r.sketch_p50_latency_s.to_bits()
+            && self.sketch_p99_latency_s.to_bits() == r.sketch_p99_latency_s.to_bits()
     }
 }
 
@@ -531,14 +592,60 @@ impl Cluster {
         self.admission.name()
     }
 
+    /// Builds one fresh replica per engine, each sized by *its own*
+    /// [`ServingEngine::paged_budget`] — shared by the event-driven driver
+    /// and the step-driven reference so both serve the same fleet.
+    fn build_replicas(
+        &self,
+        spec: &WorkloadSpec,
+        mk_policy: &impl Fn() -> Box<dyn SchedulingPolicy>,
+        reservation: Reservation,
+        opts: SchedOptions,
+    ) -> Result<Vec<Replica>, EngineUnavailable> {
+        self.engines
+            .iter()
+            .map(|engine| -> Result<Replica, EngineUnavailable> {
+                let (budget, batch_limit) = engine.paged_budget(spec, reservation)?;
+                Ok(Replica {
+                    engine: engine.clone(),
+                    speed: engine.speed_profile(),
+                    sched: Scheduler::open(batch_limit, mk_policy(), opts),
+                    budget,
+                    routed: 0,
+                    scratch: TickScratch::default(),
+                })
+            })
+            .collect()
+    }
+
+    /// The workload trace in front-door order: sorted by `(arrival_s, id)`.
+    fn sorted_trace(spec: &WorkloadSpec) -> Vec<Request> {
+        let mut requests = spec.sample();
+        requests.sort_by(|a, b| {
+            a.arrival_s.total_cmp(&b.arrival_s).then(a.id.cmp(&b.id))
+        });
+        requests
+    }
+
     /// Serves `spec` across the cluster with paged admission on every
-    /// replica (each sized by *its own* [`ServingEngine::paged_budget`],
-    /// i.e. exactly like the single-engine paged path on that hardware).
-    /// Requests are decided in arrival order: before each decision every
-    /// replica lagging behind the arrival is advanced to it, so admission
-    /// and routing see live queue pressure; the admission policy then
-    /// admits or sheds, the routing policy places admitted requests, and
-    /// after the last arrival replicas drain independently.
+    /// replica — the **event-driven core**. One deterministic
+    /// [`EventQueue`] (keyed `(time.to_bits(), lane, seq)`; lane 0 is the
+    /// front-door arrival stream, lane `i + 1` is replica `i`) holds at
+    /// most one entry per busy replica plus the next arrival, and the run
+    /// is a single pop loop:
+    ///
+    /// * **next-arrival** — admission and routing see an O(1)-per-replica
+    ///   snapshot as of the arrival instant, then the owning replica is
+    ///   armed at its clock (if it was drained);
+    /// * **next-completion** / **next-chunk-boundary** — the replica runs
+    ///   exactly one scheduling tick (scratch-reusing, allocation-free) and
+    ///   is re-armed at its advanced clock until it drains.
+    ///
+    /// Because the heap pops `(time, lane)` in the same order the retired
+    /// step driver's min-clock scans selected (arrivals win time-ties, then
+    /// replicas by index), every replica performs the identical tick
+    /// sequence — bit-identical reports — at O(log replicas) per event
+    /// instead of O(replicas) per step and O(residents) per load probe.
     ///
     /// # Errors
     /// [`EngineUnavailable::OutOfMemory`] when a worst-case request exceeds
@@ -557,35 +664,107 @@ impl Cluster {
         // cursors or pressure state from a previous serve may leak in.
         self.policy.reset();
         self.admission.reset();
-        let mut reps: Vec<Replica> = self
-            .engines
-            .iter()
-            .map(|engine| -> Result<Replica, EngineUnavailable> {
-                let (budget, batch_limit) = engine.paged_budget(spec, reservation)?;
-                Ok(Replica {
-                    engine: engine.clone(),
-                    speed: engine.speed_profile(),
-                    sched: Scheduler::open(batch_limit, mk_policy(), opts),
-                    budget,
-                    routed: 0,
-                })
-            })
-            .collect::<Result<_, _>>()?;
-
-        let mut requests = spec.sample();
-        requests.sort_by(|a, b| {
-            a.arrival_s.partial_cmp(&b.arrival_s).unwrap().then(a.id.cmp(&b.id))
-        });
+        let mut reps = self.build_replicas(spec, &mk_policy, reservation, opts)?;
         let mut shed: Vec<Request> = Vec::new();
-        for req in requests {
+
+        const ARRIVAL_LANE: u64 = 0;
+        let mut queue: EventQueue<Event> = EventQueue::new();
+        let mut arrivals = Self::sorted_trace(spec).into_iter();
+        let mut next_arrival = arrivals.next();
+        if let Some(r) = &next_arrival {
+            queue.push(r.arrival_s, ARRIVAL_LANE, Event::Arrival);
+        }
+        // One views buffer reused across every arrival decision.
+        let mut views: Vec<ReplicaView> = Vec::with_capacity(reps.len());
+        while let Some((_, lane, _kind)) = queue.pop() {
+            if lane == ARRIVAL_LANE {
+                let req = next_arrival.take().expect("arrival event without a request");
+                views.clear();
+                views.extend(reps.iter().enumerate().map(|(i, r)| r.view(i)));
+                if self.admission.decide(&req, &views) == Admission::Shed {
+                    shed.push(req);
+                } else {
+                    let choice = self.policy.route(&req, &views);
+                    assert!(
+                        choice < reps.len(),
+                        "routing policy '{}' picked replica {} of {}",
+                        self.policy.name(),
+                        choice,
+                        reps.len()
+                    );
+                    let was_drained = reps[choice].done();
+                    reps[choice].submit(req);
+                    if was_drained {
+                        // A drained replica had no queue entry; it re-enters
+                        // at its current clock (its first tick idles it
+                        // forward to the new request's arrival if needed).
+                        queue.push(
+                            reps[choice].clock(),
+                            choice as u64 + 1,
+                            reps[choice].next_event(),
+                        );
+                    }
+                }
+                next_arrival = arrivals.next();
+                if let Some(r) = &next_arrival {
+                    queue.push(r.arrival_s, ARRIVAL_LANE, Event::Arrival);
+                }
+            } else {
+                // lint: allow(raw-cast) -- lane = replica index + 1 by construction, so the u64 → usize round trip is exact
+                let i = (lane - 1) as usize;
+                reps[i].tick_scratch();
+                if !reps[i].done() {
+                    queue.push(reps[i].clock(), lane, reps[i].next_event());
+                }
+            }
+        }
+        Ok(Self::aggregate(self.policy.name(), self.admission.name(), &reps, &shed))
+    }
+
+    /// The retired step-driven driver, kept verbatim as the equivalence
+    /// oracle for the event core (`props!` tests) and the baseline arm of
+    /// the `event_core` wall-clock benchmark. Its cost profile is the one
+    /// the event core replaced: an O(replicas) min-clock scan per step, an
+    /// O(residents) outstanding-work scan per replica per arrival, and a
+    /// freshly allocated snapshot/scratch set per decision. Not part of the
+    /// serving API.
+    #[doc(hidden)]
+    pub fn serve_paged_step_reference(
+        &mut self,
+        spec: &WorkloadSpec,
+        mk_policy: impl Fn() -> Box<dyn SchedulingPolicy>,
+        reservation: Reservation,
+        opts: SchedOptions,
+    ) -> Result<ClusterReport, EngineUnavailable> {
+        /// Index of the lowest-clock replica that still has work and whose
+        /// clock is strictly below `horizon` (ties to the lowest index) —
+        /// the linear scan the event queue's ordering subsumes.
+        fn laggard(reps: &[Replica], horizon: f64) -> Option<usize> {
+            let mut best: Option<usize> = None;
+            for (i, r) in reps.iter().enumerate() {
+                if r.done() || r.clock() >= horizon {
+                    continue;
+                }
+                if best.is_none_or(|b| r.clock() < reps[b].clock()) {
+                    best = Some(i);
+                }
+            }
+            best
+        }
+
+        self.policy.reset();
+        self.admission.reset();
+        let mut reps = self.build_replicas(spec, &mk_policy, reservation, opts)?;
+        let mut shed: Vec<Request> = Vec::new();
+        for req in Self::sorted_trace(spec) {
             // Advance every replica that still has work and lags this
             // arrival (lowest clock first, ties to the lowest index), so
             // the decision observes each replica as of the arrival instant.
-            while let Some(i) = Self::laggard(&reps, req.arrival_s) {
+            while let Some(i) = laggard(&reps, req.arrival_s) {
                 reps[i].tick();
             }
             let views: Vec<ReplicaView> =
-                reps.iter().enumerate().map(|(i, r)| r.view(i)).collect();
+                reps.iter().enumerate().map(|(i, r)| r.view_scan(i)).collect();
             if self.admission.decide(&req, &views) == Admission::Shed {
                 shed.push(req);
                 continue;
@@ -601,25 +780,10 @@ impl Cluster {
             reps[choice].submit(req);
         }
         // Drain: keep ticking the furthest-behind replica until all finish.
-        while let Some(i) = Self::laggard(&reps, f64::INFINITY) {
+        while let Some(i) = laggard(&reps, f64::INFINITY) {
             reps[i].tick();
         }
         Ok(Self::aggregate(self.policy.name(), self.admission.name(), &reps, &shed))
-    }
-
-    /// Index of the lowest-clock replica that still has work and whose
-    /// clock is strictly below `horizon` (ties to the lowest index).
-    fn laggard(reps: &[Replica], horizon: f64) -> Option<usize> {
-        let mut best: Option<usize> = None;
-        for (i, r) in reps.iter().enumerate() {
-            if r.done() || r.clock() >= horizon {
-                continue;
-            }
-            if best.is_none_or(|b| r.clock() < reps[b].clock()) {
-                best = Some(i);
-            }
-        }
-        best
     }
 
     fn aggregate(
@@ -628,6 +792,13 @@ impl Cluster {
         reps: &[Replica],
         shed: &[Request],
     ) -> ClusterReport {
+        // Below the sample threshold the exact sorted-buffer path is
+        // authoritative (golden CSVs live here); above it percentiles come
+        // from the streaming sketches and the O(n log n) sorts never run.
+        let total_finished: usize = reps.iter().map(|rep| rep.sched.finished().len()).sum();
+        let exact = total_finished <= EXACT_STATS_MAX;
+        let mut lat_sketch = PercentileSketch::new();
+        let mut slo_sketch = PercentileSketch::new();
         let mut latencies: Vec<f64> = Vec::new();
         let mut slo_ratios: Vec<f64> = Vec::new();
         let mut ttft_sum = 0.0;
@@ -639,9 +810,13 @@ impl Cluster {
         let mut makespan = 0.0f64;
         let mut per_replica = Vec::with_capacity(reps.len());
         for rep in reps {
+            // Replica-index merge order: deterministic by construction.
+            lat_sketch.merge(rep.sched.latency_sketch());
             let finished = rep.sched.finished();
             for r in finished {
-                latencies.push(r.latency_s().expect("finished"));
+                if exact {
+                    latencies.push(r.latency_s().expect("finished"));
+                }
                 ttft_sum += r.ttft_s().expect("finished");
                 if r.met_slo().expect("finished") {
                     met += 1;
@@ -661,7 +836,11 @@ impl Cluster {
                     (Some(a), Some(b)) => Some(a.max(b)),
                     (a, b) => a.or(b),
                 } {
-                    slo_ratios.push(ratio);
+                    if exact {
+                        slo_ratios.push(ratio);
+                    } else {
+                        slo_sketch.insert(ratio);
+                    }
                 }
             }
             let rep_generated: usize = finished.iter().map(|r| r.generated).sum();
@@ -691,8 +870,28 @@ impl Cluster {
         for r in shed {
             shed_by_tier[r.slo.tier.index()] += 1;
         }
-        latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        slo_ratios.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        latencies.sort_by(f64::total_cmp);
+        slo_ratios.sort_by(f64::total_cmp);
+        let (slo_ratio_p50, slo_ratio_p99) = if exact {
+            if slo_ratios.is_empty() {
+                (0.0, 0.0)
+            } else {
+                (percentile(&slo_ratios, 0.50), percentile(&slo_ratios, 0.99))
+            }
+        } else if slo_sketch.is_empty() {
+            (0.0, 0.0)
+        } else {
+            (slo_sketch.quantile(0.50), slo_sketch.quantile(0.99))
+        };
+        let (p50_latency_s, p99_latency_s) = if exact {
+            if latencies.is_empty() {
+                (0.0, 0.0)
+            } else {
+                (percentile(&latencies, 0.50), percentile(&latencies, 0.99))
+            }
+        } else {
+            (lat_sketch.quantile(0.50), lat_sketch.quantile(0.99))
+        };
         let rate = |tokens: usize| if makespan > 0.0 { tokens as f64 / makespan } else { 0.0 };
         ClusterReport {
             routing: routing.to_string(),
@@ -704,18 +903,24 @@ impl Cluster {
             throughput_tps: rate(generated),
             goodput_tps: rate(good_tokens),
             slo_attainment: if completed > 0 { met as f64 / completed as f64 } else { 0.0 },
-            slo_ratio_p50: if slo_ratios.is_empty() { 0.0 } else { percentile(&slo_ratios, 0.50) },
-            slo_ratio_p99: if slo_ratios.is_empty() { 0.0 } else { percentile(&slo_ratios, 0.99) },
+            slo_ratio_p50,
+            slo_ratio_p99,
             shed: shed.len(),
             shed_by_tier,
             shed_ids: shed.iter().map(|r| r.id).collect(),
-            mean_ttft_s: if latencies.is_empty() {
+            mean_ttft_s: if completed > 0 { ttft_sum / completed as f64 } else { 0.0 },
+            p50_latency_s,
+            p99_latency_s,
+            sketch_p50_latency_s: if lat_sketch.is_empty() {
                 0.0
             } else {
-                ttft_sum / latencies.len() as f64
+                lat_sketch.quantile(0.50)
             },
-            p50_latency_s: if latencies.is_empty() { 0.0 } else { percentile(&latencies, 0.50) },
-            p99_latency_s: if latencies.is_empty() { 0.0 } else { percentile(&latencies, 0.99) },
+            sketch_p99_latency_s: if lat_sketch.is_empty() {
+                0.0
+            } else {
+                lat_sketch.quantile(0.99)
+            },
             preemptions,
             max_replica_peak_pages: per_replica
                 .iter()
@@ -731,7 +936,7 @@ impl Cluster {
 mod tests {
     use super::*;
     use crate::baselines::SystemConfig;
-    use crate::request::{ArrivalPattern, RequestId};
+    use crate::request::{ArrivalPattern, PrefixSharing, RequestId, Slo, SloSpec};
     use crate::scheduler::{Fcfs, MemoryAware};
     use qserve_gpusim::{GpuSpec, TpGroup};
     use qserve_model::ModelConfig;
@@ -1162,6 +1367,120 @@ mod tests {
         for r in &report.per_replica {
             assert_eq!(r.routed, 0);
             assert_eq!(r.utilization, 0.0);
+        }
+    }
+
+    #[test]
+    fn event_core_matches_step_reference_on_fixed_configs() {
+        // The event-driven driver must finish the same requests at
+        // bit-identical times as the retired step-driven reference — full
+        // ClusterReport equality (floats compared via derived PartialEq).
+        let e = engine();
+        for (spec, opts, replicas) in [
+            (WorkloadSpec::mixed(96, 11), SchedOptions::default(), 3),
+            (
+                WorkloadSpec::chat(48, 5)
+                    .with_arrivals(ArrivalPattern::Poisson { rate_rps: 4.0 }),
+                SchedOptions::default(),
+                2,
+            ),
+            (
+                shared_spec(),
+                SchedOptions { share_prefixes: true, chunk_tokens: Some(512) },
+                2,
+            ),
+        ] {
+            let mut cluster =
+                Cluster::new(e.clone(), replicas, Box::new(LeastOutstanding));
+            let event = cluster
+                .serve_paged(
+                    &spec,
+                    || Box::new(MemoryAware::default()),
+                    Reservation::OnDemand,
+                    opts,
+                )
+                .expect("event core serves");
+            let step = cluster
+                .serve_paged_step_reference(
+                    &spec,
+                    || Box::new(MemoryAware::default()),
+                    Reservation::OnDemand,
+                    opts,
+                )
+                .expect("step reference serves");
+            assert_eq!(event, step, "event core diverged from the step driver");
+        }
+    }
+
+    qserve_tensor::props! {
+        /// Randomized equivalence oracle: across fleet sizes, workloads,
+        /// arrival patterns, SLO mixes, scheduling policies, routers and
+        /// admission gates, the event core and the step-driven reference
+        /// produce bit-identical [`ClusterReport`]s on the same trace.
+        fn event_core_is_bit_identical_to_step_reference(rng, cases = 12) {
+            let replicas = rng.int_in(1, 4) as usize;
+            let n = rng.int_in(16, 48) as usize;
+            let seed = rng.int_in(0, 1 << 20) as u64;
+            let mut spec = if rng.int_in(0, 1) == 0 {
+                WorkloadSpec::chat(n, seed)
+            } else {
+                WorkloadSpec::mixed(n, seed)
+            };
+            spec = match rng.int_in(0, 2) {
+                0 => spec, // offline batch
+                1 => spec.with_arrivals(ArrivalPattern::Uniform {
+                    rate_rps: f64::from(rng.uniform(2.0, 16.0)),
+                }),
+                _ => spec.with_arrivals(ArrivalPattern::Poisson {
+                    rate_rps: f64::from(rng.uniform(2.0, 16.0)),
+                }),
+            };
+            if rng.int_in(0, 1) == 1 {
+                spec = spec.with_slos(SloSpec::Cycle(vec![
+                    Slo::interactive(2.0, 8.0),
+                    Slo::standard(6.0, 20.0),
+                    Slo::best_effort(),
+                ]));
+            }
+            let share = rng.int_in(0, 3) == 0;
+            if share {
+                spec = spec.with_sharing(PrefixSharing::Groups {
+                    groups: 2,
+                    prefix_len: 256,
+                });
+            }
+            let opts = SchedOptions {
+                share_prefixes: share,
+                chunk_tokens: if rng.int_in(0, 1) == 1 { Some(256) } else { None },
+            };
+            let mk_policy = {
+                let pick = rng.int_in(0, 1);
+                move || -> Box<dyn SchedulingPolicy> {
+                    match pick {
+                        0 => Box::new(Fcfs),
+                        _ => Box::new(MemoryAware::default()),
+                    }
+                }
+            };
+            let routing: Box<dyn RoutingPolicy> = match rng.int_in(0, 2) {
+                0 => Box::new(RoundRobin::default()),
+                1 => Box::new(LeastOutstanding),
+                _ => Box::new(PrefixAffinity::default()),
+            };
+            let admission: Box<dyn AdmissionPolicy> = match rng.int_in(0, 2) {
+                0 => Box::new(AdmitAll),
+                1 => Box::new(DeadlineFeasible),
+                _ => Box::new(PriorityShed::default()),
+            };
+            let mut cluster = Cluster::new(engine(), replicas, routing)
+                .with_admission(admission);
+            let event = cluster
+                .serve_paged(&spec, &mk_policy, Reservation::OnDemand, opts)
+                .expect("event core serves");
+            let step = cluster
+                .serve_paged_step_reference(&spec, &mk_policy, Reservation::OnDemand, opts)
+                .expect("step reference serves");
+            assert_eq!(event, step, "event core diverged from the step driver");
         }
     }
 

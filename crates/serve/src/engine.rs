@@ -19,10 +19,10 @@
 
 use crate::baselines::SystemConfig;
 use crate::memory::MemoryPlan;
-use crate::request::{Request, WorkloadSpec};
+use crate::request::{Request, RequestId, WorkloadSpec};
 use crate::scheduler::{
-    Fcfs, KvBudget, PageBudget, Reservation, SchedOptions, Scheduler, SchedulerStats,
-    SchedulingPolicy, UnboundedBudget,
+    AdmittedWave, Fcfs, KvBudget, PageBudget, Reservation, SchedOptions, Scheduler,
+    SchedulerStats, SchedulingPolicy, UnboundedBudget,
 };
 use qserve_gpusim::attention_model::{
     attention_decode_latency, attention_decode_latency_hetero, attention_prefill_latency,
@@ -109,6 +109,12 @@ pub struct ServingReport {
     /// gated by a page budget) — prefix sharing lowers this, more requests
     /// fit, and that is the capacity story of the `prefix_sweep` grid.
     pub peak_unique_pages: usize,
+    /// Median latency from the streaming percentile sketch — always
+    /// computed, and the authoritative percentile source above
+    /// [`crate::sketch::EXACT_STATS_MAX`] completions.
+    pub sketch_p50_latency_s: f64,
+    /// 99th-percentile latency from the streaming percentile sketch.
+    pub sketch_p99_latency_s: f64,
 }
 
 impl ServingReport {
@@ -129,8 +135,32 @@ impl ServingReport {
             p99_latency_s: stats.p99_latency_s,
             preemptions: stats.preemptions,
             peak_unique_pages,
+            sketch_p50_latency_s: stats.sketch_p50_latency_s,
+            sketch_p99_latency_s: stats.sketch_p99_latency_s,
         }
     }
+}
+
+/// Reusable per-tick buffers for the hot admit/charge/drain path. One lives
+/// per driver (or per cluster replica) and is cleared-and-refilled by
+/// [`ServingEngine::scheduler_tick_scratch`] every tick, so steady-state
+/// serving performs no per-tick heap allocation at all.
+#[derive(Debug, Default)]
+pub(crate) struct TickScratch {
+    /// The admitted wave ([`Scheduler::admit_into`]).
+    wave: AdmittedWave,
+    /// Chunked-prefill slices ([`Scheduler::prefill_chunks_into`]).
+    chunks: Vec<(RequestId, usize, usize)>,
+    /// `(new_tokens, past_tokens)` pairs priced by the cost model.
+    pairs: Vec<(usize, usize)>,
+    /// Decodable-resident worklist ([`Scheduler::make_room_into`]).
+    ids: Vec<RequestId>,
+    /// Ids evicted by this tick's preemptions.
+    preempted: Vec<RequestId>,
+    /// KV lengths of this tick's decoding sequences.
+    lens: Vec<usize>,
+    /// Ids retired by this tick's decode step.
+    done: Vec<RequestId>,
 }
 
 /// A serving engine instance for (GPU, model, system), optionally running
@@ -536,8 +566,9 @@ impl ServingEngine {
         opts: SchedOptions,
     ) -> ServingReport {
         let mut sched = Scheduler::with_options(requests, batch_limit, policy, opts);
+        let mut scratch = TickScratch::default();
         while !sched.is_done() {
-            self.scheduler_tick(&mut sched, budget);
+            self.scheduler_tick_scratch(&mut sched, budget, &mut scratch);
         }
         ServingReport::from_stats(sched.stats(), batch_limit, budget.peak_pages())
     }
@@ -551,25 +582,45 @@ impl ServingEngine {
     /// ([`Scheduler::options`]), so pricing can never disagree with the
     /// admission behavior those options drive.
     pub(crate) fn scheduler_tick(&self, sched: &mut Scheduler, budget: &mut dyn KvBudget) {
-        let wave = sched.admit(budget);
+        // Fresh scratch per tick: same math as the scratch-reusing path
+        // (bit-identical clocks), with the per-tick allocation profile the
+        // step-driven reference driver is benchmarked against.
+        let mut scratch = TickScratch::default();
+        self.scheduler_tick_scratch(sched, budget, &mut scratch);
+    }
+
+    /// [`ServingEngine::scheduler_tick`] with caller-owned scratch buffers:
+    /// the hot admit/charge/drain path allocates nothing per tick, which is
+    /// where a million-request run would otherwise spend its allocator
+    /// budget. The arithmetic is identical — only the buffers' lifetimes
+    /// differ — so both entry points produce bit-identical schedules.
+    pub(crate) fn scheduler_tick_scratch(
+        &self,
+        sched: &mut Scheduler,
+        budget: &mut dyn KvBudget,
+        scratch: &mut TickScratch,
+    ) {
+        let TickScratch { wave, chunks, pairs, ids, preempted, lens, done } = scratch;
+        sched.admit_into(budget, wave);
         match sched.options().chunk_tokens {
             None => {
                 if !wave.ids.is_empty() {
-                    let chunks: Vec<(usize, usize)> = wave
-                        .prefill_lens
-                        .iter()
-                        .zip(&wave.shared_lens)
-                        .map(|(&full, &shared)| (full - shared, shared))
-                        .collect();
-                    sched.charge_prefill(self.prefill_latency_chunked(&chunks));
+                    pairs.clear();
+                    pairs.extend(
+                        wave.prefill_lens
+                            .iter()
+                            .zip(&wave.shared_lens)
+                            .map(|(&full, &shared)| (full - shared, shared)),
+                    );
+                    sched.charge_prefill(self.prefill_latency_chunked(pairs));
                 }
             }
             Some(chunk_tokens) => {
-                let chunks = sched.prefill_chunks(chunk_tokens);
+                sched.prefill_chunks_into(chunk_tokens, chunks);
                 if !chunks.is_empty() {
-                    let pairs: Vec<(usize, usize)> =
-                        chunks.iter().map(|&(_, c, p)| (c, p)).collect();
-                    sched.charge_prefill(self.prefill_latency_chunked(&pairs));
+                    pairs.clear();
+                    pairs.extend(chunks.iter().map(|&(_, c, p)| (c, p)));
+                    sched.charge_prefill(self.prefill_latency_chunked(pairs));
                 }
             }
         }
@@ -581,12 +632,12 @@ impl ServingEngine {
             }
             return;
         }
-        sched.make_room(budget);
-        let lens = sched.decoding_seq_lens();
+        sched.make_room_into(budget, ids, preempted);
+        sched.decoding_seq_lens_into(lens);
         if lens.is_empty() {
             return; // every resident is still chunk-prefilling
         }
-        sched.decode_step(self.decode_step_latency_hetero(&lens), budget);
+        sched.decode_step_into(self.decode_step_latency_hetero(lens), budget, done);
     }
 
     /// The unified entry point: serves `spec` under the batch-limit

@@ -27,7 +27,13 @@
 //!   scheduler and clock), behind a pluggable [`AdmissionPolicy`]
 //!   (admit-all, deadline-feasibility, priority load shedding) and
 //!   [`RoutingPolicy`] (round-robin, work-normalized least-outstanding,
-//!   prefix-affinity).
+//!   prefix-affinity), driven by the event-driven core.
+//! * [`event`] — the deterministic priority event queue behind the
+//!   event-driven core: `(time.to_bits(), lane, seq)` total ordering over
+//!   a binary heap, O(log n) per event.
+//! * [`sketch`] — streaming fixed-bucket percentile sketch: O(1) insert,
+//!   deterministic quantiles, bounded memory — latency percentiles for
+//!   million-request traces without buffering every sample.
 //!
 //! The engine's scheduler/cache logic is real (allocation, batching,
 //! accounting all execute); only kernel *wall-clock* comes from the cost
@@ -38,12 +44,14 @@ pub mod baselines;
 pub mod block_exec;
 pub mod cluster;
 pub mod engine;
+pub mod event;
 pub mod kv_cache;
 pub mod memory;
 pub mod model_exec;
 pub mod prefix;
 pub mod request;
 pub mod scheduler;
+pub mod sketch;
 
 pub use attention_exec::paged_decode_attention;
 pub use block_exec::BlockRuntime;
@@ -57,6 +65,7 @@ pub use baselines::SystemConfig;
 pub use engine::{
     BatchLimit, KvModel, ServeConfig, ServingEngine, ServingReport, SpeedProfile, Workload,
 };
+pub use event::EventQueue;
 pub use kv_cache::{PagedKvCache, SequenceId};
 pub use prefix::PrefixIndex;
 pub use request::{
@@ -67,3 +76,4 @@ pub use scheduler::{
     Fcfs, KvBudget, MemoryAware, PageBudget, Reservation, Scheduler, SchedulingPolicy,
     ShortestJobFirst, UnboundedBudget,
 };
+pub use sketch::{PercentileSketch, EXACT_STATS_MAX};

@@ -489,6 +489,25 @@ impl WorkloadSpec {
         }
     }
 
+    /// A production-scale stress trace: `num_requests` short-prompt,
+    /// short-completion requests arriving as a Poisson process at
+    /// `rate_rps`. Lengths are kept modest (64–256 in, 16–64 out) so
+    /// million-request traces exercise the *serving core* — arrival
+    /// handling, admission, routing, event ordering — rather than drowning
+    /// in decode steps. This is the `mega_sweep` workload.
+    pub fn production(num_requests: usize, rate_rps: f64, seed: u64) -> Self {
+        assert!(rate_rps > 0.0, "a production trace needs a positive rate");
+        Self {
+            num_requests,
+            input: LengthDist::Uniform { lo: 64, hi: 256 },
+            output: LengthDist::Uniform { lo: 16, hi: 64 },
+            arrival: ArrivalPattern::Poisson { rate_rps },
+            sharing: PrefixSharing::None,
+            slo: SloSpec::None,
+            seed,
+        }
+    }
+
     /// Multi-turn conversations: each of `conversations` runs `turns`
     /// turns whose prompts accumulate the whole history, so consecutive
     /// turns share an ever-growing prefix.

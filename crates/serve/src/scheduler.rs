@@ -23,7 +23,10 @@
 //! }
 //! ```
 
+use std::collections::VecDeque;
+
 use crate::request::{Request, RequestId, RequestState};
+use crate::sketch::{PercentileSketch, EXACT_STATS_MAX};
 
 // ---------------------------------------------------------------------------
 // KV memory budgets
@@ -481,6 +484,11 @@ pub struct SchedulerStats {
     pub mean_ttft_s: f64,
     /// Preemption events over the run.
     pub preemptions: usize,
+    /// Median latency from the streaming sketch (always computed; the
+    /// authoritative percentile source above [`EXACT_STATS_MAX`] finishes).
+    pub sketch_p50_latency_s: f64,
+    /// 99th-percentile latency from the streaming sketch.
+    pub sketch_p99_latency_s: f64,
 }
 
 /// Nearest-rank percentile of an ascending-sorted slice (`q` in `(0, 1]`):
@@ -506,8 +514,10 @@ pub struct Scheduler {
     batch_limit: usize,
     opts: SchedOptions,
     /// Not-yet-running requests (queued + preempted), sorted by
-    /// `(arrival_s, id)` so the arrived prefix is FCFS-ordered.
-    pending: Vec<Request>,
+    /// `(arrival_s, id)` so the arrived prefix is FCFS-ordered. A deque so
+    /// the common FCFS admission (`remove(0)`) is O(1) instead of shifting
+    /// the whole backlog.
+    pending: VecDeque<Request>,
     /// Admitted requests, in admission order (LIFO preemption indexes this).
     running: Vec<Request>,
     finished: Vec<Request>,
@@ -515,6 +525,21 @@ pub struct Scheduler {
     prefill_time: f64,
     decode_time: f64,
     preemptions: usize,
+    /// Incremental twin of [`Scheduler::outstanding_tokens_scan`]: for every
+    /// queued/running request, `owed = prefill_remaining() + remaining()`
+    /// collapses to `input_len + output_len − prefilled`, so the counter
+    /// only moves when `prefilled` changes or a request enters/leaves the
+    /// pending∪running set. Keeping it current makes the router's per-
+    /// arrival load probe O(1) instead of O(residents).
+    outstanding: usize,
+    /// Streaming end-to-end latency accumulator, fed once per retirement
+    /// with the same `latency_s()` float the exact path reads later.
+    latency_sketch: PercentileSketch,
+}
+
+/// Tokens of work still owed to one queued or running request.
+fn owed(r: &Request) -> usize {
+    r.prefill_remaining() + r.remaining()
 }
 
 impl Scheduler {
@@ -545,10 +570,11 @@ impl Scheduler {
     ) -> Self {
         assert!(!requests.is_empty(), "nothing to schedule");
         requests.sort_by(|a, b| {
-            a.arrival_s.partial_cmp(&b.arrival_s).unwrap().then(a.id.cmp(&b.id))
+            a.arrival_s.total_cmp(&b.arrival_s).then(a.id.cmp(&b.id))
         });
         let mut sched = Self::open(batch_limit, policy, opts);
-        sched.pending = requests;
+        sched.outstanding = requests.iter().map(owed).sum();
+        sched.pending = requests.into();
         sched
     }
 
@@ -567,13 +593,15 @@ impl Scheduler {
             policy,
             batch_limit,
             opts,
-            pending: Vec::new(),
+            pending: VecDeque::new(),
             running: Vec::new(),
             finished: Vec::new(),
             clock: 0.0,
             prefill_time: 0.0,
             decode_time: 0.0,
             preemptions: 0,
+            outstanding: 0,
+            latency_sketch: PercentileSketch::new(),
         }
     }
 
@@ -582,6 +610,7 @@ impl Scheduler {
     /// reaches its arrival time, exactly as if it had been present from
     /// construction.
     pub fn submit(&mut self, req: Request) {
+        self.outstanding += owed(&req);
         let at = self
             .pending
             .partition_point(|r| (r.arrival_s, r.id) <= (req.arrival_s, req.id));
@@ -596,13 +625,25 @@ impl Scheduler {
 
     /// Tokens of work still owed to queued + running requests: un-prefilled
     /// prompt/recompute tokens plus un-generated output tokens. The
-    /// "outstanding work" a cluster router balances replicas by.
+    /// "outstanding work" a cluster router balances replicas by. O(1) — an
+    /// incrementally maintained counter, audited against the full scan in
+    /// debug builds.
     pub fn outstanding_tokens(&self) -> usize {
-        self.pending
-            .iter()
-            .chain(&self.running)
-            .map(|r| r.prefill_remaining() + r.remaining())
-            .sum()
+        debug_assert_eq!(
+            self.outstanding,
+            self.outstanding_tokens_scan(),
+            "outstanding-token counter drifted from the ground-truth scan"
+        );
+        self.outstanding
+    }
+
+    /// Ground-truth recomputation of [`Scheduler::outstanding_tokens`] by
+    /// scanning every queued + running request — O(residents). The retired
+    /// step-driven reference driver still uses this, which is one of the
+    /// per-arrival scans the event core's counter eliminates.
+    #[doc(hidden)]
+    pub fn outstanding_tokens_scan(&self) -> usize {
+        self.pending.iter().chain(&self.running).map(owed).sum()
     }
 
     /// Current simulation clock, seconds.
@@ -637,11 +678,21 @@ impl Scheduler {
     /// chunking every resident qualifies, so this equals
     /// [`Scheduler::running_seq_lens`].
     pub fn decoding_seq_lens(&self) -> Vec<usize> {
-        self.running
-            .iter()
-            .filter(|r| r.prefill_remaining() == 0)
-            .map(|r| r.seq_len)
-            .collect()
+        let mut out = Vec::new();
+        self.decoding_seq_lens_into(&mut out);
+        out
+    }
+
+    /// Allocation-free twin of [`Scheduler::decoding_seq_lens`]: clears and
+    /// refills `out` so a driver can reuse one scratch buffer per tick.
+    pub fn decoding_seq_lens_into(&self, out: &mut Vec<usize>) {
+        out.clear();
+        out.extend(
+            self.running
+                .iter()
+                .filter(|r| r.prefill_remaining() == 0)
+                .map(|r| r.seq_len),
+        );
     }
 
     /// Longest prefix of `candidate`'s prompt already materialized by a
@@ -686,14 +737,30 @@ impl Scheduler {
     /// may shape order, not deadlock the system.
     pub fn admit(&mut self, budget: &mut dyn KvBudget) -> AdmittedWave {
         let mut wave = AdmittedWave::default();
+        self.admit_into(budget, &mut wave);
+        wave
+    }
+
+    /// Allocation-free twin of [`Scheduler::admit`]: clears and refills
+    /// `wave` in place so a driver can reuse one wave across ticks.
+    pub fn admit_into(&mut self, budget: &mut dyn KvBudget, wave: &mut AdmittedWave) {
+        wave.ids.clear();
+        wave.prefill_lens.clear();
+        wave.shared_lens.clear();
         while self.running.len() < self.batch_limit {
             let arrived = self.arrived();
             if arrived == 0 {
                 break;
             }
+            // Policies see the arrived prefix as one slice; a deque can
+            // wrap, so straighten it first (amortized O(1): the queue only
+            // wraps after front removals, and straightening is a rotate).
+            if self.pending.as_slices().0.len() < arrived {
+                self.pending.make_contiguous();
+            }
             let choice = self
                 .policy
-                .select(&self.pending[..arrived], &self.running, budget)
+                .select(&self.pending.as_slices().0[..arrived], &self.running, budget)
                 .or_else(|| {
                     // Idle machine: progress beats policy caution.
                     (self.running.is_empty() && wave.ids.is_empty()).then_some(0)
@@ -760,23 +827,29 @@ impl Scheduler {
                 );
                 break;
             }
-            let mut req = self.pending.remove(idx);
+            let mut req = self.pending.remove(idx).expect("policy index in bounds");
             req.state = RequestState::Running;
             req.shared_len = shared;
             // Whole-prompt prefill materializes at admission; chunked
             // prefill starts from the aliased prefix and catches up via
             // `prefill_chunks` ticks.
+            let was_prefilled = req.prefilled;
             req.prefilled = match self.opts.chunk_tokens {
                 None => req.prefill_len(),
                 Some(_) => shared,
             };
             req.seq_len = req.prefilled;
+            // `prefilled` moved forward: the owed-work counter shrinks by
+            // exactly the tokens materialized (or aliased) at admission.
+            self.outstanding = self
+                .outstanding
+                .checked_sub(req.prefilled - was_prefilled)
+                .expect("outstanding-token counter underflow at admission");
             wave.ids.push(req.id);
             wave.prefill_lens.push(req.prefill_len());
             wave.shared_lens.push(shared);
             self.running.push(req);
         }
-        wave
     }
 
     /// One chunked-prefill tick: every running request still prefilling
@@ -790,8 +863,24 @@ impl Scheduler {
     /// # Panics
     /// Panics if `chunk_tokens` is zero.
     pub fn prefill_chunks(&mut self, chunk_tokens: usize) -> Vec<(RequestId, usize, usize)> {
-        assert!(chunk_tokens > 0, "chunk size must be positive");
         let mut out = Vec::new();
+        self.prefill_chunks_into(chunk_tokens, &mut out);
+        out
+    }
+
+    /// Allocation-free twin of [`Scheduler::prefill_chunks`]: clears and
+    /// refills `out`.
+    ///
+    /// # Panics
+    /// Panics if `chunk_tokens` is zero.
+    pub fn prefill_chunks_into(
+        &mut self,
+        chunk_tokens: usize,
+        out: &mut Vec<(RequestId, usize, usize)>,
+    ) {
+        assert!(chunk_tokens > 0, "chunk size must be positive");
+        out.clear();
+        let mut taken = 0usize;
         for r in &mut self.running {
             let remaining = r.prefill_remaining();
             if remaining > 0 {
@@ -799,9 +888,13 @@ impl Scheduler {
                 out.push((r.id, take, r.prefilled));
                 r.prefilled += take;
                 r.seq_len = r.prefilled;
+                taken += take;
             }
         }
-        out
+        self.outstanding = self
+            .outstanding
+            .checked_sub(taken)
+            .expect("outstanding-token counter underflow in chunked prefill");
     }
 
     /// Charges `dt` seconds of prefill work for the last admitted wave.
@@ -822,13 +915,29 @@ impl Scheduler {
     /// even one request, which admission should have refused.
     pub fn make_room(&mut self, budget: &mut dyn KvBudget) -> Vec<RequestId> {
         let mut preempted = Vec::new();
-        let ids: Vec<RequestId> = self
-            .running
-            .iter()
-            .filter(|r| r.prefill_remaining() == 0)
-            .map(|r| r.id)
-            .collect();
-        for id in ids {
+        let mut ids = Vec::new();
+        self.make_room_into(budget, &mut ids, &mut preempted);
+        preempted
+    }
+
+    /// Allocation-free twin of [`Scheduler::make_room`]: `ids` is internal
+    /// scratch for the decodable-resident worklist, `preempted` receives the
+    /// evicted ids; both are cleared and refilled.
+    pub fn make_room_into(
+        &mut self,
+        budget: &mut dyn KvBudget,
+        ids: &mut Vec<RequestId>,
+        preempted: &mut Vec<RequestId>,
+    ) {
+        ids.clear();
+        preempted.clear();
+        ids.extend(
+            self.running
+                .iter()
+                .filter(|r| r.prefill_remaining() == 0)
+                .map(|r| r.id),
+        );
+        for &id in ids.iter() {
             loop {
                 if self.running.iter().all(|r| r.id != id) {
                     break; // already preempted as someone else's victim
@@ -853,7 +962,6 @@ impl Scheduler {
                 self.preempt(victim, budget);
             }
         }
-        preempted
     }
 
     fn preempt(&mut self, idx: usize, budget: &mut dyn KvBudget) {
@@ -861,6 +969,9 @@ impl Scheduler {
         budget.release(req.id);
         req.state = RequestState::Preempted;
         req.seq_len = 0;
+        // Resetting `prefilled` re-owes the recompute work (prompt plus the
+        // tokens generated so far): the counter grows by what was wiped.
+        self.outstanding += req.prefilled;
         req.prefilled = 0;
         req.shared_len = 0;
         req.preemptions += 1;
@@ -880,6 +991,22 @@ impl Scheduler {
     /// # Panics
     /// Panics if no resident is ready to decode.
     pub fn decode_step(&mut self, dt: f64, budget: &mut dyn KvBudget) -> Vec<RequestId> {
+        let mut done = Vec::new();
+        self.decode_step_into(dt, budget, &mut done);
+        done
+    }
+
+    /// Allocation-free twin of [`Scheduler::decode_step`]: clears and
+    /// refills `done` with the retired ids.
+    ///
+    /// # Panics
+    /// Panics if no resident is ready to decode.
+    pub fn decode_step_into(
+        &mut self,
+        dt: f64,
+        budget: &mut dyn KvBudget,
+        done: &mut Vec<RequestId>,
+    ) {
         assert!(
             self.running.iter().any(|r| r.prefill_remaining() == 0),
             "decode_step with no decodable resident"
@@ -887,7 +1014,8 @@ impl Scheduler {
         self.clock += dt;
         self.decode_time += dt;
         let clock = self.clock;
-        let mut done = Vec::new();
+        done.clear();
+        let mut decoded = 0usize;
         let mut i = 0;
         while i < self.running.len() {
             let r = &mut self.running[i];
@@ -900,6 +1028,7 @@ impl Scheduler {
             // The decoded token is materialized context too: `prefilled`
             // tracks it so `prefill_remaining()` stays 0 while decoding.
             r.prefilled += 1;
+            decoded += 1;
             if r.first_token_s.is_none() {
                 r.first_token_s = Some(clock);
             }
@@ -908,13 +1037,20 @@ impl Scheduler {
                 budget.release(req.id);
                 req.state = RequestState::Finished;
                 req.finish_s = Some(clock);
+                // A retiring request owes nothing (its final token was just
+                // counted), so only the sketch needs feeding here — with
+                // the very float the exact path reads from `finished` later.
+                self.latency_sketch.insert(req.latency_s().expect("finished"));
                 done.push(req.id);
                 self.finished.push(req);
             } else {
                 i += 1;
             }
         }
-        done
+        self.outstanding = self
+            .outstanding
+            .checked_sub(decoded)
+            .expect("outstanding-token counter underflow in decode");
     }
 
     /// Advances the clock to the next pending arrival (no-op when something
@@ -927,30 +1063,62 @@ impl Scheduler {
         self.clock = self.clock.max(self.pending[0].arrival_s);
     }
 
-    /// Timing statistics over the finished requests.
+    /// The streaming latency accumulator, fed once per retirement — what
+    /// cluster aggregation merges (in replica order) instead of re-reading
+    /// every finished request.
+    pub fn latency_sketch(&self) -> &PercentileSketch {
+        &self.latency_sketch
+    }
+
+    /// Timing statistics over the finished requests. At or below
+    /// [`EXACT_STATS_MAX`] completions the percentiles come from the exact
+    /// sorted buffer (byte-stable with every golden CSV); above it the
+    /// O(n log n) sort is skipped and the streaming sketch is authoritative.
+    /// The `sketch_*` fields always carry the sketch's view, so the two
+    /// paths can be compared on any run.
     ///
     /// # Panics
     /// Panics if nothing has finished yet.
     pub fn stats(&self) -> SchedulerStats {
         assert!(!self.finished.is_empty(), "stats before any completion");
-        let mut latencies: Vec<f64> =
-            self.finished.iter().map(|r| r.latency_s().expect("finished")).collect();
-        latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        let n = latencies.len() as f64;
+        debug_assert_eq!(
+            self.latency_sketch.len() as usize,
+            self.finished.len(),
+            "latency sketch missed a retirement"
+        );
+        let n = self.finished.len() as f64;
         let ttft_sum: f64 = self.finished.iter().map(|r| r.ttft_s().expect("finished")).sum();
+        let (mean_latency_s, max_latency_s, p50, p95, p99) =
+            if self.finished.len() <= EXACT_STATS_MAX {
+                let mut latencies: Vec<f64> =
+                    self.finished.iter().map(|r| r.latency_s().expect("finished")).collect();
+                latencies.sort_by(f64::total_cmp);
+                (
+                    latencies.iter().sum::<f64>() / n,
+                    *latencies.last().unwrap(),
+                    percentile(&latencies, 0.50),
+                    percentile(&latencies, 0.95),
+                    percentile(&latencies, 0.99),
+                )
+            } else {
+                let sk = &self.latency_sketch;
+                (sk.mean(), sk.max(), sk.quantile(0.50), sk.quantile(0.95), sk.quantile(0.99))
+            };
         SchedulerStats {
             clock_s: self.clock,
             prefill_time_s: self.prefill_time,
             decode_time_s: self.decode_time,
             completed: self.finished.len(),
             generated_tokens: self.finished.iter().map(|r| r.generated).sum(),
-            mean_latency_s: latencies.iter().sum::<f64>() / n,
-            max_latency_s: *latencies.last().unwrap(),
-            p50_latency_s: percentile(&latencies, 0.50),
-            p95_latency_s: percentile(&latencies, 0.95),
-            p99_latency_s: percentile(&latencies, 0.99),
+            mean_latency_s,
+            max_latency_s,
+            p50_latency_s: p50,
+            p95_latency_s: p95,
+            p99_latency_s: p99,
             mean_ttft_s: ttft_sum / n,
             preemptions: self.preemptions,
+            sketch_p50_latency_s: self.latency_sketch.quantile(0.50),
+            sketch_p99_latency_s: self.latency_sketch.quantile(0.99),
         }
     }
 }
@@ -1242,6 +1410,57 @@ mod tests {
         assert_eq!(sched.outstanding_tokens(), 4);
         sched.decode_step(0.01, &mut UnboundedBudget);
         assert_eq!(sched.outstanding_tokens(), 3);
+    }
+
+    #[test]
+    fn outstanding_counter_survives_preemption_churn() {
+        // The incremental counter must track the ground-truth scan through
+        // the messiest path: on-demand admission, growth failure, preempt,
+        // recompute re-admission. `outstanding_tokens()` debug-asserts the
+        // two agree at every probe.
+        let reqs = WorkloadSpec::fixed(2, 32, 4).sample();
+        let mut budget = PageBudget::new(4, 1, 16, Reservation::OnDemand);
+        let mut sched = Scheduler::new(reqs, 4, Box::new(MemoryAware { headroom: 0.0 }));
+        let mut guard = 0usize;
+        while !sched.is_done() {
+            guard += 1;
+            assert!(guard < 100_000);
+            sched.admit(&mut budget);
+            assert_eq!(sched.outstanding_tokens(), sched.outstanding_tokens_scan());
+            if sched.running().is_empty() {
+                sched.idle_until_arrival();
+                continue;
+            }
+            sched.make_room(&mut budget);
+            assert_eq!(sched.outstanding_tokens(), sched.outstanding_tokens_scan());
+            if sched.running().is_empty() {
+                continue;
+            }
+            sched.decode_step(0.01, &mut budget);
+            assert_eq!(sched.outstanding_tokens(), sched.outstanding_tokens_scan());
+        }
+        assert!(sched.stats().preemptions > 0, "the churn path was not exercised");
+        assert_eq!(sched.outstanding_tokens(), 0);
+    }
+
+    #[test]
+    fn stats_sketch_fields_track_exact_percentiles() {
+        let reqs = WorkloadSpec::mixed(64, 9)
+            .with_arrivals(crate::request::ArrivalPattern::Poisson { rate_rps: 8.0 })
+            .sample();
+        let sched = Scheduler::new(reqs, 4, Box::new(Fcfs));
+        let stats = drive(sched, &mut UnboundedBudget, 0.05, 0.01);
+        // Below EXACT_STATS_MAX the exact path is authoritative; the sketch
+        // must agree to within one bucket width (2.2%) from below.
+        for (exact, sketch) in [
+            (stats.p50_latency_s, stats.sketch_p50_latency_s),
+            (stats.p99_latency_s, stats.sketch_p99_latency_s),
+        ] {
+            assert!(
+                sketch <= exact && exact <= sketch * (1.0 + 1.0 / 32.0),
+                "sketch {sketch} vs exact {exact}"
+            );
+        }
     }
 
     #[test]

@@ -48,7 +48,7 @@ fn main() {
         let ref_next = row
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .map(|(i, _)| i as u32)
             .unwrap();
         if t + 1 < full.len() && ref_next == full[t + 1] {
