@@ -49,10 +49,16 @@ rm -f results/mega_sweep_smoke.csv
 cargo run --release --offline --locked -p qserve-bench --bin reproduce -- mega_sweep_smoke >/dev/null
 test -s results/mega_sweep_smoke.csv
 
+# And the CI-sized failure sweep (crash/drain/upgrade × recompute/swap on
+# the 4-replica fleet; the full-pressure id is `failure_sweep`).
+rm -f results/failure_sweep_smoke.csv
+cargo run --release --offline --locked -p qserve-bench --bin reproduce -- failure_sweep_smoke >/dev/null
+test -s results/failure_sweep_smoke.csv
+
 # Every example must run end to end, offline (smoke: exit status only).
 for ex in quickstart generate kv4_attention paged_serving prefix_caching \
           cluster_serving heterogeneous_fleet roofline serving_throughput \
-          ablation; do
+          ablation replica_failover; do
     cargo run --release --offline --locked --example "$ex" >/dev/null
 done
 

@@ -42,6 +42,11 @@ const GOLDEN: &[(&str, &[&str])] = &[
     // makes "heterogeneous fleets + admission control changed nothing for
     // the homogeneous admit-all path" an enforced invariant, not a hope.
     ("cluster_sweep", &[include_str!("../../../tests/golden/cluster_sweep.csv")]),
+    // The fault-injection reproduce: crash / drain / rolling-upgrade ×
+    // recompute / swap on the 4×A100 fleet. Pinning it freezes the
+    // conservation numbers (requeues, lost prefill, zero lost requests)
+    // and the swap-beats-recompute goodput margin alike.
+    ("failure_sweep", &[include_str!("../../../tests/golden/failure_sweep.csv")]),
 ];
 
 #[test]

@@ -32,4 +32,4 @@ pub mod tp;
 pub use attention_model::{attention_decode_latency, AttentionKernel, AttentionShape};
 pub use gemm_model::{gemm_latency, GemmConfig, GemmShape};
 pub use spec::GpuSpec;
-pub use tp::TpGroup;
+pub use tp::{HostLink, TpGroup};

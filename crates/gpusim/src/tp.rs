@@ -90,6 +90,36 @@ impl Default for TpGroup {
     }
 }
 
+/// A device↔host transfer link — the cost model behind KV-page swap to a
+/// host-memory tier. Same shape as the [`TpGroup`] interconnect terms: a
+/// bandwidth term plus a fixed per-transfer latency, so swapping N pages
+/// out and back is priced exactly like moving their bytes over PCIe.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HostLink {
+    /// Sustained per-direction bandwidth, bytes/second.
+    pub bytes_per_s: f64,
+    /// Fixed per-transfer setup latency, seconds.
+    pub latency_s: f64,
+}
+
+impl HostLink {
+    /// A PCIe 4.0 x16-class link: ≈25 GB/s effective per direction with
+    /// ~10 µs setup — the same numbers as [`TpGroup::pcie`], so swap cost
+    /// and TP-over-PCIe cost stay mutually comparable.
+    pub fn pcie4() -> Self {
+        Self { bytes_per_s: 25e9, latency_s: 10e-6 }
+    }
+
+    /// Latency to move `bytes` across the link in one direction. Exactly
+    /// `0.0` for zero bytes — an empty transfer must not advance a clock.
+    pub fn transfer_latency(&self, bytes: f64) -> f64 {
+        if bytes <= 0.0 {
+            return 0.0;
+        }
+        bytes / self.bytes_per_s + self.latency_s
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -127,6 +157,15 @@ mod tests {
             TpGroup::pcie(4).all_reduce_latency(bytes)
                 > TpGroup::nvlink(4).all_reduce_latency(bytes)
         );
+    }
+
+    #[test]
+    fn host_link_prices_bytes_plus_setup() {
+        let link = HostLink::pcie4();
+        assert_eq!(link.transfer_latency(0.0).to_bits(), 0.0f64.to_bits());
+        let one_mb = link.transfer_latency(1e6);
+        assert!((one_mb - (1e6 / 25e9 + 10e-6)).abs() < 1e-15);
+        assert!(link.transfer_latency(2e6) > one_mb);
     }
 
     #[test]

@@ -134,6 +134,8 @@ pub fn classify(rel: &str) -> Option<FileKind> {
             | "crates/serve/src/kv_cache.rs"
             | "crates/serve/src/memory.rs"
             | "crates/serve/src/engine.rs"
+            | "crates/serve/src/host_tier.rs"
+            | "crates/serve/src/fault.rs"
     ) || rel.starts_with("crates/gpusim/src/");
     Some(FileKind::Rust(FileScope { sim, wall_clock, accounting }))
 }
@@ -344,6 +346,10 @@ mod tests {
     #[test]
     fn classification_scopes_rules_by_path() {
         assert!(matches!(classify("crates/serve/src/scheduler.rs"),
+            Some(FileKind::Rust(s)) if s.sim && s.accounting && s.wall_clock));
+        assert!(matches!(classify("crates/serve/src/host_tier.rs"),
+            Some(FileKind::Rust(s)) if s.sim && s.accounting && s.wall_clock));
+        assert!(matches!(classify("crates/serve/src/fault.rs"),
             Some(FileKind::Rust(s)) if s.sim && s.accounting && s.wall_clock));
         assert!(matches!(classify("crates/core/src/rotation.rs"),
             Some(FileKind::Rust(s)) if !s.sim && !s.accounting && s.wall_clock));

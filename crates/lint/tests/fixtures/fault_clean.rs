@@ -1,0 +1,9 @@
+//@ path: crates/serve/src/fault.rs
+pub fn remaining(horizon_events: usize, fired_events: usize) -> usize {
+    horizon_events.checked_sub(fired_events).expect("fired past the horizon")
+}
+
+pub fn narrow(page_count: u64) -> usize {
+    // lint: allow(raw-cast) -- fixture demonstrates a scoped suppression
+    page_count as usize
+}

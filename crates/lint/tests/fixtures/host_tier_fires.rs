@@ -1,0 +1,8 @@
+//@ path: crates/serve/src/host_tier.rs
+pub fn drain(capacity_pages: usize, used_pages: usize) -> usize {
+    capacity_pages - used_pages
+}
+
+pub fn pack(page_count: u64) -> usize {
+    page_count as usize
+}

@@ -43,9 +43,11 @@
 
 use crate::engine::{EngineUnavailable, ServingEngine, ServingReport, SpeedProfile, TickScratch};
 use crate::event::EventQueue;
+use crate::fault::{Fault, FaultKind, FaultPlan};
 use crate::request::{Request, RequestId, Tier, WorkloadSpec};
 use crate::scheduler::{
-    percentile, KvBudget, PageBudget, Reservation, SchedOptions, Scheduler, SchedulingPolicy,
+    percentile, KvBudget, PageBudget, PreemptionMode, Reservation, SchedOptions, Scheduler,
+    SchedulingPolicy,
 };
 use crate::sketch::{PercentileSketch, EXACT_STATS_MAX};
 
@@ -69,6 +71,10 @@ pub struct ReplicaView {
     pub waiting: usize,
     /// Requests currently running.
     pub running: usize,
+    /// Whether this replica accepts new work. A drained, crashed or
+    /// upgrading replica snapshots `false`; routing policies must never
+    /// pick a non-accepting replica. Always `true` in fault-free runs.
+    pub accepting: bool,
     /// The replica's hardware speed profile, from *its own* engine's cost
     /// model — what makes load balancing and deadline feasibility
     /// hardware-aware on a mixed fleet.
@@ -136,9 +142,17 @@ impl RoutingPolicy for RoundRobin {
         "round-robin"
     }
     fn route(&mut self, _req: &Request, replicas: &[ReplicaView]) -> usize {
-        let i = self.next % replicas.len();
-        self.next += 1;
-        i
+        // Probe at most one full cycle for an accepting replica. When every
+        // replica accepts (the fault-free case) the first probe wins and
+        // the cursor advances by exactly one — the historical behavior.
+        for _ in 0..replicas.len() {
+            let i = self.next % replicas.len();
+            self.next += 1;
+            if replicas[i].accepting {
+                return i;
+            }
+        }
+        panic!("round-robin routed with no accepting replica");
     }
     fn reset(&mut self) {
         self.next = 0;
@@ -157,12 +171,13 @@ pub struct LeastOutstanding;
 fn least_outstanding(replicas: &[ReplicaView]) -> usize {
     replicas
         .iter()
+        .filter(|v| v.accepting)
         .min_by(|a, b| {
             a.est_queue_s()
                 .total_cmp(&b.est_queue_s())
                 .then(a.index.cmp(&b.index))
         })
-        .expect("a cluster has at least one replica")
+        .expect("routed with no accepting replica")
         .index
 }
 
@@ -192,7 +207,10 @@ impl RoutingPolicy for PrefixAffinity {
     fn route(&mut self, req: &Request, replicas: &[ReplicaView]) -> usize {
         match req.prefix_group {
             Some(g) => match self.pinned.get(&g) {
-                Some(&r) if r < replicas.len() => r,
+                // A pin only holds while its replica accepts work; a group
+                // whose home crashed or drained re-pins to the least-loaded
+                // accepting replica (the prefix pages are rebuilt there).
+                Some(&r) if r < replicas.len() && replicas[r].accepting => r,
                 _ => {
                     let choice = least_outstanding(replicas);
                     self.pinned.insert(g, choice);
@@ -270,7 +288,9 @@ impl AdmissionPolicy for DeadlineFeasible {
         if !req.slo.has_deadline() {
             return Admission::Admit;
         }
-        let feasible = replicas.iter().any(|v| {
+        // Only a replica accepting work can serve the request — a drained
+        // or crashed replica's estimate is not a feasible plan.
+        let feasible = replicas.iter().filter(|v| v.accepting).any(|v| {
             let (ttft, latency) = v.estimate(req);
             req.slo.met_by(ttft, latency)
         });
@@ -305,8 +325,11 @@ impl AdmissionPolicy for PriorityShed {
         "priority-shed"
     }
     fn decide(&mut self, req: &Request, replicas: &[ReplicaView]) -> Admission {
+        // Pressure is the best accepting replica's backlog; with none
+        // accepting it is infinite, shedding everything sheddable.
         let pressure = replicas
             .iter()
+            .filter(|v| v.accepting)
             .map(ReplicaView::est_queue_s)
             .fold(f64::INFINITY, f64::min);
         let tolerance = match req.slo.tier {
@@ -334,11 +357,23 @@ impl AdmissionPolicy for PriorityShed {
 enum Event {
     /// Lane 0: the next request reaches the front door.
     Arrival,
-    /// A replica's next tick retires or decodes resident requests.
-    Completion,
-    /// A replica's next tick advances a chunked prefill one chunk.
-    ChunkBoundary,
+    /// A replica's next tick retires or decodes resident requests. Carries
+    /// the replica's lifecycle epoch at arming time: a crash or restart
+    /// bumps the epoch, so any event armed before it pops as stale and is
+    /// dropped instead of ticking a dead incarnation.
+    Completion(u64),
+    /// A replica's next tick advances a chunked prefill one chunk (same
+    /// epoch stamp).
+    ChunkBoundary(u64),
+    /// Lane `u64::MAX`: a scheduled lifecycle event — index into the run's
+    /// fault table (plan faults plus dynamically chained restarts).
+    Fault(usize),
 }
+
+/// The fault lane sorts after every arrival (lane 0) and replica lane
+/// (`i + 1`) at an equal timestamp: a crash at `t` observes the world with
+/// that instant's arrival routed and every tick due at `t` taken.
+const FAULT_LANE: u64 = u64::MAX;
 
 /// One engine replica: its own scheduler core, page ledger and clock,
 /// advanced one tick at a time — the incremental form of
@@ -351,6 +386,25 @@ struct Replica {
     routed: usize,
     /// Per-replica tick buffers, reused across the replica's whole run.
     scratch: TickScratch,
+    /// Admission gate: a drained/crashed/upgrading replica stops receiving
+    /// new work. Always implies `online` when true.
+    accepting: bool,
+    /// Liveness: an offline replica (crashed, or in its upgrade downtime)
+    /// ticks nothing until a restart.
+    online: bool,
+    /// Lifecycle incarnation counter, stamped into this replica's queue
+    /// events; bumped on crash, on going offline for an upgrade, and on
+    /// restart, so in-flight events from a previous life pop as stale.
+    epoch: u64,
+    /// A pending upgrade: `(downtime_s, rolling)`. Set when the upgrade
+    /// fault fires; consumed when the replica drains, sits out the
+    /// downtime and restarts (chaining to replica `i + 1` when rolling).
+    pending_upgrade: Option<(f64, bool)>,
+    /// Requests routed here but requeued away by a crash — keeps the
+    /// `waiting` arithmetic honest (`routed` is never decremented).
+    requeued_away: usize,
+    /// Times this replica came back from offline.
+    restarts: usize,
 }
 
 impl Replica {
@@ -370,8 +424,15 @@ impl Replica {
             index,
             clock_s: self.clock(),
             outstanding_tokens: self.sched.outstanding_tokens(),
-            waiting: self.routed - self.sched.running().len() - self.sched.finished().len(),
+            // Requests requeued away by a crash never finish here, so they
+            // leave the waiting arithmetic with `requeued_away`, not
+            // `finished`.
+            waiting: self.routed
+                - self.requeued_away
+                - self.sched.running().len()
+                - self.sched.finished().len(),
             running: self.sched.running().len(),
+            accepting: self.accepting,
             speed: self.speed,
         }
     }
@@ -414,9 +475,9 @@ impl Replica {
         if self.sched.options().chunk_tokens.is_some()
             && self.sched.running().iter().any(|r| r.prefill_remaining() > 0)
         {
-            Event::ChunkBoundary
+            Event::ChunkBoundary(self.epoch)
         } else {
-            Event::Completion
+            Event::Completion(self.epoch)
         }
     }
 }
@@ -447,6 +508,13 @@ pub struct ReplicaReport {
     pub preemptions: usize,
     /// High-water mark of unique KV pages on this replica.
     pub peak_unique_pages: usize,
+    /// Requests routed here that a crash requeued to another replica
+    /// (0 in fault-free runs; `routed - requeued_away` is what this
+    /// replica actually served).
+    pub requeued_away: usize,
+    /// Times this replica came back online after a crash or upgrade
+    /// downtime (0 in fault-free runs).
+    pub restarts: usize,
     /// Ids of the requests that finished here, in completion order — what
     /// conservation properties audit (each id on exactly one replica).
     pub finished: Vec<RequestId>,
@@ -504,6 +572,27 @@ pub struct ClusterReport {
     pub p99_latency_s: f64,
     /// Preemption events summed over replicas.
     pub preemptions: usize,
+    /// Requeue events: each time a crash moved an in-flight request to
+    /// another replica (a request crashed twice counts twice). 0 in
+    /// fault-free runs.
+    pub requeued: usize,
+    /// Prefill tokens thrown away by crashes — work the cluster had done
+    /// for requests whose KV pages died with their replica. 0 in
+    /// fault-free runs.
+    pub lost_prefill_tokens: usize,
+    /// Swap-out events summed over replicas (swap-mode preemption only).
+    pub swap_outs: usize,
+    /// KV pages moved device → host across the cluster.
+    pub swap_out_pages: usize,
+    /// KV pages moved host → device across the cluster.
+    pub swap_in_pages: usize,
+    /// Bytes that crossed the host link in either direction, priced into
+    /// each replica's clock at PCIe cost.
+    pub swap_bytes: u64,
+    /// Latest finish time over requests that were requeued by a crash —
+    /// minus the crash instant, the fleet's recovery time. 0 when nothing
+    /// was requeued.
+    pub last_requeued_finish_s: f64,
     /// Worst per-replica unique-page high-water mark — the number a
     /// capacity planner provisions each replica's HBM against.
     pub max_replica_peak_pages: usize,
@@ -605,7 +694,13 @@ impl Cluster {
         self.engines
             .iter()
             .map(|engine| -> Result<Replica, EngineUnavailable> {
-                let (budget, batch_limit) = engine.paged_budget(spec, reservation)?;
+                let (mut budget, batch_limit) = engine.paged_budget(spec, reservation)?;
+                if opts.preemption == PreemptionMode::Swap {
+                    // Host DRAM dwarfs device HBM; 4× the device pool is a
+                    // deliberately generous tier so swap policy, not host
+                    // capacity, decides preemption outcomes.
+                    budget.enable_host_tier(4 * budget.total_pages());
+                }
                 Ok(Replica {
                     engine: engine.clone(),
                     speed: engine.speed_profile(),
@@ -613,6 +708,12 @@ impl Cluster {
                     budget,
                     routed: 0,
                     scratch: TickScratch::default(),
+                    accepting: true,
+                    online: true,
+                    epoch: 0,
+                    pending_upgrade: None,
+                    requeued_away: 0,
+                    restarts: 0,
                 })
             })
             .collect()
@@ -660,15 +761,132 @@ impl Cluster {
         reservation: Reservation,
         opts: SchedOptions,
     ) -> Result<ClusterReport, EngineUnavailable> {
+        self.serve_paged_faulty(spec, mk_policy, reservation, opts, &FaultPlan::none())
+    }
+
+    /// Routes one already-admitted request (a crash victim, or a parked
+    /// request delivered at a restart): straight to the routing policy,
+    /// bypassing admission — the request was admitted once and the cluster
+    /// owes it a finish. Returns the request back when *no* replica
+    /// accepts work (the caller parks it until a restart).
+    fn route_requeued(
+        policy: &mut dyn RoutingPolicy,
+        reps: &mut [Replica],
+        views: &mut Vec<ReplicaView>,
+        queue: &mut EventQueue<Event>,
+        req: Request,
+    ) -> Option<Request> {
+        views.clear();
+        views.extend(reps.iter().enumerate().map(|(i, r)| r.view(i)));
+        if !views.iter().any(|v| v.accepting) {
+            return Some(req);
+        }
+        let choice = policy.route(&req, views);
+        assert!(
+            choice < reps.len(),
+            "routing policy '{}' picked replica {} of {}",
+            policy.name(),
+            choice,
+            reps.len()
+        );
+        let was_drained = reps[choice].done();
+        reps[choice].submit(req);
+        if was_drained {
+            queue.push(reps[choice].clock(), choice as u64 + 1, reps[choice].next_event());
+        }
+        None
+    }
+
+    /// A replica that drained with an upgrade pending goes offline for its
+    /// downtime: bump the epoch (stale events drop) and chain a restart
+    /// fault at `clock + downtime` on the fault lane.
+    fn begin_upgrade_downtime(
+        rep: &mut Replica,
+        replica: usize,
+        faults: &mut Vec<Fault>,
+        queue: &mut EventQueue<Event>,
+    ) {
+        let (downtime_s, _) =
+            rep.pending_upgrade.expect("upgrade downtime without a pending upgrade");
+        let restart_at = rep.clock() + downtime_s;
+        rep.online = false;
+        rep.epoch += 1;
+        faults.push(Fault { at_s: restart_at, replica, kind: FaultKind::Restart });
+        queue.push(restart_at, FAULT_LANE, Event::Fault(faults.len() - 1));
+    }
+
+    /// [`Cluster::serve_paged`] with a deterministic lifecycle [`FaultPlan`]
+    /// injected as a third event lane (`u64::MAX`, so at equal timestamps a
+    /// fault fires *after* the arrival and every replica tick at that
+    /// instant — replicas observe the world as of the fault time first):
+    ///
+    /// * **crash** — the replica's KV pool dies: every resident request
+    ///   loses its pages (and its prefill progress — accounted as
+    ///   `lost_prefill_tokens`) and is requeued through the routing policy
+    ///   to the surviving replicas with `ready_s` re-stamped to the crash
+    ///   instant. The replica goes offline and non-accepting; its epoch
+    ///   bump drops any in-flight queue event.
+    /// * **drain** — admission-only: the replica stops accepting, residents
+    ///   finish normally (what an operator does before maintenance).
+    /// * **restart** — a drained replica re-opens; a crashed or upgrading
+    ///   replica comes back online with a clean pool, its clock advanced to
+    ///   the restart instant. Requests parked while *no* replica accepted
+    ///   are delivered here.
+    /// * **upgrade** — drain, wait for residents, sit out `downtime_s`,
+    ///   restart; when `rolling`, the restart chains the same upgrade to
+    ///   the next replica, so exactly one replica is down at a time.
+    ///
+    /// Arrivals while no replica accepts are shed (tier-accounted like any
+    /// admission shed); requeued work is parked instead — it was admitted
+    /// once, so it waits for the next restart rather than being dropped,
+    /// and only a run that *ends* with no restart sheds it.
+    ///
+    /// With [`FaultPlan::none`] the fault lane is empty, every epoch stays
+    /// 0, every replica accepts throughout — the run is bit-identical to
+    /// the fault-free driver by construction.
+    ///
+    /// # Errors
+    /// [`EngineUnavailable::OutOfMemory`] when a worst-case request exceeds
+    /// some replica's page pool.
+    ///
+    /// # Panics
+    /// Panics if the routing policy returns an out-of-range replica index,
+    /// if the plan targets a replica the fleet doesn't have, or if a crash
+    /// leaves the dead replica's page ledger inconsistent.
+    pub fn serve_paged_faulty(
+        &mut self,
+        spec: &WorkloadSpec,
+        mk_policy: impl Fn() -> Box<dyn SchedulingPolicy>,
+        reservation: Reservation,
+        opts: SchedOptions,
+        plan: &FaultPlan,
+    ) -> Result<ClusterReport, EngineUnavailable> {
         // Fresh replicas get a fresh router and admission gate: no pins,
         // cursors or pressure state from a previous serve may leak in.
         self.policy.reset();
         self.admission.reset();
         let mut reps = self.build_replicas(spec, &mk_policy, reservation, opts)?;
         let mut shed: Vec<Request> = Vec::new();
+        // Admitted-then-crashed requests with nowhere to go (no replica
+        // accepting): they wait for a restart instead of being shed.
+        let mut parked: Vec<Request> = Vec::new();
+        let mut requeued = 0usize;
+        let mut lost_prefill = 0usize;
 
         const ARRIVAL_LANE: u64 = 0;
         let mut queue: EventQueue<Event> = EventQueue::new();
+        // The runtime fault table: plan faults up front, chained restarts
+        // and rolling-upgrade hops appended as the run discovers them.
+        let mut faults: Vec<Fault> = plan.faults().to_vec();
+        for (idx, f) in faults.iter().enumerate() {
+            assert!(
+                f.replica < reps.len(),
+                "fault plan targets replica {} of a {}-replica fleet",
+                f.replica,
+                reps.len()
+            );
+            queue.push(f.at_s, FAULT_LANE, Event::Fault(idx));
+        }
         let mut arrivals = Self::sorted_trace(spec).into_iter();
         let mut next_arrival = arrivals.next();
         if let Some(r) = &next_arrival {
@@ -676,49 +894,212 @@ impl Cluster {
         }
         // One views buffer reused across every arrival decision.
         let mut views: Vec<ReplicaView> = Vec::with_capacity(reps.len());
-        while let Some((_, lane, _kind)) = queue.pop() {
-            if lane == ARRIVAL_LANE {
-                let req = next_arrival.take().expect("arrival event without a request");
-                views.clear();
-                views.extend(reps.iter().enumerate().map(|(i, r)| r.view(i)));
-                if self.admission.decide(&req, &views) == Admission::Shed {
-                    shed.push(req);
-                } else {
-                    let choice = self.policy.route(&req, &views);
-                    assert!(
-                        choice < reps.len(),
-                        "routing policy '{}' picked replica {} of {}",
-                        self.policy.name(),
-                        choice,
-                        reps.len()
-                    );
-                    let was_drained = reps[choice].done();
-                    reps[choice].submit(req);
-                    if was_drained {
-                        // A drained replica had no queue entry; it re-enters
-                        // at its current clock (its first tick idles it
-                        // forward to the new request's arrival if needed).
-                        queue.push(
-                            reps[choice].clock(),
-                            choice as u64 + 1,
-                            reps[choice].next_event(),
+        while let Some((now, lane, kind)) = queue.pop() {
+            match kind {
+                Event::Arrival => {
+                    let req = next_arrival.take().expect("arrival event without a request");
+                    views.clear();
+                    views.extend(reps.iter().enumerate().map(|(i, r)| r.view(i)));
+                    if !views.iter().any(|v| v.accepting) {
+                        // The whole front door is closed; nothing can even
+                        // estimate this request. Shed it.
+                        shed.push(req);
+                    } else if self.admission.decide(&req, &views) == Admission::Shed {
+                        shed.push(req);
+                    } else {
+                        let choice = self.policy.route(&req, &views);
+                        assert!(
+                            choice < reps.len(),
+                            "routing policy '{}' picked replica {} of {}",
+                            self.policy.name(),
+                            choice,
+                            reps.len()
                         );
+                        let was_drained = reps[choice].done();
+                        reps[choice].submit(req);
+                        if was_drained {
+                            // A drained replica had no queue entry; it
+                            // re-enters at its current clock (its first tick
+                            // idles it forward to the new request's arrival
+                            // if needed).
+                            queue.push(
+                                reps[choice].clock(),
+                                choice as u64 + 1,
+                                reps[choice].next_event(),
+                            );
+                        }
+                    }
+                    next_arrival = arrivals.next();
+                    if let Some(r) = &next_arrival {
+                        queue.push(r.arrival_s, ARRIVAL_LANE, Event::Arrival);
                     }
                 }
-                next_arrival = arrivals.next();
-                if let Some(r) = &next_arrival {
-                    queue.push(r.arrival_s, ARRIVAL_LANE, Event::Arrival);
+                Event::Completion(epoch) | Event::ChunkBoundary(epoch) => {
+                    // lint: allow(raw-cast) -- lane = replica index + 1 by construction, so the u64 → usize round trip is exact
+                    let i = (lane - 1) as usize;
+                    if epoch != reps[i].epoch {
+                        // Armed by a previous incarnation; the crash or
+                        // restart that bumped the epoch already decided
+                        // this replica's future.
+                        continue;
+                    }
+                    reps[i].tick_scratch();
+                    if reps[i].done() {
+                        if reps[i].pending_upgrade.is_some() {
+                            // Last resident finished under a pending
+                            // upgrade: the downtime starts now.
+                            Self::begin_upgrade_downtime(
+                                &mut reps[i],
+                                i,
+                                &mut faults,
+                                &mut queue,
+                            );
+                        }
+                    } else {
+                        queue.push(reps[i].clock(), lane, reps[i].next_event());
+                    }
                 }
-            } else {
-                // lint: allow(raw-cast) -- lane = replica index + 1 by construction, so the u64 → usize round trip is exact
-                let i = (lane - 1) as usize;
-                reps[i].tick_scratch();
-                if !reps[i].done() {
-                    queue.push(reps[i].clock(), lane, reps[i].next_event());
+                Event::Fault(idx) => {
+                    let Fault { replica, kind, .. } = faults[idx];
+                    match kind {
+                        FaultKind::Crash => {
+                            let victims = {
+                                let rep = &mut reps[replica];
+                                if rep.online {
+                                    rep.accepting = false;
+                                    rep.online = false;
+                                    rep.epoch += 1;
+                                    // A crash mid-upgrade-drain cancels the
+                                    // upgrade (and, if rolling, the wave).
+                                    rep.pending_upgrade = None;
+                                    let (victims, lost) =
+                                        rep.sched.evict_all(&mut rep.budget);
+                                    // The dead pool must audit clean and
+                                    // empty: every page the crash destroyed
+                                    // was released, none minted.
+                                    rep.budget.assert_consistent();
+                                    assert_eq!(
+                                        rep.budget.free_pages(),
+                                        rep.budget.total_pages(),
+                                        "crash left pages allocated on replica {replica}"
+                                    );
+                                    lost_prefill += lost;
+                                    rep.requeued_away += victims.len();
+                                    victims
+                                } else {
+                                    Vec::new()
+                                }
+                            };
+                            for mut req in victims {
+                                // Requeued work becomes eligible at the
+                                // crash instant; TTFT/latency still run
+                                // from the original arrival.
+                                req.ready_s = now;
+                                req.requeues += 1;
+                                requeued += 1;
+                                if let Some(back) = Self::route_requeued(
+                                    &mut *self.policy,
+                                    &mut reps,
+                                    &mut views,
+                                    &mut queue,
+                                    req,
+                                ) {
+                                    parked.push(back);
+                                }
+                            }
+                        }
+                        FaultKind::Drain => {
+                            let rep = &mut reps[replica];
+                            if rep.online {
+                                rep.accepting = false;
+                            }
+                        }
+                        FaultKind::Restart => {
+                            let chained = {
+                                let rep = &mut reps[replica];
+                                if rep.online {
+                                    // Re-opening a drained (or untouched)
+                                    // replica: admission-only.
+                                    rep.accepting = true;
+                                    None
+                                } else {
+                                    rep.epoch += 1;
+                                    rep.sched.advance_clock_to(now);
+                                    rep.online = true;
+                                    rep.accepting = true;
+                                    rep.restarts += 1;
+                                    rep.pending_upgrade.take()
+                                }
+                            };
+                            if let Some((downtime_s, true)) = chained {
+                                if replica + 1 < reps.len() {
+                                    // Rolling: this replica is back, the
+                                    // next one starts its upgrade now.
+                                    faults.push(Fault {
+                                        at_s: now,
+                                        replica: replica + 1,
+                                        kind: FaultKind::Upgrade { downtime_s, rolling: true },
+                                    });
+                                    queue.push(now, FAULT_LANE, Event::Fault(faults.len() - 1));
+                                }
+                            }
+                            // A replica accepts again: deliver parked work.
+                            for req in std::mem::take(&mut parked) {
+                                if let Some(back) = Self::route_requeued(
+                                    &mut *self.policy,
+                                    &mut reps,
+                                    &mut views,
+                                    &mut queue,
+                                    req,
+                                ) {
+                                    parked.push(back);
+                                }
+                            }
+                        }
+                        FaultKind::Upgrade { downtime_s, rolling } => {
+                            let rep = &mut reps[replica];
+                            if rep.online {
+                                rep.accepting = false;
+                                rep.pending_upgrade = Some((downtime_s, rolling));
+                                if rep.done() {
+                                    // Already idle: the downtime starts at
+                                    // the fault instant, not the stale
+                                    // clock of its last tick.
+                                    rep.sched.advance_clock_to(now);
+                                    Self::begin_upgrade_downtime(
+                                        &mut reps[replica],
+                                        replica,
+                                        &mut faults,
+                                        &mut queue,
+                                    );
+                                }
+                            } else if rolling && replica + 1 < reps.len() {
+                                // A dead replica can't upgrade; pass the
+                                // wave along so the fleet still finishes.
+                                faults.push(Fault {
+                                    at_s: now,
+                                    replica: replica + 1,
+                                    kind: FaultKind::Upgrade { downtime_s, rolling },
+                                });
+                                queue.push(now, FAULT_LANE, Event::Fault(faults.len() - 1));
+                            }
+                        }
+                    }
                 }
             }
         }
-        Ok(Self::aggregate(self.policy.name(), self.admission.name(), &reps, &shed))
+        // A run that ends with work still parked had no restart to deliver
+        // it to: those requests are shed, keeping the workload partition
+        // (finished ∪ shed) exact.
+        shed.append(&mut parked);
+        Ok(Self::aggregate(
+            self.policy.name(),
+            self.admission.name(),
+            &reps,
+            &shed,
+            requeued,
+            lost_prefill,
+        ))
     }
 
     /// The retired step-driven driver, kept verbatim as the equivalence
@@ -783,7 +1164,7 @@ impl Cluster {
         while let Some(i) = laggard(&reps, f64::INFINITY) {
             reps[i].tick();
         }
-        Ok(Self::aggregate(self.policy.name(), self.admission.name(), &reps, &shed))
+        Ok(Self::aggregate(self.policy.name(), self.admission.name(), &reps, &shed, 0, 0))
     }
 
     fn aggregate(
@@ -791,6 +1172,8 @@ impl Cluster {
         admission: &str,
         reps: &[Replica],
         shed: &[Request],
+        requeued: usize,
+        lost_prefill_tokens: usize,
     ) -> ClusterReport {
         // Below the sample threshold the exact sorted-buffer path is
         // authoritative (golden CSVs live here); above it percentiles come
@@ -807,6 +1190,11 @@ impl Cluster {
         let mut met = 0usize;
         let mut completed = 0usize;
         let mut preemptions = 0usize;
+        let mut swap_outs = 0usize;
+        let mut swap_out_pages = 0usize;
+        let mut swap_in_pages = 0usize;
+        let mut swap_bytes = 0u64;
+        let mut last_requeued_finish = 0.0f64;
         let mut makespan = 0.0f64;
         let mut per_replica = Vec::with_capacity(reps.len());
         for rep in reps {
@@ -842,11 +1230,20 @@ impl Cluster {
                         slo_sketch.insert(ratio);
                     }
                 }
+                if r.requeues > 0 {
+                    last_requeued_finish =
+                        last_requeued_finish.max(r.finish_s.expect("finished"));
+                }
             }
             let rep_generated: usize = finished.iter().map(|r| r.generated).sum();
             generated += rep_generated;
             completed += finished.len();
             preemptions += rep.sched.preemptions();
+            swap_outs += rep.sched.swap_outs();
+            swap_out_pages += rep.sched.swap_out_pages();
+            swap_in_pages += rep.sched.swap_in_pages();
+            swap_bytes += (rep.sched.swap_out_pages() + rep.sched.swap_in_pages()) as u64
+                * rep.engine.kv_page_bytes();
             if rep.routed > 0 {
                 makespan = makespan.max(rep.clock());
             }
@@ -860,6 +1257,8 @@ impl Cluster {
                 utilization: 0.0, // filled in once the makespan is known
                 preemptions: rep.sched.preemptions(),
                 peak_unique_pages: rep.budget.peak_pages(),
+                requeued_away: rep.requeued_away,
+                restarts: rep.restarts,
                 finished: finished.iter().map(|r| r.id).collect(),
             });
         }
@@ -922,6 +1321,13 @@ impl Cluster {
                 lat_sketch.quantile(0.99)
             },
             preemptions,
+            requeued,
+            lost_prefill_tokens,
+            swap_outs,
+            swap_out_pages,
+            swap_in_pages,
+            swap_bytes,
+            last_requeued_finish_s: last_requeued_finish,
             max_replica_peak_pages: per_replica
                 .iter()
                 .map(|r| r.peak_unique_pages)
@@ -964,7 +1370,7 @@ mod tests {
             (WorkloadSpec::mixed(32, 23), SchedOptions::default()),
             (
                 shared_spec(),
-                SchedOptions { share_prefixes: true, chunk_tokens: Some(512) },
+                SchedOptions { share_prefixes: true, chunk_tokens: Some(512), ..SchedOptions::default() },
             ),
         ] {
             let single = e
@@ -1065,7 +1471,7 @@ mod tests {
                     &spec,
                     || Box::new(Fcfs),
                     Reservation::OnDemand,
-                    SchedOptions { share_prefixes: true, chunk_tokens: None },
+                    SchedOptions { share_prefixes: true, chunk_tokens: None, ..SchedOptions::default() },
                 )
                 .expect("serves");
             assert_eq!(report.completed, 48, "{} dropped requests", name);
@@ -1094,7 +1500,7 @@ mod tests {
                     &spec,
                     || Box::new(MemoryAware::default()),
                     Reservation::OnDemand,
-                    SchedOptions { share_prefixes: true, chunk_tokens: None },
+                    SchedOptions { share_prefixes: true, chunk_tokens: None, ..SchedOptions::default() },
                 )
                 .expect("serves")
         };
@@ -1156,7 +1562,7 @@ mod tests {
         // fresh Cluster) — no pins or cursor state leak across runs.
         let e = engine();
         let spec = shared_spec();
-        let opts = SchedOptions { share_prefixes: true, chunk_tokens: None };
+        let opts = SchedOptions { share_prefixes: true, chunk_tokens: None, ..SchedOptions::default() };
         let serve = |c: &mut Cluster| {
             c.serve_paged(&spec, || Box::new(Fcfs), Reservation::OnDemand, opts)
                 .expect("serves")
@@ -1191,6 +1597,7 @@ mod tests {
             outstanding_tokens,
             waiting: 0,
             running: 0,
+            accepting: true,
             speed: test_speed(decode_tps),
         }
     }
@@ -1321,7 +1728,7 @@ mod tests {
         // Cluster::heterogeneous with N copies + AdmitAll, bit for bit.
         let e = engine();
         let spec = shared_spec();
-        let opts = SchedOptions { share_prefixes: true, chunk_tokens: None };
+        let opts = SchedOptions { share_prefixes: true, chunk_tokens: None, ..SchedOptions::default() };
         let plain = Cluster::new(e.clone(), 3, Box::new(LeastOutstanding))
             .serve_paged(&spec, || Box::new(Fcfs), Reservation::OnDemand, opts)
             .expect("serves");
@@ -1386,7 +1793,7 @@ mod tests {
             ),
             (
                 shared_spec(),
-                SchedOptions { share_prefixes: true, chunk_tokens: Some(512) },
+                SchedOptions { share_prefixes: true, chunk_tokens: Some(512), ..SchedOptions::default() },
                 2,
             ),
         ] {
@@ -1452,6 +1859,7 @@ mod tests {
             let opts = SchedOptions {
                 share_prefixes: share,
                 chunk_tokens: if rng.int_in(0, 1) == 1 { Some(256) } else { None },
+                ..SchedOptions::default()
             };
             let mk_policy = {
                 let pick = rng.int_in(0, 1);

@@ -21,8 +21,8 @@ use crate::baselines::SystemConfig;
 use crate::memory::MemoryPlan;
 use crate::request::{Request, RequestId, WorkloadSpec};
 use crate::scheduler::{
-    AdmittedWave, Fcfs, KvBudget, PageBudget, Reservation, SchedOptions, Scheduler,
-    SchedulerStats, SchedulingPolicy, UnboundedBudget,
+    AdmittedWave, Fcfs, KvBudget, PageBudget, PreemptionMode, Reservation, SchedOptions,
+    Scheduler, SchedulerStats, SchedulingPolicy, UnboundedBudget,
 };
 use qserve_gpusim::attention_model::{
     attention_decode_latency, attention_decode_latency_hetero, attention_prefill_latency,
@@ -30,7 +30,7 @@ use qserve_gpusim::attention_model::{
     AttentionShape,
 };
 use qserve_gpusim::gemm_model::{gemm_latency, GemmShape};
-use qserve_gpusim::tp::TpGroup;
+use qserve_gpusim::tp::{HostLink, TpGroup};
 use qserve_gpusim::GpuSpec;
 use qserve_model::ModelConfig;
 
@@ -633,6 +633,16 @@ impl ServingEngine {
             return;
         }
         sched.make_room_into(budget, ids, preempted);
+        // Price this tick's host-link traffic (swap-ins drained at admit,
+        // swap-outs from make-room) into the replica's clock: preemption by
+        // swap is not free, it costs a PCIe round trip per page.
+        let swap_pages = sched.take_tick_swap_pages();
+        if swap_pages > 0 {
+            sched.charge_swap(
+                HostLink::pcie4()
+                    .transfer_latency(swap_pages as f64 * self.kv_page_bytes() as f64),
+            );
+        }
         sched.decoding_seq_lens_into(lens);
         if lens.is_empty() {
             return; // every resident is still chunk-prefilling
@@ -688,6 +698,12 @@ impl ServingEngine {
             }
             KvModel::Paged(reservation) => {
                 let (mut budget, optimistic) = self.paged_budget(spec, reservation)?;
+                if cfg.opts.preemption == PreemptionMode::Swap {
+                    // Host DRAM dwarfs device HBM: a generous 4× tier so
+                    // swap policy, not host capacity, decides outcomes
+                    // (mirrors the cluster's replica sizing).
+                    budget.enable_host_tier(4 * budget.total_pages());
+                }
                 let limit = match cfg.batch {
                     BatchLimit::Fixed(n) => n,
                     BatchLimit::WorstCase => self.plan.max_batch(spec.max_peak_len()).max(1),
@@ -759,6 +775,15 @@ impl ServingEngine {
     /// # Errors
     /// [`EngineUnavailable::OutOfMemory`] when a worst-case request exceeds
     /// the whole page pool.
+    /// Bytes one simulated KV page holds: [`SIM_PAGE_TOKENS`] tokens of one
+    /// layer's K+V at this engine's KV precision — what a page's trip over
+    /// the host link is priced at.
+    pub fn kv_page_bytes(&self) -> u64 {
+        let page_tokens = u64::try_from(SIM_PAGE_TOKENS).expect("page size fits u64");
+        let layers = u64::try_from(self.model.layers).expect("layer count fits u64");
+        page_tokens * self.plan.kv_bytes_per_token / layers
+    }
+
     pub fn paged_budget(
         &self,
         spec: &WorkloadSpec,
@@ -1142,7 +1167,7 @@ mod tests {
         // stores them once).
         let e = engine(GpuSpec::a100(), ModelConfig::llama2_7b(), SystemConfig::QServePerChannel);
         let spec = WorkloadSpec::shared_prefix(4, 512, 32, 41);
-        let opts = crate::scheduler::SchedOptions { share_prefixes: true, chunk_tokens: None };
+        let opts = crate::scheduler::SchedOptions { share_prefixes: true, chunk_tokens: None, ..SchedOptions::default() };
         let shared = e
             .run_workload_paged_with(&spec, Box::new(Fcfs), Reservation::Peak, opts)
             .expect("serves");
@@ -1184,6 +1209,7 @@ mod tests {
             let opts = crate::scheduler::SchedOptions {
                 share_prefixes: false,
                 chunk_tokens: Some(chunk),
+                ..SchedOptions::default()
             };
             let chunked = e
                 .run_workload_paged_with(&spec, Box::new(Fcfs), Reservation::Peak, opts)
@@ -1221,7 +1247,7 @@ mod tests {
             reqs
         };
         let worst_gap = |chunk_tokens: Option<usize>| -> f64 {
-            let opts = crate::scheduler::SchedOptions { share_prefixes: false, chunk_tokens };
+            let opts = crate::scheduler::SchedOptions { share_prefixes: false, chunk_tokens, ..SchedOptions::default() };
             let mut sched = Scheduler::with_options(mk_reqs(), 8, Box::new(Fcfs), opts);
             let budget: &mut dyn KvBudget = &mut UnboundedBudget;
             let (mut last_decode, mut worst) = (None::<f64>, 0.0f64);

@@ -37,11 +37,23 @@
 //!   retires or advances resident sequences at `clock + decode_latency`.
 //! * **next-chunk-boundary** — replica lanes: under chunked prefill the
 //!   next tick lands on a prefill chunk edge rather than a decode step.
+//! * **fault** — lane `u64::MAX`: injected lifecycle events (crash,
+//!   drain, restart, upgrade) from a [`crate::fault::FaultPlan`]. The
+//!   maximal lane means a fault scheduled at time `t` fires *after* the
+//!   arrival and every replica tick at `t`: a request arriving at the
+//!   instant of a crash is still routed by the pre-crash fleet, and a
+//!   replica whose completion lands exactly at its crash time retires
+//!   that work before losing it. Fault entries are all pushed up front
+//!   in plan order, so same-time faults resolve FIFO by `seq`, exactly
+//!   the order the plan lists them.
 //!
 //! A replica has **exactly one** live entry while it has work and none
 //! when drained — re-armed by the driver after every event it consumes —
-//! so the heap holds at most `replicas + 1` entries and every push/pop is
-//! O(log replicas).
+//! so the heap holds at most `replicas + faults + 1` entries and every
+//! push/pop is O(log(replicas + faults)). Replica entries are stamped
+//! with the replica's lifecycle *epoch*; a crash or upgrade bumps the
+//! epoch, turning any still-queued pre-fault entry into a stale no-op
+//! the driver drops on pop — cancellation without heap surgery.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;

@@ -74,6 +74,27 @@ struct KvPage {
     filled: usize,
 }
 
+/// Where one page-table slot of a swapped-out sequence lives while the
+/// sequence is off-device.
+#[derive(Debug, Clone)]
+enum SwappedSlot {
+    /// A shared page that stayed resident: siblings keep reading it, and
+    /// the swapped sequence keeps its refcount so it cannot be recycled
+    /// underneath it.
+    Resident(usize),
+    /// A private page whose bytes moved to host memory.
+    Host { data: Vec<u8>, filled: usize },
+}
+
+/// Host-memory image of a swapped-out sequence — exactly what swap-in
+/// needs to rebuild the device-side page table byte for byte.
+#[derive(Debug, Clone)]
+struct SwappedSeq {
+    table: Vec<Vec<SwappedSlot>>,
+    len: usize,
+    layer_lens: Vec<usize>,
+}
+
 /// A paged, quantized KV cache for many sequences.
 ///
 /// # Example
@@ -107,6 +128,9 @@ pub struct PagedKvCache {
     /// Per-sequence, per-layer token counts: a forked sequence may own fewer
     /// tokens of its shared tail page than the page's `filled` says.
     layer_lens: HashMap<SequenceId, Vec<usize>>,
+    /// Host-memory images of swapped-out sequences (never iterated — keyed
+    /// access only, so determinism is safe).
+    host: HashMap<SequenceId, SwappedSeq>,
     /// High-water mark of unique allocated pages over the cache's life.
     peak_used: usize,
 }
@@ -161,6 +185,7 @@ impl PagedKvCache {
             tables: HashMap::new(),
             lens: HashMap::new(),
             layer_lens: HashMap::new(),
+            host: HashMap::new(),
             peak_used: 0,
         }
     }
@@ -292,6 +317,18 @@ impl PagedKvCache {
     /// # Errors
     /// [`KvCacheError::UnknownSequence`] if not registered.
     pub fn release(&mut self, seq: SequenceId) -> Result<(), KvCacheError> {
+        if let Some(image) = self.host.remove(&seq) {
+            // Releasing a swapped-out sequence: drop its host bytes and the
+            // refcounts it still holds on resident shared pages.
+            for layer in image.table {
+                for slot in layer {
+                    if let SwappedSlot::Resident(page) = slot {
+                        self.unref_page(page);
+                    }
+                }
+            }
+            return Ok(());
+        }
         let table = self
             .tables
             .remove(&seq)
@@ -502,6 +539,98 @@ impl PagedKvCache {
     /// Immutable snapshot of a page's raw bytes (for tests/debug).
     pub fn page_bytes_snapshot(&self, page: usize) -> Vec<u8> {
         self.pages[page].data.clone()
+    }
+
+    /// Whether `seq` is currently swapped out to host memory.
+    pub fn is_swapped(&self, seq: SequenceId) -> bool {
+        self.host.contains_key(&seq)
+    }
+
+    /// Swaps `seq` out to host memory: every *private* page (refcount 1)
+    /// copies its bytes off-device and frees the device page; shared prefix
+    /// pages stay resident — siblings keep reading them, and this sequence
+    /// keeps its reference so they cannot be recycled underneath it.
+    /// Returns the number of device pages freed (what crossed the link).
+    ///
+    /// # Errors
+    /// [`KvCacheError::UnknownSequence`] when `seq` is not resident
+    /// (unregistered, or already swapped out).
+    pub fn swap_out(&mut self, seq: SequenceId) -> Result<usize, KvCacheError> {
+        let table = self
+            .tables
+            .remove(&seq)
+            .ok_or(KvCacheError::UnknownSequence(seq))?;
+        let len = self.lens.remove(&seq).expect("tables/lens in sync");
+        let layer_lens = self.layer_lens.remove(&seq).expect("tables/layer_lens in sync");
+        let mut moved = 0usize;
+        let mut swapped_table: Vec<Vec<SwappedSlot>> = Vec::with_capacity(table.len());
+        for layer in table {
+            let mut slots = Vec::with_capacity(layer.len());
+            for page in layer {
+                if self.refcounts[page] == 1 {
+                    moved += 1;
+                    let data = self.pages[page].data.clone();
+                    let filled = self.pages[page].filled;
+                    self.unref_page(page);
+                    slots.push(SwappedSlot::Host { data, filled });
+                } else {
+                    slots.push(SwappedSlot::Resident(page));
+                }
+            }
+            swapped_table.push(slots);
+        }
+        self.host.insert(seq, SwappedSeq { table: swapped_table, len, layer_lens });
+        Ok(moved)
+    }
+
+    /// Swaps `seq` back onto the device: re-allocates one page per host
+    /// slot, restores its bytes verbatim, and re-links the resident shared
+    /// pages — after which every read of `seq` is byte-identical to before
+    /// the swap. Returns the number of pages that crossed the link back.
+    ///
+    /// On [`KvCacheError::OutOfPages`] nothing moves: the sequence stays
+    /// swapped out, both tiers untouched, and the caller may retry after
+    /// freeing device pages.
+    ///
+    /// # Errors
+    /// [`KvCacheError::UnknownSequence`] when `seq` has no host image (it
+    /// was never swapped out, or was released in the meantime);
+    /// [`KvCacheError::OutOfPages`] when the device pool cannot hold its
+    /// private pages.
+    pub fn swap_in(&mut self, seq: SequenceId) -> Result<usize, KvCacheError> {
+        let needed: usize = self
+            .host
+            .get(&seq)
+            .ok_or(KvCacheError::UnknownSequence(seq))?
+            .table
+            .iter()
+            .flatten()
+            .filter(|s| matches!(s, SwappedSlot::Host { .. }))
+            .count();
+        if needed > self.free_list.len() {
+            return Err(KvCacheError::OutOfPages);
+        }
+        let image = self.host.remove(&seq).expect("checked above");
+        let mut table: Vec<Vec<usize>> = Vec::with_capacity(image.table.len());
+        for layer in image.table {
+            let mut pages = Vec::with_capacity(layer.len());
+            for slot in layer {
+                match slot {
+                    SwappedSlot::Resident(page) => pages.push(page),
+                    SwappedSlot::Host { data, filled } => {
+                        let page = self.alloc_page().expect("reserved above");
+                        self.pages[page].data.copy_from_slice(&data);
+                        self.pages[page].filled = filled;
+                        pages.push(page);
+                    }
+                }
+            }
+            table.push(pages);
+        }
+        self.tables.insert(seq, table);
+        self.lens.insert(seq, image.len);
+        self.layer_lens.insert(seq, image.layer_lens);
+        Ok(needed)
     }
 }
 
@@ -928,5 +1057,141 @@ mod tests {
         assert_eq!(c8.token_slot_bytes(), 32 + 16);
         let cf = cfg(KvPrecision::Fp16);
         assert_eq!(cf.token_slot_bytes(), 64);
+    }
+
+    #[test]
+    fn swap_round_trip_restores_reads_byte_identical() {
+        let mut rng = TensorRng::seed(11);
+        let mut c = PagedKvCache::new(cfg(KvPrecision::Int4), 32);
+        let s = SequenceId(1);
+        c.register(s).unwrap();
+        for _ in 0..10 {
+            let k: Vec<f32> = (0..16).map(|_| rng.normal(1.0)).collect();
+            let v: Vec<f32> = (0..16).map(|_| rng.normal(1.0)).collect();
+            for layer in 0..2 {
+                c.append_token(s, layer, &k, &v).unwrap();
+            }
+        }
+        let before: Vec<_> = (0..2)
+            .flat_map(|layer| (0..2).map(move |head| (layer, head)))
+            .map(|(layer, head)| c.read_head(s, layer, head).unwrap())
+            .collect();
+        let used_before = c.used_pages();
+        let out = c.swap_out(s).unwrap();
+        assert_eq!(out, used_before, "all pages were private; all must move");
+        assert_eq!(c.used_pages(), 0, "device side fully freed");
+        assert!(c.is_swapped(s));
+        assert_eq!(
+            c.read_head(s, 0, 0),
+            Err(KvCacheError::UnknownSequence(s)),
+            "a swapped-out sequence is not readable on device"
+        );
+        let back = c.swap_in(s).unwrap();
+        assert_eq!(back, out, "every page that left comes back");
+        assert_eq!(c.used_pages(), used_before);
+        assert_eq!(c.seq_len(s), 10);
+        let after: Vec<_> = (0..2)
+            .flat_map(|layer| (0..2).map(move |head| (layer, head)))
+            .map(|(layer, head)| c.read_head(s, layer, head).unwrap())
+            .collect();
+        assert_eq!(before, after, "swap round trip must be byte-identical");
+    }
+
+    #[test]
+    fn swap_leaves_shared_prefix_pages_resident_for_siblings() {
+        let mut rng = TensorRng::seed(13);
+        let mut c = PagedKvCache::new(cfg(KvPrecision::Int8), 64);
+        let parent = SequenceId(1);
+        let child = SequenceId(2);
+        c.register(parent).unwrap();
+        // 8 tokens = 2 full pages per layer, then fork the whole prefix.
+        for _ in 0..8 {
+            let k: Vec<f32> = (0..16).map(|_| rng.normal(1.0)).collect();
+            let v: Vec<f32> = (0..16).map(|_| rng.normal(1.0)).collect();
+            for layer in 0..2 {
+                c.append_token(parent, layer, &k, &v).unwrap();
+            }
+        }
+        c.fork(parent, child, 8).unwrap();
+        // Child diverges: its tail pages go private via COW.
+        for _ in 0..2 {
+            let k: Vec<f32> = (0..16).map(|_| rng.normal(1.0)).collect();
+            for layer in 0..2 {
+                c.append_token(child, layer, &k, &k).unwrap();
+            }
+        }
+        let parent_read = c.read_head(parent, 0, 0).unwrap();
+        let used_before = c.used_pages();
+        // Swap the child out: only its private divergence pages move; the
+        // 4 shared prefix pages stay resident and keep both refcounts.
+        let moved = c.swap_out(child).unwrap();
+        assert_eq!(moved, 2, "only the private COW tail pages cross the link");
+        assert_eq!(c.used_pages(), used_before - 2);
+        for layer in 0..2 {
+            for &page in c.layer_pages(parent, layer) {
+                assert_eq!(c.page_refcount(page), 2, "shared pages keep the swapped ref");
+            }
+        }
+        assert_eq!(
+            c.read_head(parent, 0, 0).unwrap(),
+            parent_read,
+            "the resident sibling is untouched"
+        );
+        let back = c.swap_in(child).unwrap();
+        assert_eq!(back, 2);
+        assert_eq!(c.used_pages(), used_before);
+        assert_eq!(c.seq_len(child), 10);
+        // Full cleanup: every page returns to the pool.
+        c.release(parent).unwrap();
+        c.release(child).unwrap();
+        assert_eq!(c.used_pages(), 0);
+    }
+
+    #[test]
+    fn swap_in_without_room_fails_cleanly_and_retries() {
+        let mut rng = TensorRng::seed(17);
+        let mut c = PagedKvCache::new(cfg(KvPrecision::Int4), 4);
+        let a = SequenceId(1);
+        let b = SequenceId(2);
+        c.register(a).unwrap();
+        for _ in 0..4 {
+            let k: Vec<f32> = (0..16).map(|_| rng.normal(1.0)).collect();
+            for layer in 0..2 {
+                c.append_token(a, layer, &k, &k).unwrap();
+            }
+        }
+        assert_eq!(c.swap_out(a).unwrap(), 2);
+        // Another sequence grows into the whole pool (8 tokens = 2 pages
+        // per layer = all 4 pages), leaving no room to swap back in.
+        c.register(b).unwrap();
+        for _ in 0..8 {
+            let k: Vec<f32> = (0..16).map(|_| rng.normal(1.0)).collect();
+            for layer in 0..2 {
+                c.append_token(b, layer, &k, &k).unwrap();
+            }
+        }
+        assert_eq!(c.swap_in(a), Err(KvCacheError::OutOfPages));
+        assert!(c.is_swapped(a), "a failed swap-in leaves the image parked");
+        c.release(b).unwrap();
+        assert_eq!(c.swap_in(a).unwrap(), 2, "retry succeeds once room frees");
+        assert_eq!(c.seq_len(a), 4);
+    }
+
+    #[test]
+    fn releasing_a_swapped_sequence_drops_its_host_image() {
+        let mut rng = TensorRng::seed(19);
+        let mut c = PagedKvCache::new(cfg(KvPrecision::Int4), 16);
+        let s = SequenceId(3);
+        c.register(s).unwrap();
+        let k: Vec<f32> = (0..16).map(|_| rng.normal(1.0)).collect();
+        for layer in 0..2 {
+            c.append_token(s, layer, &k, &k).unwrap();
+        }
+        c.swap_out(s).unwrap();
+        c.release(s).unwrap();
+        assert!(!c.is_swapped(s));
+        assert_eq!(c.used_pages(), 0);
+        // The image is gone: swapping back in is an error, not a resurrection.
+        assert_eq!(c.swap_in(s), Err(KvCacheError::UnknownSequence(s)));
     }
 }

@@ -31,6 +31,13 @@
 //! * [`event`] — the deterministic priority event queue behind the
 //!   event-driven core: `(time.to_bits(), lane, seq)` total ordering over
 //!   a binary heap, O(log n) per event.
+//! * [`fault`] — deterministic replica lifecycle plans ([`FaultPlan`]):
+//!   seeded crash/drain/restart/rolling-upgrade schedules injected as the
+//!   cluster's fault event lane, so failures interleave reproducibly
+//!   with arrivals and completions.
+//! * [`host_tier`] — the modeled host-memory KV tier: the page ledger
+//!   behind swap-style preemption, where victims spill private pages at
+//!   PCIe cost instead of recomputing.
 //! * [`sketch`] — streaming fixed-bucket percentile sketch: O(1) insert,
 //!   deterministic quantiles, bounded memory — latency percentiles for
 //!   million-request traces without buffering every sample.
@@ -45,6 +52,8 @@ pub mod block_exec;
 pub mod cluster;
 pub mod engine;
 pub mod event;
+pub mod fault;
+pub mod host_tier;
 pub mod kv_cache;
 pub mod memory;
 pub mod model_exec;
@@ -66,6 +75,8 @@ pub use engine::{
     BatchLimit, KvModel, ServeConfig, ServingEngine, ServingReport, SpeedProfile, Workload,
 };
 pub use event::EventQueue;
+pub use fault::{Fault, FaultKind, FaultPlan};
+pub use host_tier::{HostTier, SwappedEntry};
 pub use kv_cache::{PagedKvCache, SequenceId};
 pub use prefix::PrefixIndex;
 pub use request::{
@@ -73,7 +84,7 @@ pub use request::{
     Tier, WorkloadSpec,
 };
 pub use scheduler::{
-    Fcfs, KvBudget, MemoryAware, PageBudget, Reservation, Scheduler, SchedulingPolicy,
-    ShortestJobFirst, UnboundedBudget,
+    Fcfs, KvBudget, MemoryAware, PageBudget, PreemptionMode, Reservation, Scheduler,
+    SchedulingPolicy, ShortestJobFirst, UnboundedBudget,
 };
 pub use sketch::{PercentileSketch, EXACT_STATS_MAX};

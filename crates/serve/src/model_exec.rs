@@ -492,7 +492,7 @@ mod tests {
                 &spec,
                 3,
                 Box::new(Fcfs),
-                SchedOptions { share_prefixes: true, chunk_tokens: None },
+                SchedOptions { share_prefixes: true, chunk_tokens: None, ..SchedOptions::default() },
             )
             .unwrap();
         let shared_peak = shared_rt.cache().peak_used_pages();
@@ -532,7 +532,7 @@ mod tests {
                 &spec,
                 2,
                 Box::new(Fcfs),
-                SchedOptions { share_prefixes: true, chunk_tokens: None },
+                SchedOptions { share_prefixes: true, chunk_tokens: None, ..SchedOptions::default() },
             )
             .unwrap();
         for r in &served {
@@ -556,7 +556,7 @@ mod tests {
                     &spec,
                     2,
                     Box::new(Fcfs),
-                    SchedOptions { share_prefixes: false, chunk_tokens: Some(chunk) },
+                    SchedOptions { share_prefixes: false, chunk_tokens: Some(chunk), ..SchedOptions::default() },
                 )
                 .unwrap();
             assert_eq!(chunked.len(), whole.len());
@@ -588,7 +588,7 @@ mod tests {
                 &spec,
                 3,
                 Box::new(Fcfs),
-                SchedOptions { share_prefixes: true, chunk_tokens: None },
+                SchedOptions { share_prefixes: true, chunk_tokens: None, ..SchedOptions::default() },
             )
             .unwrap();
         assert_eq!(shared.len(), 6);

@@ -127,6 +127,10 @@ pub enum RequestState {
     /// its prompt *and* already-generated tokens are recomputed
     /// (vLLM-style recompute preemption).
     Preempted,
+    /// Evicted under memory pressure with its private KV pages spilled to
+    /// the host tier; on re-admission the pages are swapped back at link
+    /// cost instead of recomputed, so `seq_len`/`prefilled` survive.
+    Swapped,
     /// All output tokens generated.
     Finished,
 }
@@ -142,6 +146,12 @@ pub struct Request {
     pub output_len: usize,
     /// When the request becomes available to the scheduler, seconds.
     pub arrival_s: f64,
+    /// When the request becomes *eligible* for admission, seconds. Equals
+    /// `arrival_s` at birth; a replica crash re-stamps it to the crash
+    /// time so the requeued request cannot be scheduled before the
+    /// failure that displaced it. Latency and TTFT still measure from
+    /// `arrival_s` — the user started waiting then.
+    pub ready_s: f64,
     /// Prefix-sharing group this request belongs to (`None` = no sharing):
     /// requests of one group open with the same `prefix_len`-token prompt
     /// prefix, so a resident group member's KV pages can be forked instead
@@ -172,6 +182,8 @@ pub struct Request {
     pub finish_s: Option<f64>,
     /// Times this request was preempted.
     pub preemptions: usize,
+    /// Times this request was requeued off a crashed/restarting replica.
+    pub requeues: usize,
 }
 
 impl Request {
@@ -184,6 +196,7 @@ impl Request {
             input_len,
             output_len,
             arrival_s,
+            ready_s: arrival_s,
             prefix_group: None,
             prefix_len: 0,
             slo: Slo::default(),
@@ -195,6 +208,7 @@ impl Request {
             first_token_s: None,
             finish_s: None,
             preemptions: 0,
+            requeues: 0,
         }
     }
 

@@ -25,6 +25,7 @@
 
 use std::collections::VecDeque;
 
+use crate::host_tier::{HostTier, SwappedEntry};
 use crate::request::{Request, RequestId, RequestState};
 use crate::sketch::{PercentileSketch, EXACT_STATS_MAX};
 
@@ -68,6 +69,26 @@ pub trait KvBudget {
 
     /// Returns everything `id` holds to the pool.
     fn release(&mut self, id: RequestId);
+
+    /// Spills `id`'s *private* pages to a modeled host-memory tier,
+    /// freeing them on device while keeping any shared-pool reference
+    /// (shared prefix pages stay resident — siblings are reading them).
+    /// Returns the device pages freed, or `None` when the budget has no
+    /// host tier or the tier is full — the caller must fall back to
+    /// recompute preemption.
+    fn swap_out(&mut self, _id: RequestId) -> Option<usize> {
+        None
+    }
+
+    /// Brings a swapped-out request's pages back on device. Returns the
+    /// device pages re-acquired, or `None` when the device pool cannot
+    /// hold them yet. Implementations must fail loudly (panic, not
+    /// `None`) when `id` was never swapped out or its holdings were
+    /// released in the meantime — that is ledger corruption, not
+    /// back-pressure.
+    fn swap_in(&mut self, _id: RequestId) -> Option<usize> {
+        None
+    }
 
     /// High-water mark of unique pages in use (0 for budgets that do not
     /// track pages) — the true-residency number `prefix_sweep` reports.
@@ -139,6 +160,9 @@ pub struct PageBudget {
     mode: Reservation,
     entries: std::collections::BTreeMap<RequestId, PageEntry>,
     pools: std::collections::BTreeMap<u64, SharedPool>,
+    /// Modeled host-memory tier for swap-style preemption (`None` = no
+    /// tier, swaps refuse and callers fall back to recompute).
+    host: Option<HostTier>,
 }
 
 impl PageBudget {
@@ -155,7 +179,26 @@ impl PageBudget {
             mode,
             entries: std::collections::BTreeMap::new(),
             pools: std::collections::BTreeMap::new(),
+            host: None,
         }
+    }
+
+    /// Attaches a host-memory tier of `capacity_pages` pages, enabling
+    /// swap-style preemption ([`KvBudget::swap_out`] /
+    /// [`KvBudget::swap_in`]). Idempotent re-sizing is not supported: the
+    /// tier must be attached before any swap.
+    ///
+    /// # Panics
+    /// Panics if a tier is already attached.
+    pub fn enable_host_tier(&mut self, capacity_pages: usize) {
+        assert!(self.host.is_none(), "host tier already attached");
+        self.host = Some(HostTier::new(capacity_pages));
+    }
+
+    /// The attached host tier, if any — read-only view for audits and
+    /// reports.
+    pub fn host_tier(&self) -> Option<&HostTier> {
+        self.host.as_ref()
     }
 
     /// Total pages in the pool.
@@ -203,13 +246,37 @@ impl PageBudget {
             self.total_pages
         );
         for (g, pool) in &self.pools {
-            let refs = self.entries.values().filter(|e| e.group == Some(*g)).count();
-            assert_eq!(pool.refs, refs, "pool {} refcount drift", g);
-            assert!(refs > 0, "pool {} outlived its last resident", g);
+            // Swapped-out members keep their pool reference: their shared
+            // prefix pages stay on device even while the private pages sit
+            // in the host tier.
+            let resident = self.entries.values().filter(|e| e.group == Some(*g)).count();
+            let swapped = self
+                .host
+                .as_ref()
+                .map_or(0, |h| h.entries().filter(|(_, e)| e.group == Some(*g)).count());
+            assert_eq!(pool.refs, resident + swapped, "pool {} refcount drift", g);
+            assert!(resident + swapped > 0, "pool {} outlived its last member", g);
         }
         for e in self.entries.values() {
             if let Some(g) = e.group {
                 assert!(self.pools.contains_key(&g), "entry references a dead pool {}", g);
+            }
+        }
+        if let Some(host) = &self.host {
+            host.assert_consistent();
+            for (id, e) in host.entries() {
+                assert!(
+                    !self.entries.contains_key(&id),
+                    "request {:?} is both resident and swapped out",
+                    id
+                );
+                if let Some(g) = e.group {
+                    assert!(
+                        self.pools.contains_key(&g),
+                        "swapped entry references a dead pool {}",
+                        g
+                    );
+                }
             }
         }
     }
@@ -223,6 +290,21 @@ impl PageBudget {
         self.free_pages =
             self.free_pages.checked_sub(pages).expect("page take exceeds the free pool");
         self.peak_used = self.peak_used.max(self.used_pages());
+    }
+
+    /// Drops one reference on shared pool `g`, freeing its pages with the
+    /// last member. Hard asserts (not debug_assert) so an accounting bug
+    /// cannot wrap the counter in release builds.
+    fn unref_pool(&mut self, g: u64) {
+        let pool = self.pools.get_mut(&g).expect("entry references a dead pool");
+        pool.refs = pool
+            .refs
+            .checked_sub(1)
+            .expect("shared pool refcount underflow");
+        if pool.refs == 0 {
+            self.free_pages += pool.pages_per_layer * self.layers;
+            self.pools.remove(&g);
+        }
     }
 }
 
@@ -313,21 +395,66 @@ impl KvBudget for PageBudget {
         if let Some(entry) = self.entries.remove(&id) {
             self.free_pages += entry.reserved_per_layer * self.layers;
             if let Some(g) = entry.group {
-                let pool = self.pools.get_mut(&g).expect("entry references a dead pool");
-                // A preempted or finished member drops exactly one pool
-                // reference; hard asserts (not debug_assert) so an
-                // accounting bug cannot wrap the counter in release builds.
-                pool.refs = pool
-                    .refs
-                    .checked_sub(1)
-                    .expect("shared pool refcount underflow");
-                if pool.refs == 0 {
-                    self.free_pages += pool.pages_per_layer * self.layers;
-                    self.pools.remove(&g);
-                }
+                self.unref_pool(g);
+            }
+            assert!(self.free_pages <= self.total_pages, "page ledger over-released");
+        } else if let Some(swapped) = self.host.as_mut().and_then(|h| h.evict(id)) {
+            // Releasing a swapped-out request frees host pages, not device
+            // pages — but its shared-pool reference (device-resident) must
+            // still be dropped, or the pool leaks.
+            if let Some(g) = swapped.group {
+                self.unref_pool(g);
             }
             assert!(self.free_pages <= self.total_pages, "page ledger over-released");
         }
+    }
+
+    fn swap_out(&mut self, id: RequestId) -> Option<usize> {
+        // No tier attached → the caller falls back to recompute.
+        self.host.as_ref()?;
+        let entry = self.entries.get(&id).expect("swap_out() on unadmitted request");
+        let pages = entry.reserved_per_layer * self.layers;
+        let host = self.host.as_mut().expect("checked above");
+        if pages > host.free_pages() {
+            return None;
+        }
+        let entry = self.entries.remove(&id).expect("checked above");
+        host.park(
+            id,
+            SwappedEntry {
+                tokens: entry.tokens,
+                reserved_per_layer: entry.reserved_per_layer,
+                pages,
+                group: entry.group,
+            },
+        );
+        // The pool reference (if any) is deliberately kept: the swapped
+        // member still pins its shared prefix pages on device.
+        self.free_pages += pages;
+        assert!(self.free_pages <= self.total_pages, "page ledger over-released");
+        Some(pages)
+    }
+
+    fn swap_in(&mut self, id: RequestId) -> Option<usize> {
+        let host = self.host.as_mut().expect("swap_in() without a host tier");
+        // Loud on a missing entry: swapping back pages whose owner was
+        // released is ledger corruption, not back-pressure.
+        let pages = host.pages_of(id);
+        if pages > self.free_pages {
+            return None;
+        }
+        let swapped = host.take(id);
+        self.take(pages);
+        let prev = self.entries.insert(
+            id,
+            PageEntry {
+                tokens: swapped.tokens,
+                reserved_per_layer: swapped.reserved_per_layer,
+                group: swapped.group,
+            },
+        );
+        assert!(prev.is_none(), "request {:?} swapped in while already resident", id);
+        Some(pages)
     }
 
     fn peak_pages(&self) -> usize {
@@ -444,9 +571,23 @@ pub struct AdmittedWave {
     pub shared_lens: Vec<usize>,
 }
 
+/// What happens to a preemption victim when the page pool runs dry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PreemptionMode {
+    /// Wipe the victim's pages and recompute its prefill on re-admission
+    /// (vLLM-style) — the legacy behavior and the default.
+    #[default]
+    Recompute,
+    /// Spill the victim's private pages to the budget's host-memory tier
+    /// and swap them back on re-admission at link cost; falls back to
+    /// recompute when no tier is attached or the tier is full.
+    Swap,
+}
+
 /// Knobs for the prefix-sharing and chunked-prefill extensions. The default
-/// (`sharing off, chunking off`) reproduces the legacy scheduler
-/// tick-for-tick, which is what keeps the paper protocol CSVs byte-stable.
+/// (`sharing off, chunking off, recompute preemption`) reproduces the
+/// legacy scheduler tick-for-tick, which is what keeps the paper protocol
+/// CSVs byte-stable.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct SchedOptions {
     /// Alias resident same-group prefixes at admission instead of
@@ -455,6 +596,9 @@ pub struct SchedOptions {
     /// Split prompts into chunks of at most this many tokens, interleaved
     /// with decode steps (`None` = whole-prompt prefill at admission).
     pub chunk_tokens: Option<usize>,
+    /// Preemption flavor under memory pressure: recompute (default) or
+    /// swap to the host tier.
+    pub preemption: PreemptionMode,
 }
 
 /// Aggregate timing statistics over the finished requests.
@@ -484,6 +628,15 @@ pub struct SchedulerStats {
     pub mean_ttft_s: f64,
     /// Preemption events over the run.
     pub preemptions: usize,
+    /// Swap-out preemption events over the run (victims spilled to the
+    /// host tier instead of wiped).
+    pub swap_outs: usize,
+    /// Device pages moved host-ward by swap-out preemptions.
+    pub swap_out_pages: usize,
+    /// Device pages moved back by swap-in re-admissions.
+    pub swap_in_pages: usize,
+    /// Time spent moving pages across the host link.
+    pub swap_time_s: f64,
     /// Median latency from the streaming sketch (always computed; the
     /// authoritative percentile source above [`EXACT_STATS_MAX`] finishes).
     pub sketch_p50_latency_s: f64,
@@ -513,9 +666,11 @@ pub struct Scheduler {
     policy: Box<dyn SchedulingPolicy>,
     batch_limit: usize,
     opts: SchedOptions,
-    /// Not-yet-running requests (queued + preempted), sorted by
-    /// `(arrival_s, id)` so the arrived prefix is FCFS-ordered. A deque so
-    /// the common FCFS admission (`remove(0)`) is O(1) instead of shifting
+    /// Not-yet-running requests (queued + preempted + swapped), sorted by
+    /// `(ready_s, id)` so the eligible prefix is FCFS-ordered (`ready_s`
+    /// equals `arrival_s` except for requests requeued off a crashed
+    /// replica, which become eligible at the crash time). A deque so the
+    /// common FCFS admission (`remove(0)`) is O(1) instead of shifting
     /// the whole backlog.
     pending: VecDeque<Request>,
     /// Admitted requests, in admission order (LIFO preemption indexes this).
@@ -524,7 +679,18 @@ pub struct Scheduler {
     clock: f64,
     prefill_time: f64,
     decode_time: f64,
+    /// Time spent moving KV pages across the host link (swap preemption).
+    swap_time: f64,
     preemptions: usize,
+    /// Swap-out preemption events (host-tier spills).
+    swap_outs: usize,
+    /// Cumulative pages spilled to / restored from the host tier.
+    swap_out_pages: usize,
+    swap_in_pages: usize,
+    /// Pages moved across the host link since the driver last drained the
+    /// counter ([`Scheduler::take_tick_swap_pages`]) — what one tick must
+    /// be priced for.
+    tick_swap_pages: usize,
     /// Incremental twin of [`Scheduler::outstanding_tokens_scan`]: for every
     /// queued/running request, `owed = prefill_remaining() + remaining()`
     /// collapses to `input_len + output_len − prefilled`, so the counter
@@ -570,7 +736,7 @@ impl Scheduler {
     ) -> Self {
         assert!(!requests.is_empty(), "nothing to schedule");
         requests.sort_by(|a, b| {
-            a.arrival_s.total_cmp(&b.arrival_s).then(a.id.cmp(&b.id))
+            a.ready_s.total_cmp(&b.ready_s).then(a.id.cmp(&b.id))
         });
         let mut sched = Self::open(batch_limit, policy, opts);
         sched.outstanding = requests.iter().map(owed).sum();
@@ -599,21 +765,26 @@ impl Scheduler {
             clock: 0.0,
             prefill_time: 0.0,
             decode_time: 0.0,
+            swap_time: 0.0,
             preemptions: 0,
+            swap_outs: 0,
+            swap_out_pages: 0,
+            swap_in_pages: 0,
+            tick_swap_pages: 0,
             outstanding: 0,
             latency_sketch: PercentileSketch::new(),
         }
     }
 
     /// Submits one more request, keeping the pending queue sorted by
-    /// `(arrival_s, id)`. The request becomes admissible once the clock
-    /// reaches its arrival time, exactly as if it had been present from
+    /// `(ready_s, id)`. The request becomes admissible once the clock
+    /// reaches its ready time, exactly as if it had been present from
     /// construction.
     pub fn submit(&mut self, req: Request) {
         self.outstanding += owed(&req);
         let at = self
             .pending
-            .partition_point(|r| (r.arrival_s, r.id) <= (req.arrival_s, req.id));
+            .partition_point(|r| (r.ready_s, r.id) <= (req.ready_s, req.id));
         self.pending.insert(at, req);
     }
 
@@ -651,11 +822,11 @@ impl Scheduler {
         self.clock
     }
 
-    /// Seconds this scheduler has spent doing work (prefill + decode) —
-    /// excludes idle gaps waiting for arrivals, so `busy ÷ makespan` is a
-    /// cluster replica's utilization.
+    /// Seconds this scheduler has spent doing work (prefill + decode +
+    /// swap transfers) — excludes idle gaps waiting for arrivals, so
+    /// `busy ÷ makespan` is a cluster replica's utilization.
     pub fn busy_time_s(&self) -> f64 {
-        self.prefill_time + self.decode_time
+        self.prefill_time + self.decode_time + self.swap_time
     }
 
     /// All requests finished?
@@ -724,10 +895,10 @@ impl Scheduler {
         self.preemptions
     }
 
-    /// Number of pending requests that have arrived by the current clock.
+    /// Number of pending requests that are eligible by the current clock.
     fn arrived(&self) -> usize {
-        // `pending` is sorted by arrival, so the arrived set is a prefix.
-        self.pending.partition_point(|r| r.arrival_s <= self.clock)
+        // `pending` is sorted by ready time, so the eligible set is a prefix.
+        self.pending.partition_point(|r| r.ready_s <= self.clock)
     }
 
     /// Admission tick: repeatedly let the policy pick among arrived requests
@@ -768,6 +939,27 @@ impl Scheduler {
             let Some(idx) = choice else { break };
             assert!(idx < arrived, "policy selected an unarrived request");
             let candidate = &self.pending[idx];
+            // A swapped-out candidate re-admits by swapping its pages back,
+            // not by prefilling: its KV state survived eviction, so it joins
+            // the batch directly (never part of the prefill wave) and the
+            // driver prices the page transfer instead of recompute.
+            if candidate.state == RequestState::Swapped {
+                let id = candidate.id;
+                let Some(pages) = budget.swap_in(id) else {
+                    assert!(
+                        !(self.running.is_empty() && wave.ids.is_empty()),
+                        "request {:?} can never swap back onto an idle device",
+                        id
+                    );
+                    break;
+                };
+                self.tick_swap_pages += pages;
+                self.swap_in_pages += pages;
+                let mut req = self.pending.remove(idx).expect("policy index in bounds");
+                req.state = RequestState::Running;
+                self.running.push(req);
+                continue;
+            }
             // Prefix-aware admission hold: when a resident sibling is still
             // chunk-prefilling a prefix this candidate could alias, admitting
             // now would recompute it privately. Holding a tick gets the
@@ -903,6 +1095,79 @@ impl Scheduler {
         self.prefill_time += dt;
     }
 
+    /// Pages moved across the host link since the last drain — swap-outs
+    /// from [`Scheduler::make_room`] plus swap-ins from
+    /// [`Scheduler::admit`]. The driver drains this once per tick, prices
+    /// the transfer (e.g. [`qserve_gpusim::HostLink::transfer_latency`])
+    /// and calls [`Scheduler::charge_swap`]; zero pages must be charged
+    /// zero seconds.
+    pub fn take_tick_swap_pages(&mut self) -> usize {
+        std::mem::take(&mut self.tick_swap_pages)
+    }
+
+    /// Charges `dt` seconds of host-link transfer for this tick's swapped
+    /// pages.
+    pub fn charge_swap(&mut self, dt: f64) {
+        self.clock += dt;
+        self.swap_time += dt;
+    }
+
+    /// Cumulative swap-out preemption events.
+    pub fn swap_outs(&self) -> usize {
+        self.swap_outs
+    }
+
+    /// Cumulative device pages spilled to the host tier.
+    pub fn swap_out_pages(&self) -> usize {
+        self.swap_out_pages
+    }
+
+    /// Cumulative device pages restored from the host tier.
+    pub fn swap_in_pages(&self) -> usize {
+        self.swap_in_pages
+    }
+
+    /// Evicts *everything* — running, swapped, and queued alike — exactly
+    /// as a replica crash does: every budget holding is released, each
+    /// victim's materialized state is wiped (KV gone; `generated` tokens
+    /// are kept and re-owed honestly — re-admission recomputes prompt +
+    /// generated, like recompute preemption), and the drained requests are
+    /// returned in id order for the caller to requeue elsewhere. The
+    /// second return is the materialized tokens lost to the crash.
+    ///
+    /// The scheduler itself survives (clock, finished list, statistics):
+    /// a restarted replica resumes reporting where it left off.
+    pub fn evict_all(&mut self, budget: &mut dyn KvBudget) -> (Vec<Request>, usize) {
+        let mut victims: Vec<Request> = std::mem::take(&mut self.pending).into();
+        victims.append(&mut self.running);
+        let mut lost = 0usize;
+        for req in &mut victims {
+            match req.state {
+                RequestState::Running | RequestState::Swapped => budget.release(req.id),
+                _ => {}
+            }
+            // Wiping `prefilled` re-owes the work; queued victims had
+            // nothing materialized, so they contribute zero.
+            lost += req.prefilled;
+            req.state = RequestState::Queued;
+            req.seq_len = 0;
+            req.prefilled = 0;
+            req.shared_len = 0;
+        }
+        // Nothing is pending or running any more, so nothing is owed here;
+        // the requeued requests will re-owe their work wherever they land.
+        self.outstanding = 0;
+        victims.sort_by(|a, b| a.id.cmp(&b.id));
+        (victims, lost)
+    }
+
+    /// Advances the clock to `t` if it lags (no-op otherwise) — how a
+    /// restarted replica skips its offline window without charging busy
+    /// time.
+    pub fn advance_clock_to(&mut self, t: f64) {
+        self.clock = self.clock.max(t);
+    }
+
     /// Accounts one token of KV growth for every resident about to decode,
     /// preempting (policy-chosen victims, recompute-style) until the budget
     /// fits. Residents still in chunked prefill do not grow — their prompt
@@ -958,6 +1223,23 @@ impl Scheduler {
                 // Never evict the oldest resident: guarantees someone always
                 // finishes, so preemption cannot livelock.
                 let victim = victim.max(1);
+                if self.opts.preemption == PreemptionMode::Swap {
+                    if let Some(pages) = budget.swap_out(self.running[victim].id) {
+                        self.tick_swap_pages += pages;
+                        self.swap_out_pages += pages;
+                        self.swap_outs += 1;
+                        let mut req = self.running.remove(victim);
+                        // KV state survives on the host tier: `seq_len` /
+                        // `prefilled` are kept, so nothing is re-owed — the
+                        // driver pays the page transfer, not recompute.
+                        req.state = RequestState::Swapped;
+                        let at = self.pending.partition_point(|r| {
+                            (r.ready_s, r.id) <= (req.ready_s, req.id)
+                        });
+                        self.pending.insert(at, req);
+                        continue;
+                    }
+                }
                 preempted.push(self.running[victim].id);
                 self.preempt(victim, budget);
             }
@@ -976,9 +1258,9 @@ impl Scheduler {
         req.shared_len = 0;
         req.preemptions += 1;
         self.preemptions += 1;
-        // Re-queue at its original arrival slot so FCFS re-admits it first.
+        // Re-queue at its original ready slot so FCFS re-admits it first.
         let at = self.pending.partition_point(|r| {
-            (r.arrival_s, r.id) <= (req.arrival_s, req.id)
+            (r.ready_s, r.id) <= (req.ready_s, req.id)
         });
         self.pending.insert(at, req);
     }
@@ -1060,7 +1342,7 @@ impl Scheduler {
     /// Panics if nothing is pending.
     pub fn idle_until_arrival(&mut self) {
         assert!(!self.pending.is_empty(), "idle with nothing pending");
-        self.clock = self.clock.max(self.pending[0].arrival_s);
+        self.clock = self.clock.max(self.pending[0].ready_s);
     }
 
     /// The streaming latency accumulator, fed once per retirement — what
@@ -1117,6 +1399,10 @@ impl Scheduler {
             p99_latency_s: p99,
             mean_ttft_s: ttft_sum / n,
             preemptions: self.preemptions,
+            swap_outs: self.swap_outs,
+            swap_out_pages: self.swap_out_pages,
+            swap_in_pages: self.swap_in_pages,
+            swap_time_s: self.swap_time,
             sketch_p50_latency_s: self.latency_sketch.quantile(0.50),
             sketch_p99_latency_s: self.latency_sketch.quantile(0.99),
         }
@@ -1286,7 +1572,7 @@ mod tests {
             reqs.clone(),
             4,
             Box::new(Fcfs),
-            SchedOptions { share_prefixes: true, chunk_tokens: None },
+            SchedOptions { share_prefixes: true, chunk_tokens: None, ..SchedOptions::default() },
         );
         let wave = sched.admit(&mut UnboundedBudget);
         assert_eq!(wave.prefill_lens, vec![12, 12, 12, 12]);
@@ -1310,7 +1596,7 @@ mod tests {
             reqs,
             2,
             Box::new(Fcfs),
-            SchedOptions { share_prefixes: false, chunk_tokens: Some(4) },
+            SchedOptions { share_prefixes: false, chunk_tokens: Some(4), ..SchedOptions::default() },
         );
         let budget: &mut dyn KvBudget = &mut UnboundedBudget;
         let mut guard = 0;

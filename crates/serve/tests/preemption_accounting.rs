@@ -140,7 +140,7 @@ fn preempt_then_readmit_shared_grant_conserves_pages_and_tokens() {
     // private pages), and the run must finish with exactly the tokens of
     // the undisturbed run.
     let reqs = shared_reqs(4, 32, 40, 32);
-    let opts = SchedOptions { share_prefixes: true, chunk_tokens: None };
+    let opts = SchedOptions { share_prefixes: true, chunk_tokens: None, ..SchedOptions::default() };
     let mut roomy = PageBudget::new(16, 1, 1000, Reservation::OnDemand);
     let baseline = drive(
         Scheduler::with_options(reqs.clone(), 4, Box::new(Fcfs), opts),
@@ -182,7 +182,7 @@ fn preempt_mid_chunked_prefill_restarts_from_token_zero() {
     // step-wise, and TTFT must be stamped exactly once per request at its
     // true first token.
     let reqs: Vec<Request> = (0..4).map(|i| Request::new(RequestId(i), 48, 32, 0.0)).collect();
-    let opts = SchedOptions { share_prefixes: false, chunk_tokens: Some(16) };
+    let opts = SchedOptions { share_prefixes: false, chunk_tokens: Some(16), ..SchedOptions::default() };
     let mut roomy = PageBudget::new(16, 1, 1000, Reservation::OnDemand);
     let baseline = drive(
         Scheduler::with_options(reqs.clone(), 4, Box::new(Fcfs), opts),
@@ -227,7 +227,7 @@ fn shared_and_chunked_preemption_combined() {
     // tight enough to preempt. Conservation and token-identity must hold
     // with both features on at once.
     let reqs = shared_reqs(4, 32, 48, 32);
-    let opts = SchedOptions { share_prefixes: true, chunk_tokens: Some(16) };
+    let opts = SchedOptions { share_prefixes: true, chunk_tokens: Some(16), ..SchedOptions::default() };
     let mut roomy = PageBudget::new(16, 1, 1000, Reservation::OnDemand);
     let baseline = drive(
         Scheduler::with_options(reqs.clone(), 4, Box::new(Fcfs), opts),
@@ -258,7 +258,7 @@ fn multi_layer_budget_preemption_balances_per_layer_pages() {
     // Two page tables per token (layers = 2): preemption must return both
     // layers' reservations and pool pages.
     let reqs = shared_reqs(3, 32, 40, 24);
-    let opts = SchedOptions { share_prefixes: true, chunk_tokens: None };
+    let opts = SchedOptions { share_prefixes: true, chunk_tokens: None, ..SchedOptions::default() };
     for total in [14usize, 16, 18, 20] {
         let mut tight = PageBudget::new(16, 2, total, Reservation::OnDemand);
         let run = drive(

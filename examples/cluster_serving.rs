@@ -28,7 +28,7 @@ fn main() {
     // Four tenants, each opening with a 2048-token system prompt; 96
     // requests with chat-sized private suffixes and completions.
     let spec = WorkloadSpec::shared_prefix(4, 2048, 96, 42);
-    let opts = SchedOptions { share_prefixes: true, chunk_tokens: None };
+    let opts = SchedOptions { share_prefixes: true, chunk_tokens: None, ..SchedOptions::default() };
     let routings: Vec<(&str, Box<dyn RoutingPolicy>)> = vec![
         ("round-robin", Box::new(RoundRobin::default())),
         ("least-outstanding", Box::new(LeastOutstanding)),

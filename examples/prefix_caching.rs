@@ -49,7 +49,7 @@ fn main() {
             &spec,
             4,
             Box::new(Fcfs),
-            SchedOptions { share_prefixes: true, chunk_tokens: Some(16) },
+            SchedOptions { share_prefixes: true, chunk_tokens: Some(16), ..SchedOptions::default() },
         )
         .expect("serves");
     let shared_peak = shared_rt.cache().peak_used_pages();

@@ -10,8 +10,10 @@ use qserve::serve::cluster::{
 use qserve::serve::request::{
     ArrivalPattern, LengthDist, PrefixSharing, Slo, SloSpec, WorkloadSpec,
 };
-use qserve::serve::scheduler::{Fcfs, MemoryAware, Reservation, SchedOptions, SchedulingPolicy};
-use qserve::serve::{ServingEngine, SystemConfig};
+use qserve::serve::scheduler::{
+    Fcfs, MemoryAware, PreemptionMode, Reservation, SchedOptions, SchedulingPolicy,
+};
+use qserve::serve::{FaultPlan, ServingEngine, SystemConfig};
 use qserve::tensor::props;
 
 fn engine() -> ServingEngine {
@@ -38,7 +40,7 @@ fn one_replica_tp1_cluster_equals_single_engine_bitwise() {
     // single-engine run, bit for bit, for every routing policy.
     let e = engine();
     let spec = WorkloadSpec::shared_prefix(4, 1024, 32, 19);
-    let opts = SchedOptions { share_prefixes: true, chunk_tokens: Some(512) };
+    let opts = SchedOptions { share_prefixes: true, chunk_tokens: Some(512), ..SchedOptions::default() };
     let single = e
         .run_workload_paged_with(
             &spec,
@@ -90,6 +92,129 @@ fn tp1_engine_unchanged_and_tp_group_memory_plan_scales() {
     assert!(e4.plan().max_tokens > e1.plan().max_tokens);
 }
 
+#[test]
+fn empty_fault_plan_is_bit_identical_to_the_fault_free_driver() {
+    // The identity the whole fault layer hangs on: with no faults, the
+    // faulty driver IS the fault-free driver — the entire report, every
+    // float bit, every per-replica row, compared with plain `assert_eq!`.
+    let spec = WorkloadSpec {
+        num_requests: 24,
+        input: LengthDist::Uniform { lo: 64, hi: 768 },
+        output: LengthDist::Uniform { lo: 16, hi: 96 },
+        arrival: ArrivalPattern::Poisson { rate_rps: 4.0 },
+        sharing: PrefixSharing::Groups { groups: 3, prefix_len: 512 },
+        slo: SloSpec::Cycle(vec![
+            Slo::interactive(2.0, 8.0),
+            Slo::standard(6.0, 20.0),
+            Slo::best_effort(),
+        ]),
+        seed: 77,
+    };
+    for preemption in [PreemptionMode::Recompute, PreemptionMode::Swap] {
+        let opts = SchedOptions {
+            share_prefixes: true,
+            chunk_tokens: Some(256),
+            preemption,
+        };
+        let mut cluster = Cluster::new(engine(), 3, Box::new(RoundRobin::default()));
+        let plain = cluster
+            .serve_paged(&spec, || Box::new(MemoryAware::default()), Reservation::OnDemand, opts)
+            .expect("serves");
+        let faulty = cluster
+            .serve_paged_faulty(
+                &spec,
+                || Box::new(MemoryAware::default()),
+                Reservation::OnDemand,
+                opts,
+                &FaultPlan::none(),
+            )
+            .expect("serves");
+        assert_eq!(plain, faulty, "an empty fault plan must be a no-op, bit for bit");
+        assert_eq!(plain.requeued, 0);
+        assert_eq!(plain.lost_prefill_tokens, 0);
+        assert_eq!(plain.last_requeued_finish_s, 0.0);
+        for rep in &plain.per_replica {
+            assert_eq!(rep.requeued_away, 0);
+            assert_eq!(rep.restarts, 0);
+        }
+    }
+}
+
+props! {
+    /// Faults conserve the workload: under a random seeded plan of
+    /// crashes, drains, restarts and rolling upgrades — in both
+    /// recompute and swap preemption modes — every generated request is
+    /// finished exactly once or shed exactly once, never lost, never
+    /// duplicated; requeue accounting balances per replica and
+    /// fleet-wide. (The driver additionally audits each crashed
+    /// replica's page ledger via `PageBudget::assert_consistent`.)
+    fn prop_faults_never_lose_or_duplicate_requests(rng, cases = 10) {
+        let n = rng.int_in(8, 32) as usize;
+        let seed = rng.next_u64();
+        let spec = WorkloadSpec {
+            num_requests: n,
+            input: LengthDist::Uniform { lo: 64, hi: 768 },
+            output: LengthDist::Uniform { lo: 16, hi: 128 },
+            arrival: ArrivalPattern::Poisson { rate_rps: 3.0 },
+            sharing: PrefixSharing::None,
+            slo: SloSpec::None,
+            seed,
+        };
+        let replicas = rng.int_in(2, 4) as usize;
+        let plan = FaultPlan::seeded(rng.next_u64(), replicas, 30.0, 6);
+        let preemption = match rng.int_in(0, 1) {
+            0 => PreemptionMode::Recompute,
+            _ => PreemptionMode::Swap,
+        };
+        let opts = SchedOptions { preemption, ..SchedOptions::default() };
+        let routing: Box<dyn RoutingPolicy> = match rng.int_in(0, 1) {
+            0 => Box::new(RoundRobin::default()),
+            _ => Box::new(LeastOutstanding),
+        };
+        let report = Cluster::new(engine(), replicas, routing)
+            .serve_paged_faulty(&spec, || Box::new(Fcfs), Reservation::OnDemand, opts, &plan)
+            .expect("workload must be servable");
+        // The partition: shed ∪ finished == generated ids, disjointly —
+        // a crash may move work, never destroy it.
+        assert_eq!(
+            report.completed + report.shed, n,
+            "finished ∪ shed must cover the workload under faults"
+        );
+        let mut seen = std::collections::HashSet::new();
+        for id in &report.shed_ids {
+            assert!(seen.insert(id.0), "request {} shed twice", id.0);
+        }
+        for rep in &report.per_replica {
+            // The fault-aware ledger: work routed here either finished
+            // here or was requeued away by a crash — nothing vanishes.
+            assert_eq!(
+                rep.completed + rep.requeued_away, rep.routed,
+                "replica ledger must balance: completed + requeued_away == routed"
+            );
+            assert_eq!(rep.completed, rep.finished.len());
+            for id in &rep.finished {
+                assert!(
+                    seen.insert(id.0),
+                    "request {} finished twice or was both shed and finished",
+                    id.0
+                );
+            }
+        }
+        assert_eq!(seen.len(), n, "a request was lost under faults");
+        for id in 0..n as u64 {
+            assert!(seen.contains(&id), "request {} vanished", id);
+        }
+        // Every requeue event left exactly one replica and was counted
+        // exactly once fleet-wide.
+        let away: usize = report.per_replica.iter().map(|r| r.requeued_away).sum();
+        assert_eq!(away, report.requeued, "requeue accounting must balance fleet-wide");
+        if plan.is_empty() {
+            assert_eq!(report.requeued, 0);
+            assert_eq!(report.lost_prefill_tokens, 0);
+        }
+    }
+}
+
 props! {
     /// Every routing policy conserves requests across replicas: each
     /// generated request finishes exactly once, on exactly one replica,
@@ -129,6 +254,7 @@ props! {
                 0 => None,
                 _ => Some(256),
             },
+            ..SchedOptions::default()
         };
         let sched_policy: fn() -> Box<dyn SchedulingPolicy> = match rng.int_in(0, 1) {
             0 => || Box::new(Fcfs),

@@ -368,6 +368,7 @@ props! {
                 1 => Some(2),
                 _ => Some(5),
             },
+            ..SchedOptions::default()
         };
         let batch_limit = rng.int_in(1, 4) as usize;
         let mut sched = Scheduler::with_options(requests, batch_limit, policy, opts);
