@@ -55,10 +55,16 @@ rm -f results/failure_sweep_smoke.csv
 cargo run --release --offline --locked -p qserve-bench --bin reproduce -- failure_sweep_smoke >/dev/null
 test -s results/failure_sweep_smoke.csv
 
+# And the CI-sized control-plane sweep (deadline routing, prefix
+# migration, elastic autoscaling; the full id is `elastic_sweep`).
+rm -f results/elastic_sweep_smoke.csv
+cargo run --release --offline --locked -p qserve-bench --bin reproduce -- elastic_sweep_smoke >/dev/null
+test -s results/elastic_sweep_smoke.csv
+
 # Every example must run end to end, offline (smoke: exit status only).
 for ex in quickstart generate kv4_attention paged_serving prefix_caching \
           cluster_serving heterogeneous_fleet roofline serving_throughput \
-          ablation replica_failover; do
+          ablation replica_failover elastic_fleet; do
     cargo run --release --offline --locked --example "$ex" >/dev/null
 done
 

@@ -22,7 +22,7 @@ pub fn experiment_ids() -> Vec<&'static str> {
         "fig1", "fig2a", "fig2b", "fig3", "table1", "table2", "table3", "table5", "table4",
         "fig16", "fig17", "fig18", "table6", "attn_breakdown", "microbench", "sched_sweep",
         "prefix_sweep", "cluster_sweep", "hetero_sweep", "mega_sweep_smoke", "failure_sweep",
-        "failure_sweep_smoke",
+        "failure_sweep_smoke", "elastic_sweep", "elastic_sweep_smoke",
     ]
 }
 
@@ -66,6 +66,8 @@ pub fn run_experiment(id: &str) -> Option<Vec<Table>> {
         "mega_sweep_smoke" => vec![scheduling::mega_sweep_smoke()],
         "failure_sweep" => vec![scheduling::failure_sweep()],
         "failure_sweep_smoke" => vec![scheduling::failure_sweep_smoke()],
+        "elastic_sweep" => vec![scheduling::elastic_sweep()],
+        "elastic_sweep_smoke" => vec![scheduling::elastic_sweep_smoke()],
         _ => return None,
     };
     Some(tables)

@@ -47,6 +47,11 @@ const GOLDEN: &[(&str, &[&str])] = &[
     // conservation numbers (requeues, lost prefill, zero lost requests)
     // and the swap-beats-recompute goodput margin alike.
     ("failure_sweep", &[include_str!("../../../tests/golden/failure_sweep.csv")]),
+    // The control-plane reproduce: deadline routing vs least-outstanding,
+    // prefix migration vs shed/re-prefill, and the elastic autoscaler vs
+    // both static fleets. Pinning it freezes the attainment gap, the
+    // migrated-byte count and the GPU-seconds bill.
+    ("elastic_sweep", &[include_str!("../../../tests/golden/elastic_sweep.csv")]),
 ];
 
 #[test]

@@ -110,6 +110,14 @@ impl HostLink {
         Self { bytes_per_s: 25e9, latency_s: 10e-6 }
     }
 
+    /// An NVLink-class device-to-device path: 300 GB/s sustained per
+    /// direction with ~3 µs setup — the same numbers as
+    /// [`TpGroup::nvlink`], so cross-replica KV-page migration over NVLink
+    /// is priced on the same scale as TP collectives over the same fabric.
+    pub fn nvlink_p2p() -> Self {
+        Self { bytes_per_s: 300e9, latency_s: 3e-6 }
+    }
+
     /// Latency to move `bytes` across the link in one direction. Exactly
     /// `0.0` for zero bytes — an empty transfer must not advance a clock.
     pub fn transfer_latency(&self, bytes: f64) -> f64 {
@@ -166,6 +174,19 @@ mod tests {
         let one_mb = link.transfer_latency(1e6);
         assert!((one_mb - (1e6 / 25e9 + 10e-6)).abs() < 1e-15);
         assert!(link.transfer_latency(2e6) > one_mb);
+    }
+
+    #[test]
+    fn nvlink_p2p_is_faster_than_pcie_and_matches_tp_numbers() {
+        let nv = HostLink::nvlink_p2p();
+        assert_eq!(nv.transfer_latency(0.0).to_bits(), 0.0f64.to_bits());
+        let one_mb = nv.transfer_latency(1e6);
+        assert!((one_mb - (1e6 / 300e9 + 3e-6)).abs() < 1e-15);
+        assert!(one_mb < HostLink::pcie4().transfer_latency(1e6));
+        // Same fabric constants as the TP collective model.
+        let tp = TpGroup::nvlink(2);
+        assert_eq!(nv.bytes_per_s.to_bits(), tp.link_bytes_per_s.to_bits());
+        assert_eq!(nv.latency_s.to_bits(), tp.link_latency_s.to_bits());
     }
 
     #[test]

@@ -136,6 +136,8 @@ pub fn classify(rel: &str) -> Option<FileKind> {
             | "crates/serve/src/engine.rs"
             | "crates/serve/src/host_tier.rs"
             | "crates/serve/src/fault.rs"
+            | "crates/serve/src/control.rs"
+            | "crates/serve/src/report.rs"
     ) || rel.starts_with("crates/gpusim/src/");
     Some(FileKind::Rust(FileScope { sim, wall_clock, accounting }))
 }
@@ -351,6 +353,12 @@ mod tests {
             Some(FileKind::Rust(s)) if s.sim && s.accounting && s.wall_clock));
         assert!(matches!(classify("crates/serve/src/fault.rs"),
             Some(FileKind::Rust(s)) if s.sim && s.accounting && s.wall_clock));
+        assert!(matches!(classify("crates/serve/src/control.rs"),
+            Some(FileKind::Rust(s)) if s.sim && s.accounting && s.wall_clock));
+        assert!(matches!(classify("crates/serve/src/report.rs"),
+            Some(FileKind::Rust(s)) if s.sim && s.accounting && s.wall_clock));
+        assert!(matches!(classify("crates/serve/src/cluster.rs"),
+            Some(FileKind::Rust(s)) if s.sim && !s.accounting && s.wall_clock));
         assert!(matches!(classify("crates/core/src/rotation.rs"),
             Some(FileKind::Rust(s)) if !s.sim && !s.accounting && s.wall_clock));
         assert!(matches!(classify("crates/bench/src/timing.rs"),

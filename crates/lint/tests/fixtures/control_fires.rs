@@ -1,0 +1,8 @@
+//@ path: crates/serve/src/control.rs
+pub fn backlog(outstanding_tokens: usize, drained_tokens: usize) -> usize {
+    outstanding_tokens - drained_tokens
+}
+
+pub fn widen(page_count: u64) -> usize {
+    page_count as usize
+}

@@ -1,0 +1,8 @@
+//@ path: crates/serve/src/report.rs
+pub fn swap_volume(moved_pages: usize, page_bytes: u64) -> u64 {
+    u64::try_from(moved_pages).expect("page count fits u64") * page_bytes
+}
+
+pub fn still_waiting(routed: usize, finished: usize) -> usize {
+    routed.checked_sub(finished).expect("finished more than was routed")
+}

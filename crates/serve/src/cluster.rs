@@ -1,356 +1,66 @@
-//! Multi-replica cluster serving: N independent engine replicas — possibly
-//! of *different hardware* — behind a pluggable request router with
-//! SLO-aware admission control.
+//! Multi-replica cluster serving: the **event-loop driver**. N independent
+//! engine replicas — possibly of *different hardware* — advanced by a
+//! deterministic event queue, with every *decision* delegated to the
+//! control plane ([`crate::control`]) and every *report* assembled by
+//! [`crate::report`].
 //!
 //! The paper's serving results are single-engine; production traffic scales
 //! *out* — many replicas, each a (possibly tensor-parallel) engine with its
 //! own KV page pool, scheduler core and clock, fed by a router that decides
-//! *whether* to serve each arriving request at all, and if so *where*. This
-//! module models that layer from first principles on top of the existing
-//! pieces:
+//! *whether* to serve each arriving request at all, and if so *where*. The
+//! split of responsibilities:
 //!
 //! * a [`Replica`] is one [`ServingEngine`] (its own [`qserve_gpusim`] spec
 //!   and TP group — an A100 and an L40S can share one fleet) driving its
-//!   own [`Scheduler`] against its own [`PageBudget`], both sized by *its*
-//!   cost model — the exact loop of
-//!   [`ServingEngine::run_workload_paged_with`], restructured as an
-//!   incremental `tick` so replicas advance independently;
-//! * an [`AdmissionPolicy`] sees each arriving request plus a snapshot of
-//!   every replica ([`ReplicaView`], speed profile included) and decides
-//!   admit vs shed: [`AdmitAll`], [`DeadlineFeasible`] (shed what cannot
-//!   meet its [`crate::request::Slo`] deadlines on any replica, priced by
-//!   each replica's own cost model), or [`PriorityShed`] (shed low
-//!   [`crate::request::Tier`]s once estimated queueing delay exceeds a
-//!   budget);
-//! * a [`RoutingPolicy`] picks the owner of each admitted request:
-//!   [`RoundRobin`], [`LeastOutstanding`] (*work-normalized*: outstanding
-//!   tokens ÷ replica decode throughput, so a faster replica absorbs
-//!   proportionally more of a mixed fleet's load), or [`PrefixAffinity`]
-//!   (requests of one [`crate::request::PrefixSharing`] group stick to the
-//!   replica already holding that prefix, so copy-on-write reuse survives
-//!   sharding);
-//! * [`Cluster::serve_paged`] replays the workload in arrival order,
-//!   advancing lagging replicas to each arrival before deciding on it, then
-//!   drains every replica and aggregates a [`ClusterReport`] — goodput
-//!   (SLO-met throughput), SLO attainment, per-tier shed counts and
-//!   per-replica utilization included.
+//!   own [`Scheduler`] against its own [`PageBudget`], with a
+//!   [`Lifecycle`] tracking its accepting/online/epoch state and its
+//!   provisioned-time windows (the fleet-cost integral);
+//! * the [`ControlPlane`] owns each arrival's fate: admission
+//!   ([`AdmitAll`], [`DeadlineFeasible`], [`PriorityShed`]), routing
+//!   ([`RoundRobin`], [`LeastOutstanding`], [`PrefixAffinity`],
+//!   [`DeadlineAware`]), and — with a [`MigrationConfig`] — whether a
+//!   saturated prefix group's COW pages should *move* to an underloaded
+//!   replica instead of queueing or re-prefilling (this driver executes
+//!   the copy: both page ledgers charged, the transfer priced at link
+//!   bandwidth, the destination's scheduler warmed so later group members
+//!   alias the moved pages);
+//! * an optional [`AutoscaleConfig`] polls an [`AutoscalePolicy`] on a
+//!   fixed cadence and closes the gap to its target through the *fault
+//!   machinery* — scale-down injects a `Drain` fault, scale-up a `Restart`
+//!   fault — so autoscaled lifecycles are exactly fault-plan lifecycles;
+//! * [`Cluster::serve_paged`] replays the workload in arrival order and
+//!   hands the end-of-run state to [`crate::report`] for aggregation into
+//!   a [`ClusterReport`].
 //!
 //! A 1-replica cluster performs exactly the ticks
 //! [`ServingEngine::run_workload_paged_with`] performs, so its numbers are
-//! bit-identical to the single-engine report; a homogeneous fleet under
-//! [`AdmitAll`] is bit-identical to the PR-4 cluster — the invariants that
-//! pin this layer to the golden-snapshot CSVs.
+//! bit-identical to the single-engine report; a static fleet under the
+//! extracted control plane replays the inline PR-8 driver decision for
+//! decision — the invariants that pin this layer to the golden-snapshot
+//! CSVs.
 
-use crate::engine::{EngineUnavailable, ServingEngine, ServingReport, SpeedProfile, TickScratch};
+use crate::engine::{EngineUnavailable, ServingEngine, SpeedProfile, TickScratch};
 use crate::event::EventQueue;
-use crate::fault::{Fault, FaultKind, FaultPlan};
-use crate::request::{Request, RequestId, Tier, WorkloadSpec};
+use crate::fault::{Fault, FaultKind, FaultPlan, Lifecycle};
+use crate::report::{aggregate, MigrationTotals, ReplicaSlice};
+use crate::request::{Request, WorkloadSpec};
 use crate::scheduler::{
-    percentile, KvBudget, PageBudget, PreemptionMode, Reservation, SchedOptions, Scheduler,
-    SchedulingPolicy,
+    KvBudget, PageBudget, PreemptionMode, Reservation, SchedOptions, Scheduler, SchedulingPolicy,
 };
-use crate::sketch::{PercentileSketch, EXACT_STATS_MAX};
 
-// ---------------------------------------------------------------------------
-// Routing
-// ---------------------------------------------------------------------------
-
-/// What a router sees of one replica at routing time: its local clock,
-/// queue pressure, and the speed profile of its hardware. Clocks may
-/// disagree across replicas — a real router's view is exactly this kind of
-/// snapshot, not a global barrier.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct ReplicaView {
-    /// Replica index (the value [`RoutingPolicy::route`] returns).
-    pub index: usize,
-    /// The replica's local clock, seconds.
-    pub clock_s: f64,
-    /// Tokens of work still owed to its queued + running requests.
-    pub outstanding_tokens: usize,
-    /// Requests waiting (queued or preempted).
-    pub waiting: usize,
-    /// Requests currently running.
-    pub running: usize,
-    /// Whether this replica accepts new work. A drained, crashed or
-    /// upgrading replica snapshots `false`; routing policies must never
-    /// pick a non-accepting replica. Always `true` in fault-free runs.
-    pub accepting: bool,
-    /// The replica's hardware speed profile, from *its own* engine's cost
-    /// model — what makes load balancing and deadline feasibility
-    /// hardware-aware on a mixed fleet.
-    pub speed: SpeedProfile,
-}
-
-impl ReplicaView {
-    /// Estimated seconds to drain the replica's outstanding work at its
-    /// reference decode throughput — the queueing-delay proxy both
-    /// work-normalized routing and admission control price with.
-    pub fn est_queue_s(&self) -> f64 {
-        self.outstanding_tokens as f64 / self.speed.decode_tps
-    }
-
-    /// Back-of-envelope `(TTFT, end-to-end latency)` estimate for serving
-    /// `req` on this replica, priced by the replica's own speed profile.
-    ///
-    /// Continuous batching admits immediately while the replica has
-    /// batch/page headroom (`waiting == 0`), so TTFT is normally just the
-    /// prefill pass; a backlog of waiting requests means new arrivals queue
-    /// behind the outstanding work first. Decode is processor sharing: the
-    /// request needs `output_len` steps at its inter-token gap, but cannot
-    /// finish before the replica drains its share of the aggregate backlog
-    /// at the reference decode throughput. Deliberately crude — a router
-    /// must decide from a snapshot, not a simulation — but priced
-    /// per-replica, so a slow replica is honestly worse than a fast one.
-    pub fn estimate(&self, req: &Request) -> (f64, f64) {
-        let wait_s = if self.waiting > 0 { self.est_queue_s() } else { 0.0 };
-        let ttft =
-            wait_s + req.input_len as f64 / self.speed.prefill_tps + self.speed.decode_step_s;
-        // Whatever drain the TTFT term already charged as admission wait
-        // must not be charged again as decode-time sharing.
-        let drain_s =
-            (self.outstanding_tokens + req.output_len) as f64 / self.speed.decode_tps - wait_s;
-        let decode_s = (req.output_len as f64 * self.speed.decode_step_s).max(drain_s);
-        (ttft, ttft + decode_s)
-    }
-}
-
-/// Decides which replica owns each arriving request. Stateful: a policy may
-/// remember its own placement history (round-robin cursor, prefix pins).
-pub trait RoutingPolicy {
-    /// Policy name for reports.
-    fn name(&self) -> &'static str;
-
-    /// Index of the replica that will own `req`. Must be `< replicas.len()`.
-    fn route(&mut self, req: &Request, replicas: &[ReplicaView]) -> usize;
-
-    /// Clears placement history. [`Cluster::serve_paged`] calls this before
-    /// every run — replicas are rebuilt empty per serve, so stale pins or a
-    /// mid-cycle cursor would otherwise leak one workload's placements into
-    /// the next and make repeated serves of one `Cluster` diverge from
-    /// fresh ones. Default: stateless, nothing to clear.
-    fn reset(&mut self) {}
-}
-
-/// Cycles through replicas in order, ignoring load — the classic baseline.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct RoundRobin {
-    next: usize,
-}
-
-impl RoutingPolicy for RoundRobin {
-    fn name(&self) -> &'static str {
-        "round-robin"
-    }
-    fn route(&mut self, _req: &Request, replicas: &[ReplicaView]) -> usize {
-        // Probe at most one full cycle for an accepting replica. When every
-        // replica accepts (the fault-free case) the first probe wins and
-        // the cursor advances by exactly one — the historical behavior.
-        for _ in 0..replicas.len() {
-            let i = self.next % replicas.len();
-            self.next += 1;
-            if replicas[i].accepting {
-                return i;
-            }
-        }
-        panic!("round-robin routed with no accepting replica");
-    }
-    fn reset(&mut self) {
-        self.next = 0;
-    }
-}
-
-/// Picks the replica with the least outstanding *time* — owed tokens
-/// (prefill + decode still due) normalized by the replica's reference
-/// decode throughput, ties to the lowest index. On a homogeneous fleet the
-/// divisor is constant, so this is exactly the classic least-outstanding-
-/// tokens policy; on a mixed fleet it sends a faster replica
-/// proportionally more work instead of treating an L40S like an A100.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct LeastOutstanding;
-
-fn least_outstanding(replicas: &[ReplicaView]) -> usize {
-    replicas
-        .iter()
-        .filter(|v| v.accepting)
-        .min_by(|a, b| {
-            a.est_queue_s()
-                .total_cmp(&b.est_queue_s())
-                .then(a.index.cmp(&b.index))
-        })
-        .expect("routed with no accepting replica")
-        .index
-}
-
-impl RoutingPolicy for LeastOutstanding {
-    fn name(&self) -> &'static str {
-        "least-outstanding"
-    }
-    fn route(&mut self, _req: &Request, replicas: &[ReplicaView]) -> usize {
-        least_outstanding(replicas)
-    }
-}
-
-/// Prefix-affinity routing: the first request of a sharing group lands on
-/// the least-loaded replica and *pins* the group there; every later group
-/// member follows, so the group's prefix pages stay deduplicated on one
-/// replica instead of being recomputed (and stored) once per replica.
-/// Ungrouped requests fall back to least-outstanding.
-#[derive(Debug, Clone, Default)]
-pub struct PrefixAffinity {
-    pinned: std::collections::HashMap<u64, usize>,
-}
-
-impl RoutingPolicy for PrefixAffinity {
-    fn name(&self) -> &'static str {
-        "prefix-affinity"
-    }
-    fn route(&mut self, req: &Request, replicas: &[ReplicaView]) -> usize {
-        match req.prefix_group {
-            Some(g) => match self.pinned.get(&g) {
-                // A pin only holds while its replica accepts work; a group
-                // whose home crashed or drained re-pins to the least-loaded
-                // accepting replica (the prefix pages are rebuilt there).
-                Some(&r) if r < replicas.len() && replicas[r].accepting => r,
-                _ => {
-                    let choice = least_outstanding(replicas);
-                    self.pinned.insert(g, choice);
-                    choice
-                }
-            },
-            None => least_outstanding(replicas),
-        }
-    }
-    fn reset(&mut self) {
-        self.pinned.clear();
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Admission control
-// ---------------------------------------------------------------------------
-
-/// Verdict of an [`AdmissionPolicy`] on one arriving request.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Admission {
-    /// Serve it: hand the request to the routing policy.
-    Admit,
-    /// Refuse it: the request is never routed, prefilled or decoded. Its
-    /// tokens don't count toward throughput, and it can never meet an SLO —
-    /// shedding is only worth it when serving it would cost *other*
-    /// requests their SLOs.
-    Shed,
-}
-
-/// Decides *whether* each arriving request is served at all — the router's
-/// load-shedding seam, upstream of [`RoutingPolicy`]. Sees the same
-/// [`ReplicaView`] snapshot the router sees (speed profiles included), so a
-/// policy can price feasibility against each replica's own cost model.
-pub trait AdmissionPolicy {
-    /// Policy name for reports.
-    fn name(&self) -> &'static str;
-
-    /// Admit or shed `req`, given a snapshot of every replica.
-    fn decide(&mut self, req: &Request, replicas: &[ReplicaView]) -> Admission;
-
-    /// Clears any internal state. [`Cluster::serve_paged`] calls this before
-    /// every run, mirroring [`RoutingPolicy::reset`].
-    fn reset(&mut self) {}
-}
-
-/// Admits everything — the PR-4 behavior, and the right policy when demand
-/// is known to fit capacity. A homogeneous admit-all cluster run is
-/// bit-identical to the pre-admission-control cluster.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct AdmitAll;
-
-impl AdmissionPolicy for AdmitAll {
-    fn name(&self) -> &'static str {
-        "admit-all"
-    }
-    fn decide(&mut self, _req: &Request, _replicas: &[ReplicaView]) -> Admission {
-        Admission::Admit
-    }
-}
-
-/// Sheds a request unless at least one replica's cost model says its
-/// deadlines are feasible ([`ReplicaView::estimate`]): an infeasible
-/// request would burn prefill/decode on tokens that miss their SLO anyway
-/// *and* queue-delay everyone behind it — shedding it early protects
-/// goodput. Deadline-free requests are always admitted.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct DeadlineFeasible;
-
-impl AdmissionPolicy for DeadlineFeasible {
-    fn name(&self) -> &'static str {
-        "deadline"
-    }
-    fn decide(&mut self, req: &Request, replicas: &[ReplicaView]) -> Admission {
-        if !req.slo.has_deadline() {
-            return Admission::Admit;
-        }
-        // Only a replica accepting work can serve the request — a drained
-        // or crashed replica's estimate is not a feasible plan.
-        let feasible = replicas.iter().filter(|v| v.accepting).any(|v| {
-            let (ttft, latency) = v.estimate(req);
-            req.slo.met_by(ttft, latency)
-        });
-        if feasible {
-            Admission::Admit
-        } else {
-            Admission::Shed
-        }
-    }
-}
-
-/// Priority load shedding: once the *least-loaded* replica's estimated
-/// queueing delay exceeds the tier's tolerance, the request is shed —
-/// [`Tier::Batch`] at `queue_budget_s`, [`Tier::Standard`] at twice that,
-/// [`Tier::Interactive`] never. Under overload the cluster keeps serving
-/// the traffic that values latency most instead of collapsing uniformly.
-#[derive(Debug, Clone, Copy)]
-pub struct PriorityShed {
-    /// Estimated queueing delay (seconds) at which batch-tier traffic is
-    /// shed; standard-tier traffic tolerates twice this.
-    pub queue_budget_s: f64,
-}
-
-impl Default for PriorityShed {
-    fn default() -> Self {
-        Self { queue_budget_s: 20.0 }
-    }
-}
-
-impl AdmissionPolicy for PriorityShed {
-    fn name(&self) -> &'static str {
-        "priority-shed"
-    }
-    fn decide(&mut self, req: &Request, replicas: &[ReplicaView]) -> Admission {
-        // Pressure is the best accepting replica's backlog; with none
-        // accepting it is infinite, shedding everything sheddable.
-        let pressure = replicas
-            .iter()
-            .filter(|v| v.accepting)
-            .map(ReplicaView::est_queue_s)
-            .fold(f64::INFINITY, f64::min);
-        let tolerance = match req.slo.tier {
-            Tier::Interactive => f64::INFINITY,
-            Tier::Standard => 2.0 * self.queue_budget_s,
-            Tier::Batch => self.queue_budget_s,
-        };
-        if pressure > tolerance {
-            Admission::Shed
-        } else {
-            Admission::Admit
-        }
-    }
-}
+pub use crate::control::{
+    Admission, AdmissionPolicy, AdmitAll, AutoscaleConfig, AutoscalePolicy, ControlPlane,
+    DeadlineAware, DeadlineFeasible, LeastOutstanding, MigrationConfig, Placement, PrefixAffinity,
+    PriorityShed, QueuePressureScaler, ReplicaView, RoundRobin, RoutingPolicy,
+};
+pub use crate::report::{ClusterReport, ReplicaReport};
 
 // ---------------------------------------------------------------------------
 // Replicas
 // ---------------------------------------------------------------------------
 
 /// What the cluster's event queue is waiting on. Purely descriptive — every
-/// event advances its lane the same way (arrivals run an admission/routing
+/// event advances its lane the same way (arrivals run a control-plane
 /// decision; replica events run one tick) — but naming the *reason* a
 /// replica re-arms keeps traces and the queue's ordering contract legible.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -368,6 +78,10 @@ enum Event {
     /// Lane `u64::MAX`: a scheduled lifecycle event — index into the run's
     /// fault table (plan faults plus dynamically chained restarts).
     Fault(usize),
+    /// Lane `u64::MAX`: the autoscaler's periodic decision point. Injects
+    /// `Drain`/`Restart` faults at the decision instant, then re-arms one
+    /// interval later (while arrivals remain).
+    Autoscale,
 }
 
 /// The fault lane sorts after every arrival (lane 0) and replica lane
@@ -377,7 +91,9 @@ const FAULT_LANE: u64 = u64::MAX;
 
 /// One engine replica: its own scheduler core, page ledger and clock,
 /// advanced one tick at a time — the incremental form of
-/// [`ServingEngine::run_scheduled_with`]'s loop body.
+/// [`ServingEngine::run_scheduled_with`]'s loop body. Lifecycle flags
+/// (accepting/online/epoch) and the provisioned-time bill live in
+/// [`Lifecycle`], shared with the fault layer.
 struct Replica {
     engine: ServingEngine,
     speed: SpeedProfile,
@@ -386,25 +102,12 @@ struct Replica {
     routed: usize,
     /// Per-replica tick buffers, reused across the replica's whole run.
     scratch: TickScratch,
-    /// Admission gate: a drained/crashed/upgrading replica stops receiving
-    /// new work. Always implies `online` when true.
-    accepting: bool,
-    /// Liveness: an offline replica (crashed, or in its upgrade downtime)
-    /// ticks nothing until a restart.
-    online: bool,
-    /// Lifecycle incarnation counter, stamped into this replica's queue
-    /// events; bumped on crash, on going offline for an upgrade, and on
-    /// restart, so in-flight events from a previous life pop as stale.
-    epoch: u64,
-    /// A pending upgrade: `(downtime_s, rolling)`. Set when the upgrade
-    /// fault fires; consumed when the replica drains, sits out the
-    /// downtime and restarts (chaining to replica `i + 1` when rolling).
-    pending_upgrade: Option<(f64, bool)>,
+    /// Accepting/online/epoch state plus the GPU-seconds windows — one
+    /// state machine for fault plans and the autoscaler alike.
+    life: Lifecycle,
     /// Requests routed here but requeued away by a crash — keeps the
     /// `waiting` arithmetic honest (`routed` is never decremented).
     requeued_away: usize,
-    /// Times this replica came back from offline.
-    restarts: usize,
 }
 
 impl Replica {
@@ -416,7 +119,7 @@ impl Replica {
         self.sched.clock()
     }
 
-    /// Router/admission snapshot. O(1): the outstanding-work figure comes
+    /// Control-plane snapshot. O(1): the outstanding-work figure comes
     /// from the scheduler's incremental counter, so probing every replica
     /// per arrival costs O(replicas), not O(residents).
     fn view(&self, index: usize) -> ReplicaView {
@@ -432,7 +135,10 @@ impl Replica {
                 - self.sched.running().len()
                 - self.sched.finished().len(),
             running: self.sched.running().len(),
-            accepting: self.accepting,
+            accepting: self.life.accepting(),
+            online: self.life.online(),
+            host_used_pages: self.budget.host_used_pages(),
+            host_capacity_pages: self.budget.host_capacity_pages(),
             speed: self.speed,
         }
     }
@@ -475,9 +181,24 @@ impl Replica {
         if self.sched.options().chunk_tokens.is_some()
             && self.sched.running().iter().any(|r| r.prefill_remaining() > 0)
         {
-            Event::ChunkBoundary(self.epoch)
+            Event::ChunkBoundary(self.life.epoch())
         } else {
-            Event::Completion(self.epoch)
+            Event::Completion(self.life.epoch())
+        }
+    }
+
+    /// End-of-run borrow for [`crate::report::aggregate`].
+    fn slice(&self) -> ReplicaSlice<'_> {
+        ReplicaSlice {
+            sched: &self.sched,
+            gpu: self.speed.gpu,
+            kv_page_bytes: self.engine.kv_page_bytes(),
+            routed: self.routed,
+            requeued_away: self.requeued_away,
+            restarts: self.life.restarts(),
+            peak_pages: self.budget.peak_pages(),
+            provisioned_s: self.life.provisioned_s(),
+            provisioned_open_since: self.life.provisioned_open_since(),
         }
     }
 }
@@ -486,157 +207,14 @@ impl Replica {
 // The cluster
 // ---------------------------------------------------------------------------
 
-/// Per-replica slice of a [`ClusterReport`].
-#[derive(Debug, Clone, PartialEq)]
-pub struct ReplicaReport {
-    /// GPU name of this replica's spec (distinguishes a mixed fleet's rows).
-    pub gpu: &'static str,
-    /// Requests the router sent here.
-    pub routed: usize,
-    /// Requests that finished here (== `routed` on success).
-    pub completed: usize,
-    /// Output tokens generated here.
-    pub generated_tokens: usize,
-    /// The replica's final clock, seconds.
-    pub clock_s: f64,
-    /// Seconds this replica spent doing work (prefill + decode).
-    pub busy_s: f64,
-    /// Fraction of the cluster makespan this replica spent working — the
-    /// balance number a fleet planner reads (0 when nothing ran).
-    pub utilization: f64,
-    /// Preemption events on this replica.
-    pub preemptions: usize,
-    /// High-water mark of unique KV pages on this replica.
-    pub peak_unique_pages: usize,
-    /// Requests routed here that a crash requeued to another replica
-    /// (0 in fault-free runs; `routed - requeued_away` is what this
-    /// replica actually served).
-    pub requeued_away: usize,
-    /// Times this replica came back online after a crash or upgrade
-    /// downtime (0 in fault-free runs).
-    pub restarts: usize,
-    /// Ids of the requests that finished here, in completion order — what
-    /// conservation properties audit (each id on exactly one replica).
-    pub finished: Vec<RequestId>,
-}
-
-/// Aggregate result of one cluster serve.
-///
-/// Every statistic is edge-safe when *everything* was shed: rates and
-/// percentiles report `0.0`, counts report `0`, and the shed accounting
-/// still partitions the workload.
-#[derive(Debug, Clone, PartialEq)]
-pub struct ClusterReport {
-    /// The routing policy's report name.
-    pub routing: String,
-    /// The admission policy's report name.
-    pub admission: String,
-    /// Replica count.
-    pub replicas: usize,
-    /// Requests finished across the cluster.
-    pub completed: usize,
-    /// Output tokens generated across the cluster.
-    pub generated_tokens: usize,
-    /// Cluster makespan: the busiest replica's final clock, seconds.
-    pub makespan_s: f64,
-    /// Aggregate output tokens per second over the makespan.
-    pub throughput_tps: f64,
-    /// *Goodput*: output tokens per second counting only requests that met
-    /// their SLO — the number admission control protects. Equal to
-    /// `throughput_tps` when no request carries a deadline.
-    pub goodput_tps: f64,
-    /// Fraction of *finished* requests that met their SLO. Shed requests
-    /// are excluded — they are accounted by `shed`/`shed_by_tier` and by
-    /// `goodput_tps` (their tokens are never produced) — so attainment
-    /// reads "of what we chose to serve, how much was served in time".
-    pub slo_attainment: f64,
-    /// Median of `achieved ÷ deadline` over deadline-carrying finished
-    /// requests, taking each request's worst ratio across its TTFT and
-    /// latency deadlines (≤ 1 means met; 0 when none carried a deadline).
-    pub slo_ratio_p50: f64,
-    /// 99th percentile of the same ratio — the tail's distance from its
-    /// deadline.
-    pub slo_ratio_p99: f64,
-    /// Requests shed at admission.
-    pub shed: usize,
-    /// Shed counts per priority tier, indexed by [`Tier::index`].
-    pub shed_by_tier: [usize; 3],
-    /// Ids of the shed requests — the other half of the workload partition
-    /// conservation properties audit.
-    pub shed_ids: Vec<RequestId>,
-    /// Mean time-to-first-token across all finished requests, seconds.
-    pub mean_ttft_s: f64,
-    /// Median end-to-end latency across all finished requests, seconds.
-    pub p50_latency_s: f64,
-    /// 99th-percentile end-to-end latency, seconds — the cluster SLO number.
-    pub p99_latency_s: f64,
-    /// Preemption events summed over replicas.
-    pub preemptions: usize,
-    /// Requeue events: each time a crash moved an in-flight request to
-    /// another replica (a request crashed twice counts twice). 0 in
-    /// fault-free runs.
-    pub requeued: usize,
-    /// Prefill tokens thrown away by crashes — work the cluster had done
-    /// for requests whose KV pages died with their replica. 0 in
-    /// fault-free runs.
-    pub lost_prefill_tokens: usize,
-    /// Swap-out events summed over replicas (swap-mode preemption only).
-    pub swap_outs: usize,
-    /// KV pages moved device → host across the cluster.
-    pub swap_out_pages: usize,
-    /// KV pages moved host → device across the cluster.
-    pub swap_in_pages: usize,
-    /// Bytes that crossed the host link in either direction, priced into
-    /// each replica's clock at PCIe cost.
-    pub swap_bytes: u64,
-    /// Latest finish time over requests that were requeued by a crash —
-    /// minus the crash instant, the fleet's recovery time. 0 when nothing
-    /// was requeued.
-    pub last_requeued_finish_s: f64,
-    /// Worst per-replica unique-page high-water mark — the number a
-    /// capacity planner provisions each replica's HBM against.
-    pub max_replica_peak_pages: usize,
-    /// Median latency from the per-replica streaming sketches, merged in
-    /// replica order — always populated, and the authoritative percentile
-    /// source above [`EXACT_STATS_MAX`] total completions (0 when nothing
-    /// finished).
-    pub sketch_p50_latency_s: f64,
-    /// 99th-percentile latency from the merged streaming sketches.
-    pub sketch_p99_latency_s: f64,
-    /// Per-replica breakdown, indexed by replica.
-    pub per_replica: Vec<ReplicaReport>,
-}
-
-impl ClusterReport {
-    /// The 1-replica degenerate case as a single-engine [`ServingReport`]
-    /// comparison: every shared field must match bit for bit.
-    ///
-    /// # Panics
-    /// Panics unless the cluster has exactly one replica.
-    pub fn matches_single_engine(&self, r: &ServingReport) -> bool {
-        assert_eq!(self.replicas, 1, "single-engine comparison needs one replica");
-        self.shed == 0
-            && self.completed == r.completed
-            && self.makespan_s.to_bits() == r.total_time_s.to_bits()
-            && self.throughput_tps.to_bits() == r.throughput_tps.to_bits()
-            && self.mean_ttft_s.to_bits() == r.mean_ttft_s.to_bits()
-            && self.p50_latency_s.to_bits() == r.p50_latency_s.to_bits()
-            && self.p99_latency_s.to_bits() == r.p99_latency_s.to_bits()
-            && self.preemptions == r.preemptions
-            && self.max_replica_peak_pages == r.peak_unique_pages
-            && self.sketch_p50_latency_s.to_bits() == r.sketch_p50_latency_s.to_bits()
-            && self.sketch_p99_latency_s.to_bits() == r.sketch_p99_latency_s.to_bits()
-    }
-}
-
-/// N independent engine replicas behind an [`AdmissionPolicy`] and a
-/// [`RoutingPolicy`]. Each replica carries its *own* [`ServingEngine`] —
-/// its own GPU spec, TP plan, page-pool sizing and prefill/decode cost
-/// model — so a fleet may mix hardware (e.g. A100 and L40S replicas).
+/// N independent engine replicas behind a [`ControlPlane`]. Each replica
+/// carries its *own* [`ServingEngine`] — its own GPU spec, TP plan,
+/// page-pool sizing and prefill/decode cost model — so a fleet may mix
+/// hardware (e.g. A100 and L40S replicas).
 pub struct Cluster {
     engines: Vec<ServingEngine>,
-    policy: Box<dyn RoutingPolicy>,
-    admission: Box<dyn AdmissionPolicy>,
+    control: ControlPlane,
+    autoscale: Option<AutoscaleConfig>,
 }
 
 impl Cluster {
@@ -660,30 +238,60 @@ impl Cluster {
         assert!(!engines.is_empty(), "a cluster needs at least one replica");
         Self {
             engines,
-            policy,
-            admission: Box::new(AdmitAll),
+            control: ControlPlane::new(policy, Box::new(AdmitAll)),
+            autoscale: None,
         }
     }
 
     /// Installs an admission policy (builder-style); [`AdmitAll`] before.
     pub fn with_admission(mut self, admission: Box<dyn AdmissionPolicy>) -> Self {
-        self.admission = admission;
+        self.control.set_admission(admission);
+        self
+    }
+
+    /// Enables control-plane prefix migration (builder-style): a saturated
+    /// group's pin moves to an underloaded replica and — when
+    /// `migration.migrate_pages` — its COW prefix pages are copied there
+    /// over `migration.link`.
+    pub fn with_migration(mut self, migration: MigrationConfig) -> Self {
+        self.control.set_migration(Some(migration));
+        self
+    }
+
+    /// Installs an elastic autoscaler (builder-style). Replicas
+    /// `autoscale.initial_online..` start as standbys — online but not
+    /// accepting, billing no GPU-seconds until the scaler wakes them.
+    ///
+    /// # Panics
+    /// Panics if the initial online count is zero or exceeds the fleet, or
+    /// if the decision interval is not positive.
+    pub fn with_autoscaler(mut self, autoscale: AutoscaleConfig) -> Self {
+        assert!(
+            autoscale.initial_online >= 1 && autoscale.initial_online <= self.engines.len(),
+            "initial online count {} outside 1..={}",
+            autoscale.initial_online,
+            self.engines.len()
+        );
+        assert!(autoscale.interval_s > 0.0, "autoscale interval must be positive");
+        self.autoscale = Some(autoscale);
         self
     }
 
     /// The routing policy's report name.
     pub fn routing_name(&self) -> &'static str {
-        self.policy.name()
+        self.control.routing_name()
     }
 
     /// The admission policy's report name.
     pub fn admission_name(&self) -> &'static str {
-        self.admission.name()
+        self.control.admission_name()
     }
 
     /// Builds one fresh replica per engine, each sized by *its own*
     /// [`ServingEngine::paged_budget`] — shared by the event-driven driver
     /// and the step-driven reference so both serve the same fleet.
+    /// Replicas past the autoscaler's initial online count start as
+    /// standbys.
     fn build_replicas(
         &self,
         spec: &WorkloadSpec,
@@ -691,9 +299,12 @@ impl Cluster {
         reservation: Reservation,
         opts: SchedOptions,
     ) -> Result<Vec<Replica>, EngineUnavailable> {
+        let initial_online =
+            self.autoscale.as_ref().map_or(self.engines.len(), |a| a.initial_online);
         self.engines
             .iter()
-            .map(|engine| -> Result<Replica, EngineUnavailable> {
+            .enumerate()
+            .map(|(i, engine)| -> Result<Replica, EngineUnavailable> {
                 let (mut budget, batch_limit) = engine.paged_budget(spec, reservation)?;
                 if opts.preemption == PreemptionMode::Swap {
                     // Host DRAM dwarfs device HBM; 4× the device pool is a
@@ -708,12 +319,8 @@ impl Cluster {
                     budget,
                     routed: 0,
                     scratch: TickScratch::default(),
-                    accepting: true,
-                    online: true,
-                    epoch: 0,
-                    pending_upgrade: None,
+                    life: Lifecycle::fresh(i < initial_online),
                     requeued_away: 0,
-                    restarts: 0,
                 })
             })
             .collect()
@@ -735,9 +342,10 @@ impl Cluster {
     /// most one entry per busy replica plus the next arrival, and the run
     /// is a single pop loop:
     ///
-    /// * **next-arrival** — admission and routing see an O(1)-per-replica
-    ///   snapshot as of the arrival instant, then the owning replica is
-    ///   armed at its clock (if it was drained);
+    /// * **next-arrival** — the control plane sees an O(1)-per-replica
+    ///   snapshot as of the arrival instant and decides shed / route /
+    ///   migrate-then-route; the owning replica is armed at its clock (if
+    ///   it was drained);
     /// * **next-completion** / **next-chunk-boundary** — the replica runs
     ///   exactly one scheduling tick (scratch-reusing, allocation-free) and
     ///   is re-armed at its advanced clock until it drains.
@@ -764,13 +372,25 @@ impl Cluster {
         self.serve_paged_faulty(spec, mk_policy, reservation, opts, &FaultPlan::none())
     }
 
+    /// Hands `req` to replica `choice`, arming its event lane if it was
+    /// drained (a drained replica had no queue entry; it re-enters at its
+    /// current clock — its first tick idles it forward to the new
+    /// request's arrival if needed).
+    fn deliver(reps: &mut [Replica], choice: usize, req: Request, queue: &mut EventQueue<Event>) {
+        let was_drained = reps[choice].done();
+        reps[choice].submit(req);
+        if was_drained {
+            queue.push(reps[choice].clock(), choice as u64 + 1, reps[choice].next_event());
+        }
+    }
+
     /// Routes one already-admitted request (a crash victim, or a parked
-    /// request delivered at a restart): straight to the routing policy,
-    /// bypassing admission — the request was admitted once and the cluster
-    /// owes it a finish. Returns the request back when *no* replica
-    /// accepts work (the caller parks it until a restart).
+    /// request delivered at a restart) through the control plane's
+    /// requeue path (admission bypassed — the request was admitted once
+    /// and the cluster owes it a finish). Returns the request back when
+    /// *no* replica accepts work (the caller parks it until a restart).
     fn route_requeued(
-        policy: &mut dyn RoutingPolicy,
+        control: &mut ControlPlane,
         reps: &mut [Replica],
         views: &mut Vec<ReplicaView>,
         queue: &mut EventQueue<Event>,
@@ -778,22 +398,17 @@ impl Cluster {
     ) -> Option<Request> {
         views.clear();
         views.extend(reps.iter().enumerate().map(|(i, r)| r.view(i)));
-        if !views.iter().any(|v| v.accepting) {
+        let Some(choice) = control.place_requeued(&req, views) else {
             return Some(req);
-        }
-        let choice = policy.route(&req, views);
+        };
         assert!(
             choice < reps.len(),
             "routing policy '{}' picked replica {} of {}",
-            policy.name(),
+            control.routing_name(),
             choice,
             reps.len()
         );
-        let was_drained = reps[choice].done();
-        reps[choice].submit(req);
-        if was_drained {
-            queue.push(reps[choice].clock(), choice as u64 + 1, reps[choice].next_event());
-        }
+        Self::deliver(reps, choice, req, queue);
         None
     }
 
@@ -807,12 +422,52 @@ impl Cluster {
         queue: &mut EventQueue<Event>,
     ) {
         let (downtime_s, _) =
-            rep.pending_upgrade.expect("upgrade downtime without a pending upgrade");
+            rep.life.pending_upgrade().expect("upgrade downtime without a pending upgrade");
         let restart_at = rep.clock() + downtime_s;
-        rep.online = false;
-        rep.epoch += 1;
+        rep.life.go_offline(rep.clock());
         faults.push(Fault { at_s: restart_at, replica, kind: FaultKind::Restart });
         queue.push(restart_at, FAULT_LANE, Event::Fault(faults.len() - 1));
+    }
+
+    /// Executes a [`Placement::Migrate`]: copies prefix group `group`'s
+    /// COW pages from `from` to `to`, charging the destination's page
+    /// ledger for the copy (the source keeps its pages — its residents are
+    /// still decoding against them), anchoring the imported pool so it
+    /// survives until members arrive, warming the destination scheduler so
+    /// those members alias the moved prefix instead of re-prefilling, and
+    /// pricing the transfer into the destination's clock at link
+    /// bandwidth. A destination that already holds the pool, or lacks the
+    /// free pages, declines the copy — the request still routes there (the
+    /// pin moved), it just rebuilds the prefix the slow way.
+    fn migrate_group(
+        reps: &mut [Replica],
+        group: u64,
+        from: usize,
+        to: usize,
+        link: qserve_gpusim::HostLink,
+        now: f64,
+        totals: &mut MigrationTotals,
+    ) {
+        let Some(pages_per_layer) = reps[from].budget.pool_pages_per_layer(group) else {
+            // The source pool already drained (its last member finished
+            // between the saturation estimate and now): nothing to copy.
+            return;
+        };
+        let Some(pages) = reps[to].budget.import_pool(group, pages_per_layer) else {
+            return;
+        };
+        let warm_tokens = pages_per_layer * reps[to].budget.page_tokens();
+        reps[to].sched.install_warm_prefix(group, warm_tokens);
+        let bytes =
+            u64::try_from(pages).expect("page count fits u64") * reps[to].engine.kv_page_bytes();
+        // The copy lands as of the arrival instant and occupies the
+        // destination for the transfer time — identical cost shape to a
+        // swap, but across the replica fabric.
+        reps[to].sched.advance_clock_to(now);
+        reps[to].sched.charge_migration(link.transfer_latency(bytes as f64));
+        totals.migrations += 1;
+        totals.pages += pages;
+        totals.bytes += bytes;
     }
 
     /// [`Cluster::serve_paged`] with a deterministic lifecycle [`FaultPlan`]
@@ -822,7 +477,7 @@ impl Cluster {
     ///
     /// * **crash** — the replica's KV pool dies: every resident request
     ///   loses its pages (and its prefill progress — accounted as
-    ///   `lost_prefill_tokens`) and is requeued through the routing policy
+    ///   `lost_prefill_tokens`) and is requeued through the control plane
     ///   to the surviving replicas with `ready_s` re-stamped to the crash
     ///   instant. The replica goes offline and non-accepting; its epoch
     ///   bump drops any in-flight queue event.
@@ -835,6 +490,12 @@ impl Cluster {
     /// * **upgrade** — drain, wait for residents, sit out `downtime_s`,
     ///   restart; when `rolling`, the restart chains the same upgrade to
     ///   the next replica, so exactly one replica is down at a time.
+    ///
+    /// The autoscaler (when installed) shares this machinery wholesale: its
+    /// periodic decision event appends `Drain`/`Restart` faults to the same
+    /// table and the same handlers execute them — scale-down *is* a drain,
+    /// scale-up *is* a restart, so elastic lifecycles cannot diverge from
+    /// fault-injection semantics.
     ///
     /// Arrivals while no replica accepts are shed (tier-accounted like any
     /// admission shed); requeued work is parked instead — it was admitted
@@ -852,7 +513,7 @@ impl Cluster {
     /// # Panics
     /// Panics if the routing policy returns an out-of-range replica index,
     /// if the plan targets a replica the fleet doesn't have, or if a crash
-    /// leaves the dead replica's page ledger inconsistent.
+    /// or the end-of-run audit leaves a page ledger inconsistent.
     pub fn serve_paged_faulty(
         &mut self,
         spec: &WorkloadSpec,
@@ -861,10 +522,12 @@ impl Cluster {
         opts: SchedOptions,
         plan: &FaultPlan,
     ) -> Result<ClusterReport, EngineUnavailable> {
-        // Fresh replicas get a fresh router and admission gate: no pins,
-        // cursors or pressure state from a previous serve may leak in.
-        self.policy.reset();
-        self.admission.reset();
+        // Fresh replicas get a fresh control plane: no pins, cursors or
+        // pressure state from a previous serve may leak in.
+        self.control.reset();
+        if let Some(auto) = &mut self.autoscale {
+            auto.policy.reset();
+        }
         let mut reps = self.build_replicas(spec, &mk_policy, reservation, opts)?;
         let mut shed: Vec<Request> = Vec::new();
         // Admitted-then-crashed requests with nowhere to go (no replica
@@ -872,11 +535,13 @@ impl Cluster {
         let mut parked: Vec<Request> = Vec::new();
         let mut requeued = 0usize;
         let mut lost_prefill = 0usize;
+        let mut migration_totals = MigrationTotals::default();
 
         const ARRIVAL_LANE: u64 = 0;
         let mut queue: EventQueue<Event> = EventQueue::new();
-        // The runtime fault table: plan faults up front, chained restarts
-        // and rolling-upgrade hops appended as the run discovers them.
+        // The runtime fault table: plan faults up front, chained restarts,
+        // rolling-upgrade hops and autoscaler decisions appended as the
+        // run discovers them.
         let mut faults: Vec<Fault> = plan.faults().to_vec();
         for (idx, f) in faults.iter().enumerate() {
             assert!(
@@ -886,6 +551,9 @@ impl Cluster {
                 reps.len()
             );
             queue.push(f.at_s, FAULT_LANE, Event::Fault(idx));
+        }
+        if let Some(auto) = &self.autoscale {
+            queue.push(auto.interval_s, FAULT_LANE, Event::Autoscale);
         }
         let mut arrivals = Self::sorted_trace(spec).into_iter();
         let mut next_arrival = arrivals.next();
@@ -900,33 +568,39 @@ impl Cluster {
                     let req = next_arrival.take().expect("arrival event without a request");
                     views.clear();
                     views.extend(reps.iter().enumerate().map(|(i, r)| r.view(i)));
-                    if !views.iter().any(|v| v.accepting) {
-                        // The whole front door is closed; nothing can even
-                        // estimate this request. Shed it.
-                        shed.push(req);
-                    } else if self.admission.decide(&req, &views) == Admission::Shed {
-                        shed.push(req);
-                    } else {
-                        let choice = self.policy.route(&req, &views);
-                        assert!(
-                            choice < reps.len(),
-                            "routing policy '{}' picked replica {} of {}",
-                            self.policy.name(),
-                            choice,
-                            reps.len()
-                        );
-                        let was_drained = reps[choice].done();
-                        reps[choice].submit(req);
-                        if was_drained {
-                            // A drained replica had no queue entry; it
-                            // re-enters at its current clock (its first tick
-                            // idles it forward to the new request's arrival
-                            // if needed).
-                            queue.push(
-                                reps[choice].clock(),
-                                choice as u64 + 1,
-                                reps[choice].next_event(),
+                    match self.control.place(&req, &views) {
+                        Placement::Shed => shed.push(req),
+                        Placement::Route(choice) => {
+                            assert!(
+                                choice < reps.len(),
+                                "routing policy '{}' picked replica {} of {}",
+                                self.control.routing_name(),
+                                choice,
+                                reps.len()
                             );
+                            Self::deliver(&mut reps, choice, req, &mut queue);
+                        }
+                        Placement::Migrate { group, from, to } => {
+                            assert!(
+                                to < reps.len() && from < reps.len(),
+                                "control plane migrated group {group} between replicas {from}→{to} of {}",
+                                reps.len()
+                            );
+                            let link = self
+                                .control
+                                .migration()
+                                .expect("migrate placement without a migration config")
+                                .link;
+                            Self::migrate_group(
+                                &mut reps,
+                                group,
+                                from,
+                                to,
+                                link,
+                                now,
+                                &mut migration_totals,
+                            );
+                            Self::deliver(&mut reps, to, req, &mut queue);
                         }
                     }
                     next_arrival = arrivals.next();
@@ -937,7 +611,7 @@ impl Cluster {
                 Event::Completion(epoch) | Event::ChunkBoundary(epoch) => {
                     // lint: allow(raw-cast) -- lane = replica index + 1 by construction, so the u64 → usize round trip is exact
                     let i = (lane - 1) as usize;
-                    if epoch != reps[i].epoch {
+                    if epoch != reps[i].life.epoch() {
                         // Armed by a previous incarnation; the crash or
                         // restart that bumped the epoch already decided
                         // this replica's future.
@@ -945,7 +619,7 @@ impl Cluster {
                     }
                     reps[i].tick_scratch();
                     if reps[i].done() {
-                        if reps[i].pending_upgrade.is_some() {
+                        if reps[i].life.pending_upgrade().is_some() {
                             // Last resident finished under a pending
                             // upgrade: the downtime starts now.
                             Self::begin_upgrade_downtime(
@@ -954,6 +628,12 @@ impl Cluster {
                                 &mut faults,
                                 &mut queue,
                             );
+                        } else {
+                            // A drained (non-accepting) replica going idle
+                            // leaves the fleet bill; accepting replicas
+                            // stay provisioned (no-op).
+                            let idle_at = reps[i].clock();
+                            reps[i].life.release_idle(idle_at);
                         }
                     } else {
                         queue.push(reps[i].clock(), lane, reps[i].next_event());
@@ -965,18 +645,15 @@ impl Cluster {
                         FaultKind::Crash => {
                             let victims = {
                                 let rep = &mut reps[replica];
-                                if rep.online {
-                                    rep.accepting = false;
-                                    rep.online = false;
-                                    rep.epoch += 1;
-                                    // A crash mid-upgrade-drain cancels the
-                                    // upgrade (and, if rolling, the wave).
-                                    rep.pending_upgrade = None;
+                                if rep.life.crash(now) {
                                     let (victims, lost) =
                                         rep.sched.evict_all(&mut rep.budget);
-                                    // The dead pool must audit clean and
-                                    // empty: every page the crash destroyed
-                                    // was released, none minted.
+                                    // Anchored (migrated-in) pools die with
+                                    // the replica: release the control
+                                    // plane's refs, then audit that every
+                                    // page the crash destroyed was
+                                    // released, none minted.
+                                    rep.budget.release_anchors();
                                     rep.budget.assert_consistent();
                                     assert_eq!(
                                         rep.budget.free_pages(),
@@ -998,7 +675,7 @@ impl Cluster {
                                 req.requeues += 1;
                                 requeued += 1;
                                 if let Some(back) = Self::route_requeued(
-                                    &mut *self.policy,
+                                    &mut self.control,
                                     &mut reps,
                                     &mut views,
                                     &mut queue,
@@ -1010,26 +687,24 @@ impl Cluster {
                         }
                         FaultKind::Drain => {
                             let rep = &mut reps[replica];
-                            if rep.online {
-                                rep.accepting = false;
+                            rep.life.drain();
+                            if rep.done() {
+                                // Already idle: the bill closes at the
+                                // drain instant, not at some stale clock.
+                                rep.life.release_idle(now);
                             }
                         }
                         FaultKind::Restart => {
                             let chained = {
                                 let rep = &mut reps[replica];
-                                if rep.online {
-                                    // Re-opening a drained (or untouched)
-                                    // replica: admission-only.
-                                    rep.accepting = true;
-                                    None
-                                } else {
-                                    rep.epoch += 1;
+                                if !rep.life.online() {
+                                    // A crashed/upgrading replica comes
+                                    // back with its clock at the restart
+                                    // instant (an online drained replica
+                                    // re-opens admission only).
                                     rep.sched.advance_clock_to(now);
-                                    rep.online = true;
-                                    rep.accepting = true;
-                                    rep.restarts += 1;
-                                    rep.pending_upgrade.take()
                                 }
+                                rep.life.restart(now)
                             };
                             if let Some((downtime_s, true)) = chained {
                                 if replica + 1 < reps.len() {
@@ -1046,7 +721,7 @@ impl Cluster {
                             // A replica accepts again: deliver parked work.
                             for req in std::mem::take(&mut parked) {
                                 if let Some(back) = Self::route_requeued(
-                                    &mut *self.policy,
+                                    &mut self.control,
                                     &mut reps,
                                     &mut views,
                                     &mut queue,
@@ -1058,9 +733,8 @@ impl Cluster {
                         }
                         FaultKind::Upgrade { downtime_s, rolling } => {
                             let rep = &mut reps[replica];
-                            if rep.online {
-                                rep.accepting = false;
-                                rep.pending_upgrade = Some((downtime_s, rolling));
+                            if rep.life.online() {
+                                rep.life.begin_upgrade(downtime_s, rolling);
                                 if rep.done() {
                                     // Already idle: the downtime starts at
                                     // the fault instant, not the stale
@@ -1086,19 +760,82 @@ impl Cluster {
                         }
                     }
                 }
+                Event::Autoscale => {
+                    // The scaler acts (and re-arms) only while traffic
+                    // still arrives; after the last arrival the fleet
+                    // drains naturally and the run can end.
+                    if next_arrival.is_none() {
+                        continue;
+                    }
+                    let auto =
+                        self.autoscale.as_mut().expect("autoscale event without a config");
+                    views.clear();
+                    views.extend(reps.iter().enumerate().map(|(i, r)| r.view(i)));
+                    let accepting = views.iter().filter(|v| v.accepting).count();
+                    let target =
+                        auto.policy.target_online(now, &views).clamp(1, reps.len());
+                    if target > accepting {
+                        // Wake standbys (and drained/crashed replicas),
+                        // lowest index first, through Restart faults — the
+                        // exact path a fault-plan restart takes. Replicas
+                        // mid-upgrade keep their pending downtime.
+                        let mut need = target - accepting;
+                        for (i, rep) in reps.iter().enumerate() {
+                            if need == 0 {
+                                break;
+                            }
+                            if !rep.life.accepting() && rep.life.pending_upgrade().is_none() {
+                                faults.push(Fault {
+                                    at_s: now,
+                                    replica: i,
+                                    kind: FaultKind::Restart,
+                                });
+                                queue.push(now, FAULT_LANE, Event::Fault(faults.len() - 1));
+                                need -= 1;
+                            }
+                        }
+                    } else if target < accepting {
+                        // Drain the highest-index accepting replicas —
+                        // scale-down *is* the drain fault.
+                        let mut excess = accepting - target;
+                        for (i, rep) in reps.iter().enumerate().rev() {
+                            if excess == 0 {
+                                break;
+                            }
+                            if rep.life.accepting() {
+                                faults.push(Fault {
+                                    at_s: now,
+                                    replica: i,
+                                    kind: FaultKind::Drain,
+                                });
+                                queue.push(now, FAULT_LANE, Event::Fault(faults.len() - 1));
+                                excess -= 1;
+                            }
+                        }
+                    }
+                    queue.push(now + auto.interval_s, FAULT_LANE, Event::Autoscale);
+                }
             }
         }
         // A run that ends with work still parked had no restart to deliver
         // it to: those requests are shed, keeping the workload partition
         // (finished ∪ shed) exact.
         shed.append(&mut parked);
-        Ok(Self::aggregate(
-            self.policy.name(),
-            self.admission.name(),
-            &reps,
+        // End-of-run ledger audit: migration charged pages on two ledgers,
+        // the autoscaler opened and closed replicas — every budget must
+        // still balance from first principles.
+        for rep in &reps {
+            rep.budget.assert_consistent();
+        }
+        let slices: Vec<ReplicaSlice<'_>> = reps.iter().map(Replica::slice).collect();
+        Ok(aggregate(
+            self.control.routing_name(),
+            self.control.admission_name(),
+            &slices,
             &shed,
             requeued,
             lost_prefill,
+            migration_totals,
         ))
     }
 
@@ -1109,6 +846,11 @@ impl Cluster {
     /// O(residents) outstanding-work scan per replica per arrival, and a
     /// freshly allocated snapshot/scratch set per decision. Not part of the
     /// serving API.
+    ///
+    /// # Panics
+    /// Panics if the control plane asks for a migration — the step driver
+    /// exists to pin *static* configurations bit-for-bit and models no
+    /// page movement.
     #[doc(hidden)]
     pub fn serve_paged_step_reference(
         &mut self,
@@ -1133,8 +875,7 @@ impl Cluster {
             best
         }
 
-        self.policy.reset();
-        self.admission.reset();
+        self.control.reset();
         let mut reps = self.build_replicas(spec, &mk_policy, reservation, opts)?;
         let mut shed: Vec<Request> = Vec::new();
         for req in Self::sorted_trace(spec) {
@@ -1146,195 +887,37 @@ impl Cluster {
             }
             let views: Vec<ReplicaView> =
                 reps.iter().enumerate().map(|(i, r)| r.view_scan(i)).collect();
-            if self.admission.decide(&req, &views) == Admission::Shed {
-                shed.push(req);
-                continue;
+            match self.control.place(&req, &views) {
+                Placement::Shed => shed.push(req),
+                Placement::Route(choice) => {
+                    assert!(
+                        choice < reps.len(),
+                        "routing policy '{}' picked replica {} of {}",
+                        self.control.routing_name(),
+                        choice,
+                        reps.len()
+                    );
+                    reps[choice].submit(req);
+                }
+                Placement::Migrate { .. } => {
+                    panic!("the step reference models no page migration")
+                }
             }
-            let choice = self.policy.route(&req, &views);
-            assert!(
-                choice < reps.len(),
-                "routing policy '{}' picked replica {} of {}",
-                self.policy.name(),
-                choice,
-                reps.len()
-            );
-            reps[choice].submit(req);
         }
         // Drain: keep ticking the furthest-behind replica until all finish.
         while let Some(i) = laggard(&reps, f64::INFINITY) {
             reps[i].tick();
         }
-        Ok(Self::aggregate(self.policy.name(), self.admission.name(), &reps, &shed, 0, 0))
-    }
-
-    fn aggregate(
-        routing: &str,
-        admission: &str,
-        reps: &[Replica],
-        shed: &[Request],
-        requeued: usize,
-        lost_prefill_tokens: usize,
-    ) -> ClusterReport {
-        // Below the sample threshold the exact sorted-buffer path is
-        // authoritative (golden CSVs live here); above it percentiles come
-        // from the streaming sketches and the O(n log n) sorts never run.
-        let total_finished: usize = reps.iter().map(|rep| rep.sched.finished().len()).sum();
-        let exact = total_finished <= EXACT_STATS_MAX;
-        let mut lat_sketch = PercentileSketch::new();
-        let mut slo_sketch = PercentileSketch::new();
-        let mut latencies: Vec<f64> = Vec::new();
-        let mut slo_ratios: Vec<f64> = Vec::new();
-        let mut ttft_sum = 0.0;
-        let mut generated = 0usize;
-        let mut good_tokens = 0usize;
-        let mut met = 0usize;
-        let mut completed = 0usize;
-        let mut preemptions = 0usize;
-        let mut swap_outs = 0usize;
-        let mut swap_out_pages = 0usize;
-        let mut swap_in_pages = 0usize;
-        let mut swap_bytes = 0u64;
-        let mut last_requeued_finish = 0.0f64;
-        let mut makespan = 0.0f64;
-        let mut per_replica = Vec::with_capacity(reps.len());
-        for rep in reps {
-            // Replica-index merge order: deterministic by construction.
-            lat_sketch.merge(rep.sched.latency_sketch());
-            let finished = rep.sched.finished();
-            for r in finished {
-                if exact {
-                    latencies.push(r.latency_s().expect("finished"));
-                }
-                ttft_sum += r.ttft_s().expect("finished");
-                if r.met_slo().expect("finished") {
-                    met += 1;
-                    good_tokens += r.generated;
-                }
-                // Worst achieved ÷ deadline ratio across the deadlines the
-                // request carries (≤ 1 ⇔ SLO met).
-                let ttft_ratio = r
-                    .slo
-                    .ttft_deadline_s
-                    .map(|d| r.ttft_s().expect("finished") / d);
-                let lat_ratio = r
-                    .slo
-                    .latency_deadline_s
-                    .map(|d| r.latency_s().expect("finished") / d);
-                if let Some(ratio) = match (ttft_ratio, lat_ratio) {
-                    (Some(a), Some(b)) => Some(a.max(b)),
-                    (a, b) => a.or(b),
-                } {
-                    if exact {
-                        slo_ratios.push(ratio);
-                    } else {
-                        slo_sketch.insert(ratio);
-                    }
-                }
-                if r.requeues > 0 {
-                    last_requeued_finish =
-                        last_requeued_finish.max(r.finish_s.expect("finished"));
-                }
-            }
-            let rep_generated: usize = finished.iter().map(|r| r.generated).sum();
-            generated += rep_generated;
-            completed += finished.len();
-            preemptions += rep.sched.preemptions();
-            swap_outs += rep.sched.swap_outs();
-            swap_out_pages += rep.sched.swap_out_pages();
-            swap_in_pages += rep.sched.swap_in_pages();
-            swap_bytes += (rep.sched.swap_out_pages() + rep.sched.swap_in_pages()) as u64
-                * rep.engine.kv_page_bytes();
-            if rep.routed > 0 {
-                makespan = makespan.max(rep.clock());
-            }
-            per_replica.push(ReplicaReport {
-                gpu: rep.speed.gpu,
-                routed: rep.routed,
-                completed: finished.len(),
-                generated_tokens: rep_generated,
-                clock_s: rep.clock(),
-                busy_s: rep.sched.busy_time_s(),
-                utilization: 0.0, // filled in once the makespan is known
-                preemptions: rep.sched.preemptions(),
-                peak_unique_pages: rep.budget.peak_pages(),
-                requeued_away: rep.requeued_away,
-                restarts: rep.restarts,
-                finished: finished.iter().map(|r| r.id).collect(),
-            });
-        }
-        for r in &mut per_replica {
-            r.utilization = if makespan > 0.0 { r.busy_s / makespan } else { 0.0 };
-        }
-        let mut shed_by_tier = [0usize; 3];
-        for r in shed {
-            shed_by_tier[r.slo.tier.index()] += 1;
-        }
-        latencies.sort_by(f64::total_cmp);
-        slo_ratios.sort_by(f64::total_cmp);
-        let (slo_ratio_p50, slo_ratio_p99) = if exact {
-            if slo_ratios.is_empty() {
-                (0.0, 0.0)
-            } else {
-                (percentile(&slo_ratios, 0.50), percentile(&slo_ratios, 0.99))
-            }
-        } else if slo_sketch.is_empty() {
-            (0.0, 0.0)
-        } else {
-            (slo_sketch.quantile(0.50), slo_sketch.quantile(0.99))
-        };
-        let (p50_latency_s, p99_latency_s) = if exact {
-            if latencies.is_empty() {
-                (0.0, 0.0)
-            } else {
-                (percentile(&latencies, 0.50), percentile(&latencies, 0.99))
-            }
-        } else {
-            (lat_sketch.quantile(0.50), lat_sketch.quantile(0.99))
-        };
-        let rate = |tokens: usize| if makespan > 0.0 { tokens as f64 / makespan } else { 0.0 };
-        ClusterReport {
-            routing: routing.to_string(),
-            admission: admission.to_string(),
-            replicas: reps.len(),
-            completed,
-            generated_tokens: generated,
-            makespan_s: makespan,
-            throughput_tps: rate(generated),
-            goodput_tps: rate(good_tokens),
-            slo_attainment: if completed > 0 { met as f64 / completed as f64 } else { 0.0 },
-            slo_ratio_p50,
-            slo_ratio_p99,
-            shed: shed.len(),
-            shed_by_tier,
-            shed_ids: shed.iter().map(|r| r.id).collect(),
-            mean_ttft_s: if completed > 0 { ttft_sum / completed as f64 } else { 0.0 },
-            p50_latency_s,
-            p99_latency_s,
-            sketch_p50_latency_s: if lat_sketch.is_empty() {
-                0.0
-            } else {
-                lat_sketch.quantile(0.50)
-            },
-            sketch_p99_latency_s: if lat_sketch.is_empty() {
-                0.0
-            } else {
-                lat_sketch.quantile(0.99)
-            },
-            preemptions,
-            requeued,
-            lost_prefill_tokens,
-            swap_outs,
-            swap_out_pages,
-            swap_in_pages,
-            swap_bytes,
-            last_requeued_finish_s: last_requeued_finish,
-            max_replica_peak_pages: per_replica
-                .iter()
-                .map(|r| r.peak_unique_pages)
-                .max()
-                .unwrap_or(0),
-            per_replica,
-        }
+        let slices: Vec<ReplicaSlice<'_>> = reps.iter().map(Replica::slice).collect();
+        Ok(aggregate(
+            self.control.routing_name(),
+            self.control.admission_name(),
+            &slices,
+            &shed,
+            0,
+            0,
+            MigrationTotals::default(),
+        ))
     }
 }
 
@@ -1342,9 +925,9 @@ impl Cluster {
 mod tests {
     use super::*;
     use crate::baselines::SystemConfig;
-    use crate::request::{ArrivalPattern, PrefixSharing, RequestId, Slo, SloSpec};
+    use crate::request::{ArrivalPattern, PrefixSharing, Slo, SloSpec};
     use crate::scheduler::{Fcfs, MemoryAware};
-    use qserve_gpusim::{GpuSpec, TpGroup};
+    use qserve_gpusim::{GpuSpec, HostLink, TpGroup};
     use qserve_model::ModelConfig;
 
     fn engine() -> ServingEngine {
@@ -1463,6 +1046,7 @@ mod tests {
             Box::new(RoundRobin::default()),
             Box::new(LeastOutstanding),
             Box::new(PrefixAffinity::default()),
+            Box::new(DeadlineAware),
         ];
         for policy in policies {
             let name = policy.name();
@@ -1557,9 +1141,10 @@ mod tests {
 
     #[test]
     fn repeated_serves_on_one_cluster_replay_identically() {
-        // serve_paged rebuilds replicas per call and resets the router, so
-        // a second serve on the same Cluster must equal the first (and a
-        // fresh Cluster) — no pins or cursor state leak across runs.
+        // serve_paged rebuilds replicas per call and resets the control
+        // plane, so a second serve on the same Cluster must equal the
+        // first (and a fresh Cluster) — no pins or cursor state leak
+        // across runs.
         let e = engine();
         let spec = shared_spec();
         let opts = SchedOptions { share_prefixes: true, chunk_tokens: None, ..SchedOptions::default() };
@@ -1579,103 +1164,6 @@ mod tests {
             let fresh = serve(&mut Cluster::new(e.clone(), 3, mk()));
             assert_eq!(first, fresh, "reused cluster diverged from a fresh one");
         }
-    }
-
-    fn test_speed(decode_tps: f64) -> SpeedProfile {
-        SpeedProfile {
-            gpu: "test-gpu",
-            decode_tps,
-            prefill_tps: 10.0 * decode_tps,
-            decode_step_s: 32.0 / decode_tps,
-        }
-    }
-
-    fn test_view(index: usize, outstanding_tokens: usize, decode_tps: f64) -> ReplicaView {
-        ReplicaView {
-            index,
-            clock_s: 0.0,
-            outstanding_tokens,
-            waiting: 0,
-            running: 0,
-            accepting: true,
-            speed: test_speed(decode_tps),
-        }
-    }
-
-    #[test]
-    fn round_robin_cycles_and_affinity_sticks() {
-        let views: Vec<ReplicaView> =
-            (0..3).map(|i| test_view(i, i * 10, 1000.0)).collect();
-        let req = |id: u64, group: Option<u64>| {
-            let r = Request::new(RequestId(id), 8, 4, 0.0);
-            match group {
-                Some(g) => r.with_prefix(g, 4),
-                None => r,
-            }
-        };
-        let mut rr = RoundRobin::default();
-        assert_eq!(rr.route(&req(0, None), &views), 0);
-        assert_eq!(rr.route(&req(1, None), &views), 1);
-        assert_eq!(rr.route(&req(2, None), &views), 2);
-        assert_eq!(rr.route(&req(3, None), &views), 0);
-        let mut lo = LeastOutstanding;
-        assert_eq!(lo.route(&req(0, None), &views), 0, "least-loaded wins");
-        let mut pa = PrefixAffinity::default();
-        let first = pa.route(&req(0, Some(9)), &views);
-        assert_eq!(first, 0, "first member lands least-loaded");
-        // Later members stick even when another replica empties out.
-        let mut views2 = views.clone();
-        views2[0].outstanding_tokens = 1000;
-        assert_eq!(pa.route(&req(1, Some(9)), &views2), first);
-        assert_eq!(pa.route(&req(2, None), &views2), 1, "ungrouped falls back");
-    }
-
-    #[test]
-    fn least_outstanding_is_work_normalized() {
-        // Replica 0 owes fewer tokens but is 4× slower: its *time* backlog
-        // (1000/500 = 2s) exceeds replica 1's (3000/2000 = 1.5s), so the
-        // work-normalized router must pick the fast replica.
-        let views = vec![test_view(0, 1000, 500.0), test_view(1, 3000, 2000.0)];
-        let mut lo = LeastOutstanding;
-        let req = Request::new(RequestId(0), 8, 4, 0.0);
-        assert_eq!(lo.route(&req, &views), 1, "faster replica absorbs more work");
-        // Equal speeds: degenerates to the classic least-tokens policy.
-        let even = vec![test_view(0, 1000, 1000.0), test_view(1, 900, 1000.0)];
-        assert_eq!(lo.route(&req, &even), 1);
-    }
-
-    #[test]
-    fn admission_policies_decide_from_slos_and_pressure() {
-        let req = |slo: crate::request::Slo| {
-            Request::new(RequestId(0), 100, 50, 0.0).with_slo(slo)
-        };
-        // decode_tps 1000 → est_queue = outstanding/1000 s.
-        let idle = vec![test_view(0, 0, 1000.0)];
-        let busy = vec![test_view(0, 100_000, 1000.0)]; // 100 s of backlog
-        let mut admit_all = AdmitAll;
-        let mut deadline = DeadlineFeasible;
-        let mut shedder = PriorityShed { queue_budget_s: 20.0 };
-        let tight = req(crate::request::Slo::interactive(1.0, 30.0));
-        assert_eq!(admit_all.decide(&tight, &busy), Admission::Admit);
-        assert_eq!(deadline.decide(&tight, &idle), Admission::Admit);
-        assert_eq!(
-            deadline.decide(&tight, &busy),
-            Admission::Shed,
-            "a 100 s backlog cannot meet a 1 s TTFT deadline"
-        );
-        // Deadline-free requests sail through deadline admission.
-        assert_eq!(deadline.decide(&req(crate::request::Slo::best_effort()), &busy), Admission::Admit);
-        // Priority shedding: batch sheds first, standard at 2×, interactive never.
-        assert_eq!(shedder.decide(&req(crate::request::Slo::best_effort()), &idle), Admission::Admit);
-        assert_eq!(shedder.decide(&req(crate::request::Slo::best_effort()), &busy), Admission::Shed);
-        assert_eq!(shedder.decide(&req(crate::request::Slo::default()), &busy), Admission::Shed);
-        let mild = vec![test_view(0, 30_000, 1000.0)]; // 30 s backlog
-        assert_eq!(shedder.decide(&req(crate::request::Slo::best_effort()), &mild), Admission::Shed);
-        assert_eq!(shedder.decide(&req(crate::request::Slo::default()), &mild), Admission::Admit);
-        assert_eq!(shedder.decide(&tight, &busy), Admission::Admit, "interactive never shed");
-        // Feasibility is judged against the *best* replica, not the worst.
-        let mixed = vec![test_view(0, 100_000, 1000.0), test_view(1, 0, 1000.0)];
-        assert_eq!(deadline.decide(&tight, &mixed), Admission::Admit);
     }
 
     #[test]
@@ -1747,8 +1235,8 @@ mod tests {
         // An impossible deadline on every request + deadline admission:
         // everything is shed, nothing runs, and the report stays finite.
         let e = engine();
-        let spec = WorkloadSpec::chat(12, 3).with_slos(crate::request::SloSpec::Cycle(vec![
-            crate::request::Slo::interactive(0.0, 0.0),
+        let spec = WorkloadSpec::chat(12, 3).with_slos(SloSpec::Cycle(vec![
+            Slo::interactive(0.0, 0.0),
         ]));
         let report = Cluster::new(e, 2, Box::new(RoundRobin::default()))
             .with_admission(Box::new(DeadlineFeasible))
@@ -1771,6 +1259,7 @@ mod tests {
         assert_eq!(report.p50_latency_s, 0.0);
         assert_eq!(report.p99_latency_s, 0.0);
         assert_eq!(report.makespan_s, 0.0);
+        assert_eq!(report.gpu_seconds, 0.0);
         for r in &report.per_replica {
             assert_eq!(r.routed, 0);
             assert_eq!(r.utilization, 0.0);
@@ -1870,9 +1359,10 @@ mod tests {
                     }
                 }
             };
-            let routing: Box<dyn RoutingPolicy> = match rng.int_in(0, 2) {
+            let routing: Box<dyn RoutingPolicy> = match rng.int_in(0, 3) {
                 0 => Box::new(RoundRobin::default()),
                 1 => Box::new(LeastOutstanding),
+                2 => Box::new(DeadlineAware),
                 _ => Box::new(PrefixAffinity::default()),
             };
             let admission: Box<dyn AdmissionPolicy> = match rng.int_in(0, 2) {
@@ -1900,10 +1390,10 @@ mod tests {
         let e = engine();
         let spec = WorkloadSpec::mixed(768, 7)
             .with_arrivals(ArrivalPattern::Poisson { rate_rps: 96.0 })
-            .with_slos(crate::request::SloSpec::Cycle(vec![
-                crate::request::Slo::interactive(2.0, 8.0),
-                crate::request::Slo::standard(6.0, 20.0),
-                crate::request::Slo::best_effort(),
+            .with_slos(SloSpec::Cycle(vec![
+                Slo::interactive(2.0, 8.0),
+                Slo::standard(6.0, 20.0),
+                Slo::best_effort(),
             ]));
         let run = |admission: Box<dyn AdmissionPolicy>| {
             Cluster::new(e.clone(), 4, Box::new(LeastOutstanding))
@@ -1942,5 +1432,212 @@ mod tests {
             assert!(r.slo_ratio_p50 <= r.slo_ratio_p99);
         }
     }
-}
 
+    #[test]
+    fn static_fleet_bills_gpu_seconds_for_the_whole_makespan() {
+        // Without an autoscaler every replica is provisioned from t=0 to
+        // the cluster makespan: per-replica provisioned time equals the
+        // makespan bit-for-bit and the fleet bill is n × makespan.
+        let report = Cluster::new(engine(), 3, Box::new(LeastOutstanding))
+            .serve_paged(
+                &WorkloadSpec::mixed(96, 11),
+                || Box::new(MemoryAware::default()),
+                Reservation::OnDemand,
+                SchedOptions::default(),
+            )
+            .expect("serves");
+        for r in &report.per_replica {
+            assert_eq!(r.provisioned_s.to_bits(), report.makespan_s.to_bits());
+        }
+        assert!((report.gpu_seconds - 3.0 * report.makespan_s).abs() < 1e-9);
+        assert_eq!(report.migrations, 0);
+        assert_eq!(report.migrated_pages, 0);
+        assert_eq!(report.migrated_bytes, 0);
+    }
+
+    /// A shared-prefix overload aimed at one pinned home: one big group,
+    /// Poisson arrivals well past a single replica's capacity.
+    fn saturating_group_spec(n: usize, seed: u64) -> WorkloadSpec {
+        WorkloadSpec::shared_prefix(1, 2048, n, seed)
+            .with_arrivals(ArrivalPattern::Poisson { rate_rps: 48.0 })
+    }
+
+    #[test]
+    fn saturated_group_migrates_and_beats_staying_pinned() {
+        let e = engine();
+        let spec = saturating_group_spec(96, 41);
+        let opts = SchedOptions { share_prefixes: true, chunk_tokens: None, ..SchedOptions::default() };
+        let pinned = Cluster::new(e.clone(), 2, Box::new(PrefixAffinity::default()))
+            .serve_paged(&spec, || Box::new(MemoryAware::default()), Reservation::OnDemand, opts)
+            .expect("serves");
+        let cfg = MigrationConfig {
+            saturation_queue_s: 0.5,
+            relief_ratio: 0.5,
+            migrate_pages: true,
+            link: HostLink::nvlink_p2p(),
+        };
+        let mut migrating = Cluster::new(e.clone(), 2, Box::new(LeastOutstanding))
+            .with_migration(cfg);
+        let moved = migrating
+            .serve_paged(&spec, || Box::new(MemoryAware::default()), Reservation::OnDemand, opts)
+            .expect("serves");
+        // Affinity funnels the whole group onto one replica; migration
+        // spreads it once the home saturates — and nothing is lost.
+        assert_eq!(pinned.completed, 96);
+        assert_eq!(moved.completed, 96, "migration must not lose requests");
+        assert_eq!(moved.shed, 0);
+        assert!(moved.migrations > 0, "the saturated home must trigger a migration");
+        assert!(moved.migrated_pages > 0);
+        assert_eq!(
+            moved.migrated_bytes,
+            u64::try_from(moved.migrated_pages).expect("fits") * e.kv_page_bytes(),
+            "migration bytes must price exactly the copied pages"
+        );
+        assert!(
+            moved.throughput_tps > pinned.throughput_tps,
+            "migration must beat a saturated pin: {} vs {}",
+            moved.throughput_tps,
+            pinned.throughput_tps
+        );
+        // Both replicas served group members after the move.
+        assert!(moved.per_replica.iter().all(|r| r.completed > 0));
+        // Determinism: an identical second serve replays bit-for-bit.
+        let replay = migrating
+            .serve_paged(&spec, || Box::new(MemoryAware::default()), Reservation::OnDemand, opts)
+            .expect("serves");
+        assert_eq!(moved, replay);
+    }
+
+    #[test]
+    fn autoscaler_wakes_standbys_under_load_and_bills_less_than_static_max() {
+        let e = engine();
+        // A burst the initial single replica cannot absorb.
+        let spec = WorkloadSpec::mixed(192, 17)
+            .with_arrivals(ArrivalPattern::Poisson { rate_rps: 24.0 });
+        let run_static = |n: usize| {
+            Cluster::new(e.clone(), n, Box::new(LeastOutstanding))
+                .serve_paged(
+                    &spec,
+                    || Box::new(MemoryAware::default()),
+                    Reservation::OnDemand,
+                    SchedOptions::default(),
+                )
+                .expect("serves")
+        };
+        let static_max = run_static(4);
+        let mut elastic = Cluster::new(e.clone(), 4, Box::new(LeastOutstanding))
+            .with_autoscaler(AutoscaleConfig {
+                policy: Box::new(QueuePressureScaler {
+                    min_replicas: 1,
+                    max_replicas: 4,
+                    scale_up_queue_s: 2.0,
+                    scale_down_queue_s: 0.5,
+                }),
+                interval_s: 2.0,
+                initial_online: 1,
+            });
+        let auto = elastic
+            .serve_paged(
+                &spec,
+                || Box::new(MemoryAware::default()),
+                Reservation::OnDemand,
+                SchedOptions::default(),
+            )
+            .expect("serves");
+        assert_eq!(auto.completed, 192, "autoscaling must not lose requests");
+        assert_eq!(auto.shed, 0);
+        // The burst forced a scale-up past the initial singleton...
+        assert!(
+            auto.per_replica.iter().filter(|r| r.routed > 0).count() > 1,
+            "the scaler never woke a standby"
+        );
+        // ...and the bill stays under always-on 4×makespan (standbys wake
+        // late, drain early).
+        assert!(
+            auto.gpu_seconds < 4.0 * auto.makespan_s,
+            "elastic bill {} must undercut always-on {}",
+            auto.gpu_seconds,
+            4.0 * auto.makespan_s
+        );
+        assert!(auto.gpu_seconds > 0.0);
+        // Static fleets are invariant to the new accounting.
+        assert!((static_max.gpu_seconds - 4.0 * static_max.makespan_s).abs() < 1e-9);
+        // Determinism under autoscaling.
+        let replay = elastic
+            .serve_paged(
+                &spec,
+                || Box::new(MemoryAware::default()),
+                Reservation::OnDemand,
+                SchedOptions::default(),
+            )
+            .expect("serves");
+        assert_eq!(auto, replay);
+    }
+
+    qserve_tensor::props! {
+        /// Migration conservation: across random fleets, workloads and
+        /// saturation-triggered migrations, finished ∪ shed still
+        /// partitions the workload exactly, nothing is lost, the migrated
+        /// byte accounting matches the copied pages, and the run is
+        /// deterministic (the end-of-run `assert_consistent` audit inside
+        /// the driver checks both ledgers on every serve).
+        fn migration_conserves_requests_and_pages(rng, cases = 8) {
+            let replicas = rng.int_in(2, 4) as usize;
+            let n = rng.int_in(24, 64) as usize;
+            let seed = rng.int_in(0, 1 << 20) as u64;
+            let groups = rng.int_in(1, 2) as usize;
+            let mut spec = WorkloadSpec::shared_prefix(groups, 1024, n, seed)
+                .with_arrivals(ArrivalPattern::Poisson {
+                    rate_rps: f64::from(rng.uniform(8.0, 32.0)),
+                });
+            if rng.int_in(0, 1) == 1 {
+                spec = spec.with_slos(SloSpec::Cycle(vec![
+                    Slo::interactive(2.0, 8.0),
+                    Slo::best_effort(),
+                ]));
+            }
+            let cfg = MigrationConfig {
+                saturation_queue_s: f64::from(rng.uniform(1.0, 6.0)),
+                relief_ratio: 0.5,
+                migrate_pages: rng.int_in(0, 3) > 0,
+                link: if rng.int_in(0, 1) == 0 {
+                    HostLink::nvlink_p2p()
+                } else {
+                    HostLink::pcie4()
+                },
+            };
+            let opts = SchedOptions {
+                share_prefixes: true,
+                chunk_tokens: if rng.int_in(0, 1) == 1 { Some(256) } else { None },
+                ..SchedOptions::default()
+            };
+            let mut cluster = Cluster::new(engine(), replicas, Box::new(LeastOutstanding))
+                .with_migration(cfg);
+            let report = cluster
+                .serve_paged(&spec, || Box::new(MemoryAware::default()), Reservation::OnDemand, opts)
+                .expect("serves");
+            // Partition: every request finished on exactly one replica or
+            // was shed — never both, never neither.
+            let mut seen: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
+            for rep in &report.per_replica {
+                for id in &rep.finished {
+                    assert!(seen.insert(id.0), "request {} finished twice", id.0);
+                }
+            }
+            for id in &report.shed_ids {
+                assert!(seen.insert(id.0), "request {} both finished and shed", id.0);
+            }
+            assert_eq!(seen.len(), n, "finished ∪ shed must partition the workload");
+            assert_eq!(report.completed + report.shed, n);
+            // Byte accounting: every migrated page priced exactly once.
+            if !cfg.migrate_pages {
+                assert_eq!(report.migrations, 0, "repin-only must copy nothing");
+            }
+            // Determinism (which also re-runs the in-driver ledger audits).
+            let replay = cluster
+                .serve_paged(&spec, || Box::new(MemoryAware::default()), Reservation::OnDemand, opts)
+                .expect("serves");
+            assert_eq!(report, replay);
+        }
+    }
+}

@@ -177,6 +177,185 @@ impl FaultPlan {
     }
 }
 
+/// The per-replica lifecycle state machine — **the one code path** for
+/// admission gating, liveness, epoch stamping and provisioned-time
+/// accounting, shared by plan-injected faults and the autoscaler alike.
+/// The cluster driver used to flip these flags inline per fault kind;
+/// factoring the transitions here means a scale-down drain literally *is*
+/// [`FaultPlan::drain_at`]'s drain — the two cannot diverge.
+///
+/// Transitions mirror the PR-8 driver exactly (same epoch bump points, same
+/// flag order), so a fault-free or static-plan run is bit-identical to the
+/// inline-flag driver by construction.
+///
+/// Provisioned time (the fleet-cost number): a replica accrues GPU-seconds
+/// while its *provisioned window* is open — from the moment it accepts work
+/// until it has both stopped accepting and gone idle (or died). A standby
+/// replica the autoscaler has not yet activated opens no window; a static
+/// fleet's windows span the whole run, so its fleet cost is exactly
+/// `replicas × makespan`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Lifecycle {
+    /// Admission gate: a drained/crashed/upgrading replica stops receiving
+    /// new work. Always implies `online` when true.
+    accepting: bool,
+    /// Liveness: an offline replica (crashed, or in its upgrade downtime)
+    /// ticks nothing until a restart.
+    online: bool,
+    /// Lifecycle incarnation counter, stamped into the replica's queue
+    /// events; bumped on crash, on going offline for an upgrade, and on
+    /// restart, so in-flight events from a previous life pop as stale.
+    epoch: u64,
+    /// Times this replica came back from offline.
+    restarts: usize,
+    /// A pending upgrade: `(downtime_s, rolling)`. Set when the upgrade
+    /// fault fires; consumed when the replica drains, sits out the
+    /// downtime and restarts (chaining to the next replica when rolling).
+    pending_upgrade: Option<(f64, bool)>,
+    /// Closed provisioned time, seconds (GPU-seconds at 1 GPU).
+    provisioned_s: f64,
+    /// Start of the currently open provisioned window, if any.
+    provisioned_since: Option<f64>,
+}
+
+impl Lifecycle {
+    /// A fresh replica at time 0: `accepting` replicas open their
+    /// provisioned window immediately; standby replicas (an autoscaler's
+    /// reserve) are online but gated closed and cost nothing until
+    /// activated.
+    pub fn fresh(accepting: bool) -> Self {
+        Self {
+            accepting,
+            online: true,
+            epoch: 0,
+            restarts: 0,
+            pending_upgrade: None,
+            provisioned_s: 0.0,
+            provisioned_since: accepting.then_some(0.0),
+        }
+    }
+
+    /// Whether the replica currently accepts new work.
+    pub fn accepting(&self) -> bool {
+        self.accepting
+    }
+
+    /// Whether the replica is live (ticking) at all.
+    pub fn online(&self) -> bool {
+        self.online
+    }
+
+    /// The current lifecycle incarnation.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Times this replica came back from offline.
+    pub fn restarts(&self) -> usize {
+        self.restarts
+    }
+
+    /// The pending upgrade `(downtime_s, rolling)`, if one is waiting for
+    /// the replica to drain.
+    pub fn pending_upgrade(&self) -> Option<(f64, bool)> {
+        self.pending_upgrade
+    }
+
+    /// Closed provisioned time so far, seconds.
+    pub fn provisioned_s(&self) -> f64 {
+        self.provisioned_s
+    }
+
+    /// Start of the still-open provisioned window, if one is open (the
+    /// report aggregator closes it at the makespan).
+    pub fn provisioned_open_since(&self) -> Option<f64> {
+        self.provisioned_since
+    }
+
+    fn open_window(&mut self, now: f64) {
+        if self.provisioned_since.is_none() {
+            self.provisioned_since = Some(now);
+        }
+    }
+
+    fn close_window(&mut self, now: f64) {
+        if let Some(since) = self.provisioned_since.take() {
+            self.provisioned_s += (now - since).max(0.0);
+        }
+    }
+
+    /// Stop accepting new work; residents run to completion. The shared
+    /// drain transition behind both [`FaultPlan::drain_at`] and an
+    /// autoscaler scale-down. No-op on an offline replica.
+    pub fn drain(&mut self) {
+        if self.online {
+            self.accepting = false;
+        }
+    }
+
+    /// Hard failure at `now`: offline, gated closed, epoch bumped (stale
+    /// events drop), any pending upgrade cancelled, provisioned window
+    /// closed. Returns whether the replica was online — a crash on an
+    /// already-dead replica is a no-op and the caller evicts nothing.
+    pub fn crash(&mut self, now: f64) -> bool {
+        if !self.online {
+            return false;
+        }
+        self.accepting = false;
+        self.online = false;
+        self.epoch += 1;
+        self.pending_upgrade = None;
+        self.close_window(now);
+        true
+    }
+
+    /// An upgrade fault fired on a live replica: gate admission closed and
+    /// remember the downtime for when the last resident finishes.
+    pub fn begin_upgrade(&mut self, downtime_s: f64, rolling: bool) {
+        self.accepting = false;
+        self.pending_upgrade = Some((downtime_s, rolling));
+    }
+
+    /// The drained replica begins its upgrade downtime at `now`: offline,
+    /// epoch bumped, provisioned window closed. The pending upgrade stays
+    /// set — [`Lifecycle::restart`] consumes it.
+    pub fn go_offline(&mut self, now: f64) {
+        self.online = false;
+        self.epoch += 1;
+        self.close_window(now);
+    }
+
+    /// Restart at `now`. A still-online (drained or untouched) replica just
+    /// re-opens admission; an offline replica bumps its epoch, comes back
+    /// online and counts a restart. Either way the provisioned window
+    /// re-opens. Returns the pending upgrade consumed by an offline
+    /// restart, so the driver can chain a rolling wave.
+    pub fn restart(&mut self, now: f64) -> Option<(f64, bool)> {
+        let chained = if self.online {
+            self.accepting = true;
+            None
+        } else {
+            self.epoch += 1;
+            self.online = true;
+            self.accepting = true;
+            self.restarts += 1;
+            self.pending_upgrade.take()
+        };
+        self.open_window(now);
+        chained
+    }
+
+    /// A non-accepting replica has gone idle at `now`: its provisioned
+    /// window closes (the GPU is released). No-op while still accepting —
+    /// an idle-but-open replica is provisioned capacity, and that is the
+    /// cost an autoscaler exists to shed.
+    pub fn release_idle(&mut self, now: f64) {
+        if !self.accepting {
+            self.close_window(now);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -255,5 +434,59 @@ mod tests {
     #[should_panic(expected = "non-negative")]
     fn negative_fault_time_is_rejected() {
         let _ = FaultPlan::none().crash_at(0, -1.0);
+    }
+
+    #[test]
+    fn lifecycle_epochs_match_the_inline_driver() {
+        // The exact bump points of the PR-8 inline flags: crash +1,
+        // go-offline-for-upgrade +1, offline restart +1, online restart +0.
+        let mut l = Lifecycle::fresh(true);
+        assert!(l.accepting() && l.online());
+        assert_eq!(l.epoch(), 0);
+        l.drain();
+        assert!(!l.accepting() && l.online());
+        assert_eq!(l.epoch(), 0, "drain must not bump the epoch");
+        assert_eq!(l.restart(1.0), None);
+        assert!(l.accepting());
+        assert_eq!((l.epoch(), l.restarts()), (0, 0), "online restart is admission-only");
+        assert!(l.crash(2.0));
+        assert!(!l.accepting() && !l.online());
+        assert_eq!(l.epoch(), 1);
+        assert!(!l.crash(2.5), "crashing a dead replica is a no-op");
+        assert_eq!(l.epoch(), 1);
+        assert_eq!(l.restart(3.0), None);
+        assert!(l.online() && l.accepting());
+        assert_eq!((l.epoch(), l.restarts()), (2, 1));
+        l.begin_upgrade(0.5, true);
+        assert!(!l.accepting());
+        assert_eq!(l.pending_upgrade(), Some((0.5, true)));
+        l.go_offline(4.0);
+        assert_eq!(l.epoch(), 3);
+        assert_eq!(l.restart(4.5), Some((0.5, true)), "offline restart consumes the upgrade");
+        assert_eq!(l.epoch(), 4);
+    }
+
+    #[test]
+    fn lifecycle_provisioned_windows_track_gpu_time() {
+        // Active from 0, crashed at 10, restarted at 25, drained + idle at
+        // 30: two closed windows of 10 and 5 seconds.
+        let mut l = Lifecycle::fresh(true);
+        assert_eq!(l.provisioned_open_since(), Some(0.0));
+        l.crash(10.0);
+        assert_eq!(l.provisioned_s().to_bits(), 10.0f64.to_bits());
+        assert_eq!(l.provisioned_open_since(), None);
+        l.restart(25.0);
+        assert_eq!(l.provisioned_open_since(), Some(25.0));
+        l.release_idle(28.0);
+        assert_eq!(l.provisioned_open_since(), Some(25.0), "accepting ⇒ still provisioned");
+        l.drain();
+        l.release_idle(30.0);
+        assert_eq!(l.provisioned_s().to_bits(), 15.0f64.to_bits());
+        assert_eq!(l.provisioned_open_since(), None);
+        // A standby replica costs nothing until activated.
+        let mut s = Lifecycle::fresh(false);
+        assert_eq!(s.provisioned_open_since(), None);
+        s.restart(7.0);
+        assert_eq!(s.provisioned_open_since(), Some(7.0));
     }
 }

@@ -632,6 +632,129 @@ impl PagedKvCache {
         self.layer_lens.insert(seq, image.layer_lens);
         Ok(needed)
     }
+
+    /// Exports the pages holding the first `prefix_tokens` tokens of `seq`
+    /// (all layers) as a portable byte image — the payload of a
+    /// cross-replica prefix migration. Read-only: the source sequence, its
+    /// pages and every refcount are untouched, so exporting conserves both
+    /// ledgers by construction.
+    ///
+    /// # Errors
+    /// [`KvCacheError::UnknownSequence`] when `seq` is not resident;
+    /// [`KvCacheError::PrefixTooLong`] when it holds fewer than
+    /// `prefix_tokens` tokens.
+    pub fn export_pages(
+        &self,
+        seq: SequenceId,
+        prefix_tokens: usize,
+    ) -> Result<KvPageExport, KvCacheError> {
+        let table = self
+            .tables
+            .get(&seq)
+            .ok_or(KvCacheError::UnknownSequence(seq))?;
+        let have = self.seq_len(seq);
+        if prefix_tokens > have {
+            return Err(KvCacheError::PrefixTooLong { have, want: prefix_tokens });
+        }
+        let shared_pages = self.pages_for_tokens(prefix_tokens);
+        let layers = table
+            .iter()
+            .map(|layer| {
+                layer[..shared_pages.min(layer.len())]
+                    .iter()
+                    .map(|&page| ExportedPage {
+                        data: self.pages[page].data.clone(),
+                        // The tail page may be filled past the exported
+                        // prefix by the exporting sequence's own suffix;
+                        // the importer's token count caps its reads, same
+                        // as a fork's.
+                        filled: self.pages[page].filled,
+                    })
+                    .collect()
+            })
+            .collect();
+        Ok(KvPageExport { tokens: prefix_tokens, layers })
+    }
+
+    /// Imports an exported prefix image as the new sequence `seq`: one
+    /// fresh device page per exported page, bytes restored verbatim, so
+    /// every subsequent read of the first `image.tokens()` tokens — and of
+    /// any fork taken off `seq` — is byte-identical to the source replica's.
+    /// Returns the device pages allocated (what crossed the link). On
+    /// [`KvCacheError::OutOfPages`] nothing is allocated or registered.
+    ///
+    /// # Errors
+    /// [`KvCacheError::DuplicateSequence`] when `seq` already exists;
+    /// [`KvCacheError::OutOfPages`] when the pool cannot hold the image.
+    pub fn import_pages(
+        &mut self,
+        seq: SequenceId,
+        image: &KvPageExport,
+    ) -> Result<usize, KvCacheError> {
+        if self.tables.contains_key(&seq) || self.host.contains_key(&seq) {
+            return Err(KvCacheError::DuplicateSequence(seq));
+        }
+        let needed = image.pages();
+        if needed > self.free_list.len() {
+            return Err(KvCacheError::OutOfPages);
+        }
+        let table: Vec<Vec<usize>> = image
+            .layers
+            .iter()
+            .map(|layer| {
+                layer
+                    .iter()
+                    .map(|exported| {
+                        let page = self.alloc_page().expect("reserved above");
+                        self.pages[page].data.copy_from_slice(&exported.data);
+                        self.pages[page].filled = exported.filled;
+                        page
+                    })
+                    .collect()
+            })
+            .collect();
+        self.tables.insert(seq, table);
+        self.lens.insert(seq, image.tokens);
+        self.layer_lens.insert(seq, vec![image.tokens; self.config.layers]);
+        Ok(needed)
+    }
+}
+
+/// One exported KV page: raw bytes plus its filled-slot count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct ExportedPage {
+    data: Vec<u8>,
+    filled: usize,
+}
+
+/// A portable, self-contained image of one sequence prefix's KV pages —
+/// what [`PagedKvCache::export_pages`] produces and
+/// [`PagedKvCache::import_pages`] restores on another replica's cache.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KvPageExport {
+    tokens: usize,
+    layers: Vec<Vec<ExportedPage>>,
+}
+
+impl KvPageExport {
+    /// Tokens of prefix the image covers.
+    pub fn tokens(&self) -> usize {
+        self.tokens
+    }
+
+    /// Total device pages the image restores to (summed over layers).
+    pub fn pages(&self) -> usize {
+        self.layers.iter().map(Vec::len).sum()
+    }
+
+    /// Total payload bytes a transfer link must move.
+    pub fn bytes(&self) -> usize {
+        self.layers
+            .iter()
+            .flatten()
+            .map(|p| p.data.len())
+            .sum()
+    }
 }
 
 fn write_codes(
@@ -1193,5 +1316,98 @@ mod tests {
         assert_eq!(c.used_pages(), 0);
         // The image is gone: swapping back in is an error, not a resurrection.
         assert_eq!(c.swap_in(s), Err(KvCacheError::UnknownSequence(s)));
+    }
+
+    #[test]
+    fn export_import_restores_bytes_and_conserves_refcounts() {
+        let mut rng = TensorRng::seed(23);
+        let mut src = PagedKvCache::new(cfg(KvPrecision::Int4), 32);
+        let parent = SequenceId(0);
+        src.register(parent).unwrap();
+        // 10 tokens → 3 pages/layer, partially filled tail.
+        for _ in 0..10 {
+            let k: Vec<f32> = (0..16).map(|_| rng.normal(1.0)).collect();
+            for layer in 0..2 {
+                src.append_token(parent, layer, &k, &k).unwrap();
+            }
+        }
+        let src_used = src.used_pages();
+        let src_refs: Vec<u32> =
+            src.layer_pages(parent, 0).iter().map(|&p| src.page_refcount(p)).collect();
+        let image = src.export_pages(parent, 10).unwrap();
+        // Export is read-only: the source ledger is bit-for-bit untouched.
+        assert_eq!(src.used_pages(), src_used);
+        assert_eq!(
+            src.layer_pages(parent, 0).iter().map(|&p| src.page_refcount(p)).collect::<Vec<_>>(),
+            src_refs
+        );
+        assert_eq!(image.tokens(), 10);
+        assert_eq!(image.pages(), 6, "3 pages × 2 layers");
+        assert_eq!(image.bytes(), 6 * src.config().page_bytes());
+
+        // Import on a different replica's cache: pages allocated, bytes
+        // identical, destination refcounts exactly one per fresh page.
+        let mut dst = PagedKvCache::new(cfg(KvPrecision::Int4), 32);
+        let moved = dst.import_pages(SequenceId(7), &image).unwrap();
+        assert_eq!(moved, 6);
+        assert_eq!(dst.used_pages(), 6);
+        for layer in 0..2 {
+            for &p in dst.layer_pages(SequenceId(7), layer) {
+                assert_eq!(dst.page_refcount(p), 1);
+            }
+        }
+        for layer in 0..2 {
+            for head in 0..2 {
+                assert_eq!(
+                    src.read_head(parent, layer, head).unwrap(),
+                    dst.read_head(SequenceId(7), layer, head).unwrap(),
+                    "imported reads must be byte-identical"
+                );
+            }
+        }
+        // Forks off the imported prefix read the same bytes too — the
+        // whole point of migrating instead of re-prefilling.
+        dst.fork(SequenceId(7), SequenceId(8), 10).unwrap();
+        assert_eq!(
+            dst.read_head(SequenceId(8), 1, 1).unwrap(),
+            src.read_head(parent, 1, 1).unwrap()
+        );
+        // Releasing everything returns the destination pool to empty:
+        // no page minted or leaked by the import.
+        dst.release(SequenceId(8)).unwrap();
+        dst.release(SequenceId(7)).unwrap();
+        assert_eq!(dst.used_pages(), 0);
+    }
+
+    #[test]
+    fn export_import_edges_are_errors_not_corruption() {
+        let mut rng = TensorRng::seed(29);
+        let mut c = PagedKvCache::new(cfg(KvPrecision::Int4), 32);
+        let s = SequenceId(0);
+        c.register(s).unwrap();
+        for _ in 0..4 {
+            let k: Vec<f32> = (0..16).map(|_| rng.normal(1.0)).collect();
+            for layer in 0..2 {
+                c.append_token(s, layer, &k, &k).unwrap();
+            }
+        }
+        assert_eq!(
+            c.export_pages(SequenceId(9), 1),
+            Err(KvCacheError::UnknownSequence(SequenceId(9)))
+        );
+        assert_eq!(
+            c.export_pages(s, 5),
+            Err(KvCacheError::PrefixTooLong { have: 4, want: 5 })
+        );
+        let image = c.export_pages(s, 4).unwrap();
+        assert_eq!(
+            c.import_pages(s, &image),
+            Err(KvCacheError::DuplicateSequence(s))
+        );
+        // A pool too small for the image declines atomically.
+        let mut tiny = PagedKvCache::new(cfg(KvPrecision::Int4), 1);
+        assert_eq!(tiny.import_pages(SequenceId(1), &image), Err(KvCacheError::OutOfPages));
+        assert_eq!(tiny.used_pages(), 0);
+        assert_eq!(tiny.free_pages(), 1);
     }
 }

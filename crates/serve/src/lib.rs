@@ -24,10 +24,16 @@
 //!   optionally as a tensor-parallel group of GPUs.
 //! * [`cluster`] — scale-out: N engine replicas, possibly of mixed
 //!   hardware (each with its own spec-derived cost model, page pool,
-//!   scheduler and clock), behind a pluggable [`AdmissionPolicy`]
-//!   (admit-all, deadline-feasibility, priority load shedding) and
-//!   [`RoutingPolicy`] (round-robin, work-normalized least-outstanding,
-//!   prefix-affinity), driven by the event-driven core.
+//!   scheduler and clock), driven by the event-driven core.
+//! * [`control`] — the cluster's control plane: pluggable
+//!   [`AdmissionPolicy`] (admit-all, deadline-feasibility, priority load
+//!   shedding) and [`RoutingPolicy`] (round-robin, work-normalized
+//!   least-outstanding, prefix-affinity, deadline-aware) behind a
+//!   [`ControlPlane`] that also decides cross-replica prefix migration,
+//!   plus the [`AutoscalePolicy`] elastic-fleet layer.
+//! * [`report`] — end-of-run aggregation: per-replica slices folded into a
+//!   [`ClusterReport`] (throughput/goodput, SLO attainment, latency
+//!   percentiles, migration and fleet-cost accounting).
 //! * [`event`] — the deterministic priority event queue behind the
 //!   event-driven core: `(time.to_bits(), lane, seq)` total ordering over
 //!   a binary heap, O(log n) per event.
@@ -50,6 +56,7 @@ pub mod attention_exec;
 pub mod baselines;
 pub mod block_exec;
 pub mod cluster;
+pub mod control;
 pub mod engine;
 pub mod event;
 pub mod fault;
@@ -58,26 +65,29 @@ pub mod kv_cache;
 pub mod memory;
 pub mod model_exec;
 pub mod prefix;
+pub mod report;
 pub mod request;
 pub mod scheduler;
 pub mod sketch;
 
 pub use attention_exec::paged_decode_attention;
 pub use block_exec::BlockRuntime;
-pub use cluster::{
-    Admission, AdmissionPolicy, AdmitAll, Cluster, ClusterReport, DeadlineFeasible,
-    LeastOutstanding, PrefixAffinity, PriorityShed, ReplicaReport, ReplicaView, RoundRobin,
-    RoutingPolicy,
+pub use cluster::Cluster;
+pub use control::{
+    Admission, AdmissionPolicy, AdmitAll, AutoscaleConfig, AutoscalePolicy, ControlPlane,
+    DeadlineAware, DeadlineFeasible, LeastOutstanding, MigrationConfig, Placement, PrefixAffinity,
+    PriorityShed, QueuePressureScaler, ReplicaView, RoundRobin, RoutingPolicy,
 };
+pub use report::{ClusterReport, ReplicaReport};
 pub use model_exec::ModelRuntime;
 pub use baselines::SystemConfig;
 pub use engine::{
     BatchLimit, KvModel, ServeConfig, ServingEngine, ServingReport, SpeedProfile, Workload,
 };
 pub use event::EventQueue;
-pub use fault::{Fault, FaultKind, FaultPlan};
+pub use fault::{Fault, FaultKind, FaultPlan, Lifecycle};
 pub use host_tier::{HostTier, SwappedEntry};
-pub use kv_cache::{PagedKvCache, SequenceId};
+pub use kv_cache::{KvPageExport, PagedKvCache, SequenceId};
 pub use prefix::PrefixIndex;
 pub use request::{
     ArrivalPattern, LengthDist, PrefixSharing, Request, RequestId, RequestState, Slo, SloSpec,

@@ -338,6 +338,21 @@ pub enum ArrivalPattern {
         /// Mean offered load, requests per second.
         rate_rps: f64,
     },
+    /// Non-homogeneous Poisson process with a sinusoidal day/night rate:
+    /// `rate(t) = trough + (peak − trough) · ½(1 − cos(2πt/period))`, so
+    /// the trace starts at the trough, crests at `period/2` and returns —
+    /// the canonical autoscaler workload (burst the fleet must absorb,
+    /// lull it should not pay for). Sampled by thinning a homogeneous
+    /// `peak_rps` process, which keeps the draw-per-candidate structure
+    /// deterministic in the seed.
+    Diurnal {
+        /// Off-peak offered load, requests per second.
+        trough_rps: f64,
+        /// On-peak offered load, requests per second.
+        peak_rps: f64,
+        /// Full trough→peak→trough cycle length, seconds.
+        period_s: f64,
+    },
 }
 
 /// How prompts overlap across the workload's requests.
@@ -610,10 +625,19 @@ impl WorkloadSpec {
     /// drawn from the distributions, arrival times from the pattern and
     /// prefix groups from the sharing structure. Deterministic in `seed`.
     pub fn sample(&self) -> Vec<Request> {
-        if let ArrivalPattern::Uniform { rate_rps } | ArrivalPattern::Poisson { rate_rps } =
-            self.arrival
-        {
-            assert!(rate_rps > 0.0, "arrival rate must be positive");
+        match self.arrival {
+            ArrivalPattern::Uniform { rate_rps } | ArrivalPattern::Poisson { rate_rps } => {
+                assert!(rate_rps > 0.0, "arrival rate must be positive");
+            }
+            ArrivalPattern::Diurnal { trough_rps, peak_rps, period_s } => {
+                assert!(peak_rps > 0.0, "peak arrival rate must be positive");
+                assert!(
+                    (0.0..=peak_rps).contains(&trough_rps),
+                    "trough rate must sit in [0, peak]"
+                );
+                assert!(period_s > 0.0, "diurnal period must be positive");
+            }
+            ArrivalPattern::Batch => {}
         }
         if let PrefixSharing::MultiTurn { conversations, turns } = self.sharing {
             assert_eq!(
@@ -657,6 +681,22 @@ impl WorkloadSpec {
                         let u = f64::from(rng.next_f32()).max(f64::EPSILON);
                         clock += -u.ln() / rate_rps;
                         clock
+                    }
+                    ArrivalPattern::Diurnal { trough_rps, peak_rps, period_s } => {
+                        // Thinning (Lewis–Shedler): draw candidates from a
+                        // homogeneous peak-rate process and keep each with
+                        // probability rate(t)/peak — an exact sampler for
+                        // the non-homogeneous process.
+                        loop {
+                            let u = f64::from(rng.next_f32()).max(f64::EPSILON);
+                            clock += -u.ln() / peak_rps;
+                            let phase = 2.0 * std::f64::consts::PI * clock / period_s;
+                            let rate = trough_rps
+                                + (peak_rps - trough_rps) * 0.5 * (1.0 - phase.cos());
+                            if f64::from(rng.next_f32()) < rate / peak_rps {
+                                break clock;
+                            }
+                        }
                     }
                 };
                 let req = match sharing {
@@ -903,6 +943,42 @@ mod tests {
         assert_eq!(b.met_slo(), Some(true));
         assert!(!Slo::best_effort().has_deadline());
         assert_eq!(Tier::ALL.map(Tier::index), [0, 1, 2]);
+    }
+
+    #[test]
+    fn diurnal_arrivals_cluster_around_the_peak() {
+        let period = 60.0;
+        let pattern = ArrivalPattern::Diurnal {
+            trough_rps: 1.0,
+            peak_rps: 20.0,
+            period_s: period,
+        };
+        let reqs = WorkloadSpec::chat(400, 13).with_arrivals(pattern).sample();
+        let mut prev = -1.0;
+        for r in &reqs {
+            assert!(r.arrival_s >= 0.0);
+            assert!(r.arrival_s >= prev, "arrivals must be non-decreasing");
+            prev = r.arrival_s;
+        }
+        // The mid-cycle half-period around the crest (¼..¾ of each cycle)
+        // must absorb far more than half the traffic: its mean rate is
+        // trough + 0.85·(peak − trough) vs 0.15 on the off-peak half.
+        let (mut on_peak, mut off_peak) = (0usize, 0usize);
+        for r in &reqs {
+            let frac = (r.arrival_s / period).fract();
+            if (0.25..0.75).contains(&frac) {
+                on_peak += 1;
+            } else {
+                off_peak += 1;
+            }
+        }
+        assert!(
+            on_peak > 2 * off_peak,
+            "diurnal crest must dominate: {on_peak} on-peak vs {off_peak} off-peak"
+        );
+        // Deterministic in the seed.
+        let replay = WorkloadSpec::chat(400, 13).with_arrivals(pattern).sample();
+        assert_eq!(reqs, replay);
     }
 
     #[test]

@@ -160,6 +160,11 @@ pub struct PageBudget {
     mode: Reservation,
     entries: std::collections::BTreeMap<RequestId, PageEntry>,
     pools: std::collections::BTreeMap<u64, SharedPool>,
+    /// Pools holding a control-plane *anchor* reference: prefix pages
+    /// imported by a cross-replica migration stay resident (and the pool
+    /// alive) even before the first local member admits, and between
+    /// members. One anchor is at most one extra reference per pool.
+    anchors: std::collections::BTreeSet<u64>,
     /// Modeled host-memory tier for swap-style preemption (`None` = no
     /// tier, swaps refuse and callers fall back to recompute).
     host: Option<HostTier>,
@@ -179,6 +184,7 @@ impl PageBudget {
             mode,
             entries: std::collections::BTreeMap::new(),
             pools: std::collections::BTreeMap::new(),
+            anchors: std::collections::BTreeSet::new(),
             host: None,
         }
     }
@@ -204,6 +210,12 @@ impl PageBudget {
     /// Total pages in the pool.
     pub fn total_pages(&self) -> usize {
         self.total_pages
+    }
+
+    /// Tokens per page — the pool's page geometry, needed by callers that
+    /// convert a pool's per-layer page count back into prefix tokens.
+    pub fn page_tokens(&self) -> usize {
+        self.page_tokens
     }
 
     /// Pages currently free.
@@ -248,14 +260,23 @@ impl PageBudget {
         for (g, pool) in &self.pools {
             // Swapped-out members keep their pool reference: their shared
             // prefix pages stay on device even while the private pages sit
-            // in the host tier.
+            // in the host tier. A migration anchor is one more reference,
+            // held by the control plane rather than a member.
             let resident = self.entries.values().filter(|e| e.group == Some(*g)).count();
             let swapped = self
                 .host
                 .as_ref()
                 .map_or(0, |h| h.entries().filter(|(_, e)| e.group == Some(*g)).count());
-            assert_eq!(pool.refs, resident + swapped, "pool {} refcount drift", g);
-            assert!(resident + swapped > 0, "pool {} outlived its last member", g);
+            let anchor = usize::from(self.anchors.contains(g));
+            assert_eq!(pool.refs, resident + swapped + anchor, "pool {} refcount drift", g);
+            assert!(
+                resident + swapped + anchor > 0,
+                "pool {} outlived its last member",
+                g
+            );
+        }
+        for g in &self.anchors {
+            assert!(self.pools.contains_key(g), "anchor references a dead pool {}", g);
         }
         for e in self.entries.values() {
             if let Some(g) = e.group {
@@ -305,6 +326,61 @@ impl PageBudget {
             self.free_pages += pool.pages_per_layer * self.layers;
             self.pools.remove(&g);
         }
+    }
+
+    /// Pages per layer held by prefix pool `group`, if the pool is resident
+    /// here — what a cross-replica migration exports.
+    pub fn pool_pages_per_layer(&self, group: u64) -> Option<usize> {
+        self.pools.get(&group).map(|p| p.pages_per_layer)
+    }
+
+    /// Imports a prefix group's pooled pages from another replica: charges
+    /// `pages_per_layer × layers` physical pages to this ledger and anchors
+    /// the pool with one control-plane reference, so it survives until the
+    /// anchor is released even with zero local members. Returns the
+    /// physical pages taken, or `None` when the pool already exists here
+    /// (the prefix is already warm — nothing to move), the import is empty,
+    /// or the free list cannot cover it.
+    pub fn import_pool(&mut self, group: u64, pages_per_layer: usize) -> Option<usize> {
+        if pages_per_layer == 0 || self.pools.contains_key(&group) {
+            return None;
+        }
+        let need = pages_per_layer * self.layers;
+        if need > self.free_pages {
+            return None;
+        }
+        self.take(need);
+        self.pools.insert(group, SharedPool { pages_per_layer, refs: 1 });
+        self.anchors.insert(group);
+        Some(need)
+    }
+
+    /// Drops the control-plane anchor on `group`, if one exists; the pool's
+    /// pages free once its last member also leaves.
+    pub fn release_anchor(&mut self, group: u64) {
+        if self.anchors.remove(&group) {
+            self.unref_pool(group);
+        }
+    }
+
+    /// Drops every control-plane anchor — a crashed replica's imported
+    /// prefix pages die with its pool, so the post-crash audit can demand
+    /// an empty ledger.
+    pub fn release_anchors(&mut self) {
+        for g in std::mem::take(&mut self.anchors) {
+            self.unref_pool(g);
+        }
+    }
+
+    /// Host-tier pages in use (0 without a tier) — surfaced to the control
+    /// plane through the replica snapshot.
+    pub fn host_used_pages(&self) -> usize {
+        self.host.as_ref().map_or(0, HostTier::used_pages)
+    }
+
+    /// Host-tier capacity in pages (0 without a tier).
+    pub fn host_capacity_pages(&self) -> usize {
+        self.host.as_ref().map_or(0, HostTier::capacity_pages)
     }
 }
 
@@ -698,6 +774,13 @@ pub struct Scheduler {
     /// pending∪running set. Keeping it current makes the router's per-
     /// arrival load probe O(1) instead of O(residents).
     outstanding: usize,
+    /// Prefix tokens warmed by a cross-replica page migration, per sharing
+    /// group: an imported pool's fully covered tokens are aliasable by new
+    /// members even before any sibling runs here — the compute half of the
+    /// migration (the page half lives in [`PageBudget::import_pool`]).
+    warm_prefixes: std::collections::BTreeMap<u64, usize>,
+    /// Time spent receiving migrated prefix pages over the peer link.
+    migration_time: f64,
     /// Streaming end-to-end latency accumulator, fed once per retirement
     /// with the same `latency_s()` float the exact path reads later.
     latency_sketch: PercentileSketch,
@@ -772,6 +855,8 @@ impl Scheduler {
             swap_in_pages: 0,
             tick_swap_pages: 0,
             outstanding: 0,
+            warm_prefixes: std::collections::BTreeMap::new(),
+            migration_time: 0.0,
             latency_sketch: PercentileSketch::new(),
         }
     }
@@ -823,10 +908,12 @@ impl Scheduler {
     }
 
     /// Seconds this scheduler has spent doing work (prefill + decode +
-    /// swap transfers) — excludes idle gaps waiting for arrivals, so
-    /// `busy ÷ makespan` is a cluster replica's utilization.
+    /// swap and migration transfers) — excludes idle gaps waiting for
+    /// arrivals, so `busy ÷ makespan` is a cluster replica's utilization.
+    /// (A zero migration term adds exactly `+0.0`, which cannot move any
+    /// non-negative sum by a bit.)
     pub fn busy_time_s(&self) -> f64 {
-        self.prefill_time + self.decode_time + self.swap_time
+        self.prefill_time + self.decode_time + self.swap_time + self.migration_time
     }
 
     /// All requests finished?
@@ -871,12 +958,28 @@ impl Scheduler {
     /// instead of recomputing.
     fn shared_grant(&self, candidate: &Request) -> usize {
         let Some(group) = candidate.prefix_group else { return 0 };
+        // A migrated-in prefix is aliasable even with no resident sibling:
+        // its pages arrived warm over the peer link.
+        let warm = self
+            .warm_prefixes
+            .get(&group)
+            .map_or(0, |&t| t.min(candidate.prefix_len));
         self.running
             .iter()
             .filter(|r| r.prefix_group == Some(group))
             .map(|r| candidate.prefix_len.min(r.prefix_len).min(r.prefilled))
             .max()
             .unwrap_or(0)
+            .max(warm)
+    }
+
+    /// Marks `tokens` of sharing group `group`'s prefix as warm: admitted
+    /// members alias them like a resident sibling's pages. Installed by the
+    /// cluster driver after a successful [`PageBudget::import_pool`]; kept
+    /// at the maximum over repeated installs.
+    pub fn install_warm_prefix(&mut self, group: u64, tokens: usize) {
+        let slot = self.warm_prefixes.entry(group).or_insert(0);
+        *slot = (*slot).max(tokens);
     }
 
     /// The finished requests (arbitrary completion order).
@@ -1112,6 +1215,21 @@ impl Scheduler {
         self.swap_time += dt;
     }
 
+    /// Charges `dt` seconds of peer-link transfer for a migrated-in prefix
+    /// pool — the receiving replica stalls while the pages land. Zero pages
+    /// must be charged zero seconds (the caller prices via
+    /// [`qserve_gpusim::HostLink::transfer_latency`], which is exactly
+    /// `0.0` for an empty transfer).
+    pub fn charge_migration(&mut self, dt: f64) {
+        self.clock += dt;
+        self.migration_time += dt;
+    }
+
+    /// Seconds spent receiving migrated prefix pages.
+    pub fn migration_time_s(&self) -> f64 {
+        self.migration_time
+    }
+
     /// Cumulative swap-out preemption events.
     pub fn swap_outs(&self) -> usize {
         self.swap_outs
@@ -1157,6 +1275,9 @@ impl Scheduler {
         // Nothing is pending or running any more, so nothing is owed here;
         // the requeued requests will re-owe their work wherever they land.
         self.outstanding = 0;
+        // Migrated-in prefixes died with the KV pool: the caller releases
+        // the budget's anchors, and no future member may alias dead pages.
+        self.warm_prefixes.clear();
         victims.sort_by(|a, b| a.id.cmp(&b.id));
         (victims, lost)
     }
