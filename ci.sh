@@ -18,9 +18,22 @@ cargo run --release --offline --locked -p qserve-lint
 
 # Tier-1 shape (root package, debug), then the whole workspace in release —
 # release reuses the artifacts built above and keeps the heavy bench/model
-# suites fast.
-cargo test -q --offline --locked
-cargo test -q --offline --locked --workspace --release
+# suites fast. QSERVE_THREADS=1 pins the golden suite to the sequential
+# driver: the reference arm of the determinism contract.
+QSERVE_THREADS=1 cargo test -q --offline --locked
+QSERVE_THREADS=1 cargo test -q --offline --locked --workspace --release
+
+# The parallel arm of the contract: regenerate and byte-diff every golden
+# CSV again with a 4-thread pool (sweep grids fan out cell-per-task and
+# the cluster driver ticks replicas in barrier windows — same bytes or
+# this fails naming the experiment that drifted).
+QSERVE_THREADS=4 cargo test -q --offline --locked --release -p qserve-bench --test golden_snapshots
+
+# Thread-scaling smoke: runs the same trace at 1/2/4 pool threads,
+# asserts the reports are identical, and writes the machine-readable
+# baseline to results/BENCH_par_scaling.json.
+QSERVE_BENCH_FAST=1 cargo bench --offline --locked -p qserve-bench --bench par_scaling >/dev/null
+test -s results/BENCH_par_scaling.json
 
 # The reproduce binary is the user-facing entry point; prove it writes CSV.
 # Clear the artifact first so a stale file cannot mask a broken write path.

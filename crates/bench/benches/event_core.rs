@@ -17,7 +17,7 @@
 //! multiply a minutes-long baseline ~12×. Set `QSERVE_BENCH_FAST=1` for a
 //! CI-sized trace where relative numbers do not matter.
 
-use qserve_bench::timing::{fast_mode, Criterion};
+use qserve_bench::timing::{fast_mode, write_json_report, Criterion};
 use qserve_serve::cluster::{Cluster, LeastOutstanding};
 use qserve_serve::request::WorkloadSpec;
 use qserve_serve::scheduler::{MemoryAware, Reservation, SchedOptions};
@@ -75,4 +75,26 @@ fn main() {
         n, event.completed, event.preemptions
     );
     println!("speedup: {:.1}x (event-driven over step-driven)", step_ns / event_ns);
+
+    // Machine-readable baseline so perf regressions diff like goldens:
+    // wall-clock per arm plus wall-clock token throughput (generated
+    // simulation tokens per real second spent simulating them).
+    let wall_tok_per_s = |tokens: usize, ns: f64| tokens as f64 / (ns / 1e9);
+    let metrics = vec![
+        ("requests".to_string(), n as f64),
+        ("event_wall_s".to_string(), event_ns / 1e9),
+        ("step_wall_s".to_string(), step_ns / 1e9),
+        ("speedup_event_over_step".to_string(), step_ns / event_ns),
+        (
+            "event_wall_tok_per_s".to_string(),
+            wall_tok_per_s(event.generated_tokens, event_ns),
+        ),
+        (
+            "step_wall_tok_per_s".to_string(),
+            wall_tok_per_s(step.generated_tokens, step_ns),
+        ),
+    ];
+    let path = write_json_report("event_core", c.results(), &metrics)
+        .expect("write BENCH_event_core.json");
+    println!("baseline: {}", path.display());
 }

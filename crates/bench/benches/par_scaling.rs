@@ -1,0 +1,107 @@
+//! Thread-scaling baseline for the deterministic work-stealing pool.
+//!
+//! Runs the same cluster trace at 1, 2 and 4 pool threads (per-cluster
+//! pools via [`Cluster::with_threads`], so one process can compare widths)
+//! and asserts the reports are **identical** across thread counts — the
+//! pool's whole contract is speedup without a single bit of drift. A W4A8
+//! GEMM arm records kernel throughput at the global pool's width (the
+//! global pool is pinned by `QSERVE_THREADS` at first use, so the kernel
+//! measurement is labeled with whatever width the environment selected).
+//!
+//! Wall-clock numbers land in `results/BENCH_par_scaling.json` so perf
+//! regressions diff like goldens. On a single-core host the parallel arms
+//! measure pool overhead, not speedup — the JSON is a baseline to compare
+//! across commits on the *same* host, not a portable claim. Set
+//! `QSERVE_BENCH_FAST=1` for a CI-sized smoke run.
+
+use qserve_bench::timing::{black_box, fast_mode, write_json_report, Criterion};
+use qserve_core::progressive::PerChannelW4;
+use qserve_gpusim::GpuSpec;
+use qserve_kernels::{gemm_w4a8_per_channel, quantize_activations_int8};
+use qserve_model::ModelConfig;
+use qserve_serve::cluster::{Cluster, LeastOutstanding};
+use qserve_serve::report::ClusterReport;
+use qserve_serve::request::WorkloadSpec;
+use qserve_serve::scheduler::{MemoryAware, Reservation, SchedOptions};
+use qserve_serve::{ServingEngine, SystemConfig};
+use qserve_tensor::{pool, rng::TensorRng};
+
+/// Requests in the cluster trace (`QSERVE_BENCH_FAST` shrinks it 20×).
+const REQUESTS: usize = 100_000;
+/// Offered load, requests per second — overload, so windows stay busy.
+const RATE_RPS: f64 = 2500.0;
+/// Trace seed (matches the scheduling sweeps' seed).
+const SEED: u64 = 20240603;
+/// Pool widths the cluster arm sweeps.
+const THREADS: [usize; 3] = [1, 2, 4];
+
+fn fleet(threads: usize) -> Cluster {
+    let a100 = ServingEngine::new(
+        GpuSpec::a100(),
+        ModelConfig::llama2_7b(),
+        SystemConfig::QServePerChannel,
+    )
+    .expect("A100 serves Llama-2-7B");
+    Cluster::heterogeneous(vec![a100; 4], Box::new(LeastOutstanding)).with_threads(threads)
+}
+
+fn main() {
+    let n = if fast_mode() { REQUESTS / 20 } else { REQUESTS };
+    let spec = WorkloadSpec::production(n, RATE_RPS, SEED);
+    let mut c = Criterion::default();
+    let mut metrics: Vec<(String, f64)> = vec![("requests".to_string(), n as f64)];
+
+    let mut baseline: Option<(f64, ClusterReport)> = None;
+    for &t in &THREADS {
+        let mut cluster = fleet(t);
+        let (ns, report) = c.bench_once(&format!("par_scaling/cluster/threads_{t}"), || {
+            cluster
+                .serve_paged(
+                    &spec,
+                    || Box::new(MemoryAware::default()) as Box<dyn qserve_serve::SchedulingPolicy>,
+                    Reservation::OnDemand,
+                    SchedOptions::default(),
+                )
+                .expect("cluster serves")
+        });
+        metrics.push((format!("cluster_threads_{t}_wall_s"), ns / 1e9));
+        metrics.push((
+            format!("cluster_threads_{t}_wall_tok_per_s"),
+            report.generated_tokens as f64 / (ns / 1e9),
+        ));
+        match &baseline {
+            None => baseline = Some((ns, report)),
+            Some((base_ns, base)) => {
+                // The determinism contract, re-proved on the benchmarked
+                // trace itself (don't `assert_eq!`: a failure would
+                // Debug-print hundreds of thousands of request ids).
+                assert!(
+                    *base == report,
+                    "reports diverged between thread counts (1 vs {t})"
+                );
+                metrics.push((format!("cluster_threads_{t}_speedup"), base_ns / ns));
+            }
+        }
+    }
+
+    // Kernel arm at the global pool's width.
+    let width = pool::global().threads();
+    let (m, kn, kk) = if fast_mode() { (8usize, 128usize, 256usize) } else { (64, 2048, 2048) };
+    let mut rng = TensorRng::seed(42);
+    let w = rng.gaussian(kn, kk, 0.05);
+    let pw = PerChannelW4::quantize(&w);
+    let qx = quantize_activations_int8(&rng.gaussian(m, kk, 1.0));
+    c.bench_function(&format!("par_scaling/gemm_w4a8/{m}x{kn}x{kk}/threads_{width}"), |b| {
+        b.iter(|| black_box(gemm_w4a8_per_channel(&qx, &pw)))
+    });
+    let gemm_ns = c.results().last().expect("gemm result recorded").median_ns;
+    metrics.push((format!("gemm_threads_{width}_wall_s"), gemm_ns / 1e9));
+    metrics.push((
+        format!("gemm_threads_{width}_gmacs_per_s"),
+        (m * kn * kk) as f64 / gemm_ns,
+    ));
+
+    let path =
+        write_json_report("par_scaling", c.results(), &metrics).expect("write BENCH_par_scaling.json");
+    println!("baseline: {}", path.display());
+}

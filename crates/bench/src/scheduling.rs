@@ -19,6 +19,7 @@ use qserve_serve::scheduler::{
     ShortestJobFirst,
 };
 use qserve_serve::{FaultPlan, ServingEngine, ServingReport, SystemConfig};
+use qserve_tensor::pool;
 
 /// Deterministic seed for the sweep's sampled workloads.
 const SWEEP_SEED: u64 = 20240603;
@@ -229,36 +230,46 @@ pub fn cluster_sweep() -> Table {
         SystemConfig::QServePerChannel,
     )
     .expect("A100 serves Llama-2-7B");
+    // Grid cells are independent serves: fan them out on the worker pool
+    // and collect rows back in grid order (`par_map` preserves submission
+    // order, so the CSV is byte-identical at any thread count).
+    let mut cells: Vec<(usize, &'static str, fn() -> Box<dyn RoutingPolicy>, usize)> = Vec::new();
     for replicas in [1usize, 2, 4] {
         for (rname, mk_routing) in routings() {
             for prefix_len in [0usize, 2048, 3584] {
-                let spec = prefix_workload(prefix_len);
-                let opts = SchedOptions {
-                    share_prefixes: prefix_len > 0,
-                    chunk_tokens: None,
-                    ..SchedOptions::default()
-                };
-                let r = Cluster::new(engine.clone(), replicas, mk_routing())
-                    .serve_paged(
-                        &spec,
-                        || Box::new(MemoryAware::default()),
-                        Reservation::OnDemand,
-                        opts,
-                    )
-                    .expect("workload must be servable");
-                t.push_row(vec![
-                    replicas.to_string(),
-                    rname.to_string(),
-                    prefix_len.to_string(),
-                    fnum(r.throughput_tps, 0),
-                    fnum(r.mean_ttft_s, 3),
-                    fnum(r.p50_latency_s, 3),
-                    fnum(r.p99_latency_s, 3),
-                    r.preemptions.to_string(),
-                    r.max_replica_peak_pages.to_string(),
-                ]);
+                cells.push((replicas, rname, mk_routing, prefix_len));
             }
         }
+    }
+    let rows = pool::global().par_map(&cells, |_, &(replicas, rname, mk_routing, prefix_len)| {
+        let spec = prefix_workload(prefix_len);
+        let opts = SchedOptions {
+            share_prefixes: prefix_len > 0,
+            chunk_tokens: None,
+            ..SchedOptions::default()
+        };
+        let r = Cluster::new(engine.clone(), replicas, mk_routing())
+            .serve_paged(
+                &spec,
+                || Box::new(MemoryAware::default()),
+                Reservation::OnDemand,
+                opts,
+            )
+            .expect("workload must be servable");
+        vec![
+            replicas.to_string(),
+            rname.to_string(),
+            prefix_len.to_string(),
+            fnum(r.throughput_tps, 0),
+            fnum(r.mean_ttft_s, 3),
+            fnum(r.p50_latency_s, 3),
+            fnum(r.p99_latency_s, 3),
+            r.preemptions.to_string(),
+            r.max_replica_peak_pages.to_string(),
+        ]
+    });
+    for row in rows {
+        t.push_row(row);
     }
     t
 }
@@ -345,37 +356,54 @@ pub fn hetero_sweep() -> Table {
         ],
     );
     let spec = slo_workload();
-    for (fname, fleet) in hetero_fleets() {
+    let fleets = hetero_fleets();
+    // Same pattern as `cluster_sweep`: independent cells fanned out on the
+    // pool, rows collected back in grid order.
+    type HeteroCell = (
+        usize,
+        &'static str,
+        &'static str,
+        fn() -> Box<dyn RoutingPolicy>,
+        &'static str,
+        fn() -> Box<dyn AdmissionPolicy>,
+    );
+    let mut cells: Vec<HeteroCell> = Vec::new();
+    for (fi, (fname, _)) in fleets.iter().enumerate() {
         for (rname, mk_routing) in hetero_routings() {
             for (aname, mk_admission) in admissions() {
-                let r = Cluster::heterogeneous(fleet.clone(), mk_routing())
-                    .with_admission(mk_admission())
-                    .serve_paged(
-                        &spec,
-                        || Box::new(MemoryAware::default()),
-                        Reservation::OnDemand,
-                        SchedOptions::default(),
-                    )
-                    .expect("workload must be servable");
-                let utils: Vec<f64> =
-                    r.per_replica.iter().map(|p| p.utilization).collect();
-                let min_util = utils.iter().copied().fold(f64::INFINITY, f64::min);
-                let max_util = utils.iter().copied().fold(0.0f64, f64::max);
-                t.push_row(vec![
-                    fname.to_string(),
-                    rname.to_string(),
-                    aname.to_string(),
-                    fnum(r.goodput_tps, 0),
-                    fnum(r.throughput_tps, 0),
-                    fnum(r.slo_attainment, 3),
-                    r.shed.to_string(),
-                    format!("{}/{}/{}", r.shed_by_tier[0], r.shed_by_tier[1], r.shed_by_tier[2]),
-                    fnum(r.p99_latency_s, 3),
-                    fnum(min_util, 2),
-                    fnum(max_util, 2),
-                ]);
+                cells.push((fi, fname, rname, mk_routing, aname, mk_admission));
             }
         }
+    }
+    let rows = pool::global().par_map(&cells, |_, &(fi, fname, rname, mk_routing, aname, mk_admission)| {
+        let r = Cluster::heterogeneous(fleets[fi].1.clone(), mk_routing())
+            .with_admission(mk_admission())
+            .serve_paged(
+                &spec,
+                || Box::new(MemoryAware::default()),
+                Reservation::OnDemand,
+                SchedOptions::default(),
+            )
+            .expect("workload must be servable");
+        let utils: Vec<f64> = r.per_replica.iter().map(|p| p.utilization).collect();
+        let min_util = utils.iter().copied().fold(f64::INFINITY, f64::min);
+        let max_util = utils.iter().copied().fold(0.0f64, f64::max);
+        vec![
+            fname.to_string(),
+            rname.to_string(),
+            aname.to_string(),
+            fnum(r.goodput_tps, 0),
+            fnum(r.throughput_tps, 0),
+            fnum(r.slo_attainment, 3),
+            r.shed.to_string(),
+            format!("{}/{}/{}", r.shed_by_tier[0], r.shed_by_tier[1], r.shed_by_tier[2]),
+            fnum(r.p99_latency_s, 3),
+            fnum(min_util, 2),
+            fnum(max_util, 2),
+        ]
+    });
+    for row in rows {
+        t.push_row(row);
     }
     t
 }
@@ -543,55 +571,66 @@ fn failure_sweep_sized(name: &'static str, num_requests: usize) -> Table {
     );
     let spec = failure_workload(num_requests);
     let fleet = mega_fleet();
+    // Scenario × preemption cells fanned out on the pool; each cell still
+    // asserts its own conservation contract (a pool task's panic propagates
+    // to this thread), and rows land in grid order.
+    let mut cells: Vec<(&'static str, FaultPlan, Option<f64>, &'static str, PreemptionMode)> =
+        Vec::new();
     for (scenario, plan, fault_at) in failure_scenarios(fleet.len()) {
         for (pname, preemption) in
             [("recompute", PreemptionMode::Recompute), ("swap", PreemptionMode::Swap)]
         {
-            let opts = SchedOptions { preemption, ..SchedOptions::default() };
-            let r = Cluster::heterogeneous(fleet.clone(), Box::new(LeastOutstanding))
-                .serve_paged_faulty(
-                    &spec,
-                    || Box::new(MemoryAware::default()),
-                    Reservation::OnDemand,
-                    opts,
-                    &plan,
-                )
-                .expect("workload must be servable");
-            // The acceptance invariant: a fault may requeue or shed work,
-            // never lose it.
-            assert_eq!(
-                r.completed + r.shed,
-                num_requests,
-                "{name}/{scenario}/{pname}: a request was lost"
-            );
-            if fault_at.is_some() {
-                assert!(
-                    r.requeued > 0,
-                    "{name}/{scenario}/{pname}: the crash caught no in-flight work"
-                );
-            }
-            let recovery = match fault_at {
-                Some(at) if r.requeued > 0 => fnum(r.last_requeued_finish_s - at, 2),
-                _ => "—".to_string(),
-            };
-            // lint: allow(raw-cast) -- u64 byte count → f64 for MB display only
-            let swap_mb = r.swap_bytes as f64 / 1e6;
-            t.push_row(vec![
-                scenario.to_string(),
-                pname.to_string(),
-                r.completed.to_string(),
-                r.requeued.to_string(),
-                r.lost_prefill_tokens.to_string(),
-                r.shed.to_string(),
-                fnum(r.goodput_tps, 0),
-                fnum(r.throughput_tps, 0),
-                fnum(r.slo_attainment, 3),
-                recovery,
-                r.preemptions.to_string(),
-                r.swap_outs.to_string(),
-                fnum(swap_mb, 1),
-            ]);
+            cells.push((scenario, plan.clone(), fault_at, pname, preemption));
         }
+    }
+    let rows = pool::global().par_map(&cells, |_, (scenario, plan, fault_at, pname, preemption)| {
+        let opts = SchedOptions { preemption: *preemption, ..SchedOptions::default() };
+        let r = Cluster::heterogeneous(fleet.clone(), Box::new(LeastOutstanding))
+            .serve_paged_faulty(
+                &spec,
+                || Box::new(MemoryAware::default()),
+                Reservation::OnDemand,
+                opts,
+                plan,
+            )
+            .expect("workload must be servable");
+        // The acceptance invariant: a fault may requeue or shed work,
+        // never lose it.
+        assert_eq!(
+            r.completed + r.shed,
+            num_requests,
+            "{name}/{scenario}/{pname}: a request was lost"
+        );
+        if fault_at.is_some() {
+            assert!(
+                r.requeued > 0,
+                "{name}/{scenario}/{pname}: the crash caught no in-flight work"
+            );
+        }
+        let recovery = match fault_at {
+            Some(at) if r.requeued > 0 => fnum(r.last_requeued_finish_s - at, 2),
+            _ => "—".to_string(),
+        };
+        // lint: allow(raw-cast) -- u64 byte count → f64 for MB display only
+        let swap_mb = r.swap_bytes as f64 / 1e6;
+        vec![
+            scenario.to_string(),
+            pname.to_string(),
+            r.completed.to_string(),
+            r.requeued.to_string(),
+            r.lost_prefill_tokens.to_string(),
+            r.shed.to_string(),
+            fnum(r.goodput_tps, 0),
+            fnum(r.throughput_tps, 0),
+            fnum(r.slo_attainment, 3),
+            recovery,
+            r.preemptions.to_string(),
+            r.swap_outs.to_string(),
+            fnum(swap_mb, 1),
+        ]
+    });
+    for row in rows {
+        t.push_row(row);
     }
     t
 }
@@ -726,8 +765,14 @@ fn elastic_sweep_sized(name: &'static str, div: usize) -> Table {
     // TTFT is only feasible on the A100, and only a feasibility-aware
     // router knows that.
     let mixed_fleet = vec![a100.clone(), l40s.clone(), l40s.clone(), l40s.clone()];
-    let run_routing = |routing: Box<dyn RoutingPolicy>| {
-        Cluster::heterogeneous(mixed_fleet.clone(), routing)
+    // Scenario arms are independent clusters: build them up front, serve
+    // them concurrently on the pool, read the reports back in arm order.
+    let mut routing_arms = vec![
+        Cluster::heterogeneous(mixed_fleet.clone(), Box::new(LeastOutstanding)),
+        Cluster::heterogeneous(mixed_fleet.clone(), Box::new(DeadlineAware)),
+    ];
+    let mut reports = pool::global().par_map_mut(&mut routing_arms, |_, cluster| {
+        cluster
             .serve_paged(
                 &deadline_spec,
                 || Box::new(MemoryAware::default()),
@@ -735,9 +780,9 @@ fn elastic_sweep_sized(name: &'static str, div: usize) -> Table {
                 SchedOptions::default(),
             )
             .expect("workload must be servable")
-    };
-    let lo = run_routing(Box::new(LeastOutstanding));
-    let da = run_routing(Box::new(DeadlineAware));
+    });
+    let da = reports.pop().expect("deadline-aware arm");
+    let lo = reports.pop().expect("least-outstanding arm");
     assert!(
         da.slo_attainment > lo.slo_attainment,
         "{name}: deadline-aware routing must beat least-outstanding on attainment: \
@@ -758,8 +803,16 @@ fn elastic_sweep_sized(name: &'static str, div: usize) -> Table {
         .with_slos(slo_cycle());
     let share_opts = SchedOptions { share_prefixes: true, ..SchedOptions::default() };
     let pair = vec![a100.clone(), a100.clone()];
-    let run_migration = |cluster: Cluster| {
-        let mut cluster = cluster;
+    let mut migration_arms = vec![
+        Cluster::heterogeneous(pair.clone(), Box::new(PrefixAffinity::default())),
+        Cluster::heterogeneous(pair.clone(), Box::new(PrefixAffinity::default()))
+            .with_admission(Box::new(PriorityShed { queue_budget_s: 2.0 })),
+        Cluster::heterogeneous(pair.clone(), Box::new(LeastOutstanding))
+            .with_migration(migration_config(false)),
+        Cluster::heterogeneous(pair.clone(), Box::new(LeastOutstanding))
+            .with_migration(migration_config(true)),
+    ];
+    let mut reports = pool::global().par_map_mut(&mut migration_arms, |_, cluster| {
         cluster
             .serve_paged(
                 &migrate_spec,
@@ -768,21 +821,11 @@ fn elastic_sweep_sized(name: &'static str, div: usize) -> Table {
                 share_opts,
             )
             .expect("workload must be servable")
-    };
-    let affinity =
-        run_migration(Cluster::heterogeneous(pair.clone(), Box::new(PrefixAffinity::default())));
-    let shed = run_migration(
-        Cluster::heterogeneous(pair.clone(), Box::new(PrefixAffinity::default()))
-            .with_admission(Box::new(PriorityShed { queue_budget_s: 2.0 })),
-    );
-    let repin = run_migration(
-        Cluster::heterogeneous(pair.clone(), Box::new(LeastOutstanding))
-            .with_migration(migration_config(false)),
-    );
-    let migrate = run_migration(
-        Cluster::heterogeneous(pair.clone(), Box::new(LeastOutstanding))
-            .with_migration(migration_config(true)),
-    );
+    });
+    let migrate = reports.pop().expect("migrate-pages arm");
+    let repin = reports.pop().expect("repin arm");
+    let shed = reports.pop().expect("shed arm");
+    let affinity = reports.pop().expect("affinity arm");
     assert!(migrate.migrations > 0, "{name}: the saturated home never migrated");
     assert_eq!(migrate.shed, 0, "{name}: migration must absorb, not shed");
     assert!(
@@ -820,20 +863,9 @@ fn elastic_sweep_sized(name: &'static str, div: usize) -> Table {
             period_s: 20.0,
         })
         .with_slos(slo_cycle());
-    let run_elastic = |cluster: Cluster| {
-        let mut cluster = cluster;
-        cluster
-            .serve_paged(
-                &elastic_spec,
-                || Box::new(MemoryAware::default()),
-                Reservation::OnDemand,
-                SchedOptions::default(),
-            )
-            .expect("workload must be servable")
-    };
-    let static_min = run_elastic(Cluster::new(a100.clone(), 1, Box::new(LeastOutstanding)));
-    let static_max = run_elastic(Cluster::new(a100.clone(), 4, Box::new(LeastOutstanding)));
-    let elastic = run_elastic(
+    let mut elastic_arms = vec![
+        Cluster::new(a100.clone(), 1, Box::new(LeastOutstanding)),
+        Cluster::new(a100.clone(), 4, Box::new(LeastOutstanding)),
         Cluster::new(a100.clone(), 4, Box::new(LeastOutstanding)).with_autoscaler(
             AutoscaleConfig {
                 policy: Box::new(QueuePressureScaler {
@@ -846,7 +878,20 @@ fn elastic_sweep_sized(name: &'static str, div: usize) -> Table {
                 initial_online: 1,
             },
         ),
-    );
+    ];
+    let mut reports = pool::global().par_map_mut(&mut elastic_arms, |_, cluster| {
+        cluster
+            .serve_paged(
+                &elastic_spec,
+                || Box::new(MemoryAware::default()),
+                Reservation::OnDemand,
+                SchedOptions::default(),
+            )
+            .expect("workload must be servable")
+    });
+    let elastic = reports.pop().expect("elastic arm");
+    let static_max = reports.pop().expect("static-max arm");
+    let static_min = reports.pop().expect("static-min arm");
     assert!(
         elastic.gpu_seconds < static_max.gpu_seconds,
         "{name}: the autoscaler must bill less than the always-on fleet: {} vs {}",

@@ -232,6 +232,85 @@ fn fmt_ns(ns: f64) -> String {
     }
 }
 
+/// Writes a machine-readable perf baseline as `results/BENCH_<id>.json`
+/// next to the reproduce CSVs, so perf regressions diff like goldens do.
+///
+/// The JSON is hand-rolled (the build environment has no serde): an object
+/// with the bench id, the fast-mode flag, every recorded [`BenchResult`],
+/// and a flat `metrics` map of derived numbers (speedups, wall-clock
+/// tokens/s per thread count, …). Non-finite metric values serialize as
+/// `null`; names pass through [`json_escape`]. Returns the written path.
+pub fn write_json_report(
+    id: &str,
+    results: &[BenchResult],
+    metrics: &[(String, f64)],
+) -> std::io::Result<std::path::PathBuf> {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"bench\": \"{}\",\n", json_escape(id)));
+    out.push_str(&format!("  \"fast\": {},\n", fast_mode()));
+    out.push_str("  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"median_ns\": {}, \"min_ns\": {}, \"max_ns\": {}, \"iters\": {}}}{}\n",
+            json_escape(&r.name),
+            json_num(r.median_ns),
+            json_num(r.min_ns),
+            json_num(r.max_ns),
+            r.iters,
+            if i + 1 < results.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"metrics\": {\n");
+    for (i, (name, value)) in metrics.iter().enumerate() {
+        out.push_str(&format!(
+            "    \"{}\": {}{}\n",
+            json_escape(name),
+            json_num(*value),
+            if i + 1 < metrics.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  }\n}\n");
+
+    // Benches run with the package directory as cwd, the reproduce binary
+    // with the workspace root; anchor on the manifest dir so both agree.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let dir = root.join("results");
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("BENCH_{id}.json"));
+    std::fs::write(&path, out)?;
+    Ok(path)
+}
+
+/// JSON number literal for `v` — `null` when non-finite (JSON has no
+/// Infinity/NaN), otherwise Rust's shortest-roundtrip float formatting,
+/// which is valid JSON for all finite values.
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Escapes `s` for inclusion in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 /// Declares `fn $group()` running the listed benchmark functions with one
 /// shared [`Criterion`] (the `criterion_group!` replacement).
 #[macro_export]
@@ -311,6 +390,38 @@ mod tests {
             g.finish();
             assert_eq!(c.results()[0].name, "g/f/7");
         });
+    }
+
+    #[test]
+    fn json_report_is_well_formed() {
+        run_with_fast_mode(|| {
+            let results = vec![BenchResult {
+                name: "a/b/1".to_string(),
+                median_ns: 1.5e6,
+                min_ns: 1.0e6,
+                max_ns: 2.0e6,
+                iters: 3,
+            }];
+            let metrics =
+                vec![("speedup".to_string(), 2.5), ("bad".to_string(), f64::INFINITY)];
+            let path = write_json_report("timing_selftest", &results, &metrics)
+                .expect("write json report");
+            let body = std::fs::read_to_string(&path).expect("read back");
+            std::fs::remove_file(&path).ok();
+            assert!(body.contains("\"bench\": \"timing_selftest\""));
+            assert!(body.contains("\"name\": \"a/b/1\""));
+            assert!(body.contains("\"median_ns\": 1500000"));
+            assert!(body.contains("\"speedup\": 2.5"));
+            // Non-finite metrics must not produce invalid JSON tokens.
+            assert!(body.contains("\"bad\": null"));
+            assert!(!body.contains("inf"));
+        });
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
     }
 
     #[test]

@@ -16,6 +16,7 @@
 use qserve_core::kv_quant::{KvPrecision, QuantizedHeadToken};
 use qserve_tensor::fp16::{round_f16, F16};
 use qserve_tensor::ops::softmax_inplace;
+use qserve_tensor::pool;
 
 /// The fp16 magic-bias dequantization (Kim et al. 2022): ORing a 4-bit code
 /// into the mantissa of the fp16 constant `1024.0` (bits `0x6400`) yields
@@ -97,12 +98,16 @@ impl QuantizedKvHead {
 pub fn decode_attention_fp16(q: &[f32], cache: &QuantizedKvHead) -> Vec<f32> {
     assert!(cache.seq_len() > 0, "empty KV cache");
     let d = q.len();
+    let seq = cache.seq_len();
     let scale = 1.0 / (d as f32).sqrt();
     let q16: Vec<F16> = q.iter().map(|&v| F16::from_f32(v * scale)).collect();
+    let p = pool::global();
 
-    // Stage 1: scores = q·Kᵀ in fp16 multiplies, fp32 accumulation.
-    let mut scores = Vec::with_capacity(cache.seq_len());
-    for tok in &cache.keys {
+    // Stage 1: scores = q·Kᵀ in fp16 multiplies, fp32 accumulation. Each
+    // token's score is an independent dot product, so token blocks fork
+    // across the pool and concatenate in block order — per-element
+    // arithmetic identical to the sequential loop.
+    let score_one = |tok: &QuantizedHeadToken| -> f32 {
         assert_eq!(tok.codes.len(), d, "head_dim mismatch");
         let s16 = F16::from_f32(tok.params.scale);
         let z = tok.params.zero as u8;
@@ -111,24 +116,50 @@ pub fn decode_attention_fp16(q: &[f32], cache: &QuantizedKvHead) -> Vec<f32> {
             let kv = magic_bias_dequant(code, z, s16);
             acc += qi.mul(kv).to_f32();
         }
-        scores.push(acc);
-    }
+        acc
+    };
+    let mut scores: Vec<f32> = if seq >= 256 && p.threads() > 1 {
+        let blocks = crate::gemm::col_blocks(seq, p.threads());
+        p.par_map(&blocks, |_, &(s, e)| {
+            cache.keys[s..e].iter().map(score_one).collect::<Vec<f32>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect()
+    } else {
+        cache.keys.iter().map(score_one).collect()
+    };
 
     // Stage 2: softmax on CUDA cores (fp32, as in the real kernel).
     softmax_inplace(&mut scores);
 
-    // Stage 3: out = Σ p_t · V_t, fp16 multiplies, fp32 accumulation.
-    let mut out = vec![0.0f32; d];
-    for (tok, &p) in cache.values.iter().zip(&scores) {
-        let s16 = F16::from_f32(tok.params.scale);
-        let z = tok.params.zero as u8;
-        let p16 = F16::from_f32(p);
-        for (o, &code) in out.iter_mut().zip(&tok.codes) {
-            let v = magic_bias_dequant(code, z, s16);
-            *o += p16.mul(v).to_f32();
+    // Stage 3: out = Σ p_t · V_t, fp16 multiplies, fp32 accumulation. Each
+    // output feature accumulates over *tokens* in order, so the fork is
+    // over head-dim column blocks — every block walks the tokens in the
+    // same sequence the scalar loop does, keeping each accumulator's
+    // rounding history bit-identical.
+    let stage3 = |j0: usize, j1: usize| -> Vec<f32> {
+        let mut out = vec![0.0f32; j1 - j0];
+        for (tok, &pw) in cache.values.iter().zip(&scores) {
+            let s16 = F16::from_f32(tok.params.scale);
+            let z = tok.params.zero as u8;
+            let p16 = F16::from_f32(pw);
+            for (o, &code) in out.iter_mut().zip(&tok.codes[j0..j1]) {
+                let v = magic_bias_dequant(code, z, s16);
+                *o += p16.mul(v).to_f32();
+            }
         }
+        out
+    };
+    if seq >= 256 && d >= 32 && p.threads() > 1 {
+        let blocks = crate::gemm::col_blocks(d, p.threads());
+        p.par_map(&blocks, |_, &(s, e)| stage3(s, e))
+            .into_iter()
+            .flatten()
+            .collect()
+    } else {
+        stage3(0, d)
     }
-    out
 }
 
 /// FP32 reference attention over the *dequantized* cache — isolates the

@@ -22,7 +22,37 @@ use crate::rlp::{dequant_sub_after_mul, splat4};
 use qserve_core::progressive::{PerChannelW4, ProgressiveWeight};
 use qserve_quant::rounding::round_clamp;
 use qserve_tensor::fp16::round_f16;
+use qserve_tensor::pool;
 use qserve_tensor::Matrix;
+
+/// Splits `n` output channels into contiguous `[start, end)` blocks, one
+/// unit of fork-join work each — at most `threads` blocks, each at least
+/// [`MIN_COLS_PER_BLOCK`] wide so a tiny GEMM never pays fork overhead.
+/// Every output element is computed by exactly one block with the same
+/// per-element arithmetic as the sequential loop (the INT32 accumulators
+/// are per-element and the FP16/FP32 epilogues touch one element at a
+/// time), so any block split is bit-exact by construction.
+pub(crate) fn col_blocks(n: usize, threads: usize) -> Vec<(usize, usize)> {
+    const MIN_COLS_PER_BLOCK: usize = 16;
+    let blocks = threads.min(n.div_ceil(MIN_COLS_PER_BLOCK)).max(1);
+    let per = n.div_ceil(blocks);
+    (0..blocks)
+        .map(|b| (b * per, ((b + 1) * per).min(n)))
+        .filter(|&(s, e)| s < e)
+        .collect()
+}
+
+/// Scatters per-block `m×(end−start)` column panels back into the `m×n`
+/// output, in block order.
+fn scatter_panels(out: &mut Matrix, n: usize, blocks: &[(usize, usize)], panels: Vec<Vec<f32>>) {
+    let dst = out.as_mut_slice();
+    for (&(start, end), panel) in blocks.iter().zip(panels) {
+        let nb = end - start;
+        for (i, row) in panel.chunks_exact(nb).enumerate() {
+            dst[i * n + start..i * n + end].copy_from_slice(row);
+        }
+    }
+}
 
 /// Per-token symmetric INT8 activations plus the precomputed token sums
 /// `t_X` the per-channel epilogue needs (Equation 13).
@@ -107,41 +137,53 @@ pub fn gemm_w8a8(x: &QuantizedActivations, w_codes: &[i8], w_scales: &[f32], n: 
 pub fn gemm_w4a8_per_channel(x: &QuantizedActivations, w: &PerChannelW4) -> Matrix {
     assert_eq!(x.k, w.k(), "reduction dimension mismatch");
     let (n, k) = (w.n(), w.k());
-    // Main loop: unpack each weight row through the real packed
-    // representation (pack → 3-op unpack), collect i8 codes. Rows whose
-    // length is not a multiple of 32 are zero-padded into the final word
-    // (real deployments pad channel counts; padded lanes multiply against
-    // zero activations and contribute nothing).
-    let mut w_i8 = vec![0i8; n * k];
-    for j in 0..n {
-        let row_codes = &w.codes()[j * k..(j + 1) * k];
-        let base = j * k;
-        for (idx, chunk) in row_codes.chunks(32).enumerate() {
-            let mut padded = [0u8; 32];
-            padded[..chunk.len()].copy_from_slice(chunk);
-            let word = crate::pack::pack_interleaved(&padded);
-            let word_base = base + idx * 32;
-            for (r, &reg) in word.regs.iter().enumerate() {
-                let (low, high) = unpack_register(reg);
-                for l in 0..4 {
-                    for (lanes, off) in [(low, 4 * r + l), (high, 16 + 4 * r + l)] {
-                        if word_base + off < base + k {
-                            w_i8[word_base + off] = lane_i8(lanes, l);
+    // Output channels are independent, so the whole kernel — unpack, MMA,
+    // epilogue — runs as a fork-join over column blocks; panels scatter
+    // back in block order and every element's arithmetic is the sequential
+    // kernel's exactly.
+    let p = pool::global();
+    let blocks = col_blocks(n, p.threads());
+    let panels = p.par_map(&blocks, |_, &(start, end)| {
+        let nb = end - start;
+        // Main loop: unpack this block's weight rows through the real
+        // packed representation (pack → 3-op unpack), collect i8 codes.
+        // Rows whose length is not a multiple of 32 are zero-padded into
+        // the final word (real deployments pad channel counts; padded
+        // lanes multiply against zero activations and contribute nothing).
+        let mut w_i8 = vec![0i8; nb * k];
+        for j in 0..nb {
+            let row_codes = &w.codes()[(start + j) * k..(start + j + 1) * k];
+            let base = j * k;
+            for (idx, chunk) in row_codes.chunks(32).enumerate() {
+                let mut padded = [0u8; 32];
+                padded[..chunk.len()].copy_from_slice(chunk);
+                let word = crate::pack::pack_interleaved(&padded);
+                let word_base = base + idx * 32;
+                for (r, &reg) in word.regs.iter().enumerate() {
+                    let (low, high) = unpack_register(reg);
+                    for l in 0..4 {
+                        for (lanes, off) in [(low, 4 * r + l), (high, 16 + 4 * r + l)] {
+                            if word_base + off < base + k {
+                                w_i8[word_base + off] = lane_i8(lanes, l);
+                            }
                         }
                     }
                 }
             }
         }
-    }
-    let acc = mma_i8_nt(&x.codes, &w_i8, x.m, n, k);
-    // Epilogue: subtraction after multiplication, fused zero-point term.
-    let mut out = Matrix::zeros(x.m, n);
-    for i in 0..x.m {
-        for j in 0..n {
-            let corrected = acc[i * n + j] - x.token_sums[i] * i32::from(w.zeros()[j]);
-            out[(i, j)] = corrected as f32 * x.scales[i] * w.scales()[j];
+        let acc = mma_i8_nt(&x.codes, &w_i8, x.m, nb, k);
+        // Epilogue: subtraction after multiplication, fused zero-point term.
+        let mut panel = vec![0.0f32; x.m * nb];
+        for i in 0..x.m {
+            for j in 0..nb {
+                let corrected = acc[i * nb + j] - x.token_sums[i] * i32::from(w.zeros()[start + j]);
+                panel[i * nb + j] = corrected as f32 * x.scales[i] * w.scales()[start + j];
+            }
         }
-    }
+        panel
+    });
+    let mut out = Matrix::zeros(x.m, n);
+    scatter_panels(&mut out, n, &blocks, panels);
     out
 }
 
@@ -163,48 +205,61 @@ pub fn gemm_w4a8_per_group(x: &QuantizedActivations, w: &ProgressiveWeight) -> M
     assert!(g % 4 == 0 || g == k, "group size must be a multiple of 4 for RLP");
     let groups_per_row = k / g;
 
-    let mut acc = vec![0i32; x.m * n];
-    // Process the reduction in 32-channel slices, mirroring the main loop.
-    let mut w_slice = vec![0i8; n * 32];
-    let mut x_slice = vec![0i8; x.m * 32];
-    for k0 in (0..k).step_by(32) {
-        let valid = (k - k0).min(32);
-        // Dequantize this slice of every weight row with real RLP registers.
-        for j in 0..n {
-            let mut padded = [0u8; 32];
-            padded[..valid].copy_from_slice(&w.codes()[j * k + k0..j * k + k0 + valid]);
-            let word = crate::pack::pack_interleaved(&padded);
-            for (r, &reg) in word.regs.iter().enumerate() {
-                let (low, high) = unpack_register(reg);
-                for (reg_lanes, base_off) in [(low, 4 * r), (high, 16 + 4 * r)] {
-                    // Padded lanes pair with zero activations; clamp their
-                    // group lookup to the row's last group.
-                    let k_abs = (k0 + base_off).min(k - 1);
-                    let p = w.group_params()[j * groups_per_row + k_abs / g];
-                    let zs = u32::from(p.zero) * u32::from(p.scale);
-                    debug_assert!(zs <= 255);
-                    let neg_zs = splat4((zs as u8 as i8).wrapping_neg() as u8);
-                    let dq = dequant_sub_after_mul(reg_lanes, p.scale, neg_zs);
-                    for l in 0..4 {
-                        w_slice[j * 32 + base_off + l] = lane_i8(dq, l);
+    // Fork-join over column blocks: each block runs the whole 32-channel
+    // main loop for its weight rows. INT32 accumulation is per output
+    // element, so the block split cannot change any accumulator value.
+    let p = pool::global();
+    let blocks = col_blocks(n, p.threads());
+    let panels = p.par_map(&blocks, |_, &(start, end)| {
+        let nb = end - start;
+        let mut acc = vec![0i32; x.m * nb];
+        // Process the reduction in 32-channel slices, mirroring the main loop.
+        let mut w_slice = vec![0i8; nb * 32];
+        let mut x_slice = vec![0i8; x.m * 32];
+        for k0 in (0..k).step_by(32) {
+            let valid = (k - k0).min(32);
+            // Dequantize this slice of every weight row with real RLP registers.
+            for j in 0..nb {
+                let row = start + j;
+                let mut padded = [0u8; 32];
+                padded[..valid].copy_from_slice(&w.codes()[row * k + k0..row * k + k0 + valid]);
+                let word = crate::pack::pack_interleaved(&padded);
+                for (r, &reg) in word.regs.iter().enumerate() {
+                    let (low, high) = unpack_register(reg);
+                    for (reg_lanes, base_off) in [(low, 4 * r), (high, 16 + 4 * r)] {
+                        // Padded lanes pair with zero activations; clamp their
+                        // group lookup to the row's last group.
+                        let k_abs = (k0 + base_off).min(k - 1);
+                        let p = w.group_params()[row * groups_per_row + k_abs / g];
+                        let zs = u32::from(p.zero) * u32::from(p.scale);
+                        debug_assert!(zs <= 255);
+                        let neg_zs = splat4((zs as u8 as i8).wrapping_neg() as u8);
+                        let dq = dequant_sub_after_mul(reg_lanes, p.scale, neg_zs);
+                        for l in 0..4 {
+                            w_slice[j * 32 + base_off + l] = lane_i8(dq, l);
+                        }
                     }
                 }
             }
+            for i in 0..x.m {
+                let dst = &mut x_slice[i * 32..(i + 1) * 32];
+                dst.fill(0);
+                dst[..valid].copy_from_slice(&x.codes[i * k + k0..i * k + k0 + valid]);
+            }
+            mma_i8_accumulate(&mut acc, &x_slice, &w_slice, x.m, nb, 32);
         }
-        for i in 0..x.m {
-            let dst = &mut x_slice[i * 32..(i + 1) * 32];
-            dst.fill(0);
-            dst[..valid].copy_from_slice(&x.codes[i * k + k0..i * k + k0 + valid]);
-        }
-        mma_i8_accumulate(&mut acc, &x_slice, &w_slice, x.m, n, 32);
-    }
 
-    let mut out = Matrix::zeros(x.m, n);
-    for i in 0..x.m {
-        for j in 0..n {
-            out[(i, j)] = acc[i * n + j] as f32 * x.scales[i] * w.channel_scales()[j];
+        let mut panel = vec![0.0f32; x.m * nb];
+        for i in 0..x.m {
+            for j in 0..nb {
+                panel[i * nb + j] =
+                    acc[i * nb + j] as f32 * x.scales[i] * w.channel_scales()[start + j];
+            }
         }
-    }
+        panel
+    });
+    let mut out = Matrix::zeros(x.m, n);
+    scatter_panels(&mut out, n, &blocks, panels);
     out
 }
 

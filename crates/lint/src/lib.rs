@@ -16,7 +16,16 @@
 //!   simulation crates (`serve`, `gpusim`, `bench`); unordered iteration is
 //!   how bit-identical goldens die.
 //! - `wall-clock` — `std::time::{Instant, SystemTime}`, `std::env`, and
-//!   `std::thread` outside `qserve_bench::timing`.
+//!   `std::thread` outside `qserve_bench::timing` and the
+//!   `qserve_tensor::pool` worker pool (the one sanctioned home for OS
+//!   threads; everything else forks through it).
+//! - `nondeterministic-parallel` — `Mutex`/`RwLock` shared state and atomic
+//!   read-modify-write calls (`fetch_add`, `compare_exchange`, ..) outside
+//!   the pool's own merge machinery; accumulating across threads in
+//!   scheduling-dependent order is how bit-identical parallel reports die.
+//!   Deterministic parallelism routes results through
+//!   `qserve_tensor::pool::Pool::par_map`, which merges in submission
+//!   order.
 //! - `unchecked-sub` / `raw-cast` — raw `-`/`-=` and truncating `as` casts
 //!   on page/token counter expressions in ledger and cost-model files.
 //! - `float-eq` — `==`/`!=` against float literals anywhere (`to_bits`
@@ -49,6 +58,7 @@ pub const LINTS: &[&str] = &[
     "manifest-policy",
     "unordered-iteration",
     "wall-clock",
+    "nondeterministic-parallel",
     "unchecked-sub",
     "raw-cast",
     "float-eq",
@@ -101,8 +111,10 @@ pub struct FileOutcome {
 pub struct FileScope {
     /// Simulation crate: unordered-iteration applies.
     pub sim: bool,
-    /// Wall-clock isolation applies (everything but `qserve_bench::timing`
-    /// and this lint crate itself).
+    /// Wall-clock isolation applies (everything but `qserve_bench::timing`,
+    /// `qserve_tensor::pool` and this lint crate itself). The same flag
+    /// gates `nondeterministic-parallel`: the files allowed to spawn
+    /// threads are exactly the files allowed to synchronize them.
     pub wall_clock: bool,
     /// Ledger / cost-model file: accounting rules apply.
     pub accounting: bool,
@@ -127,7 +139,9 @@ pub fn classify(rel: &str) -> Option<FileKind> {
     let sim = rel.starts_with("crates/serve/")
         || rel.starts_with("crates/gpusim/")
         || rel.starts_with("crates/bench/");
-    let wall_clock = !rel.starts_with("crates/lint/") && rel != "crates/bench/src/timing.rs";
+    let wall_clock = !rel.starts_with("crates/lint/")
+        && rel != "crates/bench/src/timing.rs"
+        && rel != "crates/tensor/src/pool.rs";
     let accounting = matches!(
         rel,
         "crates/serve/src/scheduler.rs"
@@ -363,6 +377,10 @@ mod tests {
             Some(FileKind::Rust(s)) if !s.sim && !s.accounting && s.wall_clock));
         assert!(matches!(classify("crates/bench/src/timing.rs"),
             Some(FileKind::Rust(s)) if s.sim && !s.wall_clock));
+        assert!(matches!(classify("crates/tensor/src/pool.rs"),
+            Some(FileKind::Rust(s)) if !s.sim && !s.wall_clock));
+        assert!(matches!(classify("crates/tensor/src/matrix.rs"),
+            Some(FileKind::Rust(s)) if s.wall_clock));
         assert!(matches!(classify("crates/lint/src/main.rs"),
             Some(FileKind::Rust(s)) if !s.wall_clock));
         assert!(matches!(classify("Cargo.toml"), Some(FileKind::Manifest)));

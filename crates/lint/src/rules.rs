@@ -52,6 +52,7 @@ pub fn lint_rust(rel: &str, src: &str, scope: &FileScope) -> FileOutcome {
     float_sort(rel, toks, &mut findings);
     if scope.wall_clock {
         wall_clock(rel, toks, &mut findings);
+        nondeterministic_parallel(rel, toks, &mut findings);
     }
     if scope.sim {
         unordered_iteration(rel, toks, &mut findings);
@@ -222,6 +223,65 @@ fn wall_clock(rel: &str, toks: &[Tok], out: &mut Vec<Finding>) {
                     "wall-clock",
                     format!(
                         "wall-clock type `{}` is forbidden in simulation code; only `qserve_bench::timing` measures real time",
+                        t.text
+                    ),
+                ));
+            }
+            _ => {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// nondeterministic-parallel: Mutex/RwLock shared state and atomic
+// read-modify-write calls outside the pool's merge machinery — cross-thread
+// accumulation in scheduling-dependent order breaks bit-identical reports
+// ---------------------------------------------------------------------------
+
+/// Atomic read-modify-write methods whose result (or visible side-effect
+/// order) depends on thread interleaving.
+const ATOMIC_RMW: &[&str] = &[
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_min",
+    "fetch_max",
+    "fetch_update",
+    "compare_exchange",
+    "compare_exchange_weak",
+];
+
+fn nondeterministic_parallel(rel: &str, toks: &[Tok], out: &mut Vec<Finding>) {
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let at = i as isize;
+        match t.text.as_str() {
+            "Mutex" | "RwLock" => {
+                out.push(finding(
+                    rel,
+                    t,
+                    "nondeterministic-parallel",
+                    format!(
+                        "`{}` shared state outside `qserve_tensor::pool`; cross-thread accumulation order is scheduling-dependent — return per-task results and let `par_map` merge them in submission order",
+                        t.text
+                    ),
+                ));
+            }
+            _ if ATOMIC_RMW.contains(&t.text.as_str())
+                && text(toks, at - 1) == "."
+                && text(toks, at + 1) == "(" =>
+            {
+                out.push(finding(
+                    rel,
+                    t,
+                    "nondeterministic-parallel",
+                    format!(
+                        "atomic `.{}()` outside `qserve_tensor::pool`; interleaving-dependent read-modify-write breaks bit-identical parallel reports — return per-task results and let `par_map` merge them in submission order",
                         t.text
                     ),
                 ));
@@ -549,6 +609,34 @@ mod tests {
         assert!(lints_of("std::thread_local! { static X: u32 = 0; }")
             .iter()
             .all(|(l, _, _)| *l != "wall-clock"));
+    }
+
+    #[test]
+    fn nondeterministic_parallel_catches_locks_and_rmw() {
+        let got = lints_of("use std::sync::Mutex;\nstatic TOTAL: Mutex<u64> = Mutex::new(0);\n");
+        assert_eq!(
+            got,
+            vec![
+                ("nondeterministic-parallel", 1, 16),
+                ("nondeterministic-parallel", 2, 15),
+                ("nondeterministic-parallel", 2, 28),
+            ]
+        );
+        let got = lints_of("fn f(n: &AtomicU64) { n.fetch_add(1, Ordering::Relaxed); }");
+        assert_eq!(got, vec![("nondeterministic-parallel", 1, 25)]);
+        let got = lints_of("let _ = cell.compare_exchange(0, 1, AcqRel, Acquire);");
+        assert_eq!(got, vec![("nondeterministic-parallel", 1, 14)]);
+    }
+
+    #[test]
+    fn nondeterministic_parallel_leaves_ordinary_code_alone() {
+        // Plain loads/stores and unrelated identifiers never fire.
+        assert!(lints_of("let x = flag.load(Ordering::Relaxed);").is_empty());
+        assert!(lints_of("let fetch_add = 3; let y = fetch_add + 1;").is_empty());
+        // The pool itself is out of scope entirely.
+        let scope = FileScope { sim: false, wall_clock: false, accounting: false };
+        let src = "use std::sync::Mutex;\nlet n = next.fetch_add(1, Ordering::Relaxed);\n";
+        assert!(lint_rust("crates/tensor/src/pool.rs", src, &scope).findings.is_empty());
     }
 
     #[test]

@@ -1,0 +1,3 @@
+//@ path: crates/serve/src/widget.rs
+// lint: allow(nondeterministic-parallel) -- pure memo cache, not a cross-thread accumulator
+struct MemoCell(std::sync::Mutex<u64>);

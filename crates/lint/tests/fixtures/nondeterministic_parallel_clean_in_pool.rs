@@ -1,0 +1,5 @@
+//@ path: crates/tensor/src/pool.rs
+use std::sync::{Condvar, Mutex};
+pub fn claim(next: &std::sync::atomic::AtomicUsize) -> usize {
+    next.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+}

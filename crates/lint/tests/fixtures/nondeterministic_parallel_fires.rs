@@ -1,0 +1,6 @@
+//@ path: crates/serve/src/widget.rs
+use std::sync::Mutex;
+pub fn tally(total: &Mutex<u64>, n: &std::sync::atomic::AtomicU64) {
+    *total.lock().unwrap() += 1;
+    n.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+}

@@ -174,6 +174,35 @@ impl Replica {
             .scheduler_tick_scratch(&mut self.sched, &mut self.budget, &mut self.scratch);
     }
 
+    /// Replays this replica's slice of the event loop up to `barrier`: tick
+    /// after tick while the event the queue *would* re-arm — `(clock, lane)`
+    /// under the queue's `(time bits, lane)` order, with `-0.0` normalized
+    /// the way [`EventQueue::push`] does — still precedes the barrier key.
+    /// Exactly the ticks the sequential loop would pop before reaching the
+    /// barrier event, because between them this replica's events outrank
+    /// everything else in the queue and touch only replica-local state.
+    /// A replica that drains mid-window closes its provisioned-time bill at
+    /// its own clock, as the sequential arm does; upgrade completions never
+    /// reach here (windows are disabled for plans containing upgrades).
+    fn advance_to_barrier(&mut self, lane: u64, barrier: Option<(f64, u64)>) {
+        loop {
+            self.tick_scratch();
+            if self.done() {
+                let idle_at = self.clock();
+                self.life.release_idle(idle_at);
+                return;
+            }
+            let Some((bt, bl)) = barrier else { continue };
+            let bits = self.clock().to_bits();
+            // −0.0 has the sign bit set; fold it onto +0.0 so the integer
+            // comparison agrees with the queue's normalized push order.
+            let tb = if bits == 1u64 << 63 { 0 } else { bits };
+            if (tb, lane) >= (bt.to_bits(), bl) {
+                return;
+            }
+        }
+    }
+
     /// What this replica's next tick will do — the event kind it re-arms
     /// the queue with: a chunk boundary while any resident prefill is
     /// mid-chunking, otherwise a completion step.
@@ -215,6 +244,10 @@ pub struct Cluster {
     engines: Vec<ServingEngine>,
     control: ControlPlane,
     autoscale: Option<AutoscaleConfig>,
+    /// Private worker pool for intra-run replica parallelism; `None` uses
+    /// the process-global pool (sized by `QSERVE_THREADS`). Tests that
+    /// compare thread counts in one process set this per cluster.
+    pool: Option<qserve_tensor::pool::Pool>,
 }
 
 impl Cluster {
@@ -240,7 +273,19 @@ impl Cluster {
             engines,
             control: ControlPlane::new(policy, Box::new(AdmitAll)),
             autoscale: None,
+            pool: None,
         }
+    }
+
+    /// Overrides the worker pool driving intra-run replica parallelism
+    /// (builder-style). The default is the process-global pool, sized by
+    /// `QSERVE_THREADS` or the machine's available parallelism;
+    /// `threads == 1` forces fully sequential event handling. Every thread
+    /// count produces the same bit-identical report — this knob trades
+    /// wall-clock only.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.pool = Some(qserve_tensor::pool::Pool::new(threads));
+        self
     }
 
     /// Installs an admission policy (builder-style); [`AdmitAll`] before.
@@ -562,6 +607,27 @@ impl Cluster {
         }
         // One views buffer reused across every arrival decision.
         let mut views: Vec<ReplicaView> = Vec::with_capacity(reps.len());
+        // Intra-run replica parallelism: consecutive fresh replica-lane
+        // events form a *window* bounded by the next arrival/fault/autoscale
+        // key (or a second event on a lane already windowed). Replicas in a
+        // window touch only replica-local state until the barrier, so they
+        // advance concurrently and merge back bit-identically. Upgrade
+        // completions are the one replica-tick outcome that mutates shared
+        // state (`begin_upgrade_downtime` appends faults mid-arm), and the
+        // only sources of new `Upgrade` entries at runtime are rolling
+        // chains of *planned* upgrades — the autoscaler injects only
+        // `Drain`/`Restart` — so a plan-level scan is a sound gate.
+        let pool = match &self.pool {
+            Some(p) => p,
+            None => qserve_tensor::pool::global(),
+        };
+        let windows_enabled = pool.threads() > 1
+            && !plan
+                .faults()
+                .iter()
+                .any(|f| matches!(f.kind, FaultKind::Upgrade { .. }));
+        let mut window: Vec<usize> = Vec::with_capacity(reps.len());
+        let mut sorted_window: Vec<usize> = Vec::with_capacity(reps.len());
         while let Some((now, lane, kind)) = queue.pop() {
             match kind {
                 Event::Arrival => {
@@ -616,6 +682,75 @@ impl Cluster {
                         // restart that bumped the epoch already decided
                         // this replica's future.
                         continue;
+                    }
+                    if windows_enabled {
+                        window.clear();
+                        window.push(i);
+                        // Widen: pull every queue head that is a *fresh*
+                        // replica event on a lane not yet in the window.
+                        // Stale-epoch heads drop here exactly as the check
+                        // above would drop them; a head on a windowed lane
+                        // stops the scan (it could depend on this window's
+                        // outcome), as does any arrival/fault/autoscale key.
+                        loop {
+                            let Some((_, l2)) = queue.peek() else { break };
+                            if l2 == ARRIVAL_LANE || l2 == FAULT_LANE {
+                                break;
+                            }
+                            // lint: allow(raw-cast) -- replica lane, exact as above
+                            let j = (l2 - 1) as usize;
+                            if window.contains(&j) {
+                                break;
+                            }
+                            let Some((_, _, k2)) = queue.pop() else { break };
+                            let fresh = match k2 {
+                                Event::Completion(e2) | Event::ChunkBoundary(e2) => {
+                                    e2 == reps[j].life.epoch()
+                                }
+                                _ => unreachable!("non-replica event on replica lane {l2}"),
+                            };
+                            if fresh {
+                                window.push(j);
+                            }
+                        }
+                        if window.len() > 1 {
+                            let barrier = queue.peek();
+                            sorted_window.clear();
+                            sorted_window.extend_from_slice(&window);
+                            sorted_window.sort_unstable();
+                            // Carve disjoint `&mut Replica`s out of the
+                            // fleet (ascending order makes each split valid)
+                            // and advance them concurrently to the barrier.
+                            let mut lanes: Vec<(u64, &mut Replica)> =
+                                Vec::with_capacity(sorted_window.len());
+                            let mut tail = reps.as_mut_slice();
+                            let mut base = 0usize;
+                            for &j in &sorted_window {
+                                let (_, rest) = tail.split_at_mut(j - base);
+                                let (one, rest) = rest.split_at_mut(1);
+                                lanes.push((j as u64 + 1, &mut one[0]));
+                                tail = rest;
+                                base = j + 1;
+                            }
+                            pool.par_map_mut(&mut lanes, |_, (l, rep)| {
+                                rep.advance_to_barrier(*l, barrier);
+                            });
+                            // Sequential merge: one re-arm per still-busy
+                            // replica. Lanes are distinct, so push order
+                            // (and thus `seq`) cannot affect pop order.
+                            for &j in &window {
+                                if !reps[j].done() {
+                                    queue.push(
+                                        reps[j].clock(),
+                                        j as u64 + 1,
+                                        reps[j].next_event(),
+                                    );
+                                }
+                            }
+                            continue;
+                        }
+                        // Singleton window: the sequential arm below is
+                        // already the exact replay.
                     }
                     reps[i].tick_scratch();
                     if reps[i].done() {
@@ -1380,6 +1515,98 @@ mod tests {
                 .expect("step reference serves");
             assert_eq!(event, step, "event core diverged from the step driver");
         }
+    }
+
+    qserve_tensor::props! {
+        /// Thread-count invariance oracle: across random fleet sizes,
+        /// workloads, arrival patterns, scheduling policies, routers and
+        /// fault plans (including rolling upgrades, which disable barrier
+        /// windows entirely), a parallel cluster produces a
+        /// [`ClusterReport`] bit-identical to the single-threaded run.
+        fn thread_count_never_changes_the_report(rng, cases = 8) {
+            let replicas = rng.int_in(2, 4) as usize;
+            let n = rng.int_in(24, 64) as usize;
+            let seed = rng.int_in(0, 1 << 20) as u64;
+            let threads = rng.int_in(2, 4) as usize;
+            let mut spec = if rng.int_in(0, 1) == 0 {
+                WorkloadSpec::chat(n, seed)
+            } else {
+                WorkloadSpec::mixed(n, seed)
+            };
+            if rng.int_in(0, 2) > 0 {
+                spec = spec.with_arrivals(ArrivalPattern::Poisson {
+                    rate_rps: f64::from(rng.uniform(4.0, 24.0)),
+                });
+            }
+            let opts = SchedOptions {
+                chunk_tokens: if rng.int_in(0, 1) == 1 { Some(256) } else { None },
+                ..SchedOptions::default()
+            };
+            let plan = match rng.int_in(0, 2) {
+                0 => FaultPlan::none(),
+                1 => FaultPlan::seeded(seed ^ 0x5eed, replicas, 30.0, 3),
+                _ => FaultPlan::none().rolling_upgrade(replicas, 4.0, 1.0),
+            };
+            let mk_policy = {
+                let pick = rng.int_in(0, 1);
+                move || -> Box<dyn SchedulingPolicy> {
+                    match pick {
+                        0 => Box::new(Fcfs),
+                        _ => Box::new(MemoryAware::default()),
+                    }
+                }
+            };
+            let route_pick = rng.int_in(0, 2);
+            let mk_routing = move || -> Box<dyn RoutingPolicy> {
+                match route_pick {
+                    0 => Box::new(RoundRobin::default()),
+                    1 => Box::new(LeastOutstanding),
+                    _ => Box::new(DeadlineAware),
+                }
+            };
+            let run = |t: usize| {
+                Cluster::new(engine(), replicas, mk_routing())
+                    .with_threads(t)
+                    .serve_paged_faulty(&spec, &mk_policy, Reservation::OnDemand, opts, &plan)
+                    .expect("cluster serves")
+            };
+            let sequential = run(1);
+            let parallel = run(threads);
+            assert_eq!(
+                sequential, parallel,
+                "report diverged between 1 and {threads} pool threads"
+            );
+        }
+    }
+
+    #[test]
+    fn equal_timestamp_cross_lane_ticks_merge_in_lane_order() {
+        // The adversarial tie case for barrier windows: an offline batch
+        // split round-robin across identical replicas makes every replica's
+        // chunk boundaries collide at bit-equal timestamps, so each window
+        // is all ties and the `(time bits, lane)` comparison alone decides
+        // who stops at the barrier. Any off-by-one in the tie-break (`>` vs
+        // `>=`, or ticking *at* the barrier time) reorders merged events
+        // and shows up as a report diff against the sequential driver.
+        let spec = WorkloadSpec::chat(60, 9);
+        let run = |threads: usize| {
+            Cluster::new(engine(), 3, Box::new(RoundRobin::default()))
+                .with_threads(threads)
+                .serve_paged(
+                    &spec,
+                    || Box::new(MemoryAware::default()),
+                    Reservation::OnDemand,
+                    SchedOptions::default(),
+                )
+                .expect("cluster serves")
+        };
+        let sequential = run(1);
+        let parallel = run(3);
+        // The scenario must actually exercise concurrent lanes…
+        assert_eq!(sequential.completed, 60);
+        assert!(sequential.per_replica.iter().all(|r| r.routed == 20));
+        // …and the tie-heavy windows must not reorder a single event.
+        assert_eq!(sequential, parallel, "equal-timestamp windows reordered events");
     }
 
     #[test]

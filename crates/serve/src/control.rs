@@ -110,7 +110,7 @@ impl ReplicaView {
 
 /// Decides which replica owns each arriving request. Stateful: a policy may
 /// remember its own placement history (round-robin cursor, prefix pins).
-pub trait RoutingPolicy {
+pub trait RoutingPolicy: Send {
     /// Policy name for reports.
     fn name(&self) -> &'static str;
 
@@ -313,7 +313,7 @@ pub enum Admission {
 /// load-shedding seam, upstream of [`RoutingPolicy`]. Sees the same
 /// [`ReplicaView`] snapshot the router sees (speed profiles included), so a
 /// policy can price feasibility against each replica's own cost model.
-pub trait AdmissionPolicy {
+pub trait AdmissionPolicy: Send {
     /// Policy name for reports.
     fn name(&self) -> &'static str;
 
@@ -623,7 +623,7 @@ impl ControlPlane {
 /// scale-down is a `Drain` fault, scale-up is a `Restart` fault — so an
 /// autoscaled replica's lifecycle (epochs, parked-work delivery,
 /// provisioned-time windows) is exactly a fault-plan replica's.
-pub trait AutoscalePolicy {
+pub trait AutoscalePolicy: Send {
     /// Policy name for reports.
     fn name(&self) -> &'static str;
 

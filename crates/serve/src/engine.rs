@@ -163,6 +163,40 @@ pub(crate) struct TickScratch {
     done: Vec<RequestId>,
 }
 
+/// Memo table for [`ServingEngine::layer_gemm_latency`]: the GEMM model is
+/// a pure function of `(engine spec, batch)`, and the cluster driver prices
+/// the same handful of batch sizes millions of times per sweep. Small batch
+/// sizes (decode batches, chunk slices) hit a dense direct-indexed table;
+/// large prefill-wave totals spill to a sparse map. Cached values are the
+/// very `f64`s the model produced, so memoized runs are bit-identical.
+#[derive(Debug, Default)]
+struct GemmMemo {
+    /// Direct-indexed slots for batch sizes below [`GEMM_MEMO_DENSE`].
+    dense: Vec<Option<f64>>,
+    /// Overflow for larger (rarer) batch sizes.
+    sparse: std::collections::BTreeMap<usize, f64>,
+}
+
+/// The memo's interior-mutability cell. A `Mutex` rather than a `RefCell`
+/// so `ServingEngine` stays `Sync` (sweep cells run on pool workers); each
+/// replica owns its engine clone, so the lock is never contended in
+/// practice. Cloning deliberately starts an *empty* cache: memo contents
+/// are pure derived data, and a fresh clone re-derives the identical
+/// `f64`s on first use.
+#[derive(Debug, Default)]
+// lint: allow(nondeterministic-parallel) -- pure memo cache, not an accumulator: cached values are the exact f64s the model returns, so hit order cannot change any result
+struct MemoCell(std::sync::Mutex<GemmMemo>);
+
+impl Clone for MemoCell {
+    fn clone(&self) -> Self {
+        Self::default()
+    }
+}
+
+/// Dense-slot ceiling of [`GemmMemo`] — covers every decode batch and
+/// prefill chunk the schedulers produce; whole-wave totals go sparse.
+const GEMM_MEMO_DENSE: usize = 4096;
+
 /// A serving engine instance for (GPU, model, system), optionally running
 /// as a tensor-parallel group of identical GPUs.
 #[derive(Debug, Clone)]
@@ -172,6 +206,8 @@ pub struct ServingEngine {
     system: SystemConfig,
     plan: MemoryPlan,
     tp: TpGroup,
+    /// Interior-mutable so `&self` costing entry points stay `&self`.
+    gemm_memo: MemoCell,
 }
 
 /// Why an engine could not be constructed (the `OOM` / `N.S.` cells of
@@ -341,6 +377,7 @@ impl ServingEngine {
             system,
             plan,
             tp,
+            gemm_memo: MemoCell::default(),
         })
     }
 
@@ -375,14 +412,39 @@ impl ServingEngine {
         self.plan.max_batch(workload.peak_len())
     }
 
-    /// GEMM latency of one decoder layer at token batch `batch`.
+    /// GEMM latency of one decoder layer at token batch `batch`, memoized
+    /// in [`GemmMemo`] (the model is pure in `(spec, batch)`, and every
+    /// tick prices 4–8 GEMM shapes at a recurring handful of batch sizes).
+    fn layer_gemm_latency(&self, batch: usize) -> f64 {
+        let mut memo = self.gemm_memo.0.lock().expect("gemm memo poisoned");
+        if batch < GEMM_MEMO_DENSE {
+            if memo.dense.len() <= batch {
+                memo.dense.resize(batch + 1, None);
+            }
+            if let Some(t) = memo.dense[batch] {
+                return t;
+            }
+            let t = self.layer_gemm_latency_model(batch);
+            memo.dense[batch] = Some(t);
+            t
+        } else {
+            if let Some(&t) = memo.sparse.get(&batch) {
+                return t;
+            }
+            let t = self.layer_gemm_latency_model(batch);
+            memo.sparse.insert(batch, t);
+            t
+        }
+    }
+
+    /// The uncached GEMM model behind [`Self::layer_gemm_latency`].
     ///
     /// Dense models run the four fused GEMMs of
     /// [`ModelConfig::decode_gemm_shapes`]. MoE models route each token to
     /// `active_experts` of `experts` FFNs: every touched expert's weights
     /// stream from HBM while each processes only its share of tokens — the
     /// memory-bound regime that makes Mixtral expensive to serve.
-    fn layer_gemm_latency(&self, batch: usize) -> f64 {
+    fn layer_gemm_latency_model(&self, batch: usize) -> f64 {
         let cfg = self.system.gemm_config();
         let h = self.model.hidden;
         let kv = self.model.kv_heads * self.model.head_dim();

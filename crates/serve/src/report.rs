@@ -245,10 +245,14 @@ pub(crate) fn aggregate(
     let mut makespan = 0.0f64;
     let mut per_replica = Vec::with_capacity(reps.len());
     for rep in reps {
-        // Replica-index merge order: deterministic by construction.
+        // Replica-index merge order: deterministic by construction. One
+        // pass over each replica's finished list — everything below reads
+        // borrowed state; no per-replica vector is copied.
         lat_sketch.merge(rep.sched.latency_sketch());
         let finished = rep.sched.finished();
+        let mut rep_generated = 0usize;
         for r in finished {
+            rep_generated += r.generated;
             if exact {
                 latencies.push(r.latency_s().expect("finished"));
             }
@@ -282,7 +286,6 @@ pub(crate) fn aggregate(
                     last_requeued_finish.max(r.finish_s.expect("finished"));
             }
         }
-        let rep_generated: usize = finished.iter().map(|r| r.generated).sum();
         generated += rep_generated;
         completed += finished.len();
         preemptions += rep.sched.preemptions();

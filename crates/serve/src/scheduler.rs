@@ -545,7 +545,11 @@ impl KvBudget for PageBudget {
 /// Decides *which* queued request is admitted next and *who* gets preempted
 /// under memory pressure. Policies see only arrived requests; batch-limit
 /// and budget gating stay in the core.
-pub trait SchedulingPolicy {
+///
+/// `Send` so a replica (which owns its policy) can be advanced on a pool
+/// worker between cluster barriers; policies are consulted from exactly one
+/// thread at a time, so no `Sync` bound is needed.
+pub trait SchedulingPolicy: Send {
     /// Policy name for reports.
     fn name(&self) -> &'static str;
 
@@ -784,6 +788,11 @@ pub struct Scheduler {
     /// Streaming end-to-end latency accumulator, fed once per retirement
     /// with the same `latency_s()` float the exact path reads later.
     latency_sketch: PercentileSketch,
+    /// Reusable survivor buffer for the retirement compaction in
+    /// [`Scheduler::decode_step_into`] — swapped with `running` so a tick
+    /// that retires requests does one stable pass instead of O(batch) moves
+    /// per `Vec::remove`.
+    retire_scratch: Vec<Request>,
 }
 
 /// Tokens of work still owed to one queued or running request.
@@ -858,6 +867,7 @@ impl Scheduler {
             warm_prefixes: std::collections::BTreeMap::new(),
             migration_time: 0.0,
             latency_sketch: PercentileSketch::new(),
+            retire_scratch: Vec::new(),
         }
     }
 
@@ -1323,10 +1333,15 @@ impl Scheduler {
                 .filter(|r| r.prefill_remaining() == 0)
                 .map(|r| r.id),
         );
+        // Ids leave `running` during this call only as eviction victims:
+        // either preempted (collected in `preempted`) or swapped out. A
+        // membership check against those few victims replaces a full
+        // O(running) rescan per id — same skip decision, linear tick.
+        let mut swapped: Vec<RequestId> = Vec::new();
         for &id in ids.iter() {
             loop {
-                if self.running.iter().all(|r| r.id != id) {
-                    break; // already preempted as someone else's victim
+                if preempted.contains(&id) || swapped.contains(&id) {
+                    break; // already evicted as someone else's victim
                 }
                 if budget.grow(id) {
                     break;
@@ -1349,6 +1364,7 @@ impl Scheduler {
                         self.tick_swap_pages += pages;
                         self.swap_out_pages += pages;
                         self.swap_outs += 1;
+                        swapped.push(self.running[victim].id);
                         let mut req = self.running.remove(victim);
                         // KV state survives on the host tier: `seq_len` /
                         // `prefilled` are kept, so nothing is re-owed — the
@@ -1419,11 +1435,9 @@ impl Scheduler {
         let clock = self.clock;
         done.clear();
         let mut decoded = 0usize;
-        let mut i = 0;
-        while i < self.running.len() {
-            let r = &mut self.running[i];
+        let mut retiring = false;
+        for r in &mut self.running {
             if r.prefill_remaining() > 0 {
-                i += 1;
                 continue;
             }
             r.seq_len += 1;
@@ -1435,20 +1449,33 @@ impl Scheduler {
             if r.first_token_s.is_none() {
                 r.first_token_s = Some(clock);
             }
-            if r.generated == r.output_len {
-                let mut req = self.running.remove(i);
-                budget.release(req.id);
-                req.state = RequestState::Finished;
-                req.finish_s = Some(clock);
-                // A retiring request owes nothing (its final token was just
-                // counted), so only the sketch needs feeding here — with
-                // the very float the exact path reads from `finished` later.
-                self.latency_sketch.insert(req.latency_s().expect("finished"));
-                done.push(req.id);
-                self.finished.push(req);
-            } else {
-                i += 1;
+            retiring |= r.generated == r.output_len;
+        }
+        if retiring {
+            // Stable single-pass compaction: survivors keep their admission
+            // order and retirements land in `done`/`finished` in that same
+            // order, exactly as the old per-index `Vec::remove` loop did —
+            // without shifting the tail once per retirement.
+            self.retire_scratch.clear();
+            for mut req in self.running.drain(..) {
+                // Only a token decoded this tick can satisfy this (residents
+                // never linger at their output length across ticks).
+                if req.generated == req.output_len {
+                    budget.release(req.id);
+                    req.state = RequestState::Finished;
+                    req.finish_s = Some(clock);
+                    // A retiring request owes nothing (its final token was
+                    // just counted), so only the sketch needs feeding here —
+                    // with the very float the exact path reads from
+                    // `finished` later.
+                    self.latency_sketch.insert(req.latency_s().expect("finished"));
+                    done.push(req.id);
+                    self.finished.push(req);
+                } else {
+                    self.retire_scratch.push(req);
+                }
             }
+            std::mem::swap(&mut self.running, &mut self.retire_scratch);
         }
         self.outstanding = self
             .outstanding

@@ -14,6 +14,9 @@
 //! * [`stats`] — absmax/MSE/SQNR helpers shared by the quantization crates.
 //! * [`prop`] — the in-repo property-testing harness ([`props!`] /
 //!   [`props_assume!`]) that replaces the `proptest` dependency.
+//! * [`pool`] — a dependency-free fork-join thread pool with submission-
+//!   order results (the deterministic parallel substrate for sweeps,
+//!   replica ticking and kernel row blocks).
 //!
 //! # Example
 //!
@@ -29,6 +32,7 @@
 pub mod fp16;
 pub mod matrix;
 pub mod ops;
+pub mod pool;
 pub mod prop;
 pub mod rng;
 pub mod stats;
